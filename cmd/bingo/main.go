@@ -1,0 +1,191 @@
+// Command bingo runs a complete focused crawl — bootstrap, learning phase,
+// harvesting phase — against the built-in synthetic web, then answers a
+// query over the crawl result and optionally persists the crawl database.
+//
+// Usage:
+//
+//	bingo [-world tiny|small|default] [-mode portal|expert]
+//	      [-learn N] [-harvest N] [-query "words"] [-save crawl.db]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	bingo "github.com/bingo-search/bingo"
+	"github.com/bingo-search/bingo/internal/xmlexport"
+)
+
+func main() {
+	worldFlag := flag.String("world", "small", "synthetic world size: tiny, small or default")
+	mode := flag.String("mode", "portal", "portal (database-research crawl) or expert (ARIES needle search)")
+	topicFile := flag.String("topics", "", "plain-text topic/seed file overriding -mode (one \"topic/path url\" per line)")
+	bookmarkFile := flag.String("bookmarks", "", "Netscape bookmark file overriding -mode (folders become topics)")
+	learnBudget := flag.Int64("learn", 100, "learning-phase page budget")
+	harvestBudget := flag.Int64("harvest", 500, "harvesting-phase page budget")
+	query := flag.String("query", "", "query to run against the crawl result (default depends on mode)")
+	save := flag.String("save", "", "path to persist the crawl database (gob)")
+	xmlOut := flag.String("xml", "", "path to export the crawl as semantically tagged XML")
+	sessionOut := flag.String("session", "", "path to save the full crawl session (resumable)")
+	resume := flag.String("resume", "", "path of a saved session to resume instead of starting fresh")
+	flag.Parse()
+
+	var wcfg bingo.WorldConfig
+	switch *worldFlag {
+	case "tiny":
+		wcfg = bingo.TinyWorldConfig()
+	case "small":
+		wcfg = bingo.SmallWorldConfig()
+	case "default":
+		wcfg = bingo.DefaultWorldConfig()
+	default:
+		log.Fatalf("unknown world %q", *worldFlag)
+	}
+	world := bingo.GenerateWorld(wcfg)
+	fmt.Println(world)
+
+	var topics []bingo.TopicSpec
+	q := *query
+	switch {
+	case *topicFile != "":
+		f, err := os.Open(*topicFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topics, err = bingo.ParseTopicFile(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *bookmarkFile != "":
+		f, err := os.Open(*bookmarkFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topics, err = bingo.ParseBookmarks(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if topics != nil && q == "" {
+		q = "database recovery transaction"
+	}
+	if topics != nil {
+		goto haveTopics
+	}
+	switch *mode {
+	case "portal":
+		topics = []bingo.TopicSpec{{Path: []string{"databases"}, Seeds: world.SeedURLs()}}
+		if q == "" {
+			q = "database recovery transaction"
+		}
+	case "expert":
+		topics = []bingo.TopicSpec{{Path: []string{"aries"}, Seeds: world.ExpertSeedURLs()}}
+		if q == "" {
+			q = "source code release"
+		}
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+haveTopics:
+	var eng *bingo.Engine
+	if *resume != "" {
+		// Resume a saved session: same world, extra harvest budget.
+		var cfg bingo.Config
+		cfg.Topics = topics
+		cfg.OthersURLs = world.GeneralPageURLs(50)
+		cfg.Transport = world.RoundTripper()
+		table := map[string]string{}
+		for h, rec := range world.DNSTable() {
+			table[h] = rec.IP
+		}
+		cfg.DNSServers = []bingo.DNSServerSpec{{Table: table}}
+		var lerr error
+		eng, lerr = bingo.LoadSession(cfg, *resume)
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		fmt.Printf("\nresumed session: %d documents, %d training docs\n",
+			eng.Store().NumDocs(), eng.TrainingSize())
+		stats, herr := eng.HarvestN(context.Background(), *harvestBudget)
+		if herr != nil {
+			log.Fatal(herr)
+		}
+		fmt.Printf("resumed harvest:  visited %5d, stored %5d, positive %5d\n",
+			stats.VisitedURLs, stats.StoredPages, stats.Positive)
+	} else {
+		var nerr error
+		eng, nerr = bingo.EngineForWorld(world, topics, func(c *bingo.Config) {
+			c.LearnBudget = *learnBudget
+			c.HarvestBudget = *harvestBudget
+			if *mode == "expert" {
+				c.LearnDepth = 7
+			}
+		})
+		if nerr != nil {
+			log.Fatal(nerr)
+		}
+
+		fmt.Println("\ntopic tree:")
+		fmt.Print(eng.Tree().String())
+
+		learn, harvest, rerr := eng.Run(context.Background())
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		fmt.Printf("\nlearning phase:   visited %5d, stored %5d, positive %5d, hosts %3d, max depth %d\n",
+			learn.VisitedURLs, learn.StoredPages, learn.Positive, learn.VisitedHosts, learn.MaxDepth)
+		fmt.Printf("harvesting phase: visited %5d, stored %5d, positive %5d, hosts %3d, max depth %d\n",
+			harvest.VisitedURLs, harvest.StoredPages, harvest.Positive, harvest.VisitedHosts, harvest.MaxDepth)
+		fmt.Printf("classifier retrained %d times, %d training documents\n", eng.Retrains(), eng.TrainingSize())
+	}
+
+	rt := eng.Runtime()
+	fmt.Printf("runtime: %d docs stored, %d queued, %d duplicates dismissed, %d slow / %d bad hosts, DNS %d hits / %d misses\n",
+		rt.StoredDocs, rt.FrontierQueued, rt.DuplicatesSeen, rt.SlowHosts, rt.BadHosts, rt.DNSHits, rt.DNSMisses)
+
+	fmt.Printf("\ntop 10 results for %q:\n", q)
+	hits := eng.Search().Search(bingo.SearchQuery{
+		Text:    q,
+		Weights: bingo.RankWeights{Cosine: 0.6, Confidence: 0.4},
+		Limit:   10,
+	})
+	for i, h := range hits {
+		fmt.Printf("%2d. %6.3f  %s\n", i+1, h.Score, h.Doc.URL)
+	}
+	if len(hits) == 0 {
+		fmt.Println("(no results)")
+	}
+
+	if *save != "" {
+		if err := eng.Store().Save(*save); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ncrawl database saved to %s (%d documents)\n", *save, eng.Store().NumDocs())
+	}
+	if *sessionOut != "" {
+		if err := eng.SaveSession(*sessionOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("session saved to %s\n", *sessionOut)
+	}
+	if *xmlOut != "" {
+		f, err := os.Create(*xmlOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := xmlexport.Write(f, eng.Store(), xmlexport.Options{}, time.Now()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("XML export written to %s\n", *xmlOut)
+	}
+}

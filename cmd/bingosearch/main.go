@@ -1,0 +1,68 @@
+// Command bingosearch queries a crawl database saved by cmd/bingo (or
+// Engine.Store().Save): the paper's local search engine (§3.6) as a
+// standalone tool, with exact/vague filtering, topic scoping, combined
+// rankings and query-focused snippets.
+//
+// Usage:
+//
+//	bingosearch -db crawl.db [-topic ROOT/databases] [-exact]
+//	            [-wcos 1 -wconf 0 -wauth 0] [-n 10] "query words"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/bingo-search/bingo/internal/search"
+	"github.com/bingo-search/bingo/internal/store"
+)
+
+func main() {
+	db := flag.String("db", "", "path to a saved crawl database (required)")
+	topic := flag.String("topic", "", "restrict to a topic subtree, e.g. ROOT/databases")
+	exact := flag.Bool("exact", false, "require every query term (exact filtering)")
+	wcos := flag.Float64("wcos", 1, "cosine ranking weight")
+	wconf := flag.Float64("wconf", 0, "classifier-confidence ranking weight")
+	wauth := flag.Float64("wauth", 0, "HITS-authority ranking weight")
+	n := flag.Int("n", 10, "number of results")
+	flag.Parse()
+
+	if *db == "" || flag.NArg() == 0 {
+		flag.Usage()
+		log.Fatal("need -db and a query")
+	}
+	st, err := store.Load(*db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := ""
+	for i, a := range flag.Args() {
+		if i > 0 {
+			query += " "
+		}
+		query += a
+	}
+	fmt.Printf("database: %d documents, topics %v\n", st.NumDocs(), st.Topics())
+	hits := search.New(st).Search(search.Query{
+		Text:    query,
+		Topic:   *topic,
+		Exact:   *exact,
+		Weights: search.Weights{Cosine: *wcos, Confidence: *wconf, Authority: *wauth},
+		Limit:   *n,
+	})
+	if len(hits) == 0 {
+		fmt.Println("no results")
+		return
+	}
+	for i, h := range hits {
+		fmt.Printf("%2d. %.3f  %s\n", i+1, h.Score, h.Doc.URL)
+		if h.Doc.Title != "" {
+			fmt.Printf("    %s\n", h.Doc.Title)
+		}
+		if snip := search.Snippet(h.Doc.Text, query, 24, ">>", "<<"); snip != "" {
+			fmt.Printf("    %s\n", snip)
+		}
+		fmt.Printf("    topic %s  conf %.3f  cosine %.3f\n", h.Doc.Topic, h.Doc.Confidence, h.Cosine)
+	}
+}

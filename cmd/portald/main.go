@@ -1,0 +1,70 @@
+// Command portald serves a saved crawl database as a browsable information
+// portal (topic tree, search with snippets, document views) — the paper's
+// §6 "Web-service-based portal explorer". Run cmd/bingo with -save first,
+// or point -crawl at portald to crawl on startup.
+//
+// Usage:
+//
+//	portald -db crawl.db [-listen :8090]
+//	portald -crawl [-world small] [-listen :8090]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	bingo "github.com/bingo-search/bingo"
+	"github.com/bingo-search/bingo/internal/portal"
+	"github.com/bingo-search/bingo/internal/store"
+)
+
+func main() {
+	db := flag.String("db", "", "path to a saved crawl database")
+	crawl := flag.Bool("crawl", false, "run a fresh synthetic-web crawl instead of loading -db")
+	worldFlag := flag.String("world", "small", "synthetic world size when -crawl is set")
+	listen := flag.String("listen", ":8090", "address to serve the portal on")
+	flag.Parse()
+
+	var st *store.Store
+	switch {
+	case *crawl:
+		var wcfg bingo.WorldConfig
+		switch *worldFlag {
+		case "tiny":
+			wcfg = bingo.TinyWorldConfig()
+		case "small":
+			wcfg = bingo.SmallWorldConfig()
+		case "default":
+			wcfg = bingo.DefaultWorldConfig()
+		default:
+			log.Fatalf("unknown world %q", *worldFlag)
+		}
+		world := bingo.GenerateWorld(wcfg)
+		fmt.Println(world)
+		eng, err := bingo.EngineForWorld(world,
+			[]bingo.TopicSpec{{Path: []string{"databases"}, Seeds: world.SeedURLs()}},
+			func(c *bingo.Config) { c.LearnBudget = 150; c.HarvestBudget = 800 })
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, _, err := eng.Run(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+		st = eng.Store()
+	case *db != "":
+		var err error
+		st, err = store.Load(*db)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		log.Fatal("need -db or -crawl")
+	}
+
+	fmt.Printf("serving portal over %d documents on %s\n", st.NumDocs(), *listen)
+	log.Fatal(http.ListenAndServe(*listen, portal.New(st)))
+}

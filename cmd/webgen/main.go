@@ -1,0 +1,67 @@
+// Command webgen generates a synthetic web and serves it over real HTTP.
+// Virtual hosts are selected by the Host header, so a crawler pointed at
+// the listen address with appropriate /etc/hosts-style resolution (or a
+// Host-rewriting proxy) sees the full multi-host world. Without -listen it
+// just prints world statistics and a sample of URLs.
+//
+// Usage:
+//
+//	webgen [-world tiny|small|default] [-listen :8080] [-sample 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+
+	bingo "github.com/bingo-search/bingo"
+)
+
+func main() {
+	worldFlag := flag.String("world", "small", "synthetic world size: tiny, small or default")
+	listen := flag.String("listen", "", "address to serve the world on (empty = print stats only)")
+	sample := flag.Int("sample", 10, "number of sample URLs to print")
+	flag.Parse()
+
+	var cfg bingo.WorldConfig
+	switch *worldFlag {
+	case "tiny":
+		cfg = bingo.TinyWorldConfig()
+	case "small":
+		cfg = bingo.SmallWorldConfig()
+	case "default":
+		cfg = bingo.DefaultWorldConfig()
+	default:
+		log.Fatalf("unknown world %q", *worldFlag)
+	}
+	world := bingo.GenerateWorld(cfg)
+	fmt.Println(world)
+	fmt.Printf("portal seeds:  %v\n", world.SeedURLs())
+	fmt.Printf("expert seeds:  %v\n", world.ExpertSeedURLs())
+	fmt.Printf("needle pages:  %v\n", world.NeedleURLs())
+
+	urls := make([]string, 0, len(world.Pages))
+	for u := range world.Pages {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	if *sample > len(urls) {
+		*sample = len(urls)
+	}
+	fmt.Printf("\nsample of %d URLs:\n", *sample)
+	step := len(urls) / *sample
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(urls) && i/step < *sample; i += step {
+		fmt.Println("  " + urls[i])
+	}
+
+	if *listen == "" {
+		return
+	}
+	fmt.Printf("\nserving %d pages on %s (virtual hosts via Host header)\n", world.NumPages(), *listen)
+	log.Fatal(http.ListenAndServe(*listen, world.Handler()))
+}

@@ -1,0 +1,3 @@
+module github.com/bingo-search/bingo
+
+go 1.22

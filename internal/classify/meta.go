@@ -1,0 +1,123 @@
+package classify
+
+// Meta classification (§3.5): given classifiers v1..vh with results
+// res(vi) ∈ {−1, +1}, weights w(vi) and thresholds t1, t2, the meta decision
+// is +1 when Σ wi·res(vi) > t1, −1 when the sum < t2, and 0 (abstain)
+// otherwise. Three instances matter:
+//
+//	unanimous: w = 1, t1 = h − 0.5 = −t2
+//	majority:  w = 1, t1 = t2 = 0
+//	ξα-weighted average: w(vi) = precision_ξα(vi), t1 = t2 = 0
+//
+// BINGO! uses the unanimous function during the learning phase and the
+// weighted average during harvesting; MetaBestSingle short-circuits to the
+// single classifier with the best ξα estimate for run-time-critical crawls.
+type MetaMode int
+
+const (
+	// MetaBestSingle uses only the model with the best ξα precision.
+	MetaBestSingle MetaMode = iota
+	// MetaUnanimous requires all classifiers to agree for a +1 decision.
+	MetaUnanimous
+	// MetaMajority takes a simple majority vote.
+	MetaMajority
+	// MetaWeighted weights votes by the ξα precision estimates.
+	MetaWeighted
+)
+
+// String names the mode for reports.
+func (m MetaMode) String() string {
+	switch m {
+	case MetaBestSingle:
+		return "best-single"
+	case MetaUnanimous:
+		return "unanimous"
+	case MetaMajority:
+		return "majority"
+	case MetaWeighted:
+		return "xi-alpha-weighted"
+	}
+	return "unknown"
+}
+
+// metaVote is one component classifier's output.
+type metaVote struct {
+	// value is the raw SVM decision value (sign = res, magnitude = conf).
+	value float64
+	// weight is the classifier's ξα precision estimate.
+	weight float64
+}
+
+// combine applies the meta decision function and derives a combined
+// confidence: the weight-normalized mean of the component decision values'
+// magnitudes in the winning direction.
+func combine(votes []metaVote, mode MetaMode) (vote int, confidence float64) {
+	h := len(votes)
+	if h == 0 {
+		return 0, 0
+	}
+	var sum, t1, t2 float64
+	switch mode {
+	case MetaUnanimous:
+		for _, v := range votes {
+			sum += sign(v.value)
+		}
+		t1 = float64(h) - 0.5
+		t2 = -t1
+	case MetaMajority:
+		for _, v := range votes {
+			sum += sign(v.value)
+		}
+	case MetaWeighted:
+		var wtot float64
+		for _, v := range votes {
+			w := v.weight
+			if w <= 0 {
+				w = 1e-6
+			}
+			sum += w * sign(v.value)
+			wtot += w
+		}
+		if wtot > 0 {
+			sum /= wtot // scale-free; thresholds stay 0
+		}
+	default: // MetaBestSingle handled by the caller; treat as majority
+		for _, v := range votes {
+			sum += sign(v.value)
+		}
+	}
+	switch {
+	case sum > t1:
+		vote = +1
+	case sum < t2:
+		vote = -1
+	default:
+		return 0, 0
+	}
+	// combined confidence: mean magnitude of agreeing components
+	var conf, n float64
+	for _, v := range votes {
+		if sign(v.value) == float64(vote) {
+			conf += abs(v.value)
+			n++
+		}
+	}
+	if n > 0 {
+		conf /= n
+	}
+	return vote, conf
+}
+
+func sign(x float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return -1
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/bingo-search/bingo/internal/classify"
+	"github.com/bingo-search/bingo/internal/features"
+	"github.com/bingo-search/bingo/internal/hits"
+	"github.com/bingo-search/bingo/internal/store"
+)
+
+// Archetype selection (§2.6, §3.2): after the learning crawl the most
+// characteristic documents of each topic are promoted to training data from
+// two complementary sources — the best authorities of the topic's link
+// analysis and the automatically classified documents with the highest SVM
+// confidence. To prevent topic drift, an archetype's confidence must exceed
+// the mean confidence of the current training documents (when the gate is
+// enabled), and at most min(NAuth, NConf) archetypes are added per topic.
+
+// ArchetypeCandidate is one proposed archetype shown to the §2.6 feedback
+// step.
+type ArchetypeCandidate struct {
+	URL        string
+	Title      string
+	Confidence float64
+}
+
+// linkAnalysis builds the §2.5 graph for one topic: the base set (documents
+// classified into the topic) expanded by successors and a bounded number of
+// predecessors, with edges drawn from the stored link relation.
+func (e *Engine) linkAnalysis(topicPath string) (authorities, hubs []hits.Score) {
+	base := e.store.ByTopic(topicPath)
+	if len(base) == 0 {
+		return nil, nil
+	}
+	baseIDs := make([]string, len(base))
+	for i, d := range base {
+		baseIDs[i] = d.URL
+	}
+	nodeSet := hits.ExpandBaseSet(baseIDs,
+		func(id string) []string { return e.store.Successors(id) },
+		func(id string) []string { return e.store.Predecessors(id) },
+		50,
+	)
+	g := hits.NewGraph()
+	for id := range nodeSet {
+		g.AddNode(id, hostOf(id))
+	}
+	for id := range nodeSet {
+		for _, succ := range e.store.Successors(id) {
+			if _, ok := nodeSet[succ]; ok {
+				g.AddEdge(id, hostOf(id), succ, hostOf(succ))
+			}
+		}
+	}
+	res := g.Run(hits.DefaultOptions())
+	return res.Authorities, res.Hubs
+}
+
+// promoteArchetypes runs archetype selection and retraining for every topic.
+func (e *Engine) promoteArchetypes() error {
+	if !e.cfg.DisableArchetypes {
+		for _, node := range e.tree.Nodes() {
+			e.promoteTopic(node.Path)
+		}
+	}
+	return e.retrainLocked()
+}
+
+// promoteTopic selects archetypes for one topic and adds them to the
+// training set.
+func (e *Engine) promoteTopic(topicPath string) {
+	docs := e.store.ByTopic(topicPath) // already sorted by confidence desc
+	if len(docs) == 0 {
+		return
+	}
+
+	// Source 1: top authorities from the link analysis.
+	auths, _ := e.linkAnalysis(topicPath)
+	authSet := map[string]struct{}{}
+	for i := 0; i < len(auths) && len(authSet) < e.cfg.NAuth; i++ {
+		if e.store.Contains(auths[i].ID) {
+			authSet[auths[i].ID] = struct{}{}
+		}
+	}
+
+	// Source 2: highest SVM confidence.
+	confSet := map[string]struct{}{}
+	for i := 0; i < len(docs) && i < e.cfg.NConf; i++ {
+		confSet[docs[i].URL] = struct{}{}
+	}
+
+	// Union, minus current training docs.
+	current := map[string]struct{}{}
+	for _, d := range e.training.ByTopic[topicPath] {
+		current[d.ID] = struct{}{}
+	}
+	candidates := make([]store.Document, 0, len(authSet)+len(confSet))
+	seen := map[string]struct{}{}
+	for _, d := range docs {
+		_, isAuth := authSet[d.URL]
+		_, isConf := confSet[d.URL]
+		if !isAuth && !isConf {
+			continue
+		}
+		if _, dup := seen[d.URL]; dup {
+			continue
+		}
+		if _, tr := current[d.URL]; tr {
+			continue
+		}
+		seen[d.URL] = struct{}{}
+		candidates = append(candidates, d)
+	}
+
+	// Topic-drift gate: candidate confidence must beat the mean confidence
+	// of the current training documents under the current decision model.
+	if e.cfg.EnforceArchetypeGate {
+		mean := e.meanTrainingConfidence(topicPath)
+		kept := candidates[:0]
+		for _, d := range candidates {
+			if d.Confidence > mean {
+				kept = append(kept, d)
+			}
+		}
+		candidates = kept
+	}
+
+	// Cap at min(NAuth, NConf), preferring the highest confidence.
+	maxNew := e.cfg.NAuth
+	if e.cfg.NConf < maxNew {
+		maxNew = e.cfg.NConf
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Confidence != candidates[j].Confidence {
+			return candidates[i].Confidence > candidates[j].Confidence
+		}
+		return candidates[i].URL < candidates[j].URL
+	})
+	if len(candidates) > maxNew {
+		candidates = candidates[:maxNew]
+	}
+	// User feedback step (§2.6): let the caller confirm or trim the
+	// archetypes before they enter the training set.
+	if e.cfg.ReviewArchetypes != nil {
+		proposal := make([]ArchetypeCandidate, len(candidates))
+		for i, d := range candidates {
+			proposal[i] = ArchetypeCandidate{URL: d.URL, Title: d.Title, Confidence: d.Confidence}
+		}
+		approvedSet := map[string]struct{}{}
+		for _, a := range e.cfg.ReviewArchetypes(topicPath, proposal) {
+			approvedSet[a.URL] = struct{}{}
+		}
+		kept := candidates[:0]
+		for _, d := range candidates {
+			if _, ok := approvedSet[d.URL]; ok {
+				kept = append(kept, d)
+			}
+		}
+		candidates = kept
+	}
+	for _, d := range candidates {
+		stems := e.pipe.Stems(d.Title + " " + d.Text)
+		if len(stems) == 0 {
+			continue
+		}
+		e.training.Add(topicPath, classify.Doc{
+			ID:    d.URL,
+			Input: features.DocInput{Stems: stems, Anchors: e.store.InAnchors(d.URL)},
+		})
+		_ = e.store.SetTraining(d.URL, true)
+	}
+}
+
+// meanTrainingConfidence scores the current training documents of a topic
+// through the current decision model (§2.4: "training documents have a
+// confidence score associated with them, too").
+func (e *Engine) meanTrainingConfidence(topicPath string) float64 {
+	e.mu.RLock()
+	cls := e.classifier
+	e.mu.RUnlock()
+	if cls == nil {
+		return 0
+	}
+	docs := e.training.ByTopic[topicPath]
+	if len(docs) == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for _, d := range docs {
+		vote, conf := cls.DecideAt(topicPath, d)
+		if vote > 0 {
+			sum += conf
+		}
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// hostOf extracts the hostname from an absolute URL (tolerant of the
+// synthetic world's simple URLs).
+func hostOf(u string) string {
+	rest := u
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}

@@ -1,0 +1,172 @@
+// Package core is the BINGO! engine: it wires crawler, classifier, feature
+// selection, link analysis and storage into the two-phase focused-crawl
+// lifecycle of the paper — bootstrap from bookmarks, a sharp-focus
+// depth-first learning crawl that promotes archetypes and retrains the
+// classifier, then a soft-focus prioritized harvesting crawl (§2.6, §3).
+package core
+
+import (
+	"net/http"
+	"time"
+
+	"github.com/bingo-search/bingo/internal/classify"
+	"github.com/bingo-search/bingo/internal/features"
+	"github.com/bingo-search/bingo/internal/svm"
+)
+
+// TopicSpec declares one topic of interest with its bookmark seeds.
+type TopicSpec struct {
+	// Path locates the topic in the tree, e.g. ["mathematics","algebra"].
+	Path []string
+	// Seeds are the intellectually chosen bookmark URLs: initial crawl
+	// frontier and initial training data at once (§2).
+	Seeds []string
+}
+
+// Config assembles an engine. Zero fields fall back to the paper's §5.1
+// experiment tuning.
+type Config struct {
+	// Topics is the user's topic directory with seeds.
+	Topics []TopicSpec
+	// OthersURLs populate the virtual OTHERS class with common-sense
+	// vocabulary (§3.1; the paper used ~50 Yahoo top-category documents).
+	OthersURLs []string
+
+	// Transport serves HTTP (the synthetic web's RoundTripper in
+	// experiments, http.DefaultTransport for the real network).
+	Transport http.RoundTripper
+	// DNSServers back the resolver simulation (paper: 5 servers).
+	DNSServers []DNSServerSpec
+	// LockedDomains are excluded from crawling (search engines, DBLP
+	// mirrors in the §5.2 evaluation).
+	LockedDomains []string
+	// DisableRobots turns off robots.txt enforcement (enabled by default).
+	DisableRobots bool
+
+	// Workers is the crawler thread count (paper: 15).
+	Workers int
+	// MaxPerHost / MaxPerDomain are the politeness caps (paper: 2 / 5).
+	MaxPerHost   int
+	MaxPerDomain int
+	// MaxRetries before a host is tagged bad (paper: 3).
+	MaxRetries int
+	// PerHostDelay enforces a minimum interval between consecutive requests
+	// to one host (0 = disabled).
+	PerHostDelay time.Duration
+	// MaxTunnelDepth is the tunnelling threshold (paper: 2).
+	MaxTunnelDepth int
+	// LearnDepth bounds the learning-phase crawl depth (paper §5.2: 4).
+	LearnDepth int
+	// QueueLimit caps each topic's incoming URL queue (paper §5.1: 30,000).
+	QueueLimit int
+	// FetchTimeout bounds one retrieval.
+	FetchTimeout time.Duration
+
+	// LearnBudget / HarvestBudget are page-visit budgets per phase (the
+	// stand-in for the paper's wall-clock crawl durations).
+	LearnBudget   int64
+	HarvestBudget int64
+	// RetrainEvery triggers intermediate archetype selection + retraining
+	// during the learning phase each time this many documents have been
+	// positively classified with confidence above RetrainConfidence
+	// (§2.6: "BINGO! repeatedly initiates re-training of the classifier").
+	// 0 retrains only once, at the end of the learning phase.
+	RetrainEvery int
+	// RetrainConfidence is the confidence threshold a positive
+	// classification must exceed to count towards RetrainEvery.
+	RetrainConfidence float64
+
+	// NAuth / NConf are the per-topic archetype candidate counts from link
+	// analysis and SVM confidence (§3.2); at most min(NAuth, NConf) new
+	// archetypes are promoted per topic and retraining round.
+	NAuth int
+	NConf int
+	// EnforceArchetypeGate requires an archetype's confidence to exceed the
+	// mean confidence of the current training documents (§3.2). The §5.2
+	// experiment disabled it because the seed set was extremely small.
+	EnforceArchetypeGate bool
+	// DisableArchetypes skips archetype promotion entirely (ablation knob:
+	// the classifier is still retrained after the learning phase, but only
+	// on the original seeds).
+	DisableArchetypes bool
+	// ReviewArchetypes, when non-nil, implements the §2.6 user feedback
+	// step between learning and harvesting: it receives each topic's
+	// archetype candidates (already gated and capped) and returns the
+	// subset the user confirms for promotion to training data. Returning
+	// the slice unchanged accepts everything.
+	ReviewArchetypes func(topicPath string, candidates []ArchetypeCandidate) []ArchetypeCandidate
+
+	// Spaces are the parallel feature spaces (§3.4); LearnMeta/HarvestMeta
+	// are the meta-classifier modes per phase (§3.5 defaults: unanimous
+	// while learning, ξα-weighted while harvesting).
+	Spaces      []features.Space
+	LearnMeta   classify.MetaMode
+	HarvestMeta classify.MetaMode
+	// FeatureOpts tunes MI selection (paper: best 2000 of top 5000).
+	FeatureOpts features.Options
+	// SVM tunes the per-node SVM training.
+	SVM svm.Params
+}
+
+// DNSServerSpec names one resolver backend.
+type DNSServerSpec struct {
+	// Table maps hostnames to IPs; in experiments this is the synthetic
+	// world's table.
+	Table map[string]string
+}
+
+// WithDefaults fills the paper's defaults into zero fields.
+func (c Config) WithDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 15
+	}
+	if c.MaxPerHost <= 0 {
+		c.MaxPerHost = 2
+	}
+	if c.MaxPerDomain <= 0 {
+		c.MaxPerDomain = 5
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxTunnelDepth == 0 {
+		c.MaxTunnelDepth = 2
+	}
+	if c.LearnDepth <= 0 {
+		c.LearnDepth = 4
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 30000
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 10 * time.Second
+	}
+	if c.LearnBudget <= 0 {
+		c.LearnBudget = 500
+	}
+	if c.HarvestBudget <= 0 {
+		c.HarvestBudget = 2000
+	}
+	if c.NAuth <= 0 {
+		c.NAuth = 10
+	}
+	if c.NConf <= 0 {
+		c.NConf = 10
+	}
+	if len(c.Spaces) == 0 {
+		c.Spaces = []features.Space{features.SpaceTerms}
+	}
+	if c.LearnMeta == 0 && len(c.Spaces) > 1 {
+		c.LearnMeta = classify.MetaUnanimous
+	}
+	if c.HarvestMeta == 0 && len(c.Spaces) > 1 {
+		c.HarvestMeta = classify.MetaWeighted
+	}
+	if c.FeatureOpts.TopK == 0 {
+		c.FeatureOpts = features.DefaultOptions()
+	}
+	if c.SVM.C == 0 {
+		c.SVM = svm.DefaultParams()
+	}
+	return c
+}

@@ -1,0 +1,453 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/url"
+	"sync"
+
+	"github.com/bingo-search/bingo/internal/classify"
+	"github.com/bingo-search/bingo/internal/cluster"
+	"github.com/bingo-search/bingo/internal/dns"
+	"github.com/bingo-search/bingo/internal/features"
+	"github.com/bingo-search/bingo/internal/fetch"
+	"github.com/bingo-search/bingo/internal/frontier"
+	"github.com/bingo-search/bingo/internal/htmldoc"
+	"github.com/bingo-search/bingo/internal/search"
+	"github.com/bingo-search/bingo/internal/store"
+	"github.com/bingo-search/bingo/internal/textproc"
+	"github.com/bingo-search/bingo/internal/urlnorm"
+	"github.com/bingo-search/bingo/internal/vsm"
+)
+
+// Phase names the engine's lifecycle stage.
+type Phase int
+
+// Engine phases.
+const (
+	PhaseInit Phase = iota
+	PhaseLearning
+	PhaseHarvesting
+	PhaseDone
+)
+
+// Engine is one focused-crawl session.
+type Engine struct {
+	cfg      Config
+	tree     *classify.Tree
+	store    *store.Store
+	frontier *frontier.Frontier
+	fetcher  *fetch.Fetcher
+	resolver *dns.Resolver
+	pipe     *textproc.Pipeline
+
+	mu         sync.RWMutex
+	classifier *classify.Classifier
+	training   *classify.TrainingSet
+	phase      Phase
+	meta       classify.MetaMode
+	// seedTopics maps seed URL -> topic path (for re-seeding).
+	seedTopics map[string]string
+	retrains   int
+}
+
+// New builds an engine from cfg. The topic tree is derived from
+// cfg.Topics; Bootstrap must be called before crawling.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.WithDefaults()
+	if len(cfg.Topics) == 0 {
+		return nil, errors.New("core: no topics configured")
+	}
+	tree := classify.NewTree()
+	for _, ts := range cfg.Topics {
+		if _, err := tree.Add(ts.Path...); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if len(ts.Seeds) == 0 {
+			return nil, fmt.Errorf("core: topic %v has no seeds", ts.Path)
+		}
+	}
+
+	var servers []dns.Server
+	for _, spec := range cfg.DNSServers {
+		table := make(map[string]dns.Record, len(spec.Table))
+		for h, ip := range spec.Table {
+			table[h] = dns.Record{Host: h, IP: ip}
+		}
+		servers = append(servers, dns.NewStaticServer(table))
+	}
+	var resolver *dns.Resolver
+	if len(servers) > 0 {
+		resolver = dns.NewResolver(dns.Config{}, servers...)
+	}
+
+	fetcher := fetch.New(fetch.Config{
+		Transport:     cfg.Transport,
+		Resolver:      resolver,
+		Timeout:       cfg.FetchTimeout,
+		LockedDomains: cfg.LockedDomains,
+		RespectRobots: !cfg.DisableRobots,
+	}, fetch.NewDeduper(), fetch.NewHostTracker(cfg.MaxRetries))
+
+	fr := frontier.New(frontier.Config{
+		IncomingLimit: cfg.QueueLimit,
+		OutgoingLimit: 1000,
+		TunnelDecay:   0.5,
+		Prefetch: func(u string) {
+			if resolver == nil {
+				return
+			}
+			if p, err := url.Parse(u); err == nil {
+				resolver.Prefetch(p.Hostname())
+			}
+		},
+	})
+
+	e := &Engine{
+		cfg:        cfg,
+		tree:       tree,
+		store:      store.New(),
+		frontier:   fr,
+		fetcher:    fetcher,
+		resolver:   resolver,
+		pipe:       textproc.NewPipeline(),
+		training:   classify.NewTrainingSet(),
+		phase:      PhaseInit,
+		meta:       cfg.LearnMeta,
+		seedTopics: make(map[string]string),
+	}
+	return e, nil
+}
+
+// Tree returns the engine's topic tree.
+func (e *Engine) Tree() *classify.Tree { return e.tree }
+
+// Store returns the crawl database.
+func (e *Engine) Store() *store.Store { return e.store }
+
+// Phase returns the current lifecycle phase.
+func (e *Engine) Phase() Phase {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.phase
+}
+
+// Retrains returns how many times the classifier has been retrained.
+func (e *Engine) Retrains() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.retrains
+}
+
+// Classifier returns the current classifier (nil before Bootstrap).
+func (e *Engine) Classifier() *classify.Classifier {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.classifier
+}
+
+// fetchDoc retrieves and analyzes one URL outside the crawl loop
+// (bootstrap/training acquisition).
+func (e *Engine) fetchDoc(ctx context.Context, rawURL string) (classify.Doc, *htmldoc.Document, *fetch.Result, error) {
+	res, err := e.fetcher.Fetch(ctx, rawURL)
+	if err != nil {
+		return classify.Doc{}, nil, nil, err
+	}
+	final, err := url.Parse(res.FinalURL)
+	if err != nil {
+		return classify.Doc{}, nil, nil, err
+	}
+	resolve := func(base, href string) (string, bool) {
+		from := final
+		if base != "" {
+			if b, err := final.Parse(base); err == nil {
+				from = b
+			}
+		}
+		ref, err := from.Parse(href)
+		if err != nil {
+			return "", false
+		}
+		urlnorm.NormalizeURL(ref)
+		if ref.Scheme != "http" && ref.Scheme != "https" {
+			return "", false
+		}
+		return ref.String(), true
+	}
+	doc, err := htmldoc.Convert(res.ContentType, res.Body, resolve)
+	if err != nil {
+		return classify.Doc{}, nil, nil, err
+	}
+	stems := e.pipe.Stems(doc.Title + " " + doc.Text)
+	return classify.Doc{ID: res.FinalURL, Input: features.DocInput{Stems: stems}}, doc, res, nil
+}
+
+// Bootstrap fetches the seed bookmarks and OTHERS documents, builds the
+// initial training set and trains the first classifier. Seed documents are
+// stored (flagged as training data) and their out-links become the initial
+// crawl frontier.
+func (e *Engine) Bootstrap(ctx context.Context) error {
+	type seedLinks struct {
+		topic string
+		links []htmldoc.Link
+	}
+	var pending []seedLinks
+	for _, tspec := range e.cfg.Topics {
+		topicPath := classify.RootName
+		for _, seg := range tspec.Path {
+			topicPath += "/" + seg
+		}
+		for _, seedURL := range tspec.Seeds {
+			cdoc, hdoc, res, err := e.fetchDoc(ctx, seedURL)
+			if errors.Is(err, fetch.ErrDuplicate) {
+				// The multi-fingerprint dedup (§4.2) has a small false-
+				// dismissal risk; losing one seed must not abort the crawl.
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("core: bootstrap seed %s: %w", seedURL, err)
+			}
+			e.training.Add(topicPath, cdoc)
+			e.seedTopics[seedURL] = topicPath
+			terms := map[string]int{}
+			for _, s := range cdoc.Input.Stems {
+				terms[s]++
+			}
+			e.store.Insert(store.Document{
+				URL: seedURL, FinalURL: res.FinalURL, Title: hdoc.Title,
+				ContentType: res.ContentType, Topic: topicPath, Text: hdoc.Text,
+				Terms: terms, IsTraining: true,
+			})
+			for _, l := range hdoc.Links {
+				e.store.AddLink(store.Link{From: res.FinalURL, To: l.URL, Anchor: l.Anchor})
+			}
+			pending = append(pending, seedLinks{topic: topicPath, links: hdoc.Links})
+			// The paper treats frames as separate documents (its Gray seed
+			// "has two frames, which are handled by our crawler as separate
+			// documents" — 3 training pages from 2 bookmarks). Frame sources
+			// of seeds become training documents themselves.
+			for _, frameURL := range hdoc.Frames {
+				fdoc, fhdoc, fres, ferr := e.fetchDoc(ctx, frameURL)
+				if ferr != nil {
+					continue
+				}
+				e.training.Add(topicPath, fdoc)
+				fterms := map[string]int{}
+				for _, s := range fdoc.Input.Stems {
+					fterms[s]++
+				}
+				e.store.Insert(store.Document{
+					URL: frameURL, FinalURL: fres.FinalURL, Title: fhdoc.Title,
+					ContentType: fres.ContentType, Topic: topicPath, Text: fhdoc.Text,
+					Terms: fterms, IsTraining: true,
+				})
+				for _, l := range fhdoc.Links {
+					e.store.AddLink(store.Link{From: fres.FinalURL, To: l.URL, Anchor: l.Anchor})
+				}
+				pending = append(pending, seedLinks{topic: topicPath, links: fhdoc.Links})
+			}
+		}
+	}
+	for _, ourl := range e.cfg.OthersURLs {
+		cdoc, _, _, err := e.fetchDoc(ctx, ourl)
+		if err != nil {
+			continue // OTHERS docs are best-effort
+		}
+		e.training.Others = append(e.training.Others, cdoc)
+	}
+	if len(e.training.Others) == 0 {
+		return errors.New("core: no OTHERS documents could be fetched (configure OthersURLs)")
+	}
+	if err := e.retrainLocked(); err != nil {
+		return err
+	}
+	// Seed the frontier with the out-links of the bookmarks (the seeds
+	// themselves are already fetched and would be dismissed as duplicates).
+	for _, sl := range pending {
+		for _, l := range sl.links {
+			e.frontier.Push(frontier.Item{
+				URL: l.URL, Topic: sl.topic, Priority: 1e6,
+				Depth: 1, Referrer: "seed", Anchor: l.Anchor,
+			})
+		}
+	}
+	return nil
+}
+
+// retrainLocked rebuilds the idf table from the document database (lazy
+// recomputation upon retraining, §2.2) and retrains every topic classifier.
+func (e *Engine) retrainLocked() error {
+	stats := vsm.NewCorpusStats()
+	for _, d := range e.store.All() {
+		stats.AddDoc(d.Terms)
+	}
+	idf := stats.Snapshot()
+	cls, err := classify.Train(e.tree, e.training, idf, classify.Config{
+		Spaces:      e.cfg.Spaces,
+		Meta:        e.meta,
+		FeatureOpts: e.cfg.FeatureOpts,
+		SVM:         e.cfg.SVM,
+	})
+	if err != nil {
+		return fmt.Errorf("core: retrain: %w", err)
+	}
+	e.mu.Lock()
+	e.classifier = cls
+	e.retrains++
+	e.mu.Unlock()
+	return nil
+}
+
+// Retrain is the public retraining entry point (used by the feedback loop).
+func (e *Engine) Retrain() error { return e.retrainLocked() }
+
+// classifyCallback adapts the current classifier/meta mode for the crawler.
+func (e *Engine) classifyCallback(d classify.Doc) classify.Result {
+	e.mu.RLock()
+	cls := e.classifier
+	mode := e.meta
+	e.mu.RUnlock()
+	if cls == nil {
+		return classify.Result{Topic: classify.OthersPath(classify.RootName)}
+	}
+	return cls.ClassifyWithMode(d, mode)
+}
+
+// Search returns a local search engine over the crawl database (§3.6).
+func (e *Engine) Search() *search.Engine { return search.New(e.store) }
+
+// ClusterTopic runs the §3.6 cluster analysis on one class's result
+// documents, suggesting subclass structure. kMin/kMax bound the number of
+// clusters tried; the impurity-minimizing K wins.
+func (e *Engine) ClusterTopic(topicPath string, kMin, kMax int) (cluster.Result, int, []store.Document) {
+	docs := e.store.ByTopic(topicPath)
+	// tf·idf weighting keeps ubiquitous class vocabulary out of the
+	// centroids, so the suggested subclass labels carry the *distinctive*
+	// terms of each cluster.
+	stats := vsm.NewCorpusStats()
+	for _, d := range docs {
+		stats.AddDoc(d.Terms)
+	}
+	idf := stats.Snapshot()
+	vecs := make([]vsm.Vector, len(docs))
+	for i, d := range docs {
+		vecs[i] = idf.Weight(d.Terms)
+	}
+	res, k := cluster.ChooseK(vecs, kMin, kMax, cluster.Options{Seed: 1})
+	return res, k, docs
+}
+
+// AddTrainingDoc lets the user promote a crawled document to training data
+// (interactive feedback, §3.6); call Retrain afterwards.
+func (e *Engine) AddTrainingDoc(topicPath, docURL string) error {
+	d, err := e.store.GetByURL(docURL)
+	if err != nil {
+		return err
+	}
+	stems := e.pipe.Stems(d.Title + " " + d.Text)
+	e.training.Add(topicPath, classify.Doc{
+		ID:    d.URL,
+		Input: features.DocInput{Stems: stems, Anchors: e.store.InAnchors(d.URL)},
+	})
+	return e.store.SetTraining(docURL, true)
+}
+
+// AddTrainingText adds a virtual training document for a topic — either a
+// document derived from the user's query terms (the expert-search bootstrap
+// of §2) or an intellectually trimmed page whose irrelevant parts were
+// removed (§2.6). Call Retrain afterwards.
+func (e *Engine) AddTrainingText(topicPath, id, text string) {
+	e.training.Add(topicPath, classify.Doc{
+		ID:    id,
+		Input: features.DocInput{Stems: e.pipe.Stems(text)},
+	})
+}
+
+// ReclassifyAll re-runs the current classifier over every stored document
+// and updates the stored topic assignments and confidences — the paper does
+// this after relevance feedback so the filtered documents are "classified
+// again under the retrained model to improve precision" (§3.6). It returns
+// the number of documents whose topic changed.
+func (e *Engine) ReclassifyAll() int {
+	e.mu.RLock()
+	cls := e.classifier
+	mode := e.meta
+	e.mu.RUnlock()
+	if cls == nil {
+		return 0
+	}
+	changed := 0
+	for _, d := range e.store.All() {
+		if d.IsTraining {
+			continue // training assignments are the user's ground truth
+		}
+		stems := e.pipe.Stems(d.Title + " " + d.Text)
+		res := cls.ClassifyWithMode(classify.Doc{
+			ID:    d.URL,
+			Input: features.DocInput{Stems: stems, Anchors: e.store.InAnchors(d.URL)},
+		}, mode)
+		if res.Topic != d.Topic {
+			changed++
+		}
+		_ = e.store.SetTopic(d.URL, res.Topic, res.Confidence)
+	}
+	return changed
+}
+
+// RemoveTrainingDoc drops a document from every topic's training set
+// (interactive feedback, §3.6); call Retrain afterwards.
+func (e *Engine) RemoveTrainingDoc(docURL string) {
+	for topic, docs := range e.training.ByTopic {
+		kept := docs[:0]
+		for _, d := range docs {
+			if d.ID != docURL {
+				kept = append(kept, d)
+			}
+		}
+		e.training.ByTopic[topic] = kept
+	}
+	_ = e.store.SetTraining(docURL, false)
+}
+
+// TrainingSize returns the number of topic training documents.
+func (e *Engine) TrainingSize() int { return e.training.Size() }
+
+// RuntimeStats aggregates the operational counters of the engine's
+// subsystems — the numbers an operator watches during an overnight crawl.
+type RuntimeStats struct {
+	StoredDocs      int
+	TrainingDocs    int
+	Retrains        int
+	FrontierQueued  int
+	FrontierPushed  int64
+	FrontierDropped int64
+	DuplicatesSeen  int64
+	SlowHosts       int
+	BadHosts        int
+	DNSHits         int64
+	DNSMisses       int64
+	DNSFailures     int64
+}
+
+// Runtime returns a snapshot of the operational counters.
+func (e *Engine) Runtime() RuntimeStats {
+	fs := e.frontier.Stats()
+	slow, bad := e.fetcher.Hosts.Counts()
+	rs := RuntimeStats{
+		StoredDocs:      e.store.NumDocs(),
+		TrainingDocs:    e.training.Size(),
+		Retrains:        e.Retrains(),
+		FrontierQueued:  fs.Queued,
+		FrontierPushed:  fs.Pushed,
+		FrontierDropped: fs.DroppedFull + fs.DroppedSeen,
+		DuplicatesSeen:  e.fetcher.Dedup.Skipped(),
+		SlowHosts:       slow,
+		BadHosts:        bad,
+	}
+	if e.resolver != nil {
+		ds := e.resolver.Stats()
+		rs.DNSHits, rs.DNSMisses, rs.DNSFailures = ds.Hits, ds.Misses, ds.Failures
+	}
+	return rs
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"net/url"
+	"strings"
+	"sync/atomic"
+
+	"github.com/bingo-search/bingo/internal/classify"
+	"github.com/bingo-search/bingo/internal/crawler"
+	"github.com/bingo-search/bingo/internal/frontier"
+	"github.com/bingo-search/bingo/internal/store"
+)
+
+// Learn runs the learning phase (§2.6): a sharp-focus, mostly depth-first
+// crawl restricted to the domains of the training data, followed by
+// archetype selection and retraining. It returns the phase's crawl stats.
+func (e *Engine) Learn(ctx context.Context) (crawler.Stats, error) {
+	e.mu.Lock()
+	e.phase = PhaseLearning
+	e.meta = e.cfg.LearnMeta
+	e.mu.Unlock()
+
+	cfg := crawler.Config{
+		Fetcher:        e.fetcher,
+		Frontier:       e.frontier,
+		Store:          e.store,
+		Classify:       e.classifyCallback,
+		Workers:        e.cfg.Workers,
+		MaxPerHost:     e.cfg.MaxPerHost,
+		MaxPerDomain:   e.cfg.MaxPerDomain,
+		PerHostDelay:   e.cfg.PerHostDelay,
+		MaxDepth:       e.cfg.LearnDepth,
+		MaxTunnelDepth: e.cfg.MaxTunnelDepth,
+		PageBudget:     e.cfg.LearnBudget,
+		Focus:          crawler.SharpFocus,
+		Strategy:       crawler.DepthFirst,
+		AllowedDomains: e.seedDomains(),
+	}
+
+	// Periodic retraining (§2.6): pause the crawl each time RetrainEvery
+	// documents have been classified with confidence above the threshold,
+	// promote archetypes, retrain, and resume.
+	var stats crawler.Stats
+	if e.cfg.RetrainEvery > 0 {
+		var qualifying atomic.Int64
+		var pause context.CancelFunc
+		cfg.OnStored = func(d store.Document, r classify.Result) {
+			if r.Accepted && r.Confidence >= e.cfg.RetrainConfidence {
+				if qualifying.Add(1) == int64(e.cfg.RetrainEvery) {
+					pause()
+				}
+			}
+		}
+		c := crawler.New(cfg)
+		for {
+			var chunkCtx context.Context
+			chunkCtx, pause = context.WithCancel(ctx)
+			stats = c.Run(chunkCtx)
+			paused := qualifying.Load() >= int64(e.cfg.RetrainEvery)
+			pause()
+			if !paused || ctx.Err() != nil || stats.VisitedURLs >= e.cfg.LearnBudget {
+				break
+			}
+			if err := e.promoteArchetypes(); err != nil {
+				return stats, err
+			}
+			qualifying.Store(0)
+		}
+	} else {
+		stats = crawler.New(cfg).Run(ctx)
+	}
+	if err := e.promoteArchetypes(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// Harvest runs the harvesting phase (§2.6): retrained classifier, soft
+// focus, prioritized breadth-first strategy, no domain restriction; the
+// crawler is resumed with the best hubs from the link analysis.
+func (e *Engine) Harvest(ctx context.Context) (crawler.Stats, error) {
+	return e.HarvestN(ctx, e.cfg.HarvestBudget)
+}
+
+// HarvestN is Harvest with an explicit page budget. Calling it again after
+// a completed harvest resumes the crawl with additional budget — the paper
+// paused its crawl after 90 minutes to assess intermediate results and then
+// resumed it for a total of 12 hours (§5.2).
+func (e *Engine) HarvestN(ctx context.Context, budget int64) (crawler.Stats, error) {
+	e.mu.Lock()
+	e.phase = PhaseHarvesting
+	e.meta = e.cfg.HarvestMeta
+	e.mu.Unlock()
+
+	e.reseedWithHubs()
+
+	c := crawler.New(crawler.Config{
+		Fetcher:        e.fetcher,
+		Frontier:       e.frontier,
+		Store:          e.store,
+		Classify:       e.classifyCallback,
+		Workers:        e.cfg.Workers,
+		MaxPerHost:     e.cfg.MaxPerHost,
+		MaxPerDomain:   e.cfg.MaxPerDomain,
+		PerHostDelay:   e.cfg.PerHostDelay,
+		MaxTunnelDepth: e.cfg.MaxTunnelDepth,
+		PageBudget:     budget,
+		Focus:          crawler.SoftFocus,
+		Strategy:       crawler.BreadthFirst,
+	})
+	stats := c.Run(ctx)
+	e.mu.Lock()
+	e.phase = PhaseDone
+	e.mu.Unlock()
+	return stats, nil
+}
+
+// Run executes the full lifecycle: Bootstrap, Learn, Harvest.
+func (e *Engine) Run(ctx context.Context) (learn, harvest crawler.Stats, err error) {
+	if err = e.Bootstrap(ctx); err != nil {
+		return learn, harvest, err
+	}
+	if learn, err = e.Learn(ctx); err != nil {
+		return learn, harvest, err
+	}
+	harvest, err = e.Harvest(ctx)
+	return learn, harvest, err
+}
+
+// seedDomains collects the registered domains of all seed URLs (learning
+// phase restriction, §2.6).
+func (e *Engine) seedDomains() []string {
+	seen := map[string]struct{}{}
+	var out []string
+	for seedURL := range e.seedTopics {
+		u, err := url.Parse(seedURL)
+		if err != nil {
+			continue
+		}
+		d := registeredDomain(u.Hostname())
+		if _, dup := seen[d]; !dup {
+			seen[d] = struct{}{}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// registeredDomain mirrors the crawler's domain recognition.
+func registeredDomain(host string) string {
+	parts := strings.Split(host, ".")
+	if len(parts) <= 2 {
+		return host
+	}
+	return strings.Join(parts[len(parts)-2:], ".")
+}
+
+// reseedWithHubs pushes the best hubs of each topic's link analysis onto
+// the frontier: uncrawled hub URLs directly, and the uncrawled successors
+// of hubs that are already stored.
+func (e *Engine) reseedWithHubs() {
+	for _, node := range e.tree.Nodes() {
+		_, hubs := e.linkAnalysis(node.Path)
+		pushed := 0
+		for _, h := range hubs {
+			if pushed >= 2*e.cfg.NAuth {
+				break
+			}
+			if !e.store.Contains(h.ID) {
+				e.frontier.Forget(h.ID)
+				if e.frontier.Push(frontier.Item{URL: h.ID, Topic: node.Path, Priority: 1e6, Referrer: "hub-reseed"}) {
+					pushed++
+				}
+				continue
+			}
+			for _, succ := range e.store.Successors(h.ID) {
+				if e.store.Contains(succ) {
+					continue
+				}
+				e.frontier.Forget(succ)
+				if e.frontier.Push(frontier.Item{URL: succ, Topic: node.Path, Priority: 1e5, Referrer: h.ID}) {
+					pushed++
+				}
+			}
+		}
+	}
+	// Keep the existing frontier contents too — "the crawler is resumed".
+	_ = classify.RootName
+}

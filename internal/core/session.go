@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"github.com/bingo-search/bingo/internal/classify"
+	"github.com/bingo-search/bingo/internal/features"
+	"github.com/bingo-search/bingo/internal/store"
+)
+
+// Session persistence: the paper's usage model is "a few minutes for
+// setting up an overnight crawl, and another few minutes for looking at the
+// results the next morning" (§1.2). SaveSession captures everything needed
+// to analyze and *resume* a crawl later: the document database, the current
+// training set (seeds + promoted archetypes + feedback), and the engine's
+// lifecycle counters. LoadSession rebuilds the engine, re-trains the
+// classifier from the restored training set, and primes the duplicate
+// detector with every stored URL so a resumed harvest does not refetch.
+// The frontier itself is not persisted — resuming re-seeds it with the
+// best hubs from the stored link analysis, exactly what a fresh harvesting
+// phase does (§2.6).
+
+// savedDoc is the serialized form of a training document.
+type savedDoc struct {
+	ID      string
+	Stems   []string
+	Anchors []string
+}
+
+// sessionState is the serialized engine state (the store follows it in the
+// same stream).
+type sessionState struct {
+	Version    int
+	Training   map[string][]savedDoc
+	Others     []savedDoc
+	SeedTopics map[string]string
+	Retrains   int
+	Phase      Phase
+}
+
+const sessionVersion = 1
+
+// SaveSession writes the engine's crawl session to path atomically.
+func (e *Engine) SaveSession(path string) error {
+	e.mu.RLock()
+	st := sessionState{
+		Version:    sessionVersion,
+		Training:   make(map[string][]savedDoc, len(e.training.ByTopic)),
+		SeedTopics: make(map[string]string, len(e.seedTopics)),
+		Retrains:   e.retrains,
+		Phase:      e.phase,
+	}
+	for topic, docs := range e.training.ByTopic {
+		for _, d := range docs {
+			st.Training[topic] = append(st.Training[topic], saveDoc(d))
+		}
+	}
+	for _, d := range e.training.Others {
+		st.Others = append(st.Others, saveDoc(d))
+	}
+	for u, t := range e.seedTopics {
+		st.SeedTopics[u] = t
+	}
+	e.mu.RUnlock()
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: save session: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := gob.NewEncoder(w).Encode(&st); err == nil {
+		err = e.store.Encode(w)
+		if err == nil {
+			err = w.Flush()
+		}
+		if err == nil {
+			err = f.Close()
+		}
+		if err == nil {
+			return os.Rename(tmp, path)
+		}
+	} else {
+		f.Close()
+	}
+	os.Remove(tmp)
+	return fmt.Errorf("core: save session: %w", err)
+}
+
+func saveDoc(d classify.Doc) savedDoc {
+	return savedDoc{ID: d.ID, Stems: d.Input.Stems, Anchors: d.Input.Anchors}
+}
+
+func loadDoc(d savedDoc) classify.Doc {
+	return classify.Doc{ID: d.ID, Input: features.DocInput{Stems: d.Stems, Anchors: d.Anchors}}
+}
+
+// LoadSession rebuilds an engine from a saved session. cfg must describe
+// the same topic tree; transports, budgets and tuning may differ (e.g. a
+// larger harvest budget for the resumed crawl).
+func LoadSession(cfg Config, path string) (*Engine, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load session: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var st sessionState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: load session: %w", err)
+	}
+	if st.Version != sessionVersion {
+		return nil, fmt.Errorf("core: load session: unsupported version %d", st.Version)
+	}
+	loaded, err := store.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load session: %w", err)
+	}
+
+	for topic, docs := range st.Training {
+		if _, ok := e.tree.Lookup(topic); !ok {
+			return nil, fmt.Errorf("core: load session: topic %s not in configured tree", topic)
+		}
+		for _, d := range docs {
+			e.training.Add(topic, loadDoc(d))
+		}
+	}
+	for _, d := range st.Others {
+		e.training.Others = append(e.training.Others, loadDoc(d))
+	}
+	e.store = loaded
+	e.mu.Lock()
+	e.seedTopics = st.SeedTopics
+	e.phase = st.Phase
+	e.mu.Unlock()
+
+	// Prime the duplicate detector so resumed crawling skips stored pages.
+	for _, d := range loaded.All() {
+		e.fetcher.Dedup.SeenURL(d.URL)
+		if d.FinalURL != "" && d.FinalURL != d.URL {
+			e.fetcher.Dedup.SeenURL(d.FinalURL)
+		}
+	}
+	if err := e.retrainLocked(); err != nil {
+		return nil, err
+	}
+	// retrainLocked bumped the counter by one; fold in the history.
+	e.mu.Lock()
+	e.retrains += st.Retrains
+	e.mu.Unlock()
+	return e, nil
+}

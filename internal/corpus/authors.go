@@ -1,0 +1,120 @@
+package corpus
+
+import "strings"
+
+// Ground-truth evaluation helpers for the portal-generation experiment
+// (§5.2). A homepage counts as "found" when the crawl stored any page whose
+// URL has the homepage path as a prefix — exactly the paper's success
+// measure ("a Web page underneath the home page ... typically publication
+// lists, papers, or CVs").
+
+// PortalEval is the outcome of evaluating a crawl against the ground truth.
+type PortalEval struct {
+	// FoundTop counts distinct top-N authors found anywhere in the stored set.
+	FoundTop int
+	// FoundAll counts distinct authors found (any rank).
+	FoundAll int
+	// TopInRanked counts ranked result positions (the caller's best-k list)
+	// that belong to top-N authors — the paper's precision measure.
+	TopInRanked int
+}
+
+// AuthorRank returns the ground-truth rank (0 = most publications) of the
+// author whose homepage subtree contains url, or ok=false.
+func (w *World) AuthorRank(url string) (int, bool) {
+	name, ok := authorNameFromURL(url)
+	if !ok {
+		return 0, false
+	}
+	// author names encode their rank: "author%04d"
+	idx := 0
+	for _, c := range name[len("author"):] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		idx = idx*10 + int(c-'0')
+	}
+	if idx >= len(w.Authors) {
+		return 0, false
+	}
+	// Verify the URL really lies under that author's homepage.
+	if !strings.HasPrefix(url, w.Authors[idx].HomePrefix) {
+		return 0, false
+	}
+	return idx, true
+}
+
+// authorNameFromURL extracts "authorNNNN" from ".../~authorNNNN/...".
+func authorNameFromURL(url string) (string, bool) {
+	i := strings.Index(url, "/~author")
+	if i < 0 {
+		return "", false
+	}
+	rest := url[i+2:]
+	j := strings.IndexByte(rest, '/')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// Evaluate computes recall over stored URLs and precision over a ranked
+// result list, against the top-N ground truth (the paper uses N = 1000).
+func (w *World) Evaluate(storedURLs []string, rankedURLs []string, topN int) PortalEval {
+	foundTop := map[int]struct{}{}
+	foundAll := map[int]struct{}{}
+	for _, u := range storedURLs {
+		if rank, ok := w.AuthorRank(u); ok {
+			foundAll[rank] = struct{}{}
+			if rank < topN {
+				foundTop[rank] = struct{}{}
+			}
+		}
+	}
+	eval := PortalEval{FoundTop: len(foundTop), FoundAll: len(foundAll)}
+	for _, u := range rankedURLs {
+		if rank, ok := w.AuthorRank(u); ok && rank < topN {
+			eval.TopInRanked++
+		}
+	}
+	return eval
+}
+
+// PrimarySubtopics returns the configured subcommunity names (nil when the
+// world is single-level).
+func (w *World) PrimarySubtopics() []string { return w.cfg.PrimarySubtopics }
+
+// SubtopicSeedURLs returns, per subcommunity, the homepages of its two
+// most-published researchers — bookmark seeds for a two-level topic tree.
+func (w *World) SubtopicSeedURLs() map[string][]string {
+	out := map[string][]string{}
+	for _, a := range w.Authors {
+		if a.Subtopic < 0 {
+			continue
+		}
+		name := w.cfg.PrimarySubtopics[a.Subtopic]
+		if len(out[name]) < 2 {
+			out[name] = append(out[name], a.HomeURL)
+		}
+	}
+	return out
+}
+
+// AuthorSubtopic returns the ground-truth subcommunity of the author whose
+// homepage subtree contains url (ok=false for non-author pages or
+// single-level worlds).
+func (w *World) AuthorSubtopic(url string) (int, bool) {
+	rank, ok := w.AuthorRank(url)
+	if !ok || w.Authors[rank].Subtopic < 0 {
+		return 0, false
+	}
+	return w.Authors[rank].Subtopic, true
+}
+
+// TopAuthors returns the n highest-ranked authors.
+func (w *World) TopAuthors(n int) []Author {
+	if n > len(w.Authors) {
+		n = len(w.Authors)
+	}
+	return w.Authors[:n]
+}

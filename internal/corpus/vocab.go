@@ -1,0 +1,218 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Vocabulary generation: words are built from syllables so they stem and
+// tokenize like natural language. Topic vocabularies are disjoint from each
+// other and from the common vocabulary; documents mix the two so that
+// feature selection has real work to do.
+
+var syllables = []string{
+	"ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du",
+	"fa", "fe", "fi", "fo", "ga", "ge", "go", "ka", "ke", "ki",
+	"la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu",
+	"na", "ne", "ni", "no", "nu", "pa", "pe", "pi", "po", "ra",
+	"re", "ri", "ro", "ru", "sa", "se", "si", "so", "su", "ta",
+	"te", "ti", "to", "tu", "va", "ve", "vi", "vo", "za", "zo",
+}
+
+// topicSeedTerms anchor each known topic with a few real on-topic words so
+// generated pages read plausibly and tests can assert on them. Synthetic
+// syllable words fill the rest of each vocabulary. When primary subtopics
+// are configured, the subtopic-specific terms of subtopicSeedTerms are kept
+// out of the shared primary vocabulary and drawn through the subtopic
+// sampler instead.
+var topicSeedTerms = map[string][]string{
+	"databases": {
+		"database", "query", "relational", "schema", "optimizer", "storage",
+		"join", "replication", "sql",
+	},
+	"biology": {
+		"genome", "protein", "cell", "enzyme", "sequence", "organism",
+		"evolution", "molecular", "chromosome", "bacteria", "neuron", "rna",
+	},
+	"physics": {
+		"quantum", "particle", "relativity", "photon", "entropy", "plasma",
+		"neutrino", "cosmology", "magnetism", "quark", "boson", "laser",
+	},
+}
+
+// subtopicSeedTerms anchor the primary topic's subcommunities.
+var subtopicSeedTerms = map[string][]string{
+	"systems": {
+		"transaction", "recovery", "logging", "concurrency", "btree",
+		"index", "buffer", "checkpoint", "locking", "latch",
+	},
+	"mining": {
+		"mining", "olap", "clustering", "pattern", "warehouse",
+		"discovery", "association", "dataset", "knowledge",
+	},
+}
+
+// generalSeedTerms flavor the general-interest Web (the Yahoo stand-in).
+var generalSeedTerms = []string{
+	"football", "match", "goal", "season", "league", "movie", "actor",
+	"music", "concert", "ticket", "holiday", "travel", "hotel", "recipe",
+	"fashion", "celebrity", "weather", "lottery", "shopping", "garden",
+}
+
+// expertSeedTerms define the ARIES needle community (§5.3).
+var expertSeedTerms = []string{
+	"aries", "recovery", "logging", "undo", "redo", "checkpoint",
+	"writeahead", "pageoriented", "transaction", "rollback", "lsn", "media",
+}
+
+// needleTerms appear (almost) only on the open-source project pages.
+var needleTerms = []string{"source", "code", "release", "opensource", "license", "download", "repository", "tarball"}
+
+func synthWord(rng *rand.Rand, minSyl, maxSyl int) string {
+	n := minSyl + rng.Intn(maxSyl-minSyl+1)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(syllables[rng.Intn(len(syllables))])
+	}
+	return b.String()
+}
+
+// buildVocabularies fills topicVocab and commonVocab.
+func (w *World) buildVocabularies(rng *rand.Rand) {
+	used := make(map[string]struct{})
+	fresh := func(minSyl, maxSyl int) string {
+		for {
+			word := synthWord(rng, minSyl, maxSyl)
+			if _, dup := used[word]; !dup {
+				used[word] = struct{}{}
+				return word
+			}
+		}
+	}
+	w.commonVocab = make([]string, 0, w.cfg.VocabCommon)
+	for i := 0; i < w.cfg.VocabCommon; i++ {
+		w.commonVocab = append(w.commonVocab, fresh(2, 3))
+	}
+	w.topicVocab = make([][]string, len(w.cfg.Topics))
+	for ti, topic := range w.cfg.Topics {
+		vocab := append([]string(nil), topicSeedTerms[topic]...)
+		if ti == 0 && len(w.cfg.PrimarySubtopics) == 0 {
+			// No subcommunities: the sub terms fold into the shared
+			// primary vocabulary so single-level worlds keep the full
+			// topical terminology.
+			for _, sub := range []string{"systems", "mining"} {
+				vocab = append(vocab, subtopicSeedTerms[sub]...)
+			}
+		}
+		for _, t := range vocab {
+			used[t] = struct{}{}
+		}
+		for len(vocab) < w.cfg.VocabTopic {
+			vocab = append(vocab, fresh(3, 4))
+		}
+		w.topicVocab[ti] = vocab
+	}
+	w.subVocab = make([][]string, len(w.cfg.PrimarySubtopics))
+	for si, sub := range w.cfg.PrimarySubtopics {
+		vocab := append([]string(nil), subtopicSeedTerms[sub]...)
+		for _, t := range vocab {
+			used[t] = struct{}{}
+		}
+		for len(vocab) < 60 {
+			vocab = append(vocab, fresh(3, 4))
+		}
+		w.subVocab[si] = vocab
+	}
+}
+
+// sampler draws words with a Zipf distribution over a vocabulary.
+type sampler struct {
+	vocab []string
+	zipf  *rand.Zipf
+}
+
+func newSampler(rng *rand.Rand, vocab []string) *sampler {
+	return &sampler{
+		vocab: vocab,
+		zipf:  rand.NewZipf(rng, 1.3, 2, uint64(len(vocab)-1)),
+	}
+}
+
+func (s *sampler) word() string { return s.vocab[s.zipf.Uint64()] }
+
+// textGen produces document text mixing a primary sampler with the common
+// vocabulary (and optionally a secondary, subtopic-specific sampler).
+type textGen struct {
+	rng     *rand.Rand
+	primary *sampler
+	common  *sampler
+	// topicFrac is the fraction of words drawn from the primary sampler.
+	topicFrac float64
+	// secondary, when non-nil, contributes secFrac of the words.
+	secondary *sampler
+	secFrac   float64
+}
+
+func (w *World) topicText(rng *rand.Rand, topic int, frac float64) *textGen {
+	return &textGen{
+		rng:       rng,
+		primary:   newSampler(rng, w.topicVocab[topic]),
+		common:    newSampler(rng, w.commonVocab),
+		topicFrac: frac,
+	}
+}
+
+// subtopicText mixes shared primary vocabulary with a subcommunity's own
+// terminology.
+func (w *World) subtopicText(rng *rand.Rand, sub int, primaryFrac, subFrac float64) *textGen {
+	g := w.topicText(rng, 0, primaryFrac)
+	g.secondary = newSampler(rng, w.subVocab[sub])
+	g.secFrac = subFrac
+	return g
+}
+
+func (w *World) generalText(rng *rand.Rand) *textGen {
+	vocab := append(append([]string(nil), generalSeedTerms...), w.commonVocab...)
+	return &textGen{
+		rng:       rng,
+		primary:   newSampler(rng, vocab),
+		common:    newSampler(rng, w.commonVocab),
+		topicFrac: 0.7,
+	}
+}
+
+// sentence emits n words with simple glue words for realism.
+var glueWords = []string{"the", "a", "of", "in", "and", "for", "with", "on"}
+
+func (g *textGen) sentence(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch {
+		case g.rng.Float64() < 0.25:
+			b.WriteString(glueWords[g.rng.Intn(len(glueWords))])
+		case g.secondary != nil && g.rng.Float64() < g.secFrac:
+			b.WriteString(g.secondary.word())
+		case g.rng.Float64() < g.topicFrac:
+			b.WriteString(g.primary.word())
+		default:
+			b.WriteString(g.common.word())
+		}
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// paragraphs emits k sentences of 8-16 words.
+func (g *textGen) paragraphs(k int) string {
+	var b strings.Builder
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(g.sentence(8 + g.rng.Intn(9)))
+	}
+	return b.String()
+}

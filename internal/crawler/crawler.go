@@ -1,0 +1,369 @@
+// Package crawler is BINGO!'s multi-threaded crawl executor (§2.1, §4.2):
+// worker goroutines pop prioritized links from the frontier, retrieve them
+// through the fetch layer, run the document analyzer, invoke the (injected)
+// classifier, store results through batched workspaces, and enqueue
+// extracted hyperlinks according to the active focusing rule — sharp focus
+// during learning, soft focus with tunnelling during harvesting (§3.3).
+package crawler
+
+import (
+	"context"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bingo-search/bingo/internal/classify"
+	"github.com/bingo-search/bingo/internal/features"
+	"github.com/bingo-search/bingo/internal/fetch"
+	"github.com/bingo-search/bingo/internal/frontier"
+	"github.com/bingo-search/bingo/internal/htmldoc"
+	"github.com/bingo-search/bingo/internal/store"
+	"github.com/bingo-search/bingo/internal/textproc"
+	"github.com/bingo-search/bingo/internal/urlnorm"
+)
+
+// Focus selects the link-acceptance rule (§3.3).
+type Focus int
+
+const (
+	// SharpFocus accepts only links from documents classified into the same
+	// topic as their referrer (class(p) = class(q)); links from rejected
+	// documents may still be followed within the tunnelling threshold.
+	SharpFocus Focus = iota
+	// SoftFocus accepts links from documents classified into any topic of
+	// interest (class(p) != ROOT/OTHERS).
+	SoftFocus
+)
+
+// Strategy selects the frontier priority computation (§2.6).
+type Strategy int
+
+const (
+	// BreadthFirst prioritizes by SVM confidence alone (harvesting).
+	BreadthFirst Strategy = iota
+	// DepthFirst boosts deeper links so the crawl digs into the vicinity of
+	// the seeds (learning phase).
+	DepthFirst
+)
+
+// Config wires the crawler's collaborators.
+type Config struct {
+	Fetcher  *fetch.Fetcher
+	Frontier *frontier.Frontier
+	Store    *store.Store
+	// Classify runs the hierarchical classifier on an analyzed document.
+	Classify func(d classify.Doc) classify.Result
+	// OnStored, when non-nil, observes every stored document (the engine
+	// uses it to trigger retraining).
+	OnStored func(d store.Document, r classify.Result)
+
+	Workers      int // paper: 15
+	MaxPerHost   int // paper: 2
+	MaxPerDomain int // paper: 5
+	// MaxDepth bounds the crawl depth (0 = unlimited).
+	MaxDepth int
+	// MaxTunnelDepth bounds consecutive hops through rejected pages
+	// (paper: 2; links beyond it are dropped).
+	MaxTunnelDepth int
+	// PageBudget stops the crawl after visiting this many URLs (0 = no
+	// budget; the crawl ends when the frontier drains).
+	PageBudget int64
+	// Focus and Strategy select the phase behaviour.
+	Focus    Focus
+	Strategy Strategy
+	// AllowedDomains, when non-empty, restricts the crawl to hosts whose
+	// registered domain is in the list (learning phase restriction, §2.6).
+	AllowedDomains []string
+	// BatchSize is the workspace bulk-load batch (default 32).
+	BatchSize int
+	// PerHostDelay enforces a minimum interval between consecutive requests
+	// to one host (0 = disabled; crawl-delay style politeness).
+	PerHostDelay time.Duration
+}
+
+// Stats are the counters reported in the paper's Table 1.
+type Stats struct {
+	VisitedURLs    int64 // fetch attempts
+	StoredPages    int64
+	ExtractedLinks int64
+	Positive       int64 // positively classified (not OTHERS)
+	VisitedHosts   int   // distinct hosts successfully fetched from
+	MaxDepth       int
+	Errors         int64
+	Duplicates     int64
+	Rejected       int64 // classified into an OTHERS node
+}
+
+// Crawler executes one crawl phase.
+type Crawler struct {
+	cfg   Config
+	pipe  *textproc.Pipeline
+	hosts sync.Map // visited hosts set
+
+	visited    atomic.Int64
+	stored     atomic.Int64
+	extracted  atomic.Int64
+	positive   atomic.Int64
+	errs       atomic.Int64
+	duplicates atomic.Int64
+	rejected   atomic.Int64
+	maxDepth   atomic.Int64
+}
+
+// New builds a crawler. Config.Fetcher, Frontier, Store and Classify are
+// required.
+func New(cfg Config) *Crawler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 15
+	}
+	if cfg.MaxTunnelDepth < 0 {
+		cfg.MaxTunnelDepth = 0
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	return &Crawler{cfg: cfg, pipe: textproc.NewPipeline()}
+}
+
+// Seed enqueues the starting URLs for a topic with maximal priority.
+func (c *Crawler) Seed(topic string, urls ...string) {
+	for _, u := range urls {
+		c.cfg.Frontier.Push(frontier.Item{URL: u, Topic: topic, Priority: 1e9})
+	}
+}
+
+// Run crawls until the frontier drains, the page budget is exhausted, or
+// ctx is cancelled. It is safe to call Run again afterwards (e.g. after
+// retraining with a re-seeded frontier).
+func (c *Crawler) Run(ctx context.Context) Stats {
+	limiter := newHostLimiterDelay(c.cfg.MaxPerHost, c.cfg.MaxPerDomain, c.cfg.PerHostDelay)
+	defer limiter.Close()
+
+	slots := make(chan struct{}, c.cfg.Workers)
+	var inflight sync.WaitGroup
+	var inflightN atomic.Int64
+
+	for {
+		if ctx.Err() != nil {
+			break
+		}
+		if c.cfg.PageBudget > 0 && c.visited.Load() >= c.cfg.PageBudget {
+			break
+		}
+		it, ok := c.cfg.Frontier.Pop()
+		if !ok {
+			if inflightN.Load() == 0 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		select {
+		case slots <- struct{}{}:
+		case <-ctx.Done():
+			inflight.Wait()
+			return c.Stats()
+		}
+		inflight.Add(1)
+		inflightN.Add(1)
+		go func(it frontier.Item) {
+			defer func() {
+				<-slots
+				inflightN.Add(-1)
+				inflight.Done()
+			}()
+			c.process(ctx, it, limiter)
+		}(it)
+	}
+	inflight.Wait()
+	return c.Stats()
+}
+
+// process handles one frontier item end to end.
+func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLimiter) {
+	if c.cfg.MaxDepth > 0 && it.Depth > c.cfg.MaxDepth {
+		return
+	}
+	u, err := url.Parse(it.URL)
+	if err != nil {
+		return
+	}
+	host := u.Hostname()
+	if !c.domainAllowed(host) {
+		return
+	}
+	if !limiter.Acquire(host) {
+		return
+	}
+	defer limiter.Release(host)
+
+	c.visited.Add(1)
+	res, err := c.cfg.Fetcher.Fetch(ctx, it.URL)
+	if err != nil {
+		if err == fetch.ErrDuplicate {
+			c.duplicates.Add(1)
+		} else {
+			c.errs.Add(1)
+		}
+		return
+	}
+	c.hosts.Store(host, struct{}{})
+	if d := int64(it.Depth); d > c.maxDepth.Load() {
+		c.maxDepth.Store(d)
+	}
+
+	final, err := url.Parse(res.FinalURL)
+	if err != nil {
+		final = u
+	}
+	resolve := func(base, href string) (string, bool) {
+		from := final
+		if base != "" {
+			if b, err := final.Parse(base); err == nil {
+				from = b
+			}
+		}
+		ref, err := from.Parse(href)
+		if err != nil {
+			return "", false
+		}
+		urlnorm.NormalizeURL(ref)
+		if ref.Scheme != "http" && ref.Scheme != "https" {
+			return "", false
+		}
+		return ref.String(), true
+	}
+	doc, err := htmldoc.Convert(res.ContentType, res.Body, resolve)
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+
+	// Document analysis -> classification.
+	stems := c.pipe.Stems(doc.Title + " " + doc.Text)
+	var anchors []string
+	if it.Anchor != "" {
+		anchors = append(anchors, it.Anchor)
+	}
+	cdoc := classify.Doc{ID: res.FinalURL, Input: features.DocInput{Stems: stems, Anchors: anchors}}
+	result := c.cfg.Classify(cdoc)
+	accepted := result.Accepted
+	if accepted {
+		c.positive.Add(1)
+	} else {
+		c.rejected.Add(1)
+	}
+
+	// Store the document and its link rows (all crawled documents are kept
+	// in the database, including rejected ones).
+	terms := map[string]int{}
+	for _, s := range stems {
+		terms[s]++
+	}
+	sd := store.Document{
+		URL:         it.URL,
+		FinalURL:    res.FinalURL,
+		Title:       doc.Title,
+		ContentType: res.ContentType,
+		Topic:       result.Topic,
+		Confidence:  result.Confidence,
+		Depth:       it.Depth,
+		Text:        doc.Text,
+		Terms:       terms,
+		CrawledAt:   time.Now(),
+	}
+	c.cfg.Store.Insert(sd)
+	c.stored.Add(1)
+	for _, r := range res.Redirects {
+		c.cfg.Store.AddRedirect(store.Redirect{From: it.URL, To: r})
+	}
+	for _, l := range doc.Links {
+		c.cfg.Store.AddLink(store.Link{From: res.FinalURL, To: l.URL, Anchor: l.Anchor})
+	}
+	if c.cfg.OnStored != nil {
+		c.cfg.OnStored(sd, result)
+	}
+
+	// Focusing rule: decide whether this document's out-links enter the
+	// frontier, and with which topic/tunnel bookkeeping (§3.3).
+	nextTopic := result.Topic
+	tunnel := 0
+	switch {
+	case accepted && c.cfg.Focus == SharpFocus:
+		// class(p) must equal class(q): only links from documents whose
+		// class matches the topic the link was found under stay sharp.
+		if it.Topic != "" && result.Topic != it.Topic {
+			// digression: treat as tunnelling under the referrer's topic
+			nextTopic = it.Topic
+			tunnel = it.TunnelDepth + 1
+		}
+	case accepted && c.cfg.Focus == SoftFocus:
+		// any topic of interest is fine
+	default:
+		// rejected document: tunnel through it with decayed priority
+		nextTopic = it.Topic
+		tunnel = it.TunnelDepth + 1
+	}
+	if tunnel > c.cfg.MaxTunnelDepth {
+		return
+	}
+
+	links := doc.Links
+	for _, f := range doc.Frames {
+		links = append(links, htmldoc.Link{URL: f})
+	}
+	c.extracted.Add(int64(len(links)))
+	prio := c.priority(result.Confidence, it.Depth+1)
+	for _, l := range links {
+		c.cfg.Frontier.Push(frontier.Item{
+			URL:         l.URL,
+			Topic:       nextTopic,
+			Priority:    prio,
+			Depth:       it.Depth + 1,
+			TunnelDepth: tunnel,
+			Referrer:    res.FinalURL,
+			Anchor:      l.Anchor,
+		})
+	}
+}
+
+// priority implements the two crawl strategies: harvesting orders purely by
+// confidence; learning boosts depth so the crawl digs down first.
+func (c *Crawler) priority(conf float64, depth int) float64 {
+	if c.cfg.Strategy == DepthFirst {
+		return conf + float64(depth)*10
+	}
+	return conf
+}
+
+func (c *Crawler) domainAllowed(host string) bool {
+	if len(c.cfg.AllowedDomains) == 0 {
+		return true
+	}
+	d := registeredDomain(host)
+	for _, allowed := range c.cfg.AllowedDomains {
+		if d == allowed || host == allowed || strings.HasSuffix(host, "."+allowed) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a snapshot of the crawl counters.
+func (c *Crawler) Stats() Stats {
+	hosts := 0
+	c.hosts.Range(func(_, _ any) bool { hosts++; return true })
+	return Stats{
+		VisitedURLs:    c.visited.Load(),
+		StoredPages:    c.stored.Load(),
+		ExtractedLinks: c.extracted.Load(),
+		Positive:       c.positive.Load(),
+		VisitedHosts:   hosts,
+		MaxDepth:       int(c.maxDepth.Load()),
+		Errors:         c.errs.Load(),
+		Duplicates:     c.duplicates.Load(),
+		Rejected:       c.rejected.Load(),
+	}
+}

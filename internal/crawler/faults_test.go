@@ -1,0 +1,130 @@
+package crawler
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bingo-search/bingo/internal/corpus"
+	"github.com/bingo-search/bingo/internal/dns"
+	"github.com/bingo-search/bingo/internal/fetch"
+	"github.com/bingo-search/bingo/internal/frontier"
+	"github.com/bingo-search/bingo/internal/store"
+)
+
+// faultyTransport wraps a transport with injected 500s and hangs.
+type faultyTransport struct {
+	inner    http.RoundTripper
+	mu       sync.Mutex
+	rng      *rand.Rand
+	failRate float64
+	hangRate float64
+}
+
+func (f *faultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	r := f.rng.Float64()
+	f.mu.Unlock()
+	switch {
+	case r < f.failRate:
+		return &http.Response{
+			StatusCode: 500,
+			Header:     http.Header{},
+			Body:       io.NopCloser(strings.NewReader("boom")),
+			Request:    req,
+		}, nil
+	case r < f.failRate+f.hangRate:
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(10 * time.Second):
+			return nil, io.ErrUnexpectedEOF
+		}
+	}
+	return f.inner.RoundTrip(req)
+}
+
+// TestCrawlSurvivesFaultyNetwork injects server errors and hangs; the crawl
+// must terminate, keep its counters consistent, and still collect pages.
+func TestCrawlSurvivesFaultyNetwork(t *testing.T) {
+	world := corpus.Generate(corpus.TinyConfig())
+	ft := &faultyTransport{
+		inner:    world.RoundTripper(),
+		rng:      rand.New(rand.NewSource(13)),
+		failRate: 0.15,
+		hangRate: 0.03,
+	}
+	resolver := dns.NewResolver(dns.Config{}, world.DNSServer())
+	f := fetch.New(fetch.Config{
+		Transport: ft,
+		Resolver:  resolver,
+		Timeout:   150 * time.Millisecond, // hangs cut fast
+	}, nil, nil)
+	st := store.New()
+	c := New(Config{
+		Fetcher:        f,
+		Frontier:       frontier.New(frontier.DefaultConfig()),
+		Store:          st,
+		Classify:       keywordClassifier,
+		Workers:        8,
+		MaxTunnelDepth: 2,
+		Focus:          SoftFocus,
+		PageBudget:     400,
+	})
+	c.Seed("ROOT/db", world.SeedURLs()...)
+	done := make(chan Stats, 1)
+	go func() { done <- c.Run(context.Background()) }()
+	var stats Stats
+	select {
+	case stats = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("crawl hung under fault injection")
+	}
+	if stats.Errors == 0 {
+		t.Error("no errors recorded despite injection")
+	}
+	if stats.StoredPages == 0 {
+		t.Fatal("nothing collected under faults")
+	}
+	// accounting: every visit ends as stored, duplicate, or error
+	if stats.StoredPages+stats.Duplicates+stats.Errors != stats.VisitedURLs {
+		t.Errorf("accounting broken: %+v", stats)
+	}
+	if st.NumDocs() != int(stats.StoredPages) {
+		t.Errorf("store/stats mismatch: %d vs %d", st.NumDocs(), stats.StoredPages)
+	}
+}
+
+// TestCrawlWithFailingDNS drops one of two resolvers entirely.
+func TestCrawlWithFailingDNS(t *testing.T) {
+	world := corpus.Generate(corpus.TinyConfig())
+	dead := dns.ServerFunc(func(ctx context.Context, host string) (dns.Record, error) {
+		return dns.Record{}, io.ErrUnexpectedEOF
+	})
+	resolver := dns.NewResolver(dns.Config{Timeout: 100 * time.Millisecond}, dead, world.DNSServer())
+	f := fetch.New(fetch.Config{
+		Transport: world.RoundTripper(),
+		Resolver:  resolver,
+		Timeout:   2 * time.Second,
+	}, nil, nil)
+	st := store.New()
+	c := New(Config{
+		Fetcher:    f,
+		Frontier:   frontier.New(frontier.DefaultConfig()),
+		Store:      st,
+		Classify:   keywordClassifier,
+		Workers:    8,
+		PageBudget: 150,
+		Focus:      SoftFocus,
+	})
+	c.Seed("ROOT/db", world.SeedURLs()...)
+	stats := c.Run(context.Background())
+	if stats.StoredPages < 50 {
+		t.Errorf("failover crawl stored only %d: %+v", stats.StoredPages, stats)
+	}
+}

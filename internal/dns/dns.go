@@ -1,0 +1,341 @@
+// Package dns implements the crawler's asynchronous name-resolution layer
+// (§4.2). The paper found Java's InetAddress caching too slow for thousands
+// of lookups per minute and built its own resolver; we reproduce that design:
+// a resolver that queries multiple servers in parallel, resends to
+// alternative servers on timeout, and caches hostnames, IP addresses and
+// aliases in a bounded LRU cache with TTL-based invalidation. Name servers
+// are an interface so the synthetic-web experiments can inject latency and
+// failures deterministically.
+package dns
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Record is a successful resolution.
+type Record struct {
+	Host    string
+	IP      string
+	Aliases []string
+}
+
+// Server answers lookups; implementations may block, fail or be slow.
+type Server interface {
+	Lookup(ctx context.Context, host string) (Record, error)
+}
+
+// ServerFunc adapts a function to the Server interface.
+type ServerFunc func(ctx context.Context, host string) (Record, error)
+
+// Lookup implements Server.
+func (f ServerFunc) Lookup(ctx context.Context, host string) (Record, error) {
+	return f(ctx, host)
+}
+
+// ErrNotFound is returned when a host does not exist.
+var ErrNotFound = errors.New("dns: host not found")
+
+// ErrNoServers is returned when the resolver has no servers configured.
+var ErrNoServers = errors.New("dns: no servers configured")
+
+// Config controls the resolver.
+type Config struct {
+	// Timeout per server attempt (default 500ms).
+	Timeout time.Duration
+	// CacheSize bounds the LRU cache (default 4096 entries).
+	CacheSize int
+	// TTL is the cache entry lifetime (default 15 minutes).
+	TTL time.Duration
+	// NegativeTTL caches lookup failures briefly (default 1 minute).
+	NegativeTTL time.Duration
+	// Now allows tests to control time.
+	Now func() time.Time
+}
+
+func (c *Config) fill() {
+	if c.Timeout <= 0 {
+		c.Timeout = 500 * time.Millisecond
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.TTL <= 0 {
+		c.TTL = 15 * time.Minute
+	}
+	if c.NegativeTTL <= 0 {
+		c.NegativeTTL = time.Minute
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Resolver resolves hostnames through a set of servers with caching.
+type Resolver struct {
+	cfg     Config
+	servers []Server
+
+	mu      sync.Mutex
+	cache   map[string]*cacheEntry
+	lruHead *cacheEntry // most recently used
+	lruTail *cacheEntry // least recently used
+	next    int         // round-robin server cursor
+
+	// inflight deduplicates concurrent lookups of the same host.
+	inflight map[string]*inflightCall
+
+	stats Stats
+}
+
+// Stats counts resolver activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Failures  int64
+	Evictions int64
+}
+
+type cacheEntry struct {
+	host       string
+	rec        Record
+	err        error
+	expires    time.Time
+	prev, next *cacheEntry
+}
+
+type inflightCall struct {
+	done chan struct{}
+	rec  Record
+	err  error
+}
+
+// NewResolver builds a resolver over the given servers.
+func NewResolver(cfg Config, servers ...Server) *Resolver {
+	cfg.fill()
+	return &Resolver{
+		cfg:      cfg,
+		servers:  servers,
+		cache:    make(map[string]*cacheEntry),
+		inflight: make(map[string]*inflightCall),
+	}
+}
+
+// Stats returns a snapshot of resolver counters.
+func (r *Resolver) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Resolve returns the record for host, consulting the cache first and then
+// the configured servers in round-robin order with per-server timeouts.
+// Concurrent lookups for the same host share one upstream query.
+func (r *Resolver) Resolve(ctx context.Context, host string) (Record, error) {
+	r.mu.Lock()
+	if e, ok := r.cache[host]; ok && r.cfg.Now().Before(e.expires) {
+		r.touch(e)
+		r.stats.Hits++
+		rec, err := e.rec, e.err
+		r.mu.Unlock()
+		return rec, err
+	}
+	r.stats.Misses++
+	if call, ok := r.inflight[host]; ok {
+		r.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.rec, call.err
+		case <-ctx.Done():
+			return Record{}, ctx.Err()
+		}
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	r.inflight[host] = call
+	r.mu.Unlock()
+
+	rec, err := r.query(ctx, host)
+	call.rec, call.err = rec, err
+	close(call.done)
+
+	r.mu.Lock()
+	delete(r.inflight, host)
+	ttl := r.cfg.TTL
+	if err != nil {
+		r.stats.Failures++
+		ttl = r.cfg.NegativeTTL
+	}
+	r.insert(&cacheEntry{host: host, rec: rec, err: err, expires: r.cfg.Now().Add(ttl)})
+	r.mu.Unlock()
+	return rec, err
+}
+
+// Prefetch starts an asynchronous resolution of host; the result lands in
+// the cache. The crawler uses this to resolve only promising frontier URLs
+// ahead of time (§4.2).
+func (r *Resolver) Prefetch(host string) {
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(),
+			r.cfg.Timeout*time.Duration(max(1, len(r.servers))))
+		defer cancel()
+		_, _ = r.Resolve(ctx, host)
+	}()
+}
+
+// query tries each server once, starting at the round-robin cursor, with a
+// per-attempt timeout; it returns the first success or the last error.
+func (r *Resolver) query(ctx context.Context, host string) (Record, error) {
+	r.mu.Lock()
+	n := len(r.servers)
+	start := r.next
+	if n > 0 {
+		r.next = (r.next + 1) % n
+	}
+	r.mu.Unlock()
+	if n == 0 {
+		return Record{}, ErrNoServers
+	}
+	var lastErr error
+	for i := 0; i < n; i++ {
+		srv := r.servers[(start+i)%n]
+		attemptCtx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+		rec, err := lookupWithContext(attemptCtx, srv, host)
+		cancel()
+		if err == nil {
+			return rec, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrNotFound) {
+			// Authoritative miss: no point asking other servers.
+			return Record{}, err
+		}
+		if ctx.Err() != nil {
+			return Record{}, ctx.Err()
+		}
+	}
+	return Record{}, fmt.Errorf("dns: all %d servers failed for %q: %w", n, host, lastErr)
+}
+
+// lookupWithContext runs the lookup in a goroutine so that a server that
+// ignores ctx cannot stall the resolver past the attempt timeout — the Go
+// analog of the paper's complaint that HTTPUrlConnection's blocking calls
+// cannot be cancelled.
+func lookupWithContext(ctx context.Context, srv Server, host string) (Record, error) {
+	type result struct {
+		rec Record
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		rec, err := srv.Lookup(ctx, host)
+		ch <- result{rec, err}
+	}()
+	select {
+	case res := <-ch:
+		return res.rec, res.err
+	case <-ctx.Done():
+		return Record{}, ctx.Err()
+	}
+}
+
+// --- LRU bookkeeping (callers hold r.mu) ---
+
+func (r *Resolver) insert(e *cacheEntry) {
+	if old, ok := r.cache[e.host]; ok {
+		r.unlink(old)
+		delete(r.cache, e.host)
+	}
+	r.cache[e.host] = e
+	r.pushFront(e)
+	for len(r.cache) > r.cfg.CacheSize {
+		tail := r.lruTail
+		r.unlink(tail)
+		delete(r.cache, tail.host)
+		r.stats.Evictions++
+	}
+}
+
+func (r *Resolver) touch(e *cacheEntry) {
+	r.unlink(e)
+	r.pushFront(e)
+}
+
+func (r *Resolver) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = r.lruHead
+	if r.lruHead != nil {
+		r.lruHead.prev = e
+	}
+	r.lruHead = e
+	if r.lruTail == nil {
+		r.lruTail = e
+	}
+}
+
+func (r *Resolver) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if r.lruHead == e {
+		r.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if r.lruTail == e {
+		r.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// StaticServer is a Server backed by a fixed host table, with optional
+// artificial latency and failure injection for experiments.
+type StaticServer struct {
+	mu      sync.RWMutex
+	table   map[string]Record
+	Latency time.Duration
+	// FailEvery injects a transient failure on every n-th lookup (0 = never).
+	FailEvery int
+	calls     int
+}
+
+// NewStaticServer builds a server from a host table.
+func NewStaticServer(table map[string]Record) *StaticServer {
+	cp := make(map[string]Record, len(table))
+	for k, v := range table {
+		cp[k] = v
+	}
+	return &StaticServer{table: cp}
+}
+
+// Add registers a host.
+func (s *StaticServer) Add(rec Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.table[rec.Host] = rec
+}
+
+// Lookup implements Server.
+func (s *StaticServer) Lookup(ctx context.Context, host string) (Record, error) {
+	s.mu.Lock()
+	s.calls++
+	fail := s.FailEvery > 0 && s.calls%s.FailEvery == 0
+	rec, ok := s.table[host]
+	latency := s.Latency
+	s.mu.Unlock()
+	if latency > 0 {
+		select {
+		case <-time.After(latency):
+		case <-ctx.Done():
+			return Record{}, ctx.Err()
+		}
+	}
+	if fail {
+		return Record{}, errors.New("dns: injected transient failure")
+	}
+	if !ok {
+		return Record{}, ErrNotFound
+	}
+	return rec, nil
+}

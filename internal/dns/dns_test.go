@@ -1,0 +1,247 @@
+package dns
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func table(hosts ...string) map[string]Record {
+	t := map[string]Record{}
+	for i, h := range hosts {
+		t[h] = Record{Host: h, IP: fmt.Sprintf("10.0.0.%d", i+1)}
+	}
+	return t
+}
+
+func TestResolveAndCache(t *testing.T) {
+	srv := NewStaticServer(table("a.example", "b.example"))
+	r := NewResolver(Config{}, srv)
+	ctx := context.Background()
+
+	rec, err := r.Resolve(ctx, "a.example")
+	if err != nil || rec.IP != "10.0.0.1" {
+		t.Fatalf("Resolve = %+v, %v", rec, err)
+	}
+	// second resolve hits the cache
+	if _, err := r.Resolve(ctx, "a.example"); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestResolveNotFound(t *testing.T) {
+	srv := NewStaticServer(table("a.example"))
+	r := NewResolver(Config{}, srv)
+	_, err := r.Resolve(context.Background(), "missing.example")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	// negative result is cached
+	_, _ = r.Resolve(context.Background(), "missing.example")
+	if st := r.Stats(); st.Hits != 1 {
+		t.Errorf("negative caching: stats = %+v", st)
+	}
+}
+
+func TestResolveNoServers(t *testing.T) {
+	r := NewResolver(Config{})
+	_, err := r.Resolve(context.Background(), "x")
+	if !errors.Is(err, ErrNoServers) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFailoverToSecondServer(t *testing.T) {
+	bad := ServerFunc(func(ctx context.Context, host string) (Record, error) {
+		return Record{}, errors.New("down")
+	})
+	good := NewStaticServer(table("a.example"))
+	r := NewResolver(Config{Timeout: 50 * time.Millisecond}, bad, good)
+	rec, err := r.Resolve(context.Background(), "a.example")
+	if err != nil || rec.IP == "" {
+		t.Fatalf("failover failed: %+v, %v", rec, err)
+	}
+}
+
+func TestTimeoutOnSlowServer(t *testing.T) {
+	slow := ServerFunc(func(ctx context.Context, host string) (Record, error) {
+		select {
+		case <-time.After(5 * time.Second):
+			return Record{Host: host, IP: "1.1.1.1"}, nil
+		case <-ctx.Done():
+			return Record{}, ctx.Err()
+		}
+	})
+	good := NewStaticServer(table("a.example"))
+	r := NewResolver(Config{Timeout: 20 * time.Millisecond}, slow, good)
+	start := time.Now()
+	rec, err := r.Resolve(context.Background(), "a.example")
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if rec.IP != "10.0.0.1" {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("resolver blocked %v", time.Since(start))
+	}
+}
+
+func TestUncancellableServerDoesNotStall(t *testing.T) {
+	// server ignores ctx entirely (the HTTPUrlConnection problem)
+	stubborn := ServerFunc(func(_ context.Context, host string) (Record, error) {
+		time.Sleep(3 * time.Second)
+		return Record{Host: host, IP: "9.9.9.9"}, nil
+	})
+	r := NewResolver(Config{Timeout: 20 * time.Millisecond}, stubborn)
+	start := time.Now()
+	_, err := r.Resolve(context.Background(), "a.example")
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("stalled %v", time.Since(start))
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	srv := NewStaticServer(table("a.example"))
+	r := NewResolver(Config{TTL: time.Minute, Now: clock}, srv)
+	ctx := context.Background()
+	_, _ = r.Resolve(ctx, "a.example")
+	_, _ = r.Resolve(ctx, "a.example")
+	if st := r.Stats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	now = now.Add(2 * time.Minute) // expire
+	_, _ = r.Resolve(ctx, "a.example")
+	if st := r.Stats(); st.Misses != 2 {
+		t.Fatalf("TTL not honored: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	hosts := make([]string, 10)
+	for i := range hosts {
+		hosts[i] = fmt.Sprintf("h%d.example", i)
+	}
+	srv := NewStaticServer(table(hosts...))
+	r := NewResolver(Config{CacheSize: 3}, srv)
+	ctx := context.Background()
+	for _, h := range hosts {
+		if _, err := r.Resolve(ctx, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	if st.Evictions != 7 {
+		t.Errorf("evictions = %d, want 7", st.Evictions)
+	}
+	// h9 (most recent) still cached, h0 evicted
+	_, _ = r.Resolve(ctx, hosts[9])
+	_, _ = r.Resolve(ctx, hosts[0])
+	st = r.Stats()
+	if st.Hits != 1 {
+		t.Errorf("LRU order wrong: %+v", st)
+	}
+}
+
+func TestConcurrentResolveDeduplicated(t *testing.T) {
+	var calls int
+	var mu sync.Mutex
+	srv := ServerFunc(func(ctx context.Context, host string) (Record, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		time.Sleep(20 * time.Millisecond)
+		return Record{Host: host, IP: "1.2.3.4"}, nil
+	})
+	r := NewResolver(Config{Timeout: time.Second}, srv)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Resolve(context.Background(), "same.example"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Errorf("upstream calls = %d, want 1 (singleflight)", calls)
+	}
+}
+
+func TestPrefetch(t *testing.T) {
+	srv := NewStaticServer(table("a.example"))
+	r := NewResolver(Config{}, srv)
+	r.Prefetch("a.example")
+	// wait for the async fill
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.Stats().Misses > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := r.Resolve(context.Background(), "a.example"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransientFailureRetriesOtherServer(t *testing.T) {
+	flaky := NewStaticServer(table("a.example"))
+	flaky.FailEvery = 1 // always fail
+	good := NewStaticServer(table("a.example"))
+	r := NewResolver(Config{Timeout: 100 * time.Millisecond}, flaky, good)
+	for i := 0; i < 4; i++ {
+		// round-robin start alternates between servers; both paths must work
+		rec, err := r.Resolve(context.Background(), "a.example")
+		if err != nil || rec.IP == "" {
+			t.Fatalf("iter %d: %+v, %v", i, rec, err)
+		}
+		// force re-resolution
+		r.mu.Lock()
+		for k := range r.cache {
+			delete(r.cache, k)
+		}
+		r.lruHead, r.lruTail = nil, nil
+		r.mu.Unlock()
+	}
+}
+
+func TestCanceledContext(t *testing.T) {
+	srv := NewStaticServer(table("a.example"))
+	srv.Latency = 500 * time.Millisecond
+	r := NewResolver(Config{Timeout: 5 * time.Second}, srv)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Resolve(ctx, "a.example"); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func BenchmarkResolveCached(b *testing.B) {
+	srv := NewStaticServer(table("a.example"))
+	r := NewResolver(Config{}, srv)
+	ctx := context.Background()
+	_, _ = r.Resolve(ctx, "a.example")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Resolve(ctx, "a.example"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

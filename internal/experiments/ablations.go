@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/bingo-search/bingo/internal/classify"
+	"github.com/bingo-search/bingo/internal/corpus"
+	"github.com/bingo-search/bingo/internal/crawler"
+	"github.com/bingo-search/bingo/internal/features"
+	"github.com/bingo-search/bingo/internal/htmldoc"
+	"github.com/bingo-search/bingo/internal/textproc"
+	"github.com/bingo-search/bingo/internal/vsm"
+)
+
+// LabeledSet holds ground-truth-labeled documents for classifier-only
+// experiments (train/test splits drawn directly from the synthetic world).
+type LabeledSet struct {
+	// ByTopic maps tree paths ("ROOT/databases", ...) to documents; the
+	// "others" key holds general-Web documents.
+	ByTopic map[string][]classify.Doc
+	Others  []classify.Doc
+}
+
+// LabeledDocs samples perTopic training and perTopic test documents for
+// every topic of the world plus the general Web.
+func LabeledDocs(w *corpus.World, perTopic int, seed int64) (train, test *LabeledSet) {
+	return LabeledSplit(w, perTopic, perTopic, seed)
+}
+
+// LabeledSplit samples trainN training and testN disjoint test documents
+// per topic (and for the general Web). Sizes are clamped so the two splits
+// never overlap.
+func LabeledSplit(w *corpus.World, trainN, testN int, seed int64) (train, test *LabeledSet) {
+	rng := rand.New(rand.NewSource(seed + 99))
+	pipe := textproc.NewPipeline()
+	byTopic := map[string][]*corpus.Page{}
+	var general []*corpus.Page
+	for _, p := range w.Pages {
+		if p.Topic < 0 {
+			general = append(general, p)
+			continue
+		}
+		// Tunnel (department welcome) pages are included as hard topic
+		// examples: they belong to the topic but carry almost no topical
+		// signal, which is exactly the noise a crawler-trained classifier
+		// faces on the real Web.
+		byTopic[w.Topics()[p.Topic]] = append(byTopic[w.Topics()[p.Topic]], p)
+	}
+	// Incoming anchor texts per URL, extracted from the whole world, feed
+	// the anchor-text feature space (§3.4).
+	anchors := map[string][]string{}
+	for _, p := range w.Pages {
+		doc, err := htmldoc.Convert(p.ContentType, p.Body, nil)
+		if err != nil {
+			continue
+		}
+		for _, l := range doc.Links {
+			if l.Anchor != "" {
+				anchors[l.URL] = append(anchors[l.URL], l.Anchor)
+			}
+		}
+	}
+	toDoc := func(p *corpus.Page) classify.Doc {
+		doc, err := htmldoc.Convert(p.ContentType, p.Body, nil)
+		if err != nil {
+			return classify.Doc{ID: p.URL}
+		}
+		return classify.Doc{
+			ID: p.URL,
+			Input: features.DocInput{
+				Stems:   pipe.Stems(doc.Title + " " + doc.Text),
+				Anchors: anchors[p.URL],
+			},
+		}
+	}
+	train = &LabeledSet{ByTopic: map[string][]classify.Doc{}}
+	test = &LabeledSet{ByTopic: map[string][]classify.Doc{}}
+	split := func(pages []*corpus.Page, key string, isOthers bool) {
+		// deterministic order before shuffling
+		sortPages(pages)
+		rng.Shuffle(len(pages), func(i, j int) { pages[i], pages[j] = pages[j], pages[i] })
+		n, m := trainN, testN
+		if n+m > len(pages) {
+			n = len(pages) * trainN / (trainN + testN)
+			m = len(pages) - n
+		}
+		for i := 0; i < n; i++ {
+			d := toDoc(pages[i])
+			if isOthers {
+				train.Others = append(train.Others, d)
+			} else {
+				train.ByTopic[key] = append(train.ByTopic[key], d)
+			}
+		}
+		for i := n; i < n+m; i++ {
+			d := toDoc(pages[i])
+			if isOthers {
+				test.Others = append(test.Others, d)
+			} else {
+				test.ByTopic[key] = append(test.ByTopic[key], d)
+			}
+		}
+	}
+	for _, topic := range w.Topics() {
+		split(byTopic[topic], "ROOT/"+topic, false)
+	}
+	split(general, "", true)
+	return train, test
+}
+
+func sortPages(ps []*corpus.Page) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].URL < ps[j-1].URL; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// TrainOnLabeled trains a hierarchical classifier on a labeled set. mut may
+// adjust the classify.Config (feature spaces, selection size, ...).
+func TrainOnLabeled(train *LabeledSet, mut func(*classify.Config)) (*classify.Classifier, error) {
+	tree := classify.NewTree()
+	ts := classify.NewTrainingSet()
+	stats := vsm.NewCorpusStats()
+	for topic, docs := range train.ByTopic {
+		if _, err := tree.Add(strings.Split(strings.TrimPrefix(topic, "ROOT/"), "/")...); err != nil {
+			return nil, err
+		}
+		for _, d := range docs {
+			ts.Add(topic, d)
+			stats.AddDoc(countStems(d))
+		}
+	}
+	ts.Others = train.Others
+	for _, d := range train.Others {
+		stats.AddDoc(countStems(d))
+	}
+	cfg := classify.DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	return classify.Train(tree, ts, stats.Snapshot(), cfg)
+}
+
+func countStems(d classify.Doc) map[string]int {
+	m := map[string]int{}
+	for _, s := range d.Input.Stems {
+		m[s]++
+	}
+	return m
+}
+
+// EvalClassifier measures micro-averaged precision and recall of accepted
+// decisions over a labeled test set under a given meta mode: precision is
+// correct-accepts / all-accepts, recall is correct-accepts / topic docs.
+func EvalClassifier(cls *classify.Classifier, test *LabeledSet, mode classify.MetaMode) (precision, recall float64) {
+	accepts, correct, total := 0, 0, 0
+	for topic, docs := range test.ByTopic {
+		for _, d := range docs {
+			total++
+			res := cls.ClassifyWithMode(d, mode)
+			if res.Accepted {
+				accepts++
+				if res.Topic == topic {
+					correct++
+				}
+			}
+		}
+	}
+	for _, d := range test.Others {
+		res := cls.ClassifyWithMode(d, mode)
+		if res.Accepted {
+			accepts++ // accepting a general doc is always wrong
+		}
+	}
+	if accepts > 0 {
+		precision = float64(correct) / float64(accepts)
+	}
+	if total > 0 {
+		recall = float64(correct) / float64(total)
+	}
+	return precision, recall
+}
+
+// MetaAblationResult compares single classifiers against the §3.5 meta
+// combination functions.
+type MetaAblationResult struct {
+	SinglePrec    map[string]float64 // per feature space
+	BestSingle    float64
+	Unanimous     float64
+	Majority      float64
+	Weighted      float64
+	UnanimousRec  float64
+	BestSingleRec float64
+}
+
+// MetaAblation reproduces the §3.5 claim that combining classifiers over
+// multiple feature spaces lifts precision over the best single classifier.
+// The regime is the one the paper cares about: very small training sets
+// (perTopic is the training size; the test set is four times larger).
+func MetaAblation(w *corpus.World, perTopic int) (*MetaAblationResult, string, error) {
+	train, test := LabeledSplit(w, perTopic, 4*perTopic, 1)
+	spaces := []features.Space{features.SpaceTerms, features.SpacePairs, features.SpaceAnchors}
+	cls, err := TrainOnLabeled(train, func(c *classify.Config) {
+		c.Spaces = spaces
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	res := &MetaAblationResult{SinglePrec: map[string]float64{}}
+	for _, sp := range spaces {
+		single, err := TrainOnLabeled(train, func(c *classify.Config) {
+			c.Spaces = []features.Space{sp}
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		p, _ := EvalClassifier(single, test, classify.MetaBestSingle)
+		res.SinglePrec[sp.String()] = p
+	}
+	res.BestSingle, res.BestSingleRec = EvalClassifier(cls, test, classify.MetaBestSingle)
+	res.Unanimous, res.UnanimousRec = EvalClassifier(cls, test, classify.MetaUnanimous)
+	res.Majority, _ = EvalClassifier(cls, test, classify.MetaMajority)
+	res.Weighted, _ = EvalClassifier(cls, test, classify.MetaWeighted)
+
+	var b strings.Builder
+	b.WriteString("Meta-classifier ablation (§3.5)\n")
+	for _, sp := range spaces {
+		fmt.Fprintf(&b, "  single %-14s precision %.3f\n", sp.String(), res.SinglePrec[sp.String()])
+	}
+	fmt.Fprintf(&b, "  best-single (ξα)      precision %.3f  recall %.3f\n", res.BestSingle, res.BestSingleRec)
+	fmt.Fprintf(&b, "  unanimous             precision %.3f  recall %.3f\n", res.Unanimous, res.UnanimousRec)
+	fmt.Fprintf(&b, "  majority              precision %.3f\n", res.Majority)
+	fmt.Fprintf(&b, "  xi-alpha weighted     precision %.3f\n", res.Weighted)
+	return res, b.String(), nil
+}
+
+// FeatureSpaceAblation measures per-space classification precision (§3.4).
+func FeatureSpaceAblation(w *corpus.World, perTopic int) (map[string]float64, string, error) {
+	train, test := LabeledDocs(w, perTopic, 2)
+	out := map[string]float64{}
+	var b strings.Builder
+	b.WriteString("Feature-space ablation (§3.4)\n")
+	for _, sp := range []features.Space{features.SpaceTerms, features.SpacePairs, features.SpaceCombined} {
+		cls, err := TrainOnLabeled(train, func(c *classify.Config) {
+			c.Spaces = []features.Space{sp}
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		p, r := EvalClassifier(cls, test, classify.MetaBestSingle)
+		out[sp.String()] = p
+		fmt.Fprintf(&b, "  %-16s precision %.3f recall %.3f\n", sp.String(), p, r)
+	}
+	return out, b.String(), nil
+}
+
+// FeatureCountSweep varies the number of MI-selected features (the paper
+// settled on 2000 of the 5000 most frequent).
+func FeatureCountSweep(w *corpus.World, perTopic int, ks []int) (map[int]float64, string, error) {
+	train, test := LabeledDocs(w, perTopic, 3)
+	out := map[int]float64{}
+	var b strings.Builder
+	b.WriteString("MI feature-count sweep (§2.3)\n")
+	for _, k := range ks {
+		cls, err := TrainOnLabeled(train, func(c *classify.Config) {
+			c.FeatureOpts = features.Options{TopK: k, Candidates: 5000}
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		p, r := EvalClassifier(cls, test, classify.MetaBestSingle)
+		out[k] = p
+		fmt.Fprintf(&b, "  top-%-6d precision %.3f recall %.3f\n", k, p, r)
+	}
+	return out, b.String(), nil
+}
+
+// FocusComparison pits the focused crawler against an unfocused
+// breadth-first baseline at the same page budget; the measure is the
+// fraction of stored pages that truly belong to the primary topic.
+type FocusComparison struct {
+	FocusedOnTopic   float64
+	UnfocusedOnTopic float64
+	FocusedStats     crawler.Stats
+	UnfocusedStats   crawler.Stats
+}
+
+// FocusedVsUnfocused runs the comparison (the central premise of focused
+// crawling, §1.2).
+func FocusedVsUnfocused(ctx context.Context, w *corpus.World, budget int64) (*FocusComparison, string, error) {
+	run, err := RunPortal(ctx, w, budget/4, budget-budget/4, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	cmp := &FocusComparison{FocusedStats: run.Total()}
+	cmp.FocusedOnTopic = onTopicFraction(w, run.Stored)
+
+	baseStats, baseStored := RunUnfocusedBaseline(ctx, w, budget)
+	cmp.UnfocusedStats = baseStats
+	cmp.UnfocusedOnTopic = onTopicFraction(w, baseStored)
+
+	var b strings.Builder
+	b.WriteString("Focused vs unfocused baseline (equal page budget)\n")
+	fmt.Fprintf(&b, "  focused:   %5d stored, %.1f%% on topic\n", cmp.FocusedStats.StoredPages, 100*cmp.FocusedOnTopic)
+	fmt.Fprintf(&b, "  unfocused: %5d stored, %.1f%% on topic\n", cmp.UnfocusedStats.StoredPages, 100*cmp.UnfocusedOnTopic)
+	return cmp, b.String(), nil
+}
+
+func onTopicFraction(w *corpus.World, urls []string) float64 {
+	if len(urls) == 0 {
+		return 0
+	}
+	on := 0
+	for _, u := range urls {
+		if ti, ok := w.PageTopic(u); ok && ti == 0 {
+			on++
+		}
+	}
+	return float64(on) / float64(len(urls))
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/bingo-search/bingo/internal/classify"
+	"github.com/bingo-search/bingo/internal/corpus"
+	"github.com/bingo-search/bingo/internal/features"
+	"github.com/bingo-search/bingo/internal/svm"
+	"github.com/bingo-search/bingo/internal/textcat"
+	"github.com/bingo-search/bingo/internal/vsm"
+)
+
+// ClassifierScores holds binary-task quality measures for one learner.
+type ClassifierScores struct {
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// ClassifierComparison pits the paper's SVM choice against the alternative
+// supervised methods it names (§1.2): multinomial Naive Bayes and Maximum
+// Entropy. The task is binary — primary topic vs everything else — with MI
+// feature selection applied identically for all three.
+func ClassifierComparison(w *corpus.World, perTopic int) (map[string]ClassifierScores, string, error) {
+	train, test := LabeledSplit(w, perTopic, 3*perTopic, 5)
+	primary := "ROOT/" + w.Topics()[0]
+
+	counts := func(d classify.Doc) map[string]int {
+		m := map[string]int{}
+		for _, s := range d.Input.Stems {
+			m[s]++
+		}
+		return m
+	}
+	var posTrain, negTrain []textcat.Doc
+	var posTest, negTest []textcat.Doc
+	for topic, docs := range train.ByTopic {
+		for _, d := range docs {
+			if topic == primary {
+				posTrain = append(posTrain, counts(d))
+			} else {
+				negTrain = append(negTrain, counts(d))
+			}
+		}
+	}
+	for _, d := range train.Others {
+		negTrain = append(negTrain, counts(d))
+	}
+	for topic, docs := range test.ByTopic {
+		for _, d := range docs {
+			if topic == primary {
+				posTest = append(posTest, counts(d))
+			} else {
+				negTest = append(negTest, counts(d))
+			}
+		}
+	}
+	for _, d := range test.Others {
+		negTest = append(negTest, counts(d))
+	}
+
+	// Shared preprocessing: MI feature selection and tf·idf weighting, as
+	// the BINGO! pipeline applies before its SVM.
+	posDT := make([]features.DocTerms, len(posTrain))
+	for i, d := range posTrain {
+		posDT[i] = d
+	}
+	negDT := make([]features.DocTerms, len(negTrain))
+	for i, d := range negTrain {
+		negDT[i] = d
+	}
+	sel := features.SelectMI(posDT, negDT, features.DefaultOptions())
+	stats := vsm.NewCorpusStats()
+	for _, d := range posTrain {
+		stats.AddDoc(d)
+	}
+	for _, d := range negTrain {
+		stats.AddDoc(d)
+	}
+	idf := stats.Snapshot()
+	vec := func(d textcat.Doc) vsm.Vector {
+		return idf.Weight(d).Project(sel.Set()).Normalize()
+	}
+	project := func(d textcat.Doc) textcat.Doc {
+		out := textcat.Doc{}
+		for t, c := range d {
+			if sel.Contains(t) {
+				out[t] = c
+			}
+		}
+		return out
+	}
+
+	// Train all three learners.
+	var svmExamples []svm.Example
+	for _, d := range posTrain {
+		svmExamples = append(svmExamples, svm.Example{Features: vec(d), Label: +1})
+	}
+	for _, d := range negTrain {
+		svmExamples = append(svmExamples, svm.Example{Features: vec(d), Label: -1})
+	}
+	svmModel, err := svm.Train(svmExamples, svm.DefaultParams())
+	if err != nil {
+		return nil, "", err
+	}
+	nbModel, err := textcat.TrainNB(mapDocs(posTrain, project), mapDocs(negTrain, project))
+	if err != nil {
+		return nil, "", err
+	}
+	meModel, err := textcat.TrainMaxEnt(mapDocs(posTrain, project), mapDocs(negTrain, project), textcat.DefaultMaxEntParams())
+	if err != nil {
+		return nil, "", err
+	}
+
+	score := func(decide func(textcat.Doc) bool) ClassifierScores {
+		var tp, fp, tn, fn float64
+		for _, d := range posTest {
+			if decide(d) {
+				tp++
+			} else {
+				fn++
+			}
+		}
+		for _, d := range negTest {
+			if decide(d) {
+				fp++
+			} else {
+				tn++
+			}
+		}
+		var s ClassifierScores
+		total := tp + fp + tn + fn
+		if total > 0 {
+			s.Accuracy = (tp + tn) / total
+		}
+		if tp+fp > 0 {
+			s.Precision = tp / (tp + fp)
+		}
+		if tp+fn > 0 {
+			s.Recall = tp / (tp + fn)
+		}
+		if s.Precision+s.Recall > 0 {
+			s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+		}
+		return s
+	}
+
+	out := map[string]ClassifierScores{
+		"svm": score(func(d textcat.Doc) bool {
+			yes, _ := svmModel.Classify(vec(d))
+			return yes
+		}),
+		"naive-bayes": score(func(d textcat.Doc) bool {
+			yes, _ := nbModel.Classify(project(d))
+			return yes
+		}),
+		"maxent": score(func(d textcat.Doc) bool {
+			yes, _ := meModel.Classify(project(d))
+			return yes
+		}),
+	}
+	var b strings.Builder
+	b.WriteString("Classifier comparison (binary: primary topic vs rest)\n")
+	for _, name := range []string{"svm", "naive-bayes", "maxent"} {
+		s := out[name]
+		fmt.Fprintf(&b, "  %-12s accuracy %.3f precision %.3f recall %.3f F1 %.3f\n",
+			name, s.Accuracy, s.Precision, s.Recall, s.F1)
+	}
+	return out, b.String(), nil
+}
+
+func mapDocs(in []textcat.Doc, f func(textcat.Doc) textcat.Doc) []textcat.Doc {
+	out := make([]textcat.Doc, len(in))
+	for i, d := range in {
+		out[i] = f(d)
+	}
+	return out
+}

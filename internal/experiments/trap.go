@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/bingo-search/bingo/internal/corpus"
+)
+
+// TrapResult measures how much of a crawl's budget an unbounded crawler
+// trap absorbed.
+type TrapResult struct {
+	FocusedStored, FocusedTrapped     int
+	UnfocusedStored, UnfocusedTrapped int
+}
+
+// TrapResistance runs the focused crawler and the unfocused baseline on a
+// world with a calendar-style crawler trap (§4.2) and counts how many
+// stored pages came from the trap host. The focused crawler's classifier
+// rejects the topic-free trap pages and the tunnelling decay starves their
+// links; the unfocused baseline has no such defense and wanders in.
+func TrapResistance(ctx context.Context, baseCfg corpus.Config, budget int64) (*TrapResult, string, error) {
+	cfg := baseCfg
+	cfg.WithTrap = true
+	w := corpus.Generate(cfg)
+
+	run, err := RunPortal(ctx, w, budget/4, budget-budget/4, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	res := &TrapResult{FocusedStored: len(run.Stored)}
+	for _, u := range run.Stored {
+		if strings.Contains(u, corpus.TrapHost) {
+			res.FocusedTrapped++
+		}
+	}
+
+	baseStats, baseStored := RunUnfocusedBaseline(ctx, w, budget)
+	res.UnfocusedStored = int(baseStats.StoredPages)
+	for _, u := range baseStored {
+		if strings.Contains(u, corpus.TrapHost) {
+			res.UnfocusedTrapped++
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("Crawler-trap resistance (§4.2, unbounded calendar trap)\n")
+	fmt.Fprintf(&b, "  focused:   %4d of %4d stored pages from the trap (%.1f%%)\n",
+		res.FocusedTrapped, res.FocusedStored, pct(res.FocusedTrapped, res.FocusedStored))
+	fmt.Fprintf(&b, "  unfocused: %4d of %4d stored pages from the trap (%.1f%%)\n",
+		res.UnfocusedTrapped, res.UnfocusedStored, pct(res.UnfocusedTrapped, res.UnfocusedStored))
+	return res, b.String(), nil
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

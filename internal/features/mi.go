@@ -1,0 +1,132 @@
+// Package features implements BINGO!'s topic-specific feature selection
+// (§2.3) and the richer feature-space constructions of §3.4: Mutual
+// Information ranking with tf-based candidate pre-selection, term-pair
+// features via a sliding window, anchor-text features, and neighbour-document
+// features, plus combined feature spaces.
+package features
+
+import (
+	"math"
+	"sort"
+)
+
+// ScoredTerm is a feature with its Mutual Information weight.
+type ScoredTerm struct {
+	Term string
+	MI   float64
+}
+
+// Selection is the result of feature selection for one topic: the ranked
+// features and a set view for fast projection.
+type Selection struct {
+	Ranked []ScoredTerm
+	set    map[string]struct{}
+}
+
+// Set returns the selected features as a set usable with vsm.Vector.Project.
+func (s *Selection) Set() map[string]struct{} { return s.set }
+
+// Contains reports whether term was selected.
+func (s *Selection) Contains(term string) bool {
+	_, ok := s.set[term]
+	return ok
+}
+
+// Options controls feature selection.
+type Options struct {
+	// TopK is the number of features to keep (paper default 2000).
+	TopK int
+	// Candidates is the number of most frequent terms per topic to evaluate
+	// MI for (paper default 5000; 0 means evaluate all terms).
+	Candidates int
+}
+
+// DefaultOptions mirrors the paper's tuning: best 2000 features, MI
+// evaluated only for the 5000 most frequent terms per topic.
+func DefaultOptions() Options { return Options{TopK: 2000, Candidates: 5000} }
+
+// DocTerms is one training document reduced to its term multiset.
+type DocTerms map[string]int
+
+// SelectMI performs topic-specific feature selection: positive documents
+// belong to the topic, negative documents to its competing siblings. The MI
+// weight of term X in topic V is
+//
+//	MI(X,V) = P[X∧V] · log( P[X∧V] / (P[X]·P[V]) )
+//
+// with probabilities estimated from document-level occurrence over the union
+// of positive and negative documents (§2.3, eq. 1). Terms whose joint
+// probability with the topic is zero contribute nothing and are dropped.
+func SelectMI(positive, negative []DocTerms, opts Options) *Selection {
+	n := len(positive) + len(negative)
+	if n == 0 || opts.TopK <= 0 {
+		return &Selection{set: map[string]struct{}{}}
+	}
+
+	// Document frequencies: overall and within the positive class, plus
+	// cumulative tf within the topic for candidate pre-selection.
+	df := make(map[string]int)
+	dfPos := make(map[string]int)
+	tfPos := make(map[string]int)
+	for _, d := range positive {
+		for term, tf := range d {
+			if tf <= 0 {
+				continue
+			}
+			df[term]++
+			dfPos[term]++
+			tfPos[term] += tf
+		}
+	}
+	for _, d := range negative {
+		for term, tf := range d {
+			if tf <= 0 {
+				continue
+			}
+			df[term]++
+		}
+	}
+
+	// Pre-select candidates by topic-internal tf (efficiency measure of
+	// §2.3): only the `Candidates` most frequent terms are MI-evaluated.
+	candidates := make([]string, 0, len(tfPos))
+	for term := range tfPos {
+		candidates = append(candidates, term)
+	}
+	if opts.Candidates > 0 && len(candidates) > opts.Candidates {
+		sort.Slice(candidates, func(i, j int) bool {
+			ti, tj := tfPos[candidates[i]], tfPos[candidates[j]]
+			if ti != tj {
+				return ti > tj
+			}
+			return candidates[i] < candidates[j]
+		})
+		candidates = candidates[:opts.Candidates]
+	}
+
+	pTopic := float64(len(positive)) / float64(n)
+	ranked := make([]ScoredTerm, 0, len(candidates))
+	for _, term := range candidates {
+		pJoint := float64(dfPos[term]) / float64(n)
+		if pJoint == 0 {
+			continue
+		}
+		pTerm := float64(df[term]) / float64(n)
+		mi := pJoint * math.Log(pJoint/(pTerm*pTopic))
+		ranked = append(ranked, ScoredTerm{Term: term, MI: mi})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].MI != ranked[j].MI {
+			return ranked[i].MI > ranked[j].MI
+		}
+		return ranked[i].Term < ranked[j].Term
+	})
+	if len(ranked) > opts.TopK {
+		ranked = ranked[:opts.TopK]
+	}
+	sel := &Selection{Ranked: ranked, set: make(map[string]struct{}, len(ranked))}
+	for _, st := range ranked {
+		sel.set[st.Term] = struct{}{}
+	}
+	return sel
+}

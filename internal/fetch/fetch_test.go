@@ -1,0 +1,368 @@
+package fetch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bingo-search/bingo/internal/dns"
+)
+
+// mapTransport serves canned responses keyed by full URL.
+type mapTransport struct {
+	mu    sync.Mutex
+	pages map[string]page
+	calls int
+}
+
+type page struct {
+	status int
+	ctype  string
+	body   string
+	loc    string
+}
+
+func (m *mapTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	m.mu.Lock()
+	m.calls++
+	p, ok := m.pages[req.URL.String()]
+	m.mu.Unlock()
+	if !ok {
+		return &http.Response{StatusCode: 404, Body: io.NopCloser(strings.NewReader("")), Header: http.Header{}}, nil
+	}
+	h := http.Header{}
+	if p.ctype != "" {
+		h.Set("Content-Type", p.ctype)
+	}
+	if p.loc != "" {
+		h.Set("Location", p.loc)
+	}
+	status := p.status
+	if status == 0 {
+		status = 200
+	}
+	return &http.Response{
+		StatusCode:    status,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(p.body)),
+		ContentLength: int64(len(p.body)),
+	}, nil
+}
+
+func testResolver(hosts ...string) *dns.Resolver {
+	tbl := map[string]dns.Record{}
+	for i, h := range hosts {
+		tbl[h] = dns.Record{Host: h, IP: fmt.Sprintf("10.1.0.%d", i+1)}
+	}
+	return dns.NewResolver(dns.Config{}, dns.NewStaticServer(tbl))
+}
+
+func newFetcher(tr http.RoundTripper, hosts ...string) *Fetcher {
+	return New(Config{Transport: tr, Resolver: testResolver(hosts...)}, nil, nil)
+}
+
+func TestFetchBasic(t *testing.T) {
+	tr := &mapTransport{pages: map[string]page{
+		"http://a.example/index.html": {ctype: "text/html", body: "<html>hi</html>"},
+	}}
+	f := newFetcher(tr, "a.example")
+	res, err := f.Fetch(context.Background(), "http://a.example/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Body) != "<html>hi</html>" || res.ContentType != "text/html" {
+		t.Errorf("res = %+v", res)
+	}
+	if res.IP != "10.1.0.1" {
+		t.Errorf("IP = %q", res.IP)
+	}
+	if res.FinalURL != "http://a.example/index.html" {
+		t.Errorf("FinalURL = %q", res.FinalURL)
+	}
+}
+
+func TestFetchDuplicateURL(t *testing.T) {
+	tr := &mapTransport{pages: map[string]page{
+		"http://a.example/x": {ctype: "text/html", body: "x"},
+	}}
+	f := newFetcher(tr, "a.example")
+	if _, err := f.Fetch(context.Background(), "http://a.example/x"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := f.Fetch(context.Background(), "http://a.example/x")
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+	if f.Dedup.Skipped() == 0 {
+		t.Error("Skipped = 0")
+	}
+}
+
+func TestFetchDuplicateByIPSize(t *testing.T) {
+	// same document under a different URL on the same host and same size
+	tr := &mapTransport{pages: map[string]page{
+		"http://a.example/one": {ctype: "text/html", body: "same-size-body"},
+		"http://a.example/two": {ctype: "text/html", body: "same-size-XXXX"},
+	}}
+	f := newFetcher(tr, "a.example")
+	if _, err := f.Fetch(context.Background(), "http://a.example/one"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := f.Fetch(context.Background(), "http://a.example/two")
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("IP+size dedup missed: %v", err)
+	}
+}
+
+func TestFetchDuplicateByIPPathAcrossAliases(t *testing.T) {
+	// two hostnames resolving to the same IP and path
+	tbl := map[string]dns.Record{
+		"a.example":     {Host: "a.example", IP: "10.9.9.9"},
+		"alias.example": {Host: "alias.example", IP: "10.9.9.9"},
+	}
+	r := dns.NewResolver(dns.Config{}, dns.NewStaticServer(tbl))
+	tr := &mapTransport{pages: map[string]page{
+		"http://a.example/doc":     {ctype: "text/html", body: "abc"},
+		"http://alias.example/doc": {ctype: "text/html", body: "abc"},
+	}}
+	f := New(Config{Transport: tr, Resolver: r}, nil, nil)
+	if _, err := f.Fetch(context.Background(), "http://a.example/doc"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := f.Fetch(context.Background(), "http://alias.example/doc")
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("alias dedup missed: %v", err)
+	}
+}
+
+func TestFetchRedirectChain(t *testing.T) {
+	tr := &mapTransport{pages: map[string]page{
+		"http://a.example/start": {status: 301, loc: "/mid"},
+		"http://a.example/mid":   {status: 302, loc: "http://a.example/end"},
+		"http://a.example/end":   {ctype: "text/html", body: "final"},
+	}}
+	f := newFetcher(tr, "a.example")
+	res, err := f.Fetch(context.Background(), "http://a.example/start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalURL != "http://a.example/end" || len(res.Redirects) != 2 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestFetchRedirectLoop(t *testing.T) {
+	tr := &mapTransport{pages: map[string]page{
+		"http://a.example/a": {status: 302, loc: "/b"},
+		"http://a.example/b": {status: 302, loc: "/a"},
+	}}
+	f := New(Config{Transport: tr, Resolver: testResolver("a.example"), MaxRedirects: 5}, nil, nil)
+	_, err := f.Fetch(context.Background(), "http://a.example/a")
+	// The loop is cut either by hop count or by the IP+path fingerprint.
+	if err == nil {
+		t.Fatal("redirect loop not detected")
+	}
+}
+
+func TestFetchRedirectWithoutLocation(t *testing.T) {
+	tr := &mapTransport{pages: map[string]page{
+		"http://a.example/r": {status: 301},
+	}}
+	f := newFetcher(tr, "a.example")
+	if _, err := f.Fetch(context.Background(), "http://a.example/r"); !errors.Is(err, ErrEmptyRedirect) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFetchTypeRejected(t *testing.T) {
+	tr := &mapTransport{pages: map[string]page{
+		"http://a.example/v.mpg": {ctype: "video/mpeg", body: "..."},
+	}}
+	f := newFetcher(tr, "a.example")
+	if _, err := f.Fetch(context.Background(), "http://a.example/v.mpg"); !errors.Is(err, ErrTypeRejected) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFetchSizeLimit(t *testing.T) {
+	big := strings.Repeat("x", 600<<10) // > 512 KiB html limit
+	tr := &mapTransport{pages: map[string]page{
+		"http://a.example/big": {ctype: "text/html", body: big},
+	}}
+	f := newFetcher(tr, "a.example")
+	if _, err := f.Fetch(context.Background(), "http://a.example/big"); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateURL(t *testing.T) {
+	f := newFetcher(&mapTransport{}, "a.example")
+	cases := []struct {
+		url string
+		err error
+	}{
+		{"http://" + strings.Repeat("h", 300) + ".example/", ErrHostTooLong},
+		{"http://a.example/" + strings.Repeat("p", 1100), ErrURLTooLong},
+		{"gopher://a.example/", ErrBadScheme},
+		{"http:///nohost", ErrHostTooLong},
+	}
+	for _, c := range cases {
+		if _, err := f.ValidateURL(c.url); !errors.Is(err, c.err) {
+			t.Errorf("ValidateURL(%.40q) = %v, want %v", c.url, err, c.err)
+		}
+	}
+	if _, err := f.ValidateURL("http://a.example/fine"); err != nil {
+		t.Errorf("valid URL rejected: %v", err)
+	}
+}
+
+func TestLockedDomains(t *testing.T) {
+	f := New(Config{
+		Transport:     &mapTransport{},
+		LockedDomains: []string{"google.example", "dblp.example"},
+	}, nil, nil)
+	for _, u := range []string{"http://google.example/q", "http://www.google.example/q", "http://dblp.example/authors"} {
+		if _, err := f.ValidateURL(u); !errors.Is(err, ErrLockedDomain) {
+			t.Errorf("ValidateURL(%s) = %v", u, err)
+		}
+	}
+	if _, err := f.ValidateURL("http://notgoogle.example/"); err != nil {
+		t.Errorf("suffix match too loose: %v", err)
+	}
+}
+
+func TestBadHostExclusion(t *testing.T) {
+	// host that always 500s becomes bad after 3 failures
+	tr := &mapTransport{pages: map[string]page{
+		"http://broken.example/": {status: 500},
+	}}
+	f := New(Config{Transport: tr, Resolver: testResolver("broken.example")}, nil, NewHostTracker(3))
+	for i := 0; i < 3; i++ {
+		f.Dedup = NewDeduper() // defeat URL dedup between attempts
+		if _, err := f.Fetch(context.Background(), "http://broken.example/"); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	if !f.Hosts.Bad("broken.example") {
+		t.Fatal("host not tagged bad after 3 failures")
+	}
+	f.Dedup = NewDeduper()
+	_, err := f.Fetch(context.Background(), "http://broken.example/")
+	if !errors.Is(err, ErrBadHost) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHostTracker(t *testing.T) {
+	h := NewHostTracker(2)
+	if h.Slow("x") || h.Bad("x") {
+		t.Fatal("fresh host flagged")
+	}
+	if h.Failure("x") {
+		t.Fatal("bad after first failure")
+	}
+	if !h.Slow("x") {
+		t.Fatal("not slow after failure")
+	}
+	h.Success("x")
+	if h.Slow("x") {
+		t.Fatal("still slow after success")
+	}
+	h.Failure("x")
+	if !h.Failure("x") {
+		t.Fatal("not bad after maxRetries failures")
+	}
+	if !h.Bad("x") || h.Slow("x") {
+		t.Fatal("bad state wrong")
+	}
+	if h.Failure("x") {
+		t.Fatal("Failure on bad host reported nowBad again")
+	}
+	slow, bad := h.Counts()
+	if slow != 0 || bad != 1 {
+		t.Fatalf("Counts = %d,%d", slow, bad)
+	}
+}
+
+func TestDeduper(t *testing.T) {
+	d := NewDeduper()
+	if d.SeenURL("http://a/") {
+		t.Fatal("fresh URL seen")
+	}
+	if !d.SeenURL("http://a/") {
+		t.Fatal("repeat URL not seen")
+	}
+	if d.SeenIPPath("1.1.1.1", "/p") || !d.SeenIPPath("1.1.1.1", "/p") {
+		t.Fatal("ip+path dedup wrong")
+	}
+	if d.SeenIPPath("2.2.2.2", "/p") {
+		t.Fatal("different IP collided")
+	}
+	if d.SeenIPSize("1.1.1.1", 100) || !d.SeenIPSize("1.1.1.1", 100) {
+		t.Fatal("ip+size dedup wrong")
+	}
+	if d.Skipped() != 3 {
+		t.Fatalf("Skipped = %d", d.Skipped())
+	}
+}
+
+func TestTypeLimits(t *testing.T) {
+	tl := DefaultTypeLimits()
+	if _, ok := tl.Allowed("text/html; charset=utf-8"); !ok {
+		t.Error("charset param broke lookup")
+	}
+	if _, ok := tl.Allowed(""); !ok {
+		t.Error("empty content type should default to HTML")
+	}
+	if _, ok := tl.Allowed("audio/mp3"); ok {
+		t.Error("audio accepted")
+	}
+	if lim, _ := tl.Allowed("APPLICATION/PDF"); lim != 4<<20 {
+		t.Errorf("pdf limit = %d", lim)
+	}
+}
+
+func TestFetchTimeout(t *testing.T) {
+	slow := roundTripperFunc(func(req *http.Request) (*http.Response, error) {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(5 * time.Second):
+			return nil, errors.New("unreachable")
+		}
+	})
+	f := New(Config{Transport: slow, Timeout: 30 * time.Millisecond}, nil, nil)
+	start := time.Now()
+	_, err := f.Fetch(context.Background(), "http://slow.example/")
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("timeout not enforced: %v", time.Since(start))
+	}
+	if !f.Hosts.Slow("slow.example") {
+		t.Error("timeout did not mark host slow")
+	}
+}
+
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func TestFetch404(t *testing.T) {
+	f := newFetcher(&mapTransport{pages: map[string]page{}}, "a.example")
+	_, err := f.Fetch(context.Background(), "http://a.example/missing")
+	if !errors.Is(err, ErrHTTPStatus) {
+		t.Fatalf("err = %v", err)
+	}
+	// 404 is not a host failure
+	if f.Hosts.Slow("a.example") {
+		t.Error("404 marked host slow")
+	}
+}

@@ -1,0 +1,83 @@
+package fetch
+
+import "sync"
+
+// HostTracker implements the paper's crawl-failure policy (§4.2): when a DNS
+// resolution or page download times out or errors, the host is tagged
+// "slow"; for slow hosts the number of retrials is restricted (3 in the
+// paper), and after the final failed attempt the host is tagged "bad" and
+// excluded for the rest of the crawl.
+type HostTracker struct {
+	mu         sync.Mutex
+	failures   map[string]int
+	bad        map[string]struct{}
+	maxRetries int
+}
+
+// NewHostTracker returns a tracker allowing maxRetries failures before a
+// host is banned (paper default 3; values <= 0 fall back to 3).
+func NewHostTracker(maxRetries int) *HostTracker {
+	if maxRetries <= 0 {
+		maxRetries = 3
+	}
+	return &HostTracker{
+		failures:   make(map[string]int),
+		bad:        make(map[string]struct{}),
+		maxRetries: maxRetries,
+	}
+}
+
+// Bad reports whether host has been excluded.
+func (h *HostTracker) Bad(host string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.bad[host]
+	return ok
+}
+
+// Slow reports whether host has at least one recorded failure (but is not
+// yet excluded).
+func (h *HostTracker) Slow(host string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.bad[host]; ok {
+		return false
+	}
+	return h.failures[host] > 0
+}
+
+// Failure records a failed attempt; it returns true when the host has just
+// become bad.
+func (h *HostTracker) Failure(host string) (nowBad bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.bad[host]; ok {
+		return false
+	}
+	h.failures[host]++
+	if h.failures[host] >= h.maxRetries {
+		h.bad[host] = struct{}{}
+		return true
+	}
+	return false
+}
+
+// Success clears the failure count for host (a slow host that recovers is
+// trusted again).
+func (h *HostTracker) Success(host string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.failures, host)
+}
+
+// Counts returns how many hosts are currently slow and bad.
+func (h *HostTracker) Counts() (slow, bad int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for host := range h.failures {
+		if _, isBad := h.bad[host]; !isBad && h.failures[host] > 0 {
+			slow++
+		}
+	}
+	return slow, len(h.bad)
+}

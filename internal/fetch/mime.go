@@ -1,0 +1,48 @@
+package fetch
+
+import "strings"
+
+// TypeLimits maps accepted MIME types to their maximum allowed body size in
+// bytes. The paper (§4.2) checks all incoming documents against a list of
+// MIME types with per-type size limits derived from large-scale Google
+// evaluations, and rejects types the crawler cannot handle (video, sound).
+type TypeLimits map[string]int64
+
+// DefaultTypeLimits mirrors the paper's accepted formats: HTML and plain
+// text, PDF, MS Word/PowerPoint, and zip/gz archives.
+func DefaultTypeLimits() TypeLimits {
+	return TypeLimits{
+		"text/html":                     512 << 10,
+		"application/xhtml+xml":         512 << 10,
+		"text/plain":                    512 << 10,
+		"application/pdf":               4 << 20,
+		"application/x-spdf":            4 << 20,
+		"application/msword":            4 << 20,
+		"application/vnd.ms-powerpoint": 8 << 20,
+		"application/zip":               8 << 20,
+		"application/gzip":              8 << 20,
+		"application/x-gzip":            8 << 20,
+	}
+}
+
+// canonicalType lower-cases a Content-Type header value and strips
+// parameters such as "; charset=utf-8".
+func canonicalType(ct string) string {
+	ct = strings.ToLower(strings.TrimSpace(ct))
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = strings.TrimSpace(ct[:i])
+	}
+	return ct
+}
+
+// Allowed returns the size limit for a Content-Type header value, or ok=false
+// when the type is rejected. An empty content type is treated as HTML, the
+// common behaviour for misconfigured 2002-era servers.
+func (tl TypeLimits) Allowed(contentType string) (limit int64, ok bool) {
+	ct := canonicalType(contentType)
+	if ct == "" {
+		ct = "text/html"
+	}
+	limit, ok = tl[ct]
+	return limit, ok
+}

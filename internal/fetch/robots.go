@@ -1,0 +1,199 @@
+package fetch
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// robots.txt support (robots exclusion protocol). The paper's crawler
+// predates strict robots enforcement being table stakes, but no focused
+// crawler can be released without it; the BINGO! engine enables it by
+// default and the synthetic-web experiments exercise both branches.
+
+// robotsRules is the parsed policy for one host.
+type robotsRules struct {
+	// groups that matched our user agent (or *), in file order.
+	allows    []string
+	disallows []string
+	// fetched reports whether a robots.txt was actually retrieved; absent
+	// or failing robots.txt means everything is allowed.
+	fetched bool
+}
+
+// Allowed applies longest-match-wins semantics over Allow/Disallow prefixes.
+func (r *robotsRules) Allowed(path string) bool {
+	if r == nil || !r.fetched {
+		return true
+	}
+	if path == "" {
+		path = "/"
+	}
+	bestLen := -1
+	allowed := true
+	for _, p := range r.allows {
+		if p != "" && strings.HasPrefix(path, p) && len(p) > bestLen {
+			bestLen = len(p)
+			allowed = true
+		}
+	}
+	for _, p := range r.disallows {
+		if p != "" && strings.HasPrefix(path, p) && len(p) >= bestLen {
+			// ties favour Disallow only when strictly longer; equal length
+			// favours Allow per the de-facto standard — use > for that.
+			if len(p) > bestLen {
+				bestLen = len(p)
+				allowed = false
+			}
+		}
+	}
+	return allowed
+}
+
+// parseRobots extracts the rule group applying to agent (falling back to
+// the * group), tolerating the messy syntax found in the wild.
+func parseRobots(body, agent string) *robotsRules {
+	agent = strings.ToLower(agent)
+	rules := &robotsRules{fetched: true}
+	type group struct {
+		agents    []string
+		allows    []string
+		disallows []string
+	}
+	var groups []group
+	var cur *group
+	inAgents := false
+	for _, line := range strings.Split(body, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			continue
+		}
+		field := strings.ToLower(strings.TrimSpace(line[:colon]))
+		value := strings.TrimSpace(line[colon+1:])
+		switch field {
+		case "user-agent":
+			if cur == nil || !inAgents {
+				groups = append(groups, group{})
+				cur = &groups[len(groups)-1]
+				inAgents = true
+			}
+			cur.agents = append(cur.agents, strings.ToLower(value))
+		case "allow":
+			if cur != nil {
+				cur.allows = append(cur.allows, value)
+				inAgents = false
+			}
+		case "disallow":
+			if cur != nil {
+				cur.disallows = append(cur.disallows, value)
+				inAgents = false
+			}
+		default:
+			inAgents = false
+		}
+	}
+	// pick the most specific matching group; fall back to *
+	var starGroup, agentGroup *group
+	for i := range groups {
+		for _, a := range groups[i].agents {
+			if a == "*" && starGroup == nil {
+				starGroup = &groups[i]
+			}
+			if a != "*" && strings.Contains(agent, a) && agentGroup == nil {
+				agentGroup = &groups[i]
+			}
+		}
+	}
+	g := agentGroup
+	if g == nil {
+		g = starGroup
+	}
+	if g != nil {
+		rules.allows = g.allows
+		rules.disallows = g.disallows
+	}
+	return rules
+}
+
+// robotsCache lazily fetches and caches per-host robots policies.
+type robotsCache struct {
+	mu    sync.Mutex
+	rules map[string]*robotsRules
+	// inflight deduplicates concurrent fetches per host.
+	inflight map[string]chan struct{}
+}
+
+func newRobotsCache() *robotsCache {
+	return &robotsCache{
+		rules:    make(map[string]*robotsRules),
+		inflight: make(map[string]chan struct{}),
+	}
+}
+
+// allowed reports whether u's path may be crawled on its host, fetching
+// robots.txt through the fetcher's transport on first contact with a host.
+func (f *Fetcher) robotsAllowed(ctx context.Context, scheme, host, path string) bool {
+	if f.robots == nil {
+		return true
+	}
+	for {
+		f.robots.mu.Lock()
+		if r, ok := f.robots.rules[host]; ok {
+			f.robots.mu.Unlock()
+			return r.Allowed(path)
+		}
+		if ch, busy := f.robots.inflight[host]; busy {
+			f.robots.mu.Unlock()
+			select {
+			case <-ch:
+				continue
+			case <-ctx.Done():
+				return true
+			}
+		}
+		ch := make(chan struct{})
+		f.robots.inflight[host] = ch
+		f.robots.mu.Unlock()
+
+		rules := f.fetchRobots(ctx, scheme, host)
+		f.robots.mu.Lock()
+		f.robots.rules[host] = rules
+		delete(f.robots.inflight, host)
+		f.robots.mu.Unlock()
+		close(ch)
+		return rules.Allowed(path)
+	}
+}
+
+// fetchRobots retrieves and parses robots.txt; any failure yields
+// allow-everything (the conventional interpretation for 4xx/errors).
+func (f *Fetcher) fetchRobots(ctx context.Context, scheme, host string) *robotsRules {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, scheme+"://"+host+"/robots.txt", nil)
+	if err != nil {
+		return &robotsRules{}
+	}
+	req.Header.Set("User-Agent", f.cfg.UserAgent)
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return &robotsRules{}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return &robotsRules{}
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 512<<10))
+	if err != nil {
+		return &robotsRules{}
+	}
+	return parseRobots(string(body), f.cfg.UserAgent)
+}

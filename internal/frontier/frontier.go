@@ -1,0 +1,277 @@
+// Package frontier implements BINGO!'s crawl-queue manager (§4.2): the
+// queue manager maintains several queues — one large incoming and one small
+// outgoing queue per topic — implemented on red-black trees and ordered by
+// SVM confidence. Links discovered by tunnelling have their priority decayed
+// exponentially per tunnelling step (§3.3). Expensive DNS resolution is
+// started asynchronously only for the small set of promising links promoted
+// from an incoming to an outgoing queue.
+package frontier
+
+import (
+	"math"
+	"sync"
+
+	"github.com/bingo-search/bingo/internal/rbtree"
+)
+
+// Item is one frontier entry.
+type Item struct {
+	URL   string
+	Topic string
+	// Priority is the SVM confidence of the page the link was found on.
+	Priority float64
+	// Depth is the link distance from the seed set.
+	Depth int
+	// TunnelDepth counts consecutive hops through rejected documents.
+	TunnelDepth int
+	// Referrer is the URL of the page the link was extracted from.
+	Referrer string
+	// Anchor is the link's anchor text (kept for anchor-text features).
+	Anchor string
+}
+
+// Config sizes the queues.
+type Config struct {
+	// IncomingLimit caps each topic's incoming queue (paper: 25,000).
+	IncomingLimit int
+	// OutgoingLimit caps each topic's outgoing queue (paper: 1,000).
+	OutgoingLimit int
+	// TunnelDecay is the per-step priority decay factor (paper: 0.5).
+	TunnelDecay float64
+	// Prefetch, when non-nil, is invoked with the hostname of every link
+	// promoted to an outgoing queue (asynchronous DNS warm-up).
+	Prefetch func(url string)
+}
+
+// DefaultConfig mirrors the paper's tuning.
+func DefaultConfig() Config {
+	return Config{IncomingLimit: 25000, OutgoingLimit: 1000, TunnelDecay: 0.5}
+}
+
+type key struct {
+	prio float64
+	seq  uint64
+}
+
+func keyLess(a, b key) bool {
+	if a.prio != b.prio {
+		return a.prio > b.prio // higher priority first
+	}
+	return a.seq < b.seq // FIFO among equals
+}
+
+type topicQueues struct {
+	incoming *rbtree.Tree[key, Item]
+	outgoing *rbtree.Tree[key, Item]
+}
+
+// Frontier is safe for concurrent use.
+type Frontier struct {
+	mu     sync.Mutex
+	cfg    Config
+	topics map[string]*topicQueues
+	order  []string // deterministic topic iteration order
+	seq    uint64
+	seen   map[string]struct{}
+	// stats
+	pushed, popped, droppedFull, droppedSeen int64
+}
+
+// New returns an empty frontier.
+func New(cfg Config) *Frontier {
+	if cfg.IncomingLimit <= 0 {
+		cfg.IncomingLimit = 25000
+	}
+	if cfg.OutgoingLimit <= 0 {
+		cfg.OutgoingLimit = 1000
+	}
+	if cfg.TunnelDecay <= 0 || cfg.TunnelDecay > 1 {
+		cfg.TunnelDecay = 0.5
+	}
+	return &Frontier{
+		cfg:    cfg,
+		topics: make(map[string]*topicQueues),
+		seen:   make(map[string]struct{}),
+	}
+}
+
+// EffectivePriority applies the exponential tunnelling decay.
+func (f *Frontier) EffectivePriority(it Item) float64 {
+	if it.TunnelDepth <= 0 {
+		return it.Priority
+	}
+	return it.Priority * math.Pow(f.cfg.TunnelDecay, float64(it.TunnelDepth))
+}
+
+// Push offers a link to its topic's incoming queue. URLs already enqueued
+// once in this crawl are dropped, as are links below the lowest entry of a
+// full incoming queue (whose tail is evicted otherwise).
+func (f *Frontier) Push(it Item) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.seen[it.URL]; dup {
+		f.droppedSeen++
+		return false
+	}
+	tq := f.topic(it.Topic)
+	prio := f.EffectivePriority(it)
+	if tq.incoming.Len() >= f.cfg.IncomingLimit {
+		// Evict the worst entry if the newcomer beats it; otherwise drop.
+		worstKey, worstItem, ok := tq.incoming.Max()
+		if !ok || worstKey.prio >= prio {
+			f.droppedFull++
+			return false
+		}
+		tq.incoming.Delete(worstKey)
+		delete(f.seen, worstItem.URL)
+	}
+	f.seq++
+	tq.incoming.Insert(key{prio: prio, seq: f.seq}, it)
+	f.seen[it.URL] = struct{}{}
+	f.pushed++
+	return true
+}
+
+// Pop returns the best available link across all topics, refilling outgoing
+// queues from incoming queues as needed. It returns ok=false when the
+// frontier is empty.
+func (f *Frontier) Pop() (Item, bool) {
+	f.mu.Lock()
+	var bestTopic string
+	var bestKey key
+	found := false
+	for _, name := range f.order {
+		tq := f.topics[name]
+		f.refillLocked(tq)
+		k, _, ok := tq.outgoing.Min()
+		if !ok {
+			continue
+		}
+		if !found || keyLess(k, bestKey) {
+			bestTopic, bestKey, found = name, k, true
+		}
+	}
+	if !found {
+		f.mu.Unlock()
+		return Item{}, false
+	}
+	tq := f.topics[bestTopic]
+	k, it, _ := tq.outgoing.Min()
+	tq.outgoing.Delete(k)
+	f.popped++
+	f.mu.Unlock()
+	return it, true
+}
+
+// PopTopic returns the best link for one topic only.
+func (f *Frontier) PopTopic(topic string) (Item, bool) {
+	f.mu.Lock()
+	tq, ok := f.topics[topic]
+	if !ok {
+		f.mu.Unlock()
+		return Item{}, false
+	}
+	f.refillLocked(tq)
+	k, it, ok := tq.outgoing.Min()
+	if !ok {
+		f.mu.Unlock()
+		return Item{}, false
+	}
+	tq.outgoing.Delete(k)
+	f.popped++
+	f.mu.Unlock()
+	return it, true
+}
+
+// refillLocked promotes the best incoming links into the outgoing queue
+// until it is full, firing the Prefetch hook for each promotion.
+func (f *Frontier) refillLocked(tq *topicQueues) {
+	for tq.outgoing.Len() < f.cfg.OutgoingLimit {
+		k, it, ok := tq.incoming.Min()
+		if !ok {
+			return
+		}
+		tq.incoming.Delete(k)
+		tq.outgoing.Insert(k, it)
+		if f.cfg.Prefetch != nil {
+			f.cfg.Prefetch(it.URL)
+		}
+	}
+}
+
+func (f *Frontier) topic(name string) *topicQueues {
+	tq, ok := f.topics[name]
+	if !ok {
+		tq = &topicQueues{
+			incoming: rbtree.New[key, Item](keyLess),
+			outgoing: rbtree.New[key, Item](keyLess),
+		}
+		f.topics[name] = tq
+		f.order = append(f.order, name)
+	}
+	return tq
+}
+
+// Len returns the total number of queued links.
+func (f *Frontier) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, tq := range f.topics {
+		n += tq.incoming.Len() + tq.outgoing.Len()
+	}
+	return n
+}
+
+// TopicLen returns (incoming, outgoing) sizes for one topic.
+func (f *Frontier) TopicLen(topic string) (in, out int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tq, ok := f.topics[topic]
+	if !ok {
+		return 0, 0
+	}
+	return tq.incoming.Len(), tq.outgoing.Len()
+}
+
+// Stats summarizes frontier activity.
+type Stats struct {
+	Pushed      int64
+	Popped      int64
+	DroppedFull int64
+	DroppedSeen int64
+	Queued      int
+}
+
+// Stats returns a snapshot.
+func (f *Frontier) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, tq := range f.topics {
+		n += tq.incoming.Len() + tq.outgoing.Len()
+	}
+	return Stats{
+		Pushed: f.pushed, Popped: f.popped,
+		DroppedFull: f.droppedFull, DroppedSeen: f.droppedSeen,
+		Queued: n,
+	}
+}
+
+// Reset clears all queues but keeps the seen set, which is what the engine
+// does when switching from the learning phase to the harvesting phase (the
+// crawl is "resumed with the best hubs", not with stale frontier state).
+func (f *Frontier) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.topics = make(map[string]*topicQueues)
+	f.order = nil
+}
+
+// Forget removes a URL from the seen set so it can be re-enqueued (used by
+// the harvesting phase to re-seed with the best hubs).
+func (f *Frontier) Forget(url string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.seen, url)
+}

@@ -1,0 +1,279 @@
+package frontier
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopPriorityOrder(t *testing.T) {
+	f := New(DefaultConfig())
+	f.Push(Item{URL: "u-low", Topic: "db", Priority: 0.1})
+	f.Push(Item{URL: "u-high", Topic: "db", Priority: 0.9})
+	f.Push(Item{URL: "u-mid", Topic: "db", Priority: 0.5})
+	var got []string
+	for {
+		it, ok := f.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, it.URL)
+	}
+	want := []string{"u-high", "u-mid", "u-low"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestFIFOAmongEqualPriorities(t *testing.T) {
+	f := New(DefaultConfig())
+	for i := 0; i < 5; i++ {
+		f.Push(Item{URL: fmt.Sprintf("u%d", i), Topic: "t", Priority: 0.5})
+	}
+	for i := 0; i < 5; i++ {
+		it, ok := f.Pop()
+		if !ok || it.URL != fmt.Sprintf("u%d", i) {
+			t.Fatalf("pop %d = %+v", i, it)
+		}
+	}
+}
+
+func TestDuplicateURLsDropped(t *testing.T) {
+	f := New(DefaultConfig())
+	if !f.Push(Item{URL: "u", Topic: "t", Priority: 1}) {
+		t.Fatal("first push rejected")
+	}
+	if f.Push(Item{URL: "u", Topic: "t", Priority: 2}) {
+		t.Fatal("duplicate accepted")
+	}
+	if st := f.Stats(); st.DroppedSeen != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// popping does not forget: still rejected afterwards
+	f.Pop()
+	if f.Push(Item{URL: "u", Topic: "t", Priority: 3}) {
+		t.Fatal("re-push after pop accepted")
+	}
+	// explicit Forget re-enables
+	f.Forget("u")
+	if !f.Push(Item{URL: "u", Topic: "t", Priority: 3}) {
+		t.Fatal("push after Forget rejected")
+	}
+}
+
+func TestTunnelDecay(t *testing.T) {
+	f := New(DefaultConfig())
+	it0 := Item{URL: "a", Priority: 0.8}
+	it2 := Item{URL: "b", Priority: 0.8, TunnelDepth: 2}
+	if got := f.EffectivePriority(it0); got != 0.8 {
+		t.Errorf("no-tunnel priority = %v", got)
+	}
+	if got := f.EffectivePriority(it2); got != 0.8*0.25 {
+		t.Errorf("tunnel-2 priority = %v", got)
+	}
+	// decayed link ranks below an undecayed lower-confidence link
+	f.Push(Item{URL: "tunnelled", Topic: "t", Priority: 0.8, TunnelDepth: 2})
+	f.Push(Item{URL: "direct", Topic: "t", Priority: 0.4})
+	it, _ := f.Pop()
+	if it.URL != "direct" {
+		t.Errorf("first pop = %s", it.URL)
+	}
+}
+
+func TestIncomingLimitEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IncomingLimit = 3
+	cfg.OutgoingLimit = 1
+	f := New(cfg)
+	// fill outgoing (1) + incoming (3): first push can sit in incoming
+	for i := 0; i < 4; i++ {
+		f.Push(Item{URL: fmt.Sprintf("u%d", i), Topic: "t", Priority: float64(i)})
+	}
+	// Force a refill so the split is outgoing=1, incoming=3.
+	f.Pop() // pops u3 (priority 3)
+	// incoming now holds u0..u2; push a low-priority item onto a full queue
+	for i := 0; i < 3; i++ {
+		f.Push(Item{URL: fmt.Sprintf("x%d", i), Topic: "t", Priority: 10})
+	}
+	in, _ := f.TopicLen("t")
+	if in > 3 {
+		t.Fatalf("incoming exceeded limit: %d", in)
+	}
+	// an item below the worst queued priority is dropped outright
+	if f.Push(Item{URL: "lowest", Topic: "t", Priority: -1}) {
+		t.Fatal("low-priority push accepted on full queue")
+	}
+	if st := f.Stats(); st.DroppedFull == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPopAcrossTopicsPrefersBestPriority(t *testing.T) {
+	f := New(DefaultConfig())
+	f.Push(Item{URL: "db1", Topic: "db", Priority: 0.3})
+	f.Push(Item{URL: "ir1", Topic: "ir", Priority: 0.9})
+	it, _ := f.Pop()
+	if it.URL != "ir1" {
+		t.Errorf("first pop = %+v", it)
+	}
+}
+
+func TestPopTopic(t *testing.T) {
+	f := New(DefaultConfig())
+	f.Push(Item{URL: "db1", Topic: "db", Priority: 0.3})
+	f.Push(Item{URL: "ir1", Topic: "ir", Priority: 0.9})
+	it, ok := f.PopTopic("db")
+	if !ok || it.URL != "db1" {
+		t.Fatalf("PopTopic = %+v, %v", it, ok)
+	}
+	if _, ok := f.PopTopic("nonexistent"); ok {
+		t.Fatal("PopTopic on unknown topic succeeded")
+	}
+}
+
+func TestPrefetchHookFiresOnPromotion(t *testing.T) {
+	var mu sync.Mutex
+	var prefetched []string
+	cfg := DefaultConfig()
+	cfg.Prefetch = func(url string) {
+		mu.Lock()
+		prefetched = append(prefetched, url)
+		mu.Unlock()
+	}
+	cfg.OutgoingLimit = 2
+	f := New(cfg)
+	for i := 0; i < 5; i++ {
+		f.Push(Item{URL: fmt.Sprintf("u%d", i), Topic: "t", Priority: float64(i)})
+	}
+	f.Pop() // triggers refill of up to 2
+	mu.Lock()
+	defer mu.Unlock()
+	if len(prefetched) == 0 {
+		t.Fatal("prefetch hook never fired")
+	}
+}
+
+func TestResetKeepsSeen(t *testing.T) {
+	f := New(DefaultConfig())
+	f.Push(Item{URL: "u", Topic: "t", Priority: 1})
+	f.Reset()
+	if f.Len() != 0 {
+		t.Fatalf("Len after reset = %d", f.Len())
+	}
+	if f.Push(Item{URL: "u", Topic: "t", Priority: 1}) {
+		t.Fatal("seen set lost on reset")
+	}
+}
+
+func TestConcurrentPushPop(t *testing.T) {
+	f := New(DefaultConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Push(Item{URL: fmt.Sprintf("g%d-u%d", g, i), Topic: "t", Priority: rand.Float64()})
+				if i%3 == 0 {
+					f.Pop()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := f.Stats()
+	if st.Pushed != 1600 {
+		t.Fatalf("Pushed = %d", st.Pushed)
+	}
+	if int64(st.Queued)+st.Popped != st.Pushed {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+}
+
+// Property: popping drains items in non-increasing effective priority per
+// topic (FIFO breaks ties, so only the priority sequence is checked).
+func TestPopMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	fcheck := func() bool {
+		f := New(DefaultConfig())
+		n := 1 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			f.Push(Item{
+				URL:         fmt.Sprintf("u%d", i),
+				Topic:       "t",
+				Priority:    rng.Float64(),
+				TunnelDepth: rng.Intn(3),
+			})
+		}
+		prev := 2.0
+		for {
+			it, ok := f.Pop()
+			if !ok {
+				break
+			}
+			eff := f.EffectivePriority(it)
+			if eff > prev+1e-12 {
+				return false
+			}
+			prev = eff
+		}
+		return true
+	}
+	if err := quick.Check(fcheck, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	f := New(DefaultConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Push(Item{URL: fmt.Sprintf("u%d", i), Topic: "t", Priority: float64(i % 100)})
+		if i%2 == 1 {
+			f.Pop()
+		}
+	}
+}
+
+func TestEvictedURLCanBeRepushed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IncomingLimit = 2
+	cfg.OutgoingLimit = 1
+	f := New(cfg)
+	// fill outgoing(1) + incoming(2)
+	f.Push(Item{URL: "a", Topic: "t", Priority: 1})
+	f.Pop() // a moves out and is popped; outgoing empty
+	f.Push(Item{URL: "b", Topic: "t", Priority: 1})
+	f.Push(Item{URL: "c", Topic: "t", Priority: 2})
+	f.Push(Item{URL: "d", Topic: "t", Priority: 3})
+	// incoming full with {b,c,d} minus refills; push high-priority evicting the worst
+	if !f.Push(Item{URL: "e", Topic: "t", Priority: 10}) {
+		t.Skip("queue not full in this configuration")
+	}
+	// the evicted URL must be re-pushable (seen entry cleaned up)
+	evicted := "b" // lowest priority
+	if !f.Push(Item{URL: evicted, Topic: "t", Priority: 20}) {
+		t.Errorf("evicted URL %s cannot be re-pushed", evicted)
+	}
+}
+
+func TestStatsSnapshotConsistent(t *testing.T) {
+	f := New(DefaultConfig())
+	for i := 0; i < 25; i++ {
+		f.Push(Item{URL: fmt.Sprintf("u%d", i), Topic: "t", Priority: float64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		f.Pop()
+	}
+	st := f.Stats()
+	if st.Pushed != 25 || st.Popped != 10 || st.Queued != 15 {
+		t.Errorf("stats = %+v", st)
+	}
+	if f.Len() != 15 {
+		t.Errorf("Len = %d", f.Len())
+	}
+}

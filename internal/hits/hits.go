@@ -1,0 +1,304 @@
+// Package hits implements the link-analysis distiller of BINGO! (§2.5): a
+// variation of Kleinberg's HITS algorithm with the Bharat–Henzinger
+// improvements, applied per topic to identify authorities (candidates for
+// archetype promotion) and hubs (the best candidates to crawl next). A
+// PageRank implementation is included for comparison experiments.
+package hits
+
+import (
+	"math"
+	"sort"
+)
+
+// Graph is a directed hyperlink graph over string node ids (URLs).
+type Graph struct {
+	nodes map[string]int
+	ids   []string
+	out   [][]int
+	in    [][]int
+	hosts []string
+	// edgeSet deduplicates edges.
+	edgeSet map[[2]int]struct{}
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{nodes: make(map[string]int), edgeSet: make(map[[2]int]struct{})}
+}
+
+// AddNode inserts a node with its host (used for Bharat–Henzinger edge
+// weighting and intra-host edge suppression). Re-adding is a no-op that may
+// update an empty host.
+func (g *Graph) AddNode(id, host string) int {
+	if ix, ok := g.nodes[id]; ok {
+		if g.hosts[ix] == "" {
+			g.hosts[ix] = host
+		}
+		return ix
+	}
+	ix := len(g.ids)
+	g.nodes[id] = ix
+	g.ids = append(g.ids, id)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.hosts = append(g.hosts, host)
+	return ix
+}
+
+// AddEdge inserts a directed edge from -> to, creating nodes as needed.
+// Self-loops and duplicate edges are ignored.
+func (g *Graph) AddEdge(from, fromHost, to, toHost string) {
+	f := g.AddNode(from, fromHost)
+	t := g.AddNode(to, toHost)
+	if f == t {
+		return
+	}
+	key := [2]int{f, t}
+	if _, dup := g.edgeSet[key]; dup {
+		return
+	}
+	g.edgeSet[key] = struct{}{}
+	g.out[f] = append(g.out[f], t)
+	g.in[t] = append(g.in[t], f)
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.ids) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edgeSet) }
+
+// Contains reports whether the graph has the node.
+func (g *Graph) Contains(id string) bool {
+	_, ok := g.nodes[id]
+	return ok
+}
+
+// Score is one node's rank value.
+type Score struct {
+	ID    string
+	Value float64
+}
+
+// Result carries the converged authority and hub vectors.
+type Result struct {
+	Authorities []Score // descending by value
+	Hubs        []Score // descending by value
+	Iterations  int
+}
+
+// Options controls the HITS computation.
+type Options struct {
+	// MaxIter caps the power iterations (default 50).
+	MaxIter int
+	// Tolerance is the L1 convergence threshold (default 1e-8).
+	Tolerance float64
+	// SkipIntraHost drops edges within one host, the classic guard against
+	// navigational self-links (Bharat–Henzinger).
+	SkipIntraHost bool
+	// HostWeighting applies the Bharat–Henzinger 1/k edge weights: if k
+	// documents on one host all point to the same target, each such edge
+	// contributes authority weight 1/k (and symmetrically 1/k hub weight for
+	// multiple targets on one host pointed to by one document's host).
+	HostWeighting bool
+}
+
+// DefaultOptions enables both Bharat–Henzinger improvements.
+func DefaultOptions() Options {
+	return Options{MaxIter: 50, Tolerance: 1e-8, SkipIntraHost: true, HostWeighting: true}
+}
+
+// Run computes hub and authority scores with the iterative principal
+// eigenvector approximation, normalizing after every step.
+func (g *Graph) Run(opts Options) Result {
+	n := len(g.ids)
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 50
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-8
+	}
+	auth := make([]float64, n)
+	hub := make([]float64, n)
+	for i := range auth {
+		auth[i], hub[i] = 1, 1
+	}
+
+	type wedge struct {
+		from, to int
+		w        float64
+	}
+	edges := make([]wedge, 0, len(g.edgeSet))
+	// authWeight[to] per from-host count, hubWeight[from] per to-host count
+	if opts.HostWeighting {
+		// count in-edges per (target, source-host) and out-edges per
+		// (source, target-host)
+		inHost := make(map[[2]string]int)
+		outHost := make(map[[2]string]int)
+		for e := range g.edgeSet {
+			f, t := e[0], e[1]
+			if opts.SkipIntraHost && g.hosts[f] == g.hosts[t] {
+				continue
+			}
+			inHost[[2]string{g.ids[t], g.hosts[f]}]++
+			outHost[[2]string{g.ids[f], g.hosts[t]}]++
+		}
+		for e := range g.edgeSet {
+			f, t := e[0], e[1]
+			if opts.SkipIntraHost && g.hosts[f] == g.hosts[t] {
+				continue
+			}
+			aw := 1.0 / float64(inHost[[2]string{g.ids[t], g.hosts[f]}])
+			hw := 1.0 / float64(outHost[[2]string{g.ids[f], g.hosts[t]}])
+			// combine: use sqrt so a single weight serves both directions
+			edges = append(edges, wedge{f, t, math.Sqrt(aw * hw)})
+		}
+	} else {
+		for e := range g.edgeSet {
+			f, t := e[0], e[1]
+			if opts.SkipIntraHost && g.hosts[f] == g.hosts[t] {
+				continue
+			}
+			edges = append(edges, wedge{f, t, 1})
+		}
+	}
+
+	newAuth := make([]float64, n)
+	newHub := make([]float64, n)
+	iters := 0
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		iters = iter + 1
+		for i := range newAuth {
+			newAuth[i], newHub[i] = 0, 0
+		}
+		for _, e := range edges {
+			newAuth[e.to] += e.w * hub[e.from]
+		}
+		for _, e := range edges {
+			newHub[e.from] += e.w * newAuth[e.to]
+		}
+		normalize(newAuth)
+		normalize(newHub)
+		delta := 0.0
+		for i := range auth {
+			delta += math.Abs(newAuth[i]-auth[i]) + math.Abs(newHub[i]-hub[i])
+		}
+		auth, newAuth = newAuth, auth
+		hub, newHub = newHub, hub
+		if delta < opts.Tolerance {
+			break
+		}
+	}
+
+	res := Result{Iterations: iters}
+	res.Authorities = g.ranked(auth)
+	res.Hubs = g.ranked(hub)
+	return res
+}
+
+func (g *Graph) ranked(scores []float64) []Score {
+	out := make([]Score, len(scores))
+	for i, s := range scores {
+		out[i] = Score{ID: g.ids[i], Value: s}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Value != out[b].Value {
+			return out[a].Value > out[b].Value
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+func normalize(v []float64) {
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	if sum == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(sum)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// PageRank computes the standard PageRank vector with damping factor d,
+// provided as a comparison ranking for the local search engine.
+func (g *Graph) PageRank(d float64, maxIter int, tol float64) []Score {
+	n := len(g.ids)
+	if n == 0 {
+		return nil
+	}
+	if d <= 0 || d >= 1 {
+		d = 0.85
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		base := (1 - d) / float64(n)
+		var dangling float64
+		for i := range next {
+			next[i] = base
+		}
+		for i, outs := range g.out {
+			if len(outs) == 0 {
+				dangling += pr[i]
+				continue
+			}
+			share := d * pr[i] / float64(len(outs))
+			for _, t := range outs {
+				next[t] += share
+			}
+		}
+		spread := d * dangling / float64(n)
+		delta := 0.0
+		for i := range next {
+			next[i] += spread
+			delta += math.Abs(next[i] - pr[i])
+		}
+		pr, next = next, pr
+		if delta < tol {
+			break
+		}
+	}
+	return g.ranked(pr)
+}
+
+// ExpandBaseSet implements the §2.5 node-set construction: starting from the
+// base set (documents classified into the topic), add all successors and up
+// to maxPred predecessors per base document, both obtained from the provided
+// link-database callbacks.
+func ExpandBaseSet(base []string, successors, predecessors func(id string) []string, maxPred int) map[string]struct{} {
+	set := make(map[string]struct{}, len(base)*2)
+	for _, b := range base {
+		set[b] = struct{}{}
+	}
+	for _, b := range base {
+		if successors != nil {
+			for _, s := range successors(b) {
+				set[s] = struct{}{}
+			}
+		}
+		if predecessors != nil {
+			preds := predecessors(b)
+			if maxPred > 0 && len(preds) > maxPred {
+				preds = preds[:maxPred]
+			}
+			for _, p := range preds {
+				set[p] = struct{}{}
+			}
+		}
+	}
+	return set
+}

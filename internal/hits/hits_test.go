@@ -1,0 +1,279 @@
+package hits
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// star builds a hub page h pointing at n authorities on distinct hosts.
+func star(g *Graph, hub string, n int) {
+	for i := 0; i < n; i++ {
+		g.AddEdge(hub, "hubhost", fmt.Sprintf("auth%d", i), fmt.Sprintf("host%d", i))
+	}
+}
+
+func TestHITSHubAndAuthority(t *testing.T) {
+	g := NewGraph()
+	// Two hubs point to the same three authorities; one stray page points to
+	// only one authority. auth0..2 get in-links from 2 hubs; hub pages link
+	// out to all authorities.
+	for _, hub := range []string{"hubA", "hubB"} {
+		for i := 0; i < 3; i++ {
+			g.AddEdge(hub, "h-"+hub, fmt.Sprintf("auth%d", i), fmt.Sprintf("a-host%d", i))
+		}
+	}
+	g.AddEdge("stray", "s-host", "auth0", "a-host0")
+	res := g.Run(DefaultOptions())
+	if res.Iterations == 0 {
+		t.Fatal("no iterations")
+	}
+	// top authority must be auth0 (3 in-links), top hubs hubA/hubB
+	if res.Authorities[0].ID != "auth0" {
+		t.Errorf("top authority = %v", res.Authorities[0])
+	}
+	topHub := res.Hubs[0].ID
+	if topHub != "hubA" && topHub != "hubB" {
+		t.Errorf("top hub = %v", res.Hubs[0])
+	}
+	// authorities have zero hub score (no out-links)
+	for _, h := range res.Hubs {
+		if h.ID == "auth1" && h.Value != 0 {
+			t.Errorf("authority has hub score %v", h.Value)
+		}
+	}
+}
+
+func TestHITSNormalization(t *testing.T) {
+	g := NewGraph()
+	star(g, "hub", 5)
+	res := g.Run(DefaultOptions())
+	var sumA, sumH float64
+	for _, s := range res.Authorities {
+		sumA += s.Value * s.Value
+	}
+	for _, s := range res.Hubs {
+		sumH += s.Value * s.Value
+	}
+	if math.Abs(sumA-1) > 1e-6 || math.Abs(sumH-1) > 1e-6 {
+		t.Errorf("score vectors not unit-normalized: %v %v", sumA, sumH)
+	}
+}
+
+func TestHITSIntraHostSuppression(t *testing.T) {
+	g := NewGraph()
+	// mutual reinforcement inside one host
+	for i := 0; i < 10; i++ {
+		g.AddEdge(fmt.Sprintf("spam%d", i), "spamhost", "spamtarget", "spamhost")
+	}
+	// a single legitimate cross-host link
+	g.AddEdge("good", "goodhost", "target", "targethost")
+	res := g.Run(DefaultOptions())
+	if res.Authorities[0].ID != "target" {
+		t.Errorf("intra-host links not suppressed: top = %v", res.Authorities[0])
+	}
+	// without suppression the spam target wins
+	opts := DefaultOptions()
+	opts.SkipIntraHost = false
+	opts.HostWeighting = false
+	res = g.Run(opts)
+	if res.Authorities[0].ID != "spamtarget" {
+		t.Errorf("expected spamtarget without suppression, got %v", res.Authorities[0])
+	}
+}
+
+func TestBharatHenzingerWeighting(t *testing.T) {
+	// 5 pages on one host point at target1; 3 pages on 3 hosts point at
+	// target2. With 1/k weighting target2 must win; without it target1 wins.
+	g := NewGraph()
+	for i := 0; i < 5; i++ {
+		g.AddEdge(fmt.Sprintf("mill%d", i), "millhost", "target1", "t1host")
+	}
+	for i := 0; i < 3; i++ {
+		g.AddEdge(fmt.Sprintf("indep%d", i), fmt.Sprintf("host%d", i), "target2", "t2host")
+	}
+	weighted := g.Run(Options{MaxIter: 50, HostWeighting: true})
+	if weighted.Authorities[0].ID != "target2" {
+		t.Errorf("BH weighting: top = %v", weighted.Authorities[0])
+	}
+	raw := g.Run(Options{MaxIter: 50, HostWeighting: false})
+	if raw.Authorities[0].ID != "target1" {
+		t.Errorf("raw HITS: top = %v", raw.Authorities[0])
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("a", "ha", "b", "hb")
+	g.AddEdge("a", "ha", "b", "hb") // duplicate
+	g.AddEdge("a", "ha", "a", "ha") // self loop
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Errorf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if !g.Contains("a") || g.Contains("zzz") {
+		t.Error("Contains wrong")
+	}
+	// host backfill
+	g.AddNode("c", "")
+	g.AddNode("c", "hc")
+	ix := g.nodes["c"]
+	if g.hosts[ix] != "hc" {
+		t.Errorf("host backfill = %q", g.hosts[ix])
+	}
+}
+
+func TestEmptyGraphRun(t *testing.T) {
+	g := NewGraph()
+	res := g.Run(DefaultOptions())
+	if len(res.Authorities) != 0 || len(res.Hubs) != 0 {
+		t.Errorf("empty graph result = %+v", res)
+	}
+	if pr := g.PageRank(0.85, 10, 0); pr != nil {
+		t.Errorf("empty PageRank = %v", pr)
+	}
+}
+
+func TestPageRank(t *testing.T) {
+	g := NewGraph()
+	// b receives links from a, c, d; d receives one from b.
+	g.AddEdge("a", "h1", "b", "h2")
+	g.AddEdge("c", "h3", "b", "h2")
+	g.AddEdge("d", "h4", "b", "h2")
+	g.AddEdge("b", "h2", "d", "h4")
+	pr := g.PageRank(0.85, 100, 1e-12)
+	if pr[0].ID != "b" {
+		t.Errorf("top PageRank = %v", pr[0])
+	}
+	// probabilities sum to 1
+	var sum float64
+	for _, s := range pr {
+		sum += s.Value
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("PageRank sum = %v", sum)
+	}
+}
+
+func TestPageRankDanglingNodes(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("a", "h1", "sink", "h2") // sink has no out-links
+	pr := g.PageRank(0.85, 100, 1e-12)
+	var sum float64
+	for _, s := range pr {
+		sum += s.Value
+		if math.IsNaN(s.Value) {
+			t.Fatalf("NaN rank for %s", s.ID)
+		}
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("sum with dangling = %v", sum)
+	}
+}
+
+func TestExpandBaseSet(t *testing.T) {
+	succ := func(id string) []string {
+		if id == "base1" {
+			return []string{"s1", "s2"}
+		}
+		return nil
+	}
+	pred := func(id string) []string {
+		if id == "base1" {
+			return []string{"p1", "p2", "p3", "p4"}
+		}
+		return nil
+	}
+	set := ExpandBaseSet([]string{"base1", "base2"}, succ, pred, 2)
+	for _, want := range []string{"base1", "base2", "s1", "s2", "p1", "p2"} {
+		if _, ok := set[want]; !ok {
+			t.Errorf("missing %s in %v", want, set)
+		}
+	}
+	if _, ok := set["p3"]; ok {
+		t.Error("predecessor cap not applied")
+	}
+	// nil callbacks
+	set = ExpandBaseSet([]string{"x"}, nil, nil, 0)
+	if len(set) != 1 {
+		t.Errorf("set = %v", set)
+	}
+}
+
+// Property: HITS scores are non-negative and ranked descending; iteration
+// count respects the cap.
+func TestHITSProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func() bool {
+		g := NewGraph()
+		n := 2 + rng.Intn(20)
+		for i := 0; i < n*2; i++ {
+			f := fmt.Sprintf("n%d", rng.Intn(n))
+			to := fmt.Sprintf("n%d", rng.Intn(n))
+			g.AddEdge(f, "h"+f, to, "h"+to)
+		}
+		res := g.Run(Options{MaxIter: 30, HostWeighting: rng.Intn(2) == 0})
+		if res.Iterations > 30 {
+			return false
+		}
+		for i, s := range res.Authorities {
+			if s.Value < 0 || math.IsNaN(s.Value) {
+				return false
+			}
+			if i > 0 && s.Value > res.Authorities[i-1].Value {
+				return false
+			}
+		}
+		for i, s := range res.Hubs {
+			if s.Value < 0 || math.IsNaN(s.Value) {
+				return false
+			}
+			if i > 0 && s.Value > res.Hubs[i-1].Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHITS(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	g := NewGraph()
+	for i := 0; i < 5000; i++ {
+		f := fmt.Sprintf("n%d", rng.Intn(1000))
+		to := fmt.Sprintf("n%d", rng.Intn(1000))
+		g.AddEdge(f, fmt.Sprintf("h%d", rng.Intn(50)), to, fmt.Sprintf("h%d", rng.Intn(50)))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Run(DefaultOptions())
+	}
+}
+
+func TestPageRankParamClamps(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("a", "h1", "b", "h2")
+	// invalid damping and tolerance fall back to defaults without panics
+	pr := g.PageRank(2.5, -1, -1)
+	var sum float64
+	for _, s := range pr {
+		sum += s.Value
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("sum = %v", sum)
+	}
+}
+
+func TestExpandBaseSetUnlimitedPredecessors(t *testing.T) {
+	pred := func(id string) []string { return []string{"p1", "p2", "p3"} }
+	set := ExpandBaseSet([]string{"b"}, nil, pred, 0) // 0 = no cap
+	for _, want := range []string{"p1", "p2", "p3"} {
+		if _, ok := set[want]; !ok {
+			t.Errorf("missing %s", want)
+		}
+	}
+}

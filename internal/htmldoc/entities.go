@@ -1,0 +1,73 @@
+package htmldoc
+
+import (
+	"strconv"
+	"strings"
+)
+
+// namedEntities covers the entities that matter for text extraction; unknown
+// entities are passed through verbatim, which is the forgiving behaviour a
+// crawler needs.
+var namedEntities = map[string]rune{
+	"amp": '&', "lt": '<', "gt": '>', "quot": '"', "apos": '\'',
+	"nbsp": ' ', "copy": '©', "reg": '®', "trade": '™', "deg": '°',
+	"middot": '·', "laquo": '«', "raquo": '»', "ndash": '–', "mdash": '—',
+	"lsquo": '‘', "rsquo": '’', "ldquo": '“', "rdquo": '”',
+	"hellip": '…', "bull": '•', "sect": '§', "para": '¶', "szlig": 'ß',
+	"auml": 'ä', "ouml": 'ö', "uuml": 'ü', "Auml": 'Ä', "Ouml": 'Ö',
+	"Uuml": 'Ü', "eacute": 'é', "egrave": 'è', "agrave": 'à', "ccedil": 'ç',
+}
+
+// decodeEntities replaces HTML character references in s with their runes.
+func decodeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:amp])
+	i := amp
+	for i < len(s) {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		// find terminating ';' within a reasonable window
+		end := -1
+		for j := i + 1; j < len(s) && j < i+12; j++ {
+			if s[j] == ';' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		ent := s[i+1 : end]
+		if strings.HasPrefix(ent, "#") {
+			numStr := ent[1:]
+			base := 10
+			if strings.HasPrefix(numStr, "x") || strings.HasPrefix(numStr, "X") {
+				numStr = numStr[1:]
+				base = 16
+			}
+			if n, err := strconv.ParseInt(numStr, base, 32); err == nil && n > 0 && n <= 0x10FFFF {
+				b.WriteRune(rune(n))
+				i = end + 1
+				continue
+			}
+		} else if r, ok := namedEntities[ent]; ok {
+			b.WriteRune(r)
+			i = end + 1
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return b.String()
+}

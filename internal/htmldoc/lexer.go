@@ -1,0 +1,168 @@
+package htmldoc
+
+import "strings"
+
+// lexer is a forgiving HTML tokenizer. It never fails: malformed markup is
+// degraded to text, which is what real crawlers must do with real Web pages.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// next returns the next token, or ok=false at end of input.
+func (l *lexer) next() (token, bool) {
+	if l.pos >= len(l.src) {
+		return token{}, false
+	}
+	if l.src[l.pos] != '<' {
+		start := l.pos
+		idx := strings.IndexByte(l.src[l.pos:], '<')
+		if idx < 0 {
+			l.pos = len(l.src)
+		} else {
+			l.pos += idx
+		}
+		return token{kind: tokText, data: l.src[start:l.pos]}, true
+	}
+	// l.src[l.pos] == '<'
+	if strings.HasPrefix(l.src[l.pos:], "<!--") {
+		end := strings.Index(l.src[l.pos+4:], "-->")
+		if end < 0 {
+			l.pos = len(l.src)
+			return token{kind: tokComment}, true
+		}
+		data := l.src[l.pos+4 : l.pos+4+end]
+		l.pos += 4 + end + 3
+		return token{kind: tokComment, data: data}, true
+	}
+	if strings.HasPrefix(l.src[l.pos:], "<!") || strings.HasPrefix(l.src[l.pos:], "<?") {
+		end := strings.IndexByte(l.src[l.pos:], '>')
+		if end < 0 {
+			l.pos = len(l.src)
+			return token{kind: tokDoctype}, true
+		}
+		data := l.src[l.pos+2 : l.pos+end]
+		l.pos += end + 1
+		return token{kind: tokDoctype, data: data}, true
+	}
+	// A '<' not followed by a letter or '/' is literal text.
+	if l.pos+1 >= len(l.src) || (!isAlpha(l.src[l.pos+1]) && l.src[l.pos+1] != '/') {
+		l.pos++
+		return token{kind: tokText, data: "<"}, true
+	}
+	end := strings.IndexByte(l.src[l.pos:], '>')
+	if end < 0 {
+		// Unterminated tag: treat the rest as text.
+		start := l.pos
+		l.pos = len(l.src)
+		return token{kind: tokText, data: l.src[start:]}, true
+	}
+	raw := l.src[l.pos+1 : l.pos+end]
+	l.pos += end + 1
+	if strings.HasPrefix(raw, "/") {
+		name := strings.ToLower(strings.TrimSpace(raw[1:]))
+		if i := strings.IndexAny(name, " \t\n\r"); i >= 0 {
+			name = name[:i]
+		}
+		return token{kind: tokEndTag, data: name}, true
+	}
+	selfClose := strings.HasSuffix(raw, "/")
+	if selfClose {
+		raw = raw[:len(raw)-1]
+	}
+	name, attrs := parseTag(raw)
+	kind := tokStartTag
+	if selfClose {
+		kind = tokSelfClose
+	}
+	return token{kind: kind, data: name, attrs: attrs}, true
+}
+
+// skipRawText advances past the raw-text content of elements like <script>
+// whose body is not HTML, stopping after the matching end tag.
+func (l *lexer) skipRawText(tag string) {
+	closing := "</" + tag
+	rest := l.src[l.pos:]
+	lower := strings.ToLower(rest)
+	idx := strings.Index(lower, closing)
+	if idx < 0 {
+		l.pos = len(l.src)
+		return
+	}
+	l.pos += idx
+	if end := strings.IndexByte(l.src[l.pos:], '>'); end >= 0 {
+		l.pos += end + 1
+	} else {
+		l.pos = len(l.src)
+	}
+}
+
+// parseTag splits "a href=x target='y'" into name and attribute map.
+func parseTag(raw string) (string, map[string]string) {
+	i := 0
+	for i < len(raw) && !isSpace(raw[i]) {
+		i++
+	}
+	name := strings.ToLower(raw[:i])
+	var attrs map[string]string
+	for i < len(raw) {
+		for i < len(raw) && isSpace(raw[i]) {
+			i++
+		}
+		if i >= len(raw) {
+			break
+		}
+		keyStart := i
+		for i < len(raw) && raw[i] != '=' && !isSpace(raw[i]) {
+			i++
+		}
+		key := strings.ToLower(raw[keyStart:i])
+		for i < len(raw) && isSpace(raw[i]) {
+			i++
+		}
+		val := ""
+		if i < len(raw) && raw[i] == '=' {
+			i++
+			for i < len(raw) && isSpace(raw[i]) {
+				i++
+			}
+			if i < len(raw) && (raw[i] == '"' || raw[i] == '\'') {
+				q := raw[i]
+				i++
+				valStart := i
+				for i < len(raw) && raw[i] != q {
+					i++
+				}
+				val = raw[valStart:i]
+				if i < len(raw) {
+					i++
+				}
+			} else {
+				valStart := i
+				for i < len(raw) && !isSpace(raw[i]) {
+					i++
+				}
+				val = raw[valStart:i]
+			}
+		}
+		if key != "" {
+			if attrs == nil {
+				attrs = make(map[string]string, 4)
+			}
+			if _, dup := attrs[key]; !dup {
+				attrs[key] = val
+			}
+		}
+	}
+	return name, attrs
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+func isAlpha(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}

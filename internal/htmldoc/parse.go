@@ -1,0 +1,225 @@
+// Package htmldoc implements the BINGO! document analyzer front-end (§2.2):
+// a from-scratch HTML tokenizer and parser that extracts visible text,
+// hyperlinks with anchor texts, titles, meta information and frame sources,
+// plus content handlers that convert non-HTML formats (plain text and the
+// synthetic PDF-like format used by the test corpus) into the same document
+// representation.
+package htmldoc
+
+import (
+	"strings"
+)
+
+// Link is an extracted hyperlink.
+type Link struct {
+	// URL is the resolved absolute URL if a base is known, else the raw href.
+	URL string
+	// Anchor is the visible anchor text inside the <a> element.
+	Anchor string
+}
+
+// Document is the analyzer's output: everything downstream stages need.
+type Document struct {
+	Title    string
+	Text     string // visible text, whitespace-normalized
+	Links    []Link
+	Frames   []string // frame/iframe src URLs (the paper treats frames as separate documents)
+	Meta     map[string]string
+	BaseHref string
+}
+
+// tokKind enumerates HTML token kinds.
+type tokKind int
+
+const (
+	tokText tokKind = iota
+	tokStartTag
+	tokEndTag
+	tokSelfClose
+	tokComment
+	tokDoctype
+)
+
+// token is one lexical HTML token.
+type token struct {
+	kind  tokKind
+	data  string            // tag name (lower-case) or text content
+	attrs map[string]string // attribute map for start tags
+}
+
+// Resolver turns an href into an absolute URL. base is the document's
+// <base href> value ("" when the document declares none); resolution itself
+// is delegated to the caller so this package stays independent of URL
+// handling policy.
+type Resolver func(base, href string) (string, bool)
+
+// Parse tokenizes and assembles src into a Document. The resolve callback,
+// when non-nil, is invoked for every link/frame target with the document's
+// <base href> (per the HTML spec, <base> appears in <head> and therefore
+// before any links it governs); pass nil to keep hrefs raw.
+func Parse(src string, resolve Resolver) *Document {
+	doc := &Document{Meta: make(map[string]string)}
+	var text strings.Builder
+	var anchor strings.Builder
+	var title strings.Builder
+
+	// skip state for <script>, <style> and friends
+	inTitle := false
+	var curLink *Link
+
+	emitSpace := func(b *strings.Builder) {
+		if b.Len() > 0 {
+			s := b.String()
+			if len(s) > 0 && s[len(s)-1] != ' ' {
+				b.WriteByte(' ')
+			}
+		}
+	}
+
+	lex := newLexer(src)
+	for {
+		tk, ok := lex.next()
+		if !ok {
+			break
+		}
+		switch tk.kind {
+		case tokText:
+			t := decodeEntities(tk.data)
+			t = collapseSpace(t)
+			if t == "" {
+				continue
+			}
+			if inTitle {
+				if title.Len() > 0 {
+					title.WriteByte(' ')
+				}
+				title.WriteString(t)
+				continue
+			}
+			if s := text.String(); len(s) > 0 && s[len(s)-1] != ' ' {
+				text.WriteByte(' ')
+			}
+			text.WriteString(t)
+			if curLink != nil {
+				if anchor.Len() > 0 {
+					anchor.WriteByte(' ')
+				}
+				anchor.WriteString(t)
+			}
+		case tokStartTag, tokSelfClose:
+			switch tk.data {
+			case "title":
+				if tk.kind == tokStartTag {
+					inTitle = true
+				}
+			case "base":
+				if href, ok := tk.attrs["href"]; ok && doc.BaseHref == "" {
+					doc.BaseHref = href
+				}
+			case "a":
+				// Close any dangling link first (unbalanced HTML is common).
+				if curLink != nil {
+					finishLink(doc, curLink, &anchor, resolve)
+					curLink = nil
+				}
+				if href, ok := tk.attrs["href"]; ok {
+					href = strings.TrimSpace(href)
+					if usableHref(href) {
+						curLink = &Link{URL: href}
+						anchor.Reset()
+					}
+				}
+			case "meta":
+				name := strings.ToLower(tk.attrs["name"])
+				if name != "" {
+					doc.Meta[name] = decodeEntities(tk.attrs["content"])
+				}
+			case "frame", "iframe":
+				if src, ok := tk.attrs["src"]; ok {
+					src = strings.TrimSpace(src)
+					if usableHref(src) {
+						if resolve != nil {
+							if abs, ok := resolve(doc.BaseHref, src); ok {
+								doc.Frames = append(doc.Frames, abs)
+							}
+						} else {
+							doc.Frames = append(doc.Frames, src)
+						}
+					}
+				}
+			case "br", "p", "div", "td", "tr", "li", "h1", "h2", "h3", "h4", "h5", "h6":
+				emitSpace(&text)
+			case "script", "style", "noscript":
+				if tk.kind == tokStartTag {
+					lex.skipRawText(tk.data)
+				}
+			}
+		case tokEndTag:
+			switch tk.data {
+			case "title":
+				inTitle = false
+			case "a":
+				if curLink != nil {
+					finishLink(doc, curLink, &anchor, resolve)
+					curLink = nil
+				}
+			case "p", "div", "td", "tr", "li", "h1", "h2", "h3", "h4", "h5", "h6":
+				emitSpace(&text)
+			}
+		}
+	}
+	if curLink != nil {
+		finishLink(doc, curLink, &anchor, resolve)
+	}
+	doc.Title = strings.TrimSpace(title.String())
+	doc.Text = strings.TrimSpace(text.String())
+	return doc
+}
+
+func finishLink(doc *Document, l *Link, anchor *strings.Builder, resolve Resolver) {
+	l.Anchor = strings.TrimSpace(anchor.String())
+	anchor.Reset()
+	if resolve != nil {
+		abs, ok := resolve(doc.BaseHref, l.URL)
+		if !ok {
+			return
+		}
+		l.URL = abs
+	}
+	doc.Links = append(doc.Links, *l)
+}
+
+// usableHref filters out fragment-only, javascript: and mailto: targets.
+func usableHref(href string) bool {
+	if href == "" || href[0] == '#' {
+		return false
+	}
+	lower := strings.ToLower(href)
+	for _, p := range []string{"javascript:", "mailto:", "ftp:", "file:", "data:", "tel:"} {
+		if strings.HasPrefix(lower, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// collapseSpace trims and collapses runs of whitespace to single spaces.
+func collapseSpace(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := true // leading whitespace dropped
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v' {
+			if !space {
+				b.WriteByte(' ')
+				space = true
+			}
+			continue
+		}
+		b.WriteByte(c)
+		space = false
+	}
+	out := b.String()
+	return strings.TrimRight(out, " ")
+}

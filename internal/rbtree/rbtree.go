@@ -1,0 +1,286 @@
+// Package rbtree provides a left-leaning red-black tree used as the ordered
+// map behind BINGO!'s crawl-frontier URL queues (§4.2: "one (large) incoming
+// and one (small) outgoing queue for each topic, implemented as Red-Black
+// trees"). Keys are ordered by a caller-supplied comparison, so the frontier
+// can order URLs by descending SVM confidence with FIFO tie-breaking.
+package rbtree
+
+// Tree is an ordered map from K to V. The zero value is not usable; create
+// trees with New.
+type Tree[K, V any] struct {
+	less func(a, b K) bool
+	root *node[K, V]
+	size int
+}
+
+type node[K, V any] struct {
+	key         K
+	val         V
+	left, right *node[K, V]
+	red         bool
+}
+
+// New returns an empty tree ordered by less.
+func New[K, V any](less func(a, b K) bool) *Tree[K, V] {
+	return &Tree[K, V]{less: less}
+}
+
+// Len returns the number of entries.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+func isRed[K, V any](n *node[K, V]) bool { return n != nil && n.red }
+
+func rotateLeft[K, V any](h *node[K, V]) *node[K, V] {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func rotateRight[K, V any](h *node[K, V]) *node[K, V] {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func flipColors[K, V any](h *node[K, V]) {
+	h.red = !h.red
+	h.left.red = !h.left.red
+	h.right.red = !h.right.red
+}
+
+// Insert adds key→val. If an equal key exists its value is replaced and
+// replaced=true is returned.
+func (t *Tree[K, V]) Insert(key K, val V) (replaced bool) {
+	t.root, replaced = t.insert(t.root, key, val)
+	t.root.red = false
+	if !replaced {
+		t.size++
+	}
+	return replaced
+}
+
+func (t *Tree[K, V]) insert(h *node[K, V], key K, val V) (*node[K, V], bool) {
+	if h == nil {
+		return &node[K, V]{key: key, val: val, red: true}, false
+	}
+	var replaced bool
+	switch {
+	case t.less(key, h.key):
+		h.left, replaced = t.insert(h.left, key, val)
+	case t.less(h.key, key):
+		h.right, replaced = t.insert(h.right, key, val)
+	default:
+		h.val = val
+		replaced = true
+	}
+	return fixUp(h), replaced
+}
+
+func fixUp[K, V any](h *node[K, V]) *node[K, V] {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h
+}
+
+// Get returns the value stored under key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case t.less(key, n.key):
+			n = n.left
+		case t.less(n.key, key):
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree[K, V]) Min() (K, V, bool) {
+	if t.root == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	n := t.root
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.val, true
+}
+
+// Max returns the largest key and its value.
+func (t *Tree[K, V]) Max() (K, V, bool) {
+	if t.root == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	n := t.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.val, true
+}
+
+// DeleteMin removes and returns the smallest entry.
+func (t *Tree[K, V]) DeleteMin() (K, V, bool) {
+	k, v, ok := t.Min()
+	if !ok {
+		return k, v, false
+	}
+	t.Delete(k)
+	return k, v, true
+}
+
+// DeleteMax removes and returns the largest entry.
+func (t *Tree[K, V]) DeleteMax() (K, V, bool) {
+	k, v, ok := t.Max()
+	if !ok {
+		return k, v, false
+	}
+	t.Delete(k)
+	return k, v, true
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	if _, ok := t.Get(key); !ok {
+		return false
+	}
+	t.root = t.delete(t.root, key)
+	if t.root != nil {
+		t.root.red = false
+	}
+	t.size--
+	return true
+}
+
+func moveRedLeft[K, V any](h *node[K, V]) *node[K, V] {
+	flipColors(h)
+	if isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight[K, V any](h *node[K, V]) *node[K, V] {
+	flipColors(h)
+	if isRed(h.left.left) {
+		h = rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func (t *Tree[K, V]) delete(h *node[K, V], key K) *node[K, V] {
+	if t.less(key, h.key) {
+		if !isRed(h.left) && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = t.delete(h.left, key)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if !t.less(h.key, key) && h.right == nil {
+			return nil
+		}
+		if !isRed(h.right) && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if !t.less(h.key, key) && !t.less(key, h.key) {
+			mn := h.right
+			for mn.left != nil {
+				mn = mn.left
+			}
+			h.key, h.val = mn.key, mn.val
+			h.right = deleteMin(h.right)
+		} else {
+			h.right = t.delete(h.right, key)
+		}
+	}
+	return fixUp(h)
+}
+
+func deleteMin[K, V any](h *node[K, V]) *node[K, V] {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = deleteMin(h.left)
+	return fixUp(h)
+}
+
+// Ascend calls fn on every entry in ascending key order until fn returns
+// false.
+func (t *Tree[K, V]) Ascend(fn func(key K, val V) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[K, V any](n *node[K, V], fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return ascend(n.right, fn)
+}
+
+// CheckInvariants verifies the red-black properties; it is exported for
+// property-based tests. It returns false if any invariant is violated.
+func (t *Tree[K, V]) CheckInvariants() bool {
+	if isRed(t.root) {
+		return false
+	}
+	_, ok := check(t.root)
+	return ok
+}
+
+// check returns the black height of the subtree and whether it is valid.
+func check[K, V any](n *node[K, V]) (int, bool) {
+	if n == nil {
+		return 1, true
+	}
+	// no red node has a red child (LLRB: also no right-leaning red links)
+	if isRed(n) && (isRed(n.left) || isRed(n.right)) {
+		return 0, false
+	}
+	if isRed(n.right) {
+		return 0, false
+	}
+	lh, lok := check(n.left)
+	rh, rok := check(n.right)
+	if !lok || !rok || lh != rh {
+		return 0, false
+	}
+	if !isRed(n) {
+		lh++
+	}
+	return lh, true
+}

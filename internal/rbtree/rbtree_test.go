@@ -1,0 +1,230 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int, string] {
+	return New[int, string](func(a, b int) bool { return a < b })
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	tr := intTree()
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	for i := 0; i < 100; i++ {
+		if tr.Insert(i, "v") {
+			t.Fatalf("Insert(%d) reported replace", i)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if v, ok := tr.Get(42); !ok || v != "v" {
+		t.Fatalf("Get(42) = %q,%v", v, ok)
+	}
+	if _, ok := tr.Get(1000); ok {
+		t.Fatal("Get(1000) found")
+	}
+	if !tr.Insert(42, "new") {
+		t.Fatal("Insert(42) did not report replace")
+	}
+	if v, _ := tr.Get(42); v != "new" {
+		t.Fatalf("replaced value = %q", v)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len after replace = %d", tr.Len())
+	}
+	if !tr.Delete(42) {
+		t.Fatal("Delete(42) = false")
+	}
+	if tr.Delete(42) {
+		t.Fatal("double Delete(42) = true")
+	}
+	if _, ok := tr.Get(42); ok {
+		t.Fatal("deleted key found")
+	}
+	if tr.Len() != 99 {
+		t.Fatalf("Len after delete = %d", tr.Len())
+	}
+}
+
+func TestMinMaxDelete(t *testing.T) {
+	tr := intTree()
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty")
+	}
+	if _, _, ok := tr.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty")
+	}
+	if _, _, ok := tr.DeleteMax(); ok {
+		t.Fatal("DeleteMax on empty")
+	}
+	for _, k := range []int{5, 3, 9, 1, 7} {
+		tr.Insert(k, "")
+	}
+	if k, _, _ := tr.Min(); k != 1 {
+		t.Fatalf("Min = %d", k)
+	}
+	if k, _, _ := tr.Max(); k != 9 {
+		t.Fatalf("Max = %d", k)
+	}
+	if k, _, _ := tr.DeleteMin(); k != 1 {
+		t.Fatalf("DeleteMin = %d", k)
+	}
+	if k, _, _ := tr.DeleteMax(); k != 9 {
+		t.Fatalf("DeleteMax = %d", k)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := intTree()
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, k := range perm {
+		tr.Insert(k, "")
+	}
+	var got []int
+	tr.Ascend(func(k int, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("Ascend out of order")
+	}
+	if len(got) != 500 {
+		t.Fatalf("Ascend visited %d", len(got))
+	}
+	// early stop
+	count := 0
+	tr.Ascend(func(int, string) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+// Property test: the tree behaves exactly like a reference map and keeps the
+// red-black invariants under random interleavings of inserts and deletes.
+func TestTreeMatchesReferenceMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func() bool {
+		tr := intTree()
+		ref := map[int]string{}
+		for op := 0; op < 300; op++ {
+			k := rng.Intn(60)
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := string(rune('a' + rng.Intn(26)))
+				_, existed := ref[k]
+				if tr.Insert(k, v) != existed {
+					return false
+				}
+				ref[k] = v
+			case 2:
+				_, existed := ref[k]
+				if tr.Delete(k) != existed {
+					return false
+				}
+				delete(ref, k)
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+			if !tr.CheckInvariants() {
+				return false
+			}
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		var keys []int
+		tr.Ascend(func(k int, _ string) bool { keys = append(keys, k); return true })
+		if len(keys) != len(ref) || !sort.IntsAreSorted(keys) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDrainByDeleteMin(t *testing.T) {
+	tr := intTree()
+	perm := rand.New(rand.NewSource(2)).Perm(1000)
+	for _, k := range perm {
+		tr.Insert(k, "")
+	}
+	prev := -1
+	for {
+		k, _, ok := tr.DeleteMin()
+		if !ok {
+			break
+		}
+		if k <= prev {
+			t.Fatalf("DeleteMin out of order: %d after %d", k, prev)
+		}
+		prev = k
+		if !tr.CheckInvariants() {
+			t.Fatal("invariants broken during drain")
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after drain", tr.Len())
+	}
+}
+
+// Frontier-style composite key: priority desc, then sequence asc.
+func TestCompositeKeyOrdering(t *testing.T) {
+	type key struct {
+		prio float64
+		seq  uint64
+	}
+	tr := New[key, string](func(a, b key) bool {
+		if a.prio != b.prio {
+			return a.prio > b.prio // higher priority first
+		}
+		return a.seq < b.seq
+	})
+	tr.Insert(key{0.5, 1}, "mid")
+	tr.Insert(key{0.9, 2}, "high")
+	tr.Insert(key{0.5, 0}, "mid-earlier")
+	tr.Insert(key{0.1, 3}, "low")
+	var got []string
+	tr.Ascend(func(_ key, v string) bool { got = append(got, v); return true })
+	want := []string{"high", "mid-earlier", "mid", "low"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if _, v, _ := tr.Min(); v != "high" {
+		t.Fatalf("Min = %v", v)
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	tr := intTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(i%10000, "")
+		if i%3 == 0 {
+			tr.Delete((i - 500) % 10000)
+		}
+	}
+}

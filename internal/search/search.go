@@ -1,0 +1,312 @@
+// Package search implements BINGO!'s local search engine for result
+// postprocessing (§3.6). It supports exact and vague keyword filtering over
+// user-selectable classes of the topic hierarchy, with relevance rankings by
+// cosine similarity of tf·idf vectors, by the classifier's confidence in the
+// class assignment, and by HITS authority scores — and any weighted linear
+// combination of the three, the knob the paper exposes for trial-and-error
+// experimentation by a human expert.
+package search
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/bingo-search/bingo/internal/hits"
+	"github.com/bingo-search/bingo/internal/store"
+	"github.com/bingo-search/bingo/internal/textproc"
+	"github.com/bingo-search/bingo/internal/vsm"
+)
+
+// Weights combines the ranking schemes into a linear sum. Zero-valued
+// weights disable the corresponding scheme; the default is pure cosine.
+type Weights struct {
+	Cosine     float64
+	Confidence float64
+	Authority  float64
+}
+
+// DefaultWeights ranks purely by cosine similarity.
+func DefaultWeights() Weights { return Weights{Cosine: 1} }
+
+// Query is one search request.
+type Query struct {
+	// Text holds the query keywords. Substrings in double quotes are
+	// treated as phrases: a matching document must contain the phrase's
+	// stems consecutively (e.g. `aries "source code release"`).
+	Text string
+	// Topic restricts results to documents whose assigned topic equals the
+	// path or lies in its subtree ("" = all topics, including OTHERS).
+	Topic string
+	// Exact requires every query term to occur in a document; otherwise any
+	// matching term qualifies a document (vague filtering).
+	Exact bool
+	// Weights is the ranking combination (DefaultWeights if zero).
+	Weights Weights
+	// Limit caps the result list (0 = 10, the classic top-N).
+	Limit int
+}
+
+// Hit is one ranked result.
+type Hit struct {
+	Doc   store.Document
+	Score float64
+	// Components records the individual normalized ranking scores.
+	Cosine     float64
+	Confidence float64
+	Authority  float64
+}
+
+// Engine answers queries over a crawl database. The idf table and HITS
+// authority scores are cached and invalidated when the database's document
+// count changes (the same lazy-recomputation policy §2.2 applies to idf).
+type Engine struct {
+	store *store.Store
+	pipe  *textproc.Pipeline
+
+	mu        sync.Mutex
+	idfDocs   int
+	idf       *vsm.IDFTable
+	authDocs  int
+	authority map[string]float64
+}
+
+// New builds a search engine over s.
+func New(s *store.Store) *Engine {
+	return &Engine{store: s, pipe: textproc.NewPipeline()}
+}
+
+// Search runs q and returns the ranked hits.
+func (e *Engine) Search(q Query) []Hit {
+	freeText, phrases := splitPhrases(q.Text)
+	stems := e.pipe.Stems(freeText)
+	var phraseStems [][]string
+	for _, p := range phrases {
+		ps := e.pipe.Stems(p)
+		if len(ps) > 0 {
+			phraseStems = append(phraseStems, ps)
+			stems = append(stems, ps...) // phrase terms also rank
+		}
+	}
+	if len(stems) == 0 {
+		return nil
+	}
+	uniq := make(map[string]int)
+	for _, s := range stems {
+		uniq[s]++
+	}
+	if q.Limit <= 0 {
+		q.Limit = 10
+	}
+	w := q.Weights
+	if w.Cosine == 0 && w.Confidence == 0 && w.Authority == 0 {
+		w = DefaultWeights()
+	}
+
+	// Candidate retrieval through the inverted index.
+	counts := make(map[store.DocID]int)
+	for term := range uniq {
+		ids, _ := e.store.Postings(term)
+		for _, id := range ids {
+			counts[id]++
+		}
+	}
+	var candidates []store.Document
+	for id, n := range counts {
+		if q.Exact && n < len(uniq) {
+			continue
+		}
+		d, err := e.store.Get(id)
+		if err != nil {
+			continue
+		}
+		if !topicMatches(d.Topic, q.Topic) {
+			continue
+		}
+		if len(phraseStems) > 0 && !e.matchesPhrases(d, phraseStems) {
+			continue
+		}
+		candidates = append(candidates, d)
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+
+	// Query vector in the store's idf space.
+	idf := e.idfTable()
+	qv := idf.Weight(uniq)
+
+	hitsList := make([]Hit, len(candidates))
+	var maxCos, maxConf float64
+	for i, d := range candidates {
+		dv := idf.Weight(d.Terms)
+		c := vsm.Cosine(qv, dv)
+		hitsList[i] = Hit{Doc: d, Cosine: c, Confidence: d.Confidence}
+		if c > maxCos {
+			maxCos = c
+		}
+		if d.Confidence > maxConf {
+			maxConf = d.Confidence
+		}
+	}
+
+	var maxAuth float64
+	authScores := map[string]float64{}
+	if w.Authority != 0 {
+		authScores = e.authorityScores()
+		for i := range hitsList {
+			a := authScores[hitsList[i].Doc.URL]
+			hitsList[i].Authority = a
+			if a > maxAuth {
+				maxAuth = a
+			}
+		}
+	}
+
+	// Normalize each component to [0,1] and combine.
+	for i := range hitsList {
+		h := &hitsList[i]
+		if maxCos > 0 {
+			h.Cosine /= maxCos
+		}
+		if maxConf > 0 {
+			h.Confidence /= maxConf
+		}
+		if maxAuth > 0 {
+			h.Authority /= maxAuth
+		}
+		h.Score = w.Cosine*h.Cosine + w.Confidence*h.Confidence + w.Authority*h.Authority
+	}
+	sort.Slice(hitsList, func(i, j int) bool {
+		if hitsList[i].Score != hitsList[j].Score {
+			return hitsList[i].Score > hitsList[j].Score
+		}
+		return hitsList[i].Doc.URL < hitsList[j].Doc.URL
+	})
+	if len(hitsList) > q.Limit {
+		hitsList = hitsList[:q.Limit]
+	}
+	return hitsList
+}
+
+// splitPhrases extracts double-quoted phrases from a query string and
+// returns the remaining free text plus the phrase list. An unbalanced quote
+// opens a phrase running to the end of the string.
+func splitPhrases(text string) (free string, phrases []string) {
+	var freeB strings.Builder
+	for {
+		open := strings.IndexByte(text, '"')
+		if open < 0 {
+			freeB.WriteString(text)
+			break
+		}
+		freeB.WriteString(text[:open])
+		rest := text[open+1:]
+		close := strings.IndexByte(rest, '"')
+		if close < 0 {
+			if strings.TrimSpace(rest) != "" {
+				phrases = append(phrases, rest)
+			}
+			break
+		}
+		if p := strings.TrimSpace(rest[:close]); p != "" {
+			phrases = append(phrases, p)
+		}
+		text = rest[close+1:]
+		freeB.WriteByte(' ')
+	}
+	return freeB.String(), phrases
+}
+
+// matchesPhrases reports whether every phrase occurs as a consecutive stem
+// sequence in the document's text.
+func (e *Engine) matchesPhrases(d store.Document, phrases [][]string) bool {
+	docStems := e.pipe.Stems(d.Title + " " + d.Text)
+	for _, p := range phrases {
+		if !containsSeq(docStems, p) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsSeq(haystack, needle []string) bool {
+	if len(needle) == 0 {
+		return true
+	}
+	if len(needle) > len(haystack) {
+		return false
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j, w := range needle {
+			if haystack[i+j] != w {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// topicMatches reports whether docTopic equals filter or lies below it.
+func topicMatches(docTopic, filter string) bool {
+	if filter == "" {
+		return true
+	}
+	return docTopic == filter || strings.HasPrefix(docTopic, filter+"/")
+}
+
+// idfTable returns an idf snapshot over the store, rebuilding it only when
+// the document count has changed since the last query.
+func (e *Engine) idfTable() *vsm.IDFTable {
+	n := e.store.NumDocs()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.idf != nil && e.idfDocs == n {
+		return e.idf
+	}
+	stats := vsm.NewCorpusStats()
+	for _, d := range e.store.All() {
+		stats.AddDoc(d.Terms)
+	}
+	e.idf = stats.Snapshot()
+	e.idfDocs = n
+	return e.idf
+}
+
+// authorityScores runs HITS over the stored link graph (§3.6: "it can
+// perform the HITS link analysis to compute authority scores and produce a
+// ranking according to these scores"), cached per database state.
+func (e *Engine) authorityScores() map[string]float64 {
+	n := e.store.NumDocs()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.authority != nil && e.authDocs == n {
+		return e.authority
+	}
+	g := hits.NewGraph()
+	for _, l := range e.store.Links() {
+		g.AddEdge(l.From, hostOf(l.From), l.To, hostOf(l.To))
+	}
+	res := g.Run(hits.DefaultOptions())
+	out := make(map[string]float64, len(res.Authorities))
+	for _, s := range res.Authorities {
+		out[s.ID] = s.Value
+	}
+	e.authority = out
+	e.authDocs = n
+	return out
+}
+
+// hostOf extracts the host part of an absolute URL without a full parse.
+func hostOf(u string) string {
+	rest := u
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}

@@ -1,0 +1,353 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/bingo-search/bingo/internal/store"
+)
+
+// fixture builds a store with database-research and sports documents plus a
+// link structure making "hub-target" the strongest authority.
+func fixture() *store.Store {
+	s := store.New()
+	docs := []store.Document{
+		{URL: "http://db.example/aries", Topic: "ROOT/db", Confidence: 0.9,
+			Title: "ARIES recovery",
+			Terms: map[string]int{"ari": 3, "recoveri": 4, "log": 2, "sourc": 1, "code": 1}},
+		{URL: "http://db.example/shore", Topic: "ROOT/db", Confidence: 0.7,
+			Title: "Shore storage manager",
+			Terms: map[string]int{"sourc": 3, "code": 3, "releas": 2, "recoveri": 1, "storag": 2}},
+		{URL: "http://db.example/survey", Topic: "ROOT/db/core", Confidence: 0.5,
+			Title: "Recovery survey",
+			Terms: map[string]int{"recoveri": 2, "survei": 3, "transact": 2}},
+		{URL: "http://sport.example/goal", Topic: "ROOT/OTHERS", Confidence: 0.2,
+			Title: "Sports news",
+			Terms: map[string]int{"goal": 5, "match": 3, "recoveri": 1}},
+	}
+	for _, d := range docs {
+		s.Insert(d)
+	}
+	// links: several hosts point at the shore page
+	for i := 0; i < 4; i++ {
+		s.AddLink(store.Link{From: fmt.Sprintf("http://h%d.example/p", i), To: "http://db.example/shore"})
+	}
+	s.AddLink(store.Link{From: "http://db.example/shore", To: "http://db.example/aries"})
+	return s
+}
+
+func TestVagueSearchCosineRanking(t *testing.T) {
+	e := New(fixture())
+	hits := e.Search(Query{Text: "recovery algorithms"})
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	// every hit contains "recoveri"; the ARIES page has the highest tf
+	if hits[0].Doc.URL != "http://db.example/aries" {
+		t.Errorf("top hit = %s", hits[0].Doc.URL)
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Errorf("ranking not descending at %d", i)
+		}
+	}
+}
+
+func TestExactFiltering(t *testing.T) {
+	e := New(fixture())
+	vague := e.Search(Query{Text: "source code release"})
+	exact := e.Search(Query{Text: "source code release", Exact: true})
+	if len(exact) != 1 || exact[0].Doc.URL != "http://db.example/shore" {
+		t.Fatalf("exact = %+v", exact)
+	}
+	if len(vague) <= len(exact) {
+		t.Errorf("vague (%d) should be broader than exact (%d)", len(vague), len(exact))
+	}
+}
+
+func TestTopicFilter(t *testing.T) {
+	e := New(fixture())
+	all := e.Search(Query{Text: "recovery"})
+	db := e.Search(Query{Text: "recovery", Topic: "ROOT/db"})
+	if len(db) >= len(all) {
+		t.Errorf("topic filter had no effect: %d vs %d", len(db), len(all))
+	}
+	for _, h := range db {
+		if h.Doc.Topic != "ROOT/db" && h.Doc.Topic != "ROOT/db/core" {
+			t.Errorf("hit outside subtree: %s", h.Doc.Topic)
+		}
+	}
+	// subtree inclusion: ROOT/db/core documents match filter ROOT/db
+	found := false
+	for _, h := range db {
+		if h.Doc.Topic == "ROOT/db/core" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("subtree document missing")
+	}
+	// exact topic that matches nothing
+	if got := e.Search(Query{Text: "recovery", Topic: "ROOT/none"}); len(got) != 0 {
+		t.Errorf("bogus topic returned %d hits", len(got))
+	}
+}
+
+func TestConfidenceRanking(t *testing.T) {
+	e := New(fixture())
+	hits := e.Search(Query{Text: "recovery", Weights: Weights{Confidence: 1}})
+	if hits[0].Doc.URL != "http://db.example/aries" { // confidence 0.9
+		t.Errorf("top by confidence = %s", hits[0].Doc.URL)
+	}
+	// scores normalized to [0,1]
+	for _, h := range hits {
+		if h.Confidence < 0 || h.Confidence > 1 {
+			t.Errorf("confidence component out of range: %v", h.Confidence)
+		}
+	}
+}
+
+func TestAuthorityRanking(t *testing.T) {
+	e := New(fixture())
+	hits := e.Search(Query{Text: "recovery source", Weights: Weights{Authority: 1}})
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	if hits[0].Doc.URL != "http://db.example/shore" {
+		t.Errorf("top by authority = %s", hits[0].Doc.URL)
+	}
+}
+
+func TestCombinedWeights(t *testing.T) {
+	e := New(fixture())
+	hits := e.Search(Query{Text: "recovery source code",
+		Weights: Weights{Cosine: 0.5, Confidence: 0.3, Authority: 0.2}})
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	for _, h := range hits {
+		want := 0.5*h.Cosine + 0.3*h.Confidence + 0.2*h.Authority
+		if diff := h.Score - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("score %v != combination %v", h.Score, want)
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	e := New(fixture())
+	hits := e.Search(Query{Text: "recovery", Limit: 2})
+	if len(hits) != 2 {
+		t.Errorf("limit ignored: %d", len(hits))
+	}
+	// default limit of 10
+	hits = e.Search(Query{Text: "recovery"})
+	if len(hits) > 10 {
+		t.Errorf("default limit exceeded: %d", len(hits))
+	}
+}
+
+func TestEmptyAndStopwordQueries(t *testing.T) {
+	e := New(fixture())
+	if got := e.Search(Query{Text: ""}); got != nil {
+		t.Errorf("empty query = %v", got)
+	}
+	if got := e.Search(Query{Text: "the of and"}); got != nil {
+		t.Errorf("stopword query = %v", got)
+	}
+	if got := e.Search(Query{Text: "zzzunknown"}); len(got) != 0 {
+		t.Errorf("unknown term = %v", got)
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	cases := map[string]string{
+		"http://a.example/path":  "a.example",
+		"https://b.example":      "b.example",
+		"no-scheme/path":         "no-scheme",
+		"http://c.example/p/q#f": "c.example",
+	}
+	for in, want := range cases {
+		if got := hostOf(in); got != want {
+			t.Errorf("hostOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	s := store.New()
+	for i := 0; i < 2000; i++ {
+		s.Insert(store.Document{
+			URL:        fmt.Sprintf("http://h%d.example/d%d", i%50, i),
+			Topic:      "ROOT/db",
+			Confidence: float64(i%100) / 100,
+			Terms: map[string]int{
+				"recoveri":                1 + i%3,
+				fmt.Sprintf("t%d", i%200): 2,
+			},
+		})
+	}
+	e := New(s)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Search(Query{Text: "recovery"})
+	}
+}
+
+func TestPhraseQueries(t *testing.T) {
+	e := New(fixture())
+	// "source code" appears consecutively only in the shore doc terms?
+	// The fixture stores Terms but phrase matching runs over Text, so build
+	// a store with real text.
+	s := store.New()
+	s.Insert(store.Document{
+		URL: "u1", Topic: "t", Confidence: 0.5,
+		Text:  "the shore source code release is available for download",
+		Terms: map[string]int{"sourc": 1, "code": 1, "releas": 1, "shore": 1},
+	})
+	s.Insert(store.Document{
+		URL: "u2", Topic: "t", Confidence: 0.5,
+		Text:  "code of conduct and open source policy release notes",
+		Terms: map[string]int{"sourc": 1, "code": 1, "releas": 1, "polici": 1},
+	})
+	e = New(s)
+	// vague query matches both
+	if got := e.Search(Query{Text: "source code release"}); len(got) != 2 {
+		t.Fatalf("vague matches = %d", len(got))
+	}
+	// phrase query matches only the consecutive occurrence
+	got := e.Search(Query{Text: `"source code release"`})
+	if len(got) != 1 || got[0].Doc.URL != "u1" {
+		t.Fatalf("phrase matches = %+v", got)
+	}
+	// phrase + free terms combine
+	got = e.Search(Query{Text: `shore "code release"`})
+	if len(got) != 1 || got[0].Doc.URL != "u1" {
+		t.Fatalf("mixed matches = %+v", got)
+	}
+	// stemming applies inside phrases
+	got = e.Search(Query{Text: `"sources codes releases"`})
+	if len(got) != 1 {
+		t.Fatalf("stemmed phrase matches = %d", len(got))
+	}
+}
+
+func TestSplitPhrases(t *testing.T) {
+	free, phrases := splitPhrases(`alpha "beta gamma" delta "eps"`)
+	if strings.TrimSpace(free) != "alpha  delta" && !strings.Contains(free, "alpha") {
+		t.Errorf("free = %q", free)
+	}
+	if len(phrases) != 2 || phrases[0] != "beta gamma" || phrases[1] != "eps" {
+		t.Errorf("phrases = %v", phrases)
+	}
+	// unbalanced quote
+	_, phrases = splitPhrases(`x "unclosed phrase`)
+	if len(phrases) != 1 || phrases[0] != "unclosed phrase" {
+		t.Errorf("unbalanced = %v", phrases)
+	}
+	// empty phrase dropped
+	_, phrases = splitPhrases(`a "" b`)
+	if len(phrases) != 0 {
+		t.Errorf("empty phrase kept: %v", phrases)
+	}
+}
+
+func TestContainsSeq(t *testing.T) {
+	h := []string{"a", "b", "c", "d"}
+	if !containsSeq(h, []string{"b", "c"}) || !containsSeq(h, []string{"a"}) || !containsSeq(h, nil) {
+		t.Error("positive cases failed")
+	}
+	if containsSeq(h, []string{"c", "b"}) || containsSeq(h, []string{"a", "b", "c", "d", "e"}) {
+		t.Error("negative cases failed")
+	}
+}
+
+func TestCachesInvalidateOnStoreGrowth(t *testing.T) {
+	s := store.New()
+	s.Insert(store.Document{URL: "u1", Topic: "t", Confidence: 0.5,
+		Text: "alpha beta", Terms: map[string]int{"alpha": 1, "beta": 1}})
+	e := New(s)
+	if got := e.Search(Query{Text: "alpha"}); len(got) != 1 {
+		t.Fatalf("first search = %d", len(got))
+	}
+	// new document must be visible to subsequent searches (cache refresh)
+	s.Insert(store.Document{URL: "u2", Topic: "t", Confidence: 0.9,
+		Text: "alpha gamma", Terms: map[string]int{"alpha": 1, "gamma": 1}})
+	if got := e.Search(Query{Text: "alpha"}); len(got) != 2 {
+		t.Fatalf("post-insert search = %d", len(got))
+	}
+	// authority cache too
+	s.AddLink(store.Link{From: "u1", To: "u2"})
+	got := e.Search(Query{Text: "alpha", Weights: Weights{Authority: 1}})
+	if len(got) != 2 || got[0].Doc.URL != "u2" {
+		t.Fatalf("authority after link = %+v", got)
+	}
+}
+
+func BenchmarkSearchCachedIDF(b *testing.B) {
+	s := store.New()
+	for i := 0; i < 3000; i++ {
+		s.Insert(store.Document{
+			URL:   fmt.Sprintf("http://h/%d", i),
+			Topic: "t", Confidence: 0.5,
+			Terms: map[string]int{"recoveri": 1, fmt.Sprintf("t%d", i%400): 2},
+		})
+	}
+	e := New(s)
+	e.Search(Query{Text: "recovery"}) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Search(Query{Text: "recovery"})
+	}
+}
+
+// Property: for pure-cosine ranking, increasing a document's tf for a query
+// term never lowers its rank relative to an otherwise identical document.
+func TestCosineRankMonotoneInTF(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := func() bool {
+		s := store.New()
+		low := 1 + rng.Intn(3)
+		high := low + 1 + rng.Intn(5)
+		s.Insert(store.Document{URL: "low", Topic: "t", Confidence: 0.5,
+			Terms: map[string]int{"queri": low, "pad": 5}})
+		s.Insert(store.Document{URL: "high", Topic: "t", Confidence: 0.5,
+			Terms: map[string]int{"queri": high, "pad": 5}})
+		hits := New(s).Search(Query{Text: "query"})
+		return len(hits) == 2 && hits[0].Doc.URL == "high"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: results are always sorted by descending score with a
+// deterministic URL tie-break.
+func TestRankingDeterministicOrder(t *testing.T) {
+	s := store.New()
+	for i := 0; i < 30; i++ {
+		s.Insert(store.Document{
+			URL: fmt.Sprintf("http://h/%02d", i), Topic: "t",
+			Confidence: 0.5,
+			Terms:      map[string]int{"queri": 1}, // identical scores
+		})
+	}
+	e := New(s)
+	first := e.Search(Query{Text: "query", Limit: 30})
+	for trial := 0; trial < 5; trial++ {
+		again := e.Search(Query{Text: "query", Limit: 30})
+		for i := range first {
+			if first[i].Doc.URL != again[i].Doc.URL {
+				t.Fatalf("nondeterministic order at %d", i)
+			}
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i].Score > first[i-1].Score {
+			t.Fatalf("score order broken at %d", i)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package search
+
+import (
+	"strings"
+
+	"github.com/bingo-search/bingo/internal/textproc"
+)
+
+// Snippet extracts a short query-focused excerpt from a document's text —
+// the "content previews" the paper's result lists show the human expert
+// (§5.3). The window with the highest density of query stems wins; query
+// term occurrences are wrapped in the given markers (pass "" to disable
+// highlighting).
+func Snippet(text, query string, maxWords int, hiOpen, hiClose string) string {
+	if maxWords <= 0 {
+		maxWords = 30
+	}
+	pipe := textproc.NewPipeline()
+	queryStems := map[string]struct{}{}
+	for _, s := range pipe.Stems(query) {
+		queryStems[s] = struct{}{}
+	}
+	words := strings.Fields(text)
+	if len(words) == 0 {
+		return ""
+	}
+	// stem each word once; mark matches
+	match := make([]bool, len(words))
+	for i, w := range words {
+		toks := textproc.Tokenize(w)
+		for _, tk := range toks {
+			if _, ok := queryStems[textproc.Stem(tk.Text)]; ok {
+				match[i] = true
+				break
+			}
+		}
+	}
+	// best window by match count (ties: earliest)
+	if len(words) <= maxWords {
+		return render(words, match, hiOpen, hiClose, false, false)
+	}
+	count := 0
+	for i := 0; i < maxWords; i++ {
+		if match[i] {
+			count++
+		}
+	}
+	best, bestCount := 0, count
+	for start := 1; start+maxWords <= len(words); start++ {
+		if match[start-1] {
+			count--
+		}
+		if match[start+maxWords-1] {
+			count++
+		}
+		if count > bestCount {
+			best, bestCount = start, count
+		}
+	}
+	window := words[best : best+maxWords]
+	return render(window, match[best:best+maxWords], hiOpen, hiClose, best > 0, best+maxWords < len(words))
+}
+
+func render(words []string, match []bool, hiOpen, hiClose string, pre, post bool) string {
+	var b strings.Builder
+	if pre {
+		b.WriteString("... ")
+	}
+	for i, w := range words {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if match[i] && hiOpen != "" {
+			b.WriteString(hiOpen)
+			b.WriteString(w)
+			b.WriteString(hiClose)
+			continue
+		}
+		b.WriteString(w)
+	}
+	if post {
+		b.WriteString(" ...")
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package search
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnippetPicksDensestWindow(t *testing.T) {
+	text := strings.Repeat("filler words here ", 30) +
+		"the ARIES recovery algorithm uses write ahead logging for recovery " +
+		strings.Repeat("more filler trailing ", 30)
+	s := Snippet(text, "aries recovery", 12, "[", "]")
+	if !strings.Contains(s, "[ARIES]") || !strings.Contains(s, "[recovery]") {
+		t.Errorf("snippet = %q", s)
+	}
+	if !strings.HasPrefix(s, "... ") || !strings.HasSuffix(s, " ...") {
+		t.Errorf("ellipses missing: %q", s)
+	}
+	if got := len(strings.Fields(s)); got > 12+2 {
+		t.Errorf("window too long: %d words", got)
+	}
+}
+
+func TestSnippetShortText(t *testing.T) {
+	s := Snippet("just a few recovery words", "recovery", 30, "<b>", "</b>")
+	if s != "just a few <b>recovery</b> words" {
+		t.Errorf("snippet = %q", s)
+	}
+}
+
+func TestSnippetNoHighlight(t *testing.T) {
+	s := Snippet("recovery algorithms here", "recovery", 30, "", "")
+	if strings.ContainsAny(s, "<>[]") {
+		t.Errorf("unexpected markers: %q", s)
+	}
+}
+
+func TestSnippetStemMatching(t *testing.T) {
+	// query "databases" must highlight "database" (shared stem)
+	s := Snippet("a database system", "databases", 30, "[", "]")
+	if !strings.Contains(s, "[database]") {
+		t.Errorf("stem match failed: %q", s)
+	}
+}
+
+func TestSnippetEmptyInputs(t *testing.T) {
+	if s := Snippet("", "query", 10, "[", "]"); s != "" {
+		t.Errorf("empty text snippet = %q", s)
+	}
+	if s := Snippet("some text", "", 10, "[", "]"); s == "" {
+		t.Error("empty query should still return text")
+	}
+	if s := Snippet("text", "query", 0, "", ""); s == "" {
+		t.Error("zero maxWords should use default")
+	}
+}
+
+func TestSnippetPunctuationAdjacent(t *testing.T) {
+	s := Snippet("uses ARIES, naturally", "aries", 30, "[", "]")
+	if !strings.Contains(s, "[ARIES,]") {
+		t.Errorf("punctuation-adjacent match failed: %q", s)
+	}
+}

@@ -1,0 +1,105 @@
+package store
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// snapshot is the serialized form of a Store.
+type snapshot struct {
+	NextID    DocID
+	Docs      []Document
+	Links     []Link
+	Redirects []Redirect
+}
+
+// Encode serializes the store to w. The inverted index and topic index
+// are rebuilt on read rather than serialized.
+func (s *Store) Encode(w io.Writer) error {
+	s.mu.RLock()
+	snap := snapshot{NextID: s.nextID}
+	snap.Docs = make([]Document, 0, len(s.docs))
+	for _, d := range s.docs {
+		snap.Docs = append(snap.Docs, *d)
+	}
+	for _, ls := range s.outLinks {
+		snap.Links = append(snap.Links, ls...)
+	}
+	snap.Redirects = append(snap.Redirects, s.redirects...)
+	s.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode deserializes a store previously written by Encode.
+func Decode(r io.Reader) (*Store, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store: decode: %w", err)
+	}
+	s := New()
+	for _, d := range snap.Docs {
+		id := d.ID
+		cp := d
+		s.docs[id] = &cp
+		s.byURL[d.URL] = id
+		for term, tf := range d.Terms {
+			s.index[term] = append(s.index[term], posting{doc: id, tf: tf})
+		}
+		if d.Topic != "" {
+			s.byTopic[d.Topic] = append(s.byTopic[d.Topic], id)
+		}
+	}
+	s.nextID = snap.NextID
+	for _, l := range snap.Links {
+		s.outLinks[l.From] = append(s.outLinks[l.From], l)
+		s.inLinks[l.To] = append(s.inLinks[l.To], l)
+	}
+	s.redirects = snap.Redirects
+	return s, nil
+}
+
+// Save writes the store to path atomically (write to a temp file, then
+// rename).
+func (s *Store) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := s.Encode(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	return nil
+}
+
+// Load reads a store previously written by Save.
+func Load(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: load: %w", err)
+	}
+	defer f.Close()
+	return Decode(bufio.NewReader(f))
+}

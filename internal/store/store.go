@@ -1,0 +1,387 @@
+// Package store is BINGO!'s storage manager. The original system used
+// Oracle9i and learned two lessons the hard way (§4.1): hierarchical
+// (nested-table) schemas forced the optimizer into Cartesian products, so
+// the schema was flattened into plain relations; and per-row SQL inserts
+// were too slow, so crawler threads batch documents in workspaces and move
+// them with a bulk loader, sustaining up to ten thousand documents per
+// minute. This package reproduces that design as an embedded store: flat
+// in-memory relations (documents, postings, links, redirects), a
+// workspace/bulk-load write path, and binary persistence.
+package store
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DocID identifies a stored document.
+type DocID int64
+
+// Document is one row of the document relation.
+type Document struct {
+	ID          DocID
+	URL         string
+	FinalURL    string
+	Title       string
+	ContentType string
+	// Topic is the tree node the classifier assigned ("" = unclassified,
+	// "<parent>/OTHERS" for rejected documents).
+	Topic string
+	// Confidence is the SVM confidence of the assignment.
+	Confidence float64
+	// Depth is the crawl distance from the seeds.
+	Depth int
+	// Text is the extracted visible text.
+	Text string
+	// Terms holds the document's term counts in the active feature space.
+	Terms map[string]int
+	// CrawledAt is the retrieval time.
+	CrawledAt time.Time
+	// IsTraining marks current training documents.
+	IsTraining bool
+}
+
+// Link is one row of the link relation.
+type Link struct {
+	From   string
+	To     string
+	Anchor string
+}
+
+// Redirect is one row of the redirect relation (§4.2 stores redirect
+// information for use in the link analysis).
+type Redirect struct {
+	From string
+	To   string
+}
+
+// posting is one inverted-index entry.
+type posting struct {
+	doc DocID
+	tf  int
+}
+
+// ErrNotFound is returned when a document is absent.
+var ErrNotFound = errors.New("store: document not found")
+
+// Store is safe for concurrent use.
+type Store struct {
+	mu        sync.RWMutex
+	nextID    DocID
+	docs      map[DocID]*Document
+	byURL     map[string]DocID
+	index     map[string][]posting // term -> postings (append order = insert order)
+	outLinks  map[string][]Link
+	inLinks   map[string][]Link
+	redirects []Redirect
+	byTopic   map[string][]DocID
+	inserts   int64
+	bulkLoads int64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		docs:     make(map[DocID]*Document),
+		byURL:    make(map[string]DocID),
+		index:    make(map[string][]posting),
+		outLinks: make(map[string][]Link),
+		inLinks:  make(map[string][]Link),
+		byTopic:  make(map[string][]DocID),
+	}
+}
+
+// Insert stores one document immediately (the slow per-row path). The
+// document's ID is assigned by the store and returned. A document with a URL
+// already present replaces the old row (recrawl).
+func (s *Store) Insert(d Document) DocID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.insertLocked(d)
+	s.inserts++
+	return id
+}
+
+func (s *Store) insertLocked(d Document) DocID {
+	if old, ok := s.byURL[d.URL]; ok {
+		s.removeLocked(old)
+	}
+	s.nextID++
+	d.ID = s.nextID
+	cp := d
+	s.docs[d.ID] = &cp
+	s.byURL[d.URL] = d.ID
+	for term, tf := range d.Terms {
+		s.index[term] = append(s.index[term], posting{doc: d.ID, tf: tf})
+	}
+	if d.Topic != "" {
+		s.byTopic[d.Topic] = append(s.byTopic[d.Topic], d.ID)
+	}
+	return d.ID
+}
+
+func (s *Store) removeLocked(id DocID) {
+	d, ok := s.docs[id]
+	if !ok {
+		return
+	}
+	delete(s.docs, id)
+	delete(s.byURL, d.URL)
+	for term := range d.Terms {
+		ps := s.index[term]
+		for i := range ps {
+			if ps[i].doc == id {
+				s.index[term] = append(ps[:i], ps[i+1:]...)
+				break
+			}
+		}
+		if len(s.index[term]) == 0 {
+			delete(s.index, term)
+		}
+	}
+	if d.Topic != "" {
+		ids := s.byTopic[d.Topic]
+		for i := range ids {
+			if ids[i] == id {
+				s.byTopic[d.Topic] = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Delete removes a document by URL.
+func (s *Store) Delete(url string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.byURL[url]
+	if !ok {
+		return false
+	}
+	s.removeLocked(id)
+	return true
+}
+
+// Get returns the document stored under id.
+func (s *Store) Get(id DocID) (Document, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return Document{}, ErrNotFound
+	}
+	return *d, nil
+}
+
+// GetByURL returns the document stored under url.
+func (s *Store) GetByURL(url string) (Document, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.byURL[url]
+	if !ok {
+		return Document{}, ErrNotFound
+	}
+	return *s.docs[id], nil
+}
+
+// Contains reports whether url is stored.
+func (s *Store) Contains(url string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.byURL[url]
+	return ok
+}
+
+// NumDocs returns the document count.
+func (s *Store) NumDocs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// SetTopic reassigns a document's topic and confidence (re-classification
+// after retraining).
+func (s *Store) SetTopic(url, topic string, confidence float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.byURL[url]
+	if !ok {
+		return ErrNotFound
+	}
+	d := s.docs[id]
+	if d.Topic != "" {
+		ids := s.byTopic[d.Topic]
+		for i := range ids {
+			if ids[i] == id {
+				s.byTopic[d.Topic] = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+	}
+	d.Topic = topic
+	d.Confidence = confidence
+	if topic != "" {
+		s.byTopic[topic] = append(s.byTopic[topic], id)
+	}
+	return nil
+}
+
+// SetTraining flags or unflags a document as training data.
+func (s *Store) SetTraining(url string, training bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.byURL[url]
+	if !ok {
+		return ErrNotFound
+	}
+	s.docs[id].IsTraining = training
+	return nil
+}
+
+// ByTopic returns the documents assigned to topic, ordered by descending
+// confidence.
+func (s *Store) ByTopic(topic string) []Document {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.byTopic[topic]
+	out := make([]Document, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *s.docs[id])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Topics lists the distinct topics with at least one document, sorted.
+func (s *Store) Topics() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byTopic))
+	for t, ids := range s.byTopic {
+		if len(ids) > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every stored document (unordered snapshot).
+func (s *Store) All() []Document {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Document, 0, len(s.docs))
+	for _, d := range s.docs {
+		out = append(out, *d)
+	}
+	return out
+}
+
+// Postings returns (docID, tf) pairs for a term as parallel slices.
+func (s *Store) Postings(term string) ([]DocID, []int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ps := s.index[term]
+	ids := make([]DocID, len(ps))
+	tfs := make([]int, len(ps))
+	for i, p := range ps {
+		ids[i] = p.doc
+		tfs[i] = p.tf
+	}
+	return ids, tfs
+}
+
+// DocFreq returns the number of documents containing term.
+func (s *Store) DocFreq(term string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index[term])
+}
+
+// AddLink records a hyperlink row.
+func (s *Store) AddLink(l Link) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.outLinks[l.From] = append(s.outLinks[l.From], l)
+	s.inLinks[l.To] = append(s.inLinks[l.To], l)
+}
+
+// AddRedirect records a redirect row.
+func (s *Store) AddRedirect(r Redirect) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.redirects = append(s.redirects, r)
+}
+
+// Successors returns the target URLs linked from url.
+func (s *Store) Successors(url string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ls := s.outLinks[url]
+	out := make([]string, len(ls))
+	for i, l := range ls {
+		out[i] = l.To
+	}
+	return out
+}
+
+// Predecessors returns the URLs linking to url.
+func (s *Store) Predecessors(url string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ls := s.inLinks[url]
+	out := make([]string, len(ls))
+	for i, l := range ls {
+		out[i] = l.From
+	}
+	return out
+}
+
+// InAnchors returns the anchor texts of links pointing at url (for the
+// anchor-text feature space).
+func (s *Store) InAnchors(url string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ls := s.inLinks[url]
+	out := make([]string, 0, len(ls))
+	for _, l := range ls {
+		if l.Anchor != "" {
+			out = append(out, l.Anchor)
+		}
+	}
+	return out
+}
+
+// Links returns a snapshot of every link row.
+func (s *Store) Links() []Link {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Link
+	for _, ls := range s.outLinks {
+		out = append(out, ls...)
+	}
+	return out
+}
+
+// Redirects returns a snapshot of the redirect relation.
+func (s *Store) Redirects() []Redirect {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Redirect, len(s.redirects))
+	copy(out, s.redirects)
+	return out
+}
+
+// Counters reports write-path statistics (row inserts vs bulk loads).
+func (s *Store) Counters() (inserts, bulkLoads int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inserts, s.bulkLoads
+}

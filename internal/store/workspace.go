@@ -1,0 +1,62 @@
+package store
+
+// Workspace is a per-crawler-thread write buffer (§4.1): "Each thread
+// batches the storing of new documents and avoids SQL insert commands by
+// first collecting a certain number of documents in workspaces and then
+// invoking the database system's bulk loader." Flush moves the whole batch
+// into the store under a single lock acquisition.
+type Workspace struct {
+	store     *Store
+	batchSize int
+	docs      []Document
+	links     []Link
+	redirects []Redirect
+}
+
+// NewWorkspace returns a workspace that auto-flushes after batchSize
+// documents (default 64).
+func (s *Store) NewWorkspace(batchSize int) *Workspace {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	return &Workspace{store: s, batchSize: batchSize}
+}
+
+// Add buffers a document, flushing automatically when the batch is full.
+func (w *Workspace) Add(d Document) {
+	w.docs = append(w.docs, d)
+	if len(w.docs) >= w.batchSize {
+		w.Flush()
+	}
+}
+
+// AddLink buffers a link row.
+func (w *Workspace) AddLink(l Link) { w.links = append(w.links, l) }
+
+// AddRedirect buffers a redirect row.
+func (w *Workspace) AddRedirect(r Redirect) { w.redirects = append(w.redirects, r) }
+
+// Pending returns the number of buffered documents.
+func (w *Workspace) Pending() int { return len(w.docs) }
+
+// Flush bulk-loads all buffered rows into the store.
+func (w *Workspace) Flush() {
+	if len(w.docs) == 0 && len(w.links) == 0 && len(w.redirects) == 0 {
+		return
+	}
+	s := w.store
+	s.mu.Lock()
+	for _, d := range w.docs {
+		s.insertLocked(d)
+	}
+	for _, l := range w.links {
+		s.outLinks[l.From] = append(s.outLinks[l.From], l)
+		s.inLinks[l.To] = append(s.inLinks[l.To], l)
+	}
+	s.redirects = append(s.redirects, w.redirects...)
+	s.bulkLoads++
+	s.mu.Unlock()
+	w.docs = w.docs[:0]
+	w.links = w.links[:0]
+	w.redirects = w.redirects[:0]
+}

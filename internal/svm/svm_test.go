@@ -1,0 +1,321 @@
+package svm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/bingo-search/bingo/internal/vsm"
+)
+
+func ex(label int, kv ...interface{}) Example {
+	v := vsm.Vector{}
+	for i := 0; i < len(kv); i += 2 {
+		v[kv[i].(string)] = kv[i+1].(float64)
+	}
+	return Example{Features: v, Label: label}
+}
+
+func TestTrainSeparable(t *testing.T) {
+	examples := []Example{
+		ex(+1, "db", 1.0), ex(+1, "db", 0.9, "sql", 0.5), ex(+1, "sql", 1.0),
+		ex(-1, "sport", 1.0), ex(-1, "sport", 0.8, "goal", 0.6), ex(-1, "goal", 1.0),
+	}
+	m, err := Train(examples, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range examples {
+		yes, conf := m.Classify(e.Features)
+		if yes != (e.Label > 0) {
+			t.Errorf("misclassified %v (conf %v)", e.Features, conf)
+		}
+		if conf < 0 {
+			t.Errorf("negative confidence %v", conf)
+		}
+	}
+	// unseen document on the db side
+	if d := m.Decide(vsm.Vector{"db": 0.7, "sql": 0.7}); d <= 0 {
+		t.Errorf("db doc decision = %v", d)
+	}
+	if d := m.Decide(vsm.Vector{"sport": 0.7, "goal": 0.7}); d >= 0 {
+		t.Errorf("sport doc decision = %v", d)
+	}
+	// unknown features are ignored: decision equals bias only
+	if d := m.Decide(vsm.Vector{"zzz": 5}); math.Abs(d-m.Bias()) > 1e-12 {
+		t.Errorf("unknown-feature decision = %v, bias = %v", d, m.Bias())
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	_, err := Train(nil, DefaultParams())
+	if !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	_, err = Train([]Example{ex(+1, "a", 1.0)}, DefaultParams())
+	if !errors.Is(err, ErrNoData) {
+		t.Errorf("one-class err = %v", err)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	examples := []Example{
+		ex(+1, "a", 1.0, "b", 0.5), ex(+1, "a", 0.8),
+		ex(-1, "c", 1.0), ex(-1, "c", 0.6, "d", 0.9),
+	}
+	m1, _ := Train(examples, DefaultParams())
+	m2, _ := Train(examples, DefaultParams())
+	probe := vsm.Vector{"a": 0.3, "c": 0.2, "d": 0.1}
+	// Decide sums sparse products in map-iteration order, so two calls can
+	// differ in the last ulp; training determinism is what matters here.
+	if d := m1.Decide(probe) - m2.Decide(probe); math.Abs(d) > 1e-9 {
+		t.Errorf("training not deterministic under fixed seed: delta %v", d)
+	}
+	// the learned weights themselves must be bitwise identical
+	for _, feat := range []string{"a", "b", "c", "d"} {
+		if m1.WeightOf(feat) != m2.WeightOf(feat) {
+			t.Errorf("weight %q differs: %v vs %v", feat, m1.WeightOf(feat), m2.WeightOf(feat))
+		}
+	}
+}
+
+// Property: on linearly separable data with generous margin, the trained
+// model separates the training set perfectly and the margin constraint
+// y·(w·x+b) ≥ 1−ξ holds with small ξ.
+func TestTrainSeparationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		var examples []Example
+		npos := 2 + rng.Intn(6)
+		nneg := 2 + rng.Intn(6)
+		for i := 0; i < npos; i++ {
+			examples = append(examples, ex(+1, "p", 0.5+rng.Float64(), "shared", rng.Float64()*0.2))
+		}
+		for i := 0; i < nneg; i++ {
+			examples = append(examples, ex(-1, "n", 0.5+rng.Float64(), "shared", rng.Float64()*0.2))
+		}
+		m, err := Train(examples, DefaultParams())
+		if err != nil {
+			return false
+		}
+		for _, e := range examples {
+			if yes, _ := m.Classify(e.Features); yes != (e.Label > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfidenceOrdering(t *testing.T) {
+	// A document deep inside the positive region should have higher
+	// confidence than one near the boundary.
+	examples := []Example{
+		ex(+1, "db", 1.0), ex(+1, "db", 0.9),
+		ex(-1, "sport", 1.0), ex(-1, "sport", 0.9),
+	}
+	m, _ := Train(examples, DefaultParams())
+	deep := m.Decide(vsm.Vector{"db": 2.0})
+	shallow := m.Decide(vsm.Vector{"db": 0.1})
+	if deep <= shallow {
+		t.Errorf("deep %v <= shallow %v", deep, shallow)
+	}
+}
+
+func TestAlphaBounds(t *testing.T) {
+	examples := []Example{
+		ex(+1, "a", 1.0), ex(+1, "a", 0.5, "b", 0.5),
+		ex(-1, "b", 1.0), ex(-1, "b", 0.5, "a", 0.4),
+	}
+	p := DefaultParams()
+	p.C = 0.7
+	m, _ := Train(examples, p)
+	for i, a := range m.alpha {
+		if a < 0 || a > p.C+1e-12 {
+			t.Errorf("alpha[%d] = %v out of [0,%v]", i, a, p.C)
+		}
+	}
+}
+
+func TestNoisyDataStillTrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var examples []Example
+	for i := 0; i < 60; i++ {
+		label := +1
+		key := "pos"
+		if i%2 == 1 {
+			label = -1
+			key = "neg"
+		}
+		e := ex(label, key, 1.0, "noise", rng.Float64())
+		// flip 10% of labels
+		if rng.Float64() < 0.1 {
+			e.Label = -e.Label
+		}
+		examples = append(examples, e)
+	}
+	m, err := Train(examples, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// should still classify the clean signal correctly
+	if d := m.Decide(vsm.Vector{"pos": 1}); d <= 0 {
+		t.Errorf("pos decision = %v", d)
+	}
+	if d := m.Decide(vsm.Vector{"neg": 1}); d >= 0 {
+		t.Errorf("neg decision = %v", d)
+	}
+}
+
+func TestWeightOfAndNumFeatures(t *testing.T) {
+	examples := []Example{ex(+1, "a", 1.0), ex(-1, "b", 1.0)}
+	m, _ := Train(examples, DefaultParams())
+	if m.NumFeatures() != 2 {
+		t.Errorf("NumFeatures = %d", m.NumFeatures())
+	}
+	if m.WeightOf("a") <= 0 {
+		t.Errorf("WeightOf(a) = %v", m.WeightOf("a"))
+	}
+	if m.WeightOf("b") >= 0 {
+		t.Errorf("WeightOf(b) = %v", m.WeightOf("b"))
+	}
+	if m.WeightOf("zzz") != 0 {
+		t.Errorf("WeightOf(zzz) = %v", m.WeightOf("zzz"))
+	}
+	if m.Iterations() <= 0 {
+		t.Error("Iterations = 0")
+	}
+}
+
+func TestXiAlphaOnSeparableData(t *testing.T) {
+	var examples []Example
+	for i := 0; i < 20; i++ {
+		examples = append(examples, ex(+1, "p", 1.0))
+		examples = append(examples, ex(-1, "n", 1.0))
+	}
+	m, _ := Train(examples, DefaultParams())
+	est := m.XiAlpha()
+	if est.Error > 0.35 {
+		t.Errorf("error estimate too high on separable data: %+v", est)
+	}
+	if est.Precision < 0.6 || est.Precision > 1 {
+		t.Errorf("precision estimate out of range: %+v", est)
+	}
+	if est.Recall < 0.6 || est.Recall > 1 {
+		t.Errorf("recall estimate out of range: %+v", est)
+	}
+}
+
+func TestXiAlphaPessimisticOnNoise(t *testing.T) {
+	// Random labels on a single shared feature: estimator should flag many
+	// potential errors.
+	rng := rand.New(rand.NewSource(4))
+	var examples []Example
+	for i := 0; i < 40; i++ {
+		label := 1
+		if rng.Float64() < 0.5 {
+			label = -1
+		}
+		examples = append(examples, ex(label, "x", 1.0))
+	}
+	m, err := Train(examples, DefaultParams())
+	if err != nil {
+		t.Skip("degenerate draw")
+	}
+	clean, _ := Train([]Example{
+		ex(+1, "p", 1.0), ex(+1, "p", 0.9),
+		ex(-1, "n", 1.0), ex(-1, "n", 0.9),
+	}, DefaultParams())
+	if m.XiAlpha().Error <= clean.XiAlpha().Error {
+		t.Errorf("noise error %v <= clean error %v", m.XiAlpha().Error, clean.XiAlpha().Error)
+	}
+}
+
+func TestXiAlphaEmptyModel(t *testing.T) {
+	m := &Model{}
+	if est := m.XiAlpha(); est.Error != 0 || est.Precision != 0 {
+		t.Errorf("empty estimate = %+v", est)
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var examples []Example
+	for i := 0; i < 200; i++ {
+		v := vsm.Vector{}
+		base := "p"
+		label := +1
+		if i%2 == 1 {
+			base = "n"
+			label = -1
+		}
+		for j := 0; j < 50; j++ {
+			v[base+string(rune('a'+rng.Intn(26)))+string(rune('a'+rng.Intn(26)))] = rng.Float64()
+		}
+		examples = append(examples, Example{Features: v.Normalize(), Label: label})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(examples, DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecide(b *testing.B) {
+	examples := []Example{ex(+1, "a", 1.0), ex(-1, "b", 1.0)}
+	m, _ := Train(examples, DefaultParams())
+	probe := vsm.Vector{}
+	for i := 0; i < 2000; i++ {
+		probe[string(rune('a'+i%26))+string(rune('a'+(i/26)%26))+string(rune('0'+i%10))] = 0.01
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Decide(probe)
+	}
+}
+
+func TestXiAlphaConsistentAcrossC(t *testing.T) {
+	// sanity: estimator stays in [0,1] and doesn't blow up across C values
+	var examples []Example
+	for i := 0; i < 15; i++ {
+		examples = append(examples, ex(+1, "p", 1.0, "shared", 0.2))
+		examples = append(examples, ex(-1, "n", 1.0, "shared", 0.2))
+	}
+	for _, c := range []float64{0.01, 0.1, 1, 10, 100} {
+		p := DefaultParams()
+		p.C = c
+		m, err := Train(examples, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := m.XiAlpha()
+		if est.Error < 0 || est.Error > 1 || est.Precision < 0 || est.Precision > 1 {
+			t.Errorf("C=%v estimate out of range: %+v", c, est)
+		}
+	}
+}
+
+func TestBalancedVsUnbalanced(t *testing.T) {
+	// 2 positives vs 20 negatives: without balancing the decision skews
+	// negative on borderline docs; with balancing the positives hold.
+	var examples []Example
+	examples = append(examples, ex(+1, "p", 1.0), ex(+1, "p", 0.9, "x", 0.1))
+	for i := 0; i < 20; i++ {
+		examples = append(examples, ex(-1, "n", 1.0, "x", 0.1))
+	}
+	pb := DefaultParams()
+	pb.Balance = true
+	mb, err := Train(examples, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mb.Decide(vsm.Vector{"p": 0.5}); d <= 0 {
+		t.Errorf("balanced model rejects weak positive: %v", d)
+	}
+}

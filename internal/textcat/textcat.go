@@ -1,0 +1,265 @@
+// Package textcat provides the alternative supervised text classifiers the
+// paper names alongside the SVM (§1.2: "classification techniques from
+// machine learning such as Naive Bayes, Maximum Entropy, Support Vector
+// Machines"): a multinomial Naive Bayes classifier and a Maximum-Entropy
+// (binary logistic regression) classifier. BINGO! uses the SVM; these
+// implementations back the classifier-comparison experiment that justifies
+// that choice.
+package textcat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Doc is a document reduced to term counts.
+type Doc = map[string]int
+
+// ErrNoData mirrors the SVM package's contract.
+var ErrNoData = errors.New("textcat: need at least one positive and one negative example")
+
+// --- multinomial Naive Bayes ---
+
+// NaiveBayes is a binary multinomial Naive Bayes model with Laplace
+// smoothing.
+type NaiveBayes struct {
+	logPrior float64 // log P(+) − log P(−)
+	// logLikelihood maps term -> log P(t|+) − log P(t|−).
+	logLikelihood map[string]float64
+	// defaults for unseen terms (smoothing mass only).
+	unseenPos, unseenNeg float64
+}
+
+// TrainNB fits the model on positive and negative documents.
+func TrainNB(pos, neg []Doc) (*NaiveBayes, error) {
+	if len(pos) == 0 || len(neg) == 0 {
+		return nil, ErrNoData
+	}
+	vocab := map[string]struct{}{}
+	posCounts := map[string]int{}
+	negCounts := map[string]int{}
+	var posTotal, negTotal int
+	for _, d := range pos {
+		for t, c := range d {
+			if c <= 0 {
+				continue
+			}
+			vocab[t] = struct{}{}
+			posCounts[t] += c
+			posTotal += c
+		}
+	}
+	for _, d := range neg {
+		for t, c := range d {
+			if c <= 0 {
+				continue
+			}
+			vocab[t] = struct{}{}
+			negCounts[t] += c
+			negTotal += c
+		}
+	}
+	v := float64(len(vocab))
+	if v == 0 {
+		return nil, ErrNoData
+	}
+	m := &NaiveBayes{
+		logPrior:      math.Log(float64(len(pos))) - math.Log(float64(len(neg))),
+		logLikelihood: make(map[string]float64, len(vocab)),
+		unseenPos:     math.Log(1 / (float64(posTotal) + v)),
+		unseenNeg:     math.Log(1 / (float64(negTotal) + v)),
+	}
+	for t := range vocab {
+		lp := math.Log((float64(posCounts[t]) + 1) / (float64(posTotal) + v))
+		ln := math.Log((float64(negCounts[t]) + 1) / (float64(negTotal) + v))
+		m.logLikelihood[t] = lp - ln
+	}
+	return m, nil
+}
+
+// LogOdds returns log P(+|d) − log P(−|d); positive means class +.
+// Terms never seen in training are ignored (their smoothed likelihood
+// ratio carries no information about the class).
+func (m *NaiveBayes) LogOdds(d Doc) float64 {
+	score := m.logPrior
+	for t, c := range d {
+		if c <= 0 {
+			continue
+		}
+		if lr, ok := m.logLikelihood[t]; ok {
+			score += float64(c) * lr
+		}
+	}
+	return score
+}
+
+// Classify returns the binary decision and |log-odds| as confidence.
+func (m *NaiveBayes) Classify(d Doc) (bool, float64) {
+	s := m.LogOdds(d)
+	return s > 0, math.Abs(s)
+}
+
+// --- Maximum Entropy (binary logistic regression) ---
+
+// MaxEnt is a binary logistic-regression model over tf-normalized features.
+type MaxEnt struct {
+	w    map[string]float64
+	bias float64
+}
+
+// MaxEntParams tunes training.
+type MaxEntParams struct {
+	// Epochs of stochastic gradient descent (default 50).
+	Epochs int
+	// LearningRate (default 0.5, decayed per epoch).
+	LearningRate float64
+	// L2 regularization strength (default 1e-4).
+	L2 float64
+	// Seed fixes the shuffling.
+	Seed int64
+}
+
+// DefaultMaxEntParams returns sensible defaults for text.
+func DefaultMaxEntParams() MaxEntParams {
+	return MaxEntParams{Epochs: 50, LearningRate: 0.5, L2: 1e-4, Seed: 1}
+}
+
+// TrainMaxEnt fits logistic regression with SGD on L2-regularized log loss.
+// Documents are length-normalized internally.
+func TrainMaxEnt(pos, neg []Doc, p MaxEntParams) (*MaxEnt, error) {
+	if len(pos) == 0 || len(neg) == 0 {
+		return nil, ErrNoData
+	}
+	if p.Epochs <= 0 {
+		p.Epochs = 50
+	}
+	if p.LearningRate <= 0 {
+		p.LearningRate = 0.5
+	}
+	if p.L2 < 0 {
+		p.L2 = 1e-4
+	}
+	// Features are kept as term-sorted slices so SGD touches them in a
+	// fixed order: floating-point summation order is then deterministic
+	// and training is bit-reproducible under a fixed seed.
+	type feat struct {
+		t string
+		x float64
+	}
+	type ex struct {
+		feats []feat
+		y     float64
+	}
+	var data []ex
+	normalize := func(d Doc) []feat {
+		var total float64
+		for _, c := range d {
+			if c > 0 {
+				total += float64(c)
+			}
+		}
+		if total == 0 {
+			return nil
+		}
+		out := make([]feat, 0, len(d))
+		for t, c := range d {
+			if c > 0 {
+				out = append(out, feat{t: t, x: float64(c) / total})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].t < out[j].t })
+		return out
+	}
+	for _, d := range pos {
+		data = append(data, ex{feats: normalize(d), y: 1})
+	}
+	for _, d := range neg {
+		data = append(data, ex{feats: normalize(d), y: 0})
+	}
+	m := &MaxEnt{w: map[string]float64{}}
+	rng := rand.New(rand.NewSource(p.Seed))
+	perm := rng.Perm(len(data))
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		rate := p.LearningRate / (1 + 0.1*float64(epoch))
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for _, i := range perm {
+			e := data[i]
+			s := m.bias
+			for _, f := range e.feats {
+				s += m.w[f.t] * f.x
+			}
+			grad := sigmoid(s) - e.y
+			m.bias -= rate * grad
+			for _, f := range e.feats {
+				m.w[f.t] -= rate * (grad*f.x + p.L2*m.w[f.t])
+			}
+		}
+	}
+	return m, nil
+}
+
+// Decide returns the decision value (log-odds scale); positive means +.
+func (m *MaxEnt) Decide(d Doc) float64 {
+	var total float64
+	for _, c := range d {
+		if c > 0 {
+			total += float64(c)
+		}
+	}
+	s := m.bias
+	if total == 0 {
+		return s
+	}
+	for t, c := range d {
+		if c <= 0 {
+			continue
+		}
+		if w, ok := m.w[t]; ok {
+			s += w * float64(c) / total
+		}
+	}
+	return s
+}
+
+// Classify returns the binary decision and |decision value| as confidence.
+func (m *MaxEnt) Classify(d Doc) (bool, float64) {
+	s := m.Decide(d)
+	return s > 0, math.Abs(s)
+}
+
+// TopWeights returns the n most positively weighted terms (diagnostics).
+func (m *MaxEnt) TopWeights(n int) []string {
+	type kw struct {
+		t string
+		w float64
+	}
+	all := make([]kw, 0, len(m.w))
+	for t, w := range m.w {
+		all = append(all, kw{t, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].t < all[j].t
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = all[i].t
+	}
+	return out
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}

@@ -1,0 +1,235 @@
+package textcat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func doc(kv ...interface{}) Doc {
+	d := Doc{}
+	for i := 0; i < len(kv); i += 2 {
+		d[kv[i].(string)] = kv[i+1].(int)
+	}
+	return d
+}
+
+func sepData() (pos, neg []Doc) {
+	pos = []Doc{
+		doc("db", 3, "sql", 2), doc("db", 2, "index", 1),
+		doc("sql", 3, "join", 1), doc("db", 1, "join", 2),
+	}
+	neg = []Doc{
+		doc("goal", 3, "match", 2), doc("goal", 1, "team", 2),
+		doc("match", 2, "team", 1), doc("team", 3),
+	}
+	return pos, neg
+}
+
+func TestNaiveBayesSeparable(t *testing.T) {
+	pos, neg := sepData()
+	m, err := TrainNB(pos, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range pos {
+		if yes, conf := m.Classify(d); !yes || conf <= 0 {
+			t.Errorf("pos misclassified: %v (%v)", d, conf)
+		}
+	}
+	for _, d := range neg {
+		if yes, _ := m.Classify(d); yes {
+			t.Errorf("neg misclassified: %v", d)
+		}
+	}
+	// unseen doc with topical terms
+	if yes, _ := m.Classify(doc("db", 1, "sql", 1)); !yes {
+		t.Error("on-topic doc rejected")
+	}
+	// doc with only unseen terms falls back to the prior (balanced here)
+	s := m.LogOdds(doc("zzz", 5))
+	if math.Abs(s) > 1e-9 {
+		t.Errorf("unseen-only log odds = %v, want prior 0", s)
+	}
+}
+
+func TestNaiveBayesPrior(t *testing.T) {
+	// unbalanced classes shift the prior
+	pos := []Doc{doc("x", 1), doc("x", 1), doc("x", 1)}
+	neg := []Doc{doc("y", 1)}
+	m, _ := TrainNB(pos, neg)
+	if m.LogOdds(doc("zzz", 1)) <= 0 {
+		t.Error("prior should favour the majority class")
+	}
+}
+
+func TestNaiveBayesErrors(t *testing.T) {
+	if _, err := TrainNB(nil, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := TrainNB([]Doc{doc("a", 1)}, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := TrainNB([]Doc{{}}, []Doc{{}}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty-vocab err = %v", err)
+	}
+}
+
+func TestMaxEntSeparable(t *testing.T) {
+	pos, neg := sepData()
+	m, err := TrainMaxEnt(pos, neg, DefaultMaxEntParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range pos {
+		if yes, _ := m.Classify(d); !yes {
+			t.Errorf("pos misclassified: %v (score %v)", d, m.Decide(d))
+		}
+	}
+	for _, d := range neg {
+		if yes, _ := m.Classify(d); yes {
+			t.Errorf("neg misclassified: %v (score %v)", d, m.Decide(d))
+		}
+	}
+	top := m.TopWeights(2)
+	if len(top) != 2 {
+		t.Fatalf("TopWeights = %v", top)
+	}
+	for _, w := range top {
+		switch w {
+		case "db", "sql", "join", "index":
+		default:
+			t.Errorf("unexpected top positive weight %q", w)
+		}
+	}
+}
+
+func TestMaxEntErrorsAndDefaults(t *testing.T) {
+	if _, err := TrainMaxEnt(nil, nil, MaxEntParams{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	pos, neg := sepData()
+	// zero params fall back to defaults
+	m, err := TrainMaxEnt(pos, neg, MaxEntParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yes, _ := m.Classify(pos[0]); !yes {
+		t.Error("default-params model failed")
+	}
+}
+
+func TestMaxEntDeterministic(t *testing.T) {
+	pos, neg := sepData()
+	a, _ := TrainMaxEnt(pos, neg, DefaultMaxEntParams())
+	b, _ := TrainMaxEnt(pos, neg, DefaultMaxEntParams())
+	// Decide sums sparse products in map-iteration order, so compare the
+	// learned weights (bitwise) rather than two float summations.
+	if a.bias != b.bias {
+		t.Errorf("bias differs: %v vs %v", a.bias, b.bias)
+	}
+	for term, w := range a.w {
+		if b.w[term] != w {
+			t.Errorf("weight %q differs: %v vs %v", term, w, b.w[term])
+		}
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if s := sigmoid(0); math.Abs(s-0.5) > 1e-12 {
+		t.Errorf("sigmoid(0) = %v", s)
+	}
+	if s := sigmoid(100); s <= 0.999 {
+		t.Errorf("sigmoid(100) = %v", s)
+	}
+	if s := sigmoid(-100); s >= 0.001 {
+		t.Errorf("sigmoid(-100) = %v", s)
+	}
+	// numerically stable at extremes
+	for _, x := range []float64{-1e9, 1e9} {
+		if s := sigmoid(x); math.IsNaN(s) || s < 0 || s > 1 {
+			t.Errorf("sigmoid(%v) = %v", x, s)
+		}
+	}
+}
+
+// Property: both classifiers separate randomly generated disjoint-vocabulary
+// classes perfectly.
+func TestClassifiersSeparateDisjointVocab(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		var pos, neg []Doc
+		for i := 0; i < 3+rng.Intn(5); i++ {
+			pos = append(pos, doc("p"+string(rune('a'+rng.Intn(4))), 1+rng.Intn(4)))
+			neg = append(neg, doc("n"+string(rune('a'+rng.Intn(4))), 1+rng.Intn(4)))
+		}
+		nb, err := TrainNB(pos, neg)
+		if err != nil {
+			return false
+		}
+		me, err := TrainMaxEnt(pos, neg, DefaultMaxEntParams())
+		if err != nil {
+			return false
+		}
+		for _, d := range pos {
+			if y, _ := nb.Classify(d); !y {
+				return false
+			}
+			if y, _ := me.Classify(d); !y {
+				return false
+			}
+		}
+		for _, d := range neg {
+			if y, _ := nb.Classify(d); y {
+				return false
+			}
+			if y, _ := me.Classify(d); y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTrainNB(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var pos, neg []Doc
+	for i := 0; i < 100; i++ {
+		p, n := Doc{}, Doc{}
+		for j := 0; j < 50; j++ {
+			p["p"+string(rune('a'+rng.Intn(26)))+string(rune('a'+rng.Intn(26)))] = 1 + rng.Intn(3)
+			n["n"+string(rune('a'+rng.Intn(26)))+string(rune('a'+rng.Intn(26)))] = 1 + rng.Intn(3)
+		}
+		pos, neg = append(pos, p), append(neg, n)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainNB(pos, neg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainMaxEnt(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var pos, neg []Doc
+	for i := 0; i < 50; i++ {
+		p, n := Doc{}, Doc{}
+		for j := 0; j < 30; j++ {
+			p["p"+string(rune('a'+rng.Intn(26)))] = 1 + rng.Intn(3)
+			n["n"+string(rune('a'+rng.Intn(26)))] = 1 + rng.Intn(3)
+		}
+		pos, neg = append(pos, p), append(neg, n)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainMaxEnt(pos, neg, DefaultMaxEntParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package textproc
+
+// Porter stemmer (M.F. Porter, "An algorithm for suffix stripping", 1980).
+// This is a faithful implementation of the original algorithm, the stemmer
+// the paper's document analyzer uses (§2.2).
+
+type porterState struct {
+	b []byte // word buffer, lower-case ASCII letters only
+	k int    // index of last valid character
+	j int    // suffix boundary set by ends()
+}
+
+// Stem returns the Porter stem of w. Words shorter than 3 characters or
+// containing non a-z characters after lower-casing are returned unchanged
+// (Porter's algorithm is defined on English letter strings).
+func Stem(w string) string {
+	if len(w) < 3 {
+		return w
+	}
+	b := []byte(w)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+			b[i] = c
+		}
+		if c < 'a' || c > 'z' {
+			return w
+		}
+	}
+	s := &porterState{b: b, k: len(b) - 1}
+	s.step1ab()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5()
+	return string(s.b[:s.k+1])
+}
+
+// cons reports whether b[i] is a consonant.
+func (s *porterState) cons(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.cons(i - 1)
+	}
+	return true
+}
+
+// m measures the number of consonant-vowel sequences in b[0..j].
+func (s *porterState) m() int {
+	n := 0
+	i := 0
+	for {
+		if i > s.j {
+			return n
+		}
+		if !s.cons(i) {
+			break
+		}
+		i++
+	}
+	i++
+	for {
+		for {
+			if i > s.j {
+				return n
+			}
+			if s.cons(i) {
+				break
+			}
+			i++
+		}
+		i++
+		n++
+		for {
+			if i > s.j {
+				return n
+			}
+			if !s.cons(i) {
+				break
+			}
+			i++
+		}
+		i++
+	}
+}
+
+// vowelInStem reports whether b[0..j] contains a vowel.
+func (s *porterState) vowelInStem() bool {
+	for i := 0; i <= s.j; i++ {
+		if !s.cons(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleC reports whether b[i-1..i] is a double consonant.
+func (s *porterState) doubleC(i int) bool {
+	if i < 1 {
+		return false
+	}
+	if s.b[i] != s.b[i-1] {
+		return false
+	}
+	return s.cons(i)
+}
+
+// cvc reports whether b[i-2..i] is consonant-vowel-consonant and the final
+// consonant is not w, x or y (used to restore a trailing e, e.g. hop -> hope).
+func (s *porterState) cvc(i int) bool {
+	if i < 2 || !s.cons(i) || s.cons(i-1) || !s.cons(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// ends reports whether the word ends with suffix and, if so, sets j to the
+// offset just before the suffix.
+func (s *porterState) ends(suffix string) bool {
+	l := len(suffix)
+	o := s.k - l + 1
+	if o < 0 {
+		return false
+	}
+	for i := 0; i < l; i++ {
+		if s.b[o+i] != suffix[i] {
+			return false
+		}
+	}
+	s.j = s.k - l
+	return true
+}
+
+// setTo replaces the suffix b[j+1..k] with t and adjusts k.
+func (s *porterState) setTo(t string) {
+	o := s.j + 1
+	for i := 0; i < len(t); i++ {
+		if o+i < len(s.b) {
+			s.b[o+i] = t[i]
+		} else {
+			s.b = append(s.b, t[i])
+		}
+	}
+	s.k = s.j + len(t)
+}
+
+// r replaces the suffix with t when m() > 0.
+func (s *porterState) r(t string) {
+	if s.m() > 0 {
+		s.setTo(t)
+	}
+}
+
+// step1ab removes plurals and -ed / -ing suffixes.
+func (s *porterState) step1ab() {
+	if s.b[s.k] == 's' {
+		switch {
+		case s.ends("sses"):
+			s.k -= 2
+		case s.ends("ies"):
+			s.setTo("i")
+		case s.b[s.k-1] != 's':
+			s.k--
+		}
+	}
+	if s.ends("eed") {
+		if s.m() > 0 {
+			s.k--
+		}
+	} else if (s.ends("ed") || s.ends("ing")) && s.vowelInStem() {
+		s.k = s.j
+		switch {
+		case s.ends("at"):
+			s.setTo("ate")
+		case s.ends("bl"):
+			s.setTo("ble")
+		case s.ends("iz"):
+			s.setTo("ize")
+		case s.doubleC(s.k):
+			s.k--
+			switch s.b[s.k] {
+			case 'l', 's', 'z':
+				s.k++
+			}
+		default:
+			if s.m() == 1 && s.cvc(s.k) {
+				s.j = s.k
+				s.setTo("e")
+			}
+		}
+	}
+}
+
+// step1c turns terminal y to i when there is another vowel in the stem.
+func (s *porterState) step1c() {
+	if s.ends("y") && s.vowelInStem() {
+		s.b[s.k] = 'i'
+	}
+}
+
+// step2 maps double suffixes to single ones when m() > 0.
+func (s *porterState) step2() {
+	if s.k < 1 {
+		return
+	}
+	switch s.b[s.k-1] {
+	case 'a':
+		if s.ends("ational") {
+			s.r("ate")
+		} else if s.ends("tional") {
+			s.r("tion")
+		}
+	case 'c':
+		if s.ends("enci") {
+			s.r("ence")
+		} else if s.ends("anci") {
+			s.r("ance")
+		}
+	case 'e':
+		if s.ends("izer") {
+			s.r("ize")
+		}
+	case 'l':
+		if s.ends("bli") {
+			s.r("ble")
+		} else if s.ends("alli") {
+			s.r("al")
+		} else if s.ends("entli") {
+			s.r("ent")
+		} else if s.ends("eli") {
+			s.r("e")
+		} else if s.ends("ousli") {
+			s.r("ous")
+		}
+	case 'o':
+		if s.ends("ization") {
+			s.r("ize")
+		} else if s.ends("ation") {
+			s.r("ate")
+		} else if s.ends("ator") {
+			s.r("ate")
+		}
+	case 's':
+		if s.ends("alism") {
+			s.r("al")
+		} else if s.ends("iveness") {
+			s.r("ive")
+		} else if s.ends("fulness") {
+			s.r("ful")
+		} else if s.ends("ousness") {
+			s.r("ous")
+		}
+	case 't':
+		if s.ends("aliti") {
+			s.r("al")
+		} else if s.ends("iviti") {
+			s.r("ive")
+		} else if s.ends("biliti") {
+			s.r("ble")
+		}
+	case 'g':
+		if s.ends("logi") {
+			s.r("log")
+		}
+	}
+}
+
+// step3 handles -ic-, -full, -ness etc.
+func (s *porterState) step3() {
+	switch s.b[s.k] {
+	case 'e':
+		if s.ends("icate") {
+			s.r("ic")
+		} else if s.ends("ative") {
+			s.r("")
+		} else if s.ends("alize") {
+			s.r("al")
+		}
+	case 'i':
+		if s.ends("iciti") {
+			s.r("ic")
+		}
+	case 'l':
+		if s.ends("ical") {
+			s.r("ic")
+		} else if s.ends("ful") {
+			s.r("")
+		}
+	case 's':
+		if s.ends("ness") {
+			s.r("")
+		}
+	}
+}
+
+// step4 removes -ant, -ence etc. when m() > 1.
+func (s *porterState) step4() {
+	if s.k < 1 {
+		return
+	}
+	switch s.b[s.k-1] {
+	case 'a':
+		if !s.ends("al") {
+			return
+		}
+	case 'c':
+		if !s.ends("ance") && !s.ends("ence") {
+			return
+		}
+	case 'e':
+		if !s.ends("er") {
+			return
+		}
+	case 'i':
+		if !s.ends("ic") {
+			return
+		}
+	case 'l':
+		if !s.ends("able") && !s.ends("ible") {
+			return
+		}
+	case 'n':
+		if !s.ends("ant") && !s.ends("ement") && !s.ends("ment") && !s.ends("ent") {
+			return
+		}
+	case 'o':
+		if s.ends("ion") {
+			if s.j < 0 || (s.b[s.j] != 's' && s.b[s.j] != 't') {
+				return
+			}
+		} else if !s.ends("ou") {
+			return
+		}
+	case 's':
+		if !s.ends("ism") {
+			return
+		}
+	case 't':
+		if !s.ends("ate") && !s.ends("iti") {
+			return
+		}
+	case 'u':
+		if !s.ends("ous") {
+			return
+		}
+	case 'v':
+		if !s.ends("ive") {
+			return
+		}
+	case 'z':
+		if !s.ends("ize") {
+			return
+		}
+	default:
+		return
+	}
+	if s.m() > 1 {
+		s.k = s.j
+	}
+}
+
+// step5 removes a final -e and reduces -ll to -l when m() > 1.
+func (s *porterState) step5() {
+	s.j = s.k
+	if s.b[s.k] == 'e' {
+		a := s.m()
+		if a > 1 || (a == 1 && !s.cvc(s.k-1)) {
+			s.k--
+		}
+	}
+	if s.b[s.k] == 'l' && s.doubleC(s.k) && s.m() > 1 {
+		s.k--
+	}
+}

@@ -1,0 +1,56 @@
+package textproc
+
+// StopSet is a set of stopwords keyed by lower-cased surface form.
+type StopSet map[string]struct{}
+
+// Contains reports whether w is in the set.
+func (s StopSet) Contains(w string) bool {
+	_, ok := s[w]
+	return ok
+}
+
+// NewStopSet builds a StopSet from a word list.
+func NewStopSet(words []string) StopSet {
+	s := make(StopSet, len(words))
+	for _, w := range words {
+		s[w] = struct{}{}
+	}
+	return s
+}
+
+// defaultStopwords is the classic English stopword list (SMART-derived).
+var defaultStopwords = []string{
+	"a", "about", "above", "after", "again", "against", "all", "also", "am",
+	"an", "and", "any", "are", "aren", "as", "at", "be", "because", "been",
+	"before", "being", "below", "between", "both", "but", "by", "can",
+	"cannot", "could", "couldn", "did", "didn", "do", "does", "doesn",
+	"doing", "don", "down", "during", "each", "else", "ever", "few", "for",
+	"from", "further", "get", "got", "had", "hadn", "has", "hasn", "have",
+	"haven", "having", "he", "her", "here", "hers", "herself", "him",
+	"himself", "his", "how", "however", "i", "if", "in", "into", "is", "isn",
+	"it", "its", "itself", "just", "let", "like", "me", "more", "most",
+	"mustn", "my", "myself", "no", "nor", "not", "of", "off", "on", "once",
+	"only", "or", "other", "ought", "our", "ours", "ourselves", "out",
+	"over", "own", "same", "shan", "she", "should", "shouldn", "since", "so",
+	"some", "such", "than", "that", "the", "their", "theirs", "them",
+	"themselves", "then", "there", "these", "they", "this", "those",
+	"through", "to", "too", "under", "until", "up", "upon", "us", "very",
+	"was", "wasn", "we", "were", "weren", "what", "when", "where", "which",
+	"while", "who", "whom", "why", "will", "with", "won", "would", "wouldn",
+	"you", "your", "yours", "yourself", "yourselves",
+}
+
+// anchorStopwords extends the default list with hyperlink boilerplate that
+// dilutes anchor-text features (§3.4: "standard phrases such as click here").
+var anchorStopwords = []string{
+	"click", "here", "link", "links", "page", "pages", "home", "homepage",
+	"next", "previous", "prev", "back", "top", "bottom", "more", "read",
+	"follow", "goto", "go", "site", "website", "web", "www", "html", "htm",
+	"index", "main", "menu", "contents", "table", "download", "view", "new",
+}
+
+// DefaultStopwords returns a fresh copy of the standard stopword set.
+func DefaultStopwords() StopSet { return NewStopSet(defaultStopwords) }
+
+// AnchorStopwords returns the extended stopword set for anchor texts.
+func AnchorStopwords() StopSet { return NewStopSet(anchorStopwords) }

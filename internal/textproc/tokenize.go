@@ -1,0 +1,107 @@
+// Package textproc implements the text normalization pipeline used by the
+// BINGO! document analyzer: tokenization, stopword elimination, and Porter
+// stemming. The output of the pipeline is the stream of word stems from
+// which bag-of-words feature vectors are built (paper §2.2).
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single word occurrence in a document, before stemming.
+type Token struct {
+	Text     string // lower-cased surface form
+	Position int    // 0-based word offset in the document
+}
+
+// Tokenize splits text into lower-cased word tokens. A word is a maximal run
+// of letters and digits; runs that contain no letter (pure numbers) are
+// dropped, as are single-character tokens, mirroring typical IR lexers.
+func Tokenize(text string) []Token {
+	tokens := make([]Token, 0, len(text)/6)
+	pos := 0
+	start := -1
+	hasLetter := false
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		if hasLetter && end-start > 1 {
+			tokens = append(tokens, Token{Text: strings.ToLower(text[start:end]), Position: pos})
+			pos++
+		}
+		start = -1
+		hasLetter = false
+	}
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			if unicode.IsLetter(r) {
+				hasLetter = true
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(text))
+	return tokens
+}
+
+// Words is a convenience wrapper returning only the token texts.
+func Words(text string) []string {
+	tokens := Tokenize(text)
+	out := make([]string, len(tokens))
+	for i, t := range tokens {
+		out[i] = t.Text
+	}
+	return out
+}
+
+// Pipeline bundles the full analyzer chain: tokenize, drop stopwords, stem.
+type Pipeline struct {
+	stopwords StopSet
+	// ExtraStops holds additional stopwords (e.g. the extended anchor-text
+	// list of §3.4: "click", "here", ...).
+	extra StopSet
+}
+
+// NewPipeline returns a pipeline with the standard English stopword list.
+func NewPipeline() *Pipeline {
+	return &Pipeline{stopwords: DefaultStopwords()}
+}
+
+// NewAnchorPipeline returns a pipeline with the extended stopword list used
+// for anchor texts (§3.4), which additionally removes navigation boilerplate
+// such as "click here".
+func NewAnchorPipeline() *Pipeline {
+	return &Pipeline{stopwords: DefaultStopwords(), extra: AnchorStopwords()}
+}
+
+// Stems runs the full pipeline and returns the stem sequence.
+func (p *Pipeline) Stems(text string) []string {
+	tokens := Tokenize(text)
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if p.stopwords.Contains(t.Text) || (p.extra != nil && p.extra.Contains(t.Text)) {
+			continue
+		}
+		s := Stem(t.Text)
+		if len(s) < 2 {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// StemCounts runs the pipeline and returns term frequencies.
+func (p *Pipeline) StemCounts(text string) map[string]int {
+	counts := make(map[string]int)
+	for _, s := range p.Stems(text) {
+		counts[s]++
+	}
+	return counts
+}

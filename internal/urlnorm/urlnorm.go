@@ -1,0 +1,94 @@
+// Package urlnorm canonicalizes URLs before they enter the frontier or the
+// duplicate detector. The paper's crawler hashes visited URLs (§4.2), so
+// trivially different spellings of one address — upper-case hosts, default
+// ports, dot-segments, fragments — would either be crawled twice or bloat
+// the queues; normalization collapses them first.
+package urlnorm
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// Normalize returns the canonical form of raw:
+//
+//   - scheme and host are lower-cased,
+//   - default ports (http:80, https:443) are dropped,
+//   - the fragment is removed,
+//   - path dot-segments are resolved and an empty path becomes "/",
+//   - consecutive slashes in the path are collapsed.
+//
+// The query string is preserved byte-for-byte (parameter order can be
+// semantically significant).
+func Normalize(raw string) (string, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("urlnorm: %w", err)
+	}
+	NormalizeURL(u)
+	return u.String(), nil
+}
+
+// NormalizeURL canonicalizes u in place (see Normalize).
+func NormalizeURL(u *url.URL) {
+	u.Scheme = strings.ToLower(u.Scheme)
+	u.Fragment = ""
+	u.RawFragment = ""
+
+	host := u.Host
+	// lower-case the host, keep any port for now
+	host = strings.ToLower(host)
+	switch {
+	case u.Scheme == "http" && strings.HasSuffix(host, ":80"):
+		host = strings.TrimSuffix(host, ":80")
+	case u.Scheme == "https" && strings.HasSuffix(host, ":443"):
+		host = strings.TrimSuffix(host, ":443")
+	}
+	u.Host = host
+
+	if u.Host != "" {
+		p := u.EscapedPath()
+		if p == "" {
+			p = "/"
+		}
+		p = cleanPath(p)
+		// assigning via Path/RawPath keeps escaping consistent
+		if unescaped, err := url.PathUnescape(p); err == nil {
+			u.Path = unescaped
+			if url.PathEscape(unescaped) != p && u.EscapedPath() != p {
+				u.RawPath = p
+			} else {
+				u.RawPath = ""
+			}
+		} else {
+			u.Path = p
+			u.RawPath = ""
+		}
+	}
+}
+
+// cleanPath resolves "." and ".." segments and collapses duplicate slashes
+// while preserving a trailing slash (which is significant for directories).
+func cleanPath(p string) string {
+	trailing := strings.HasSuffix(p, "/") && p != "/"
+	segs := strings.Split(p, "/")
+	out := make([]string, 0, len(segs))
+	for _, s := range segs {
+		switch s {
+		case "", ".":
+			// skip empty (collapses //) and current-dir segments
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, s)
+		}
+	}
+	res := "/" + strings.Join(out, "/")
+	if trailing && res != "/" {
+		res += "/"
+	}
+	return res
+}

@@ -1,0 +1,112 @@
+package urlnorm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"HTTP://WWW.Example.COM/Path":     "http://www.example.com/Path",
+		"http://a.example:80/x":           "http://a.example/x",
+		"https://a.example:443/x":         "https://a.example/x",
+		"http://a.example:8080/x":         "http://a.example:8080/x",
+		"http://a.example/x#frag":         "http://a.example/x",
+		"http://a.example":                "http://a.example/",
+		"http://a.example/a/./b":          "http://a.example/a/b",
+		"http://a.example/a/../b":         "http://a.example/b",
+		"http://a.example/../../b":        "http://a.example/b",
+		"http://a.example//double//slash": "http://a.example/double/slash",
+		"http://a.example/dir/":           "http://a.example/dir/",
+		"http://a.example/x?b=2&a=1":      "http://a.example/x?b=2&a=1", // query preserved
+		"http://a.example/a/b/../":        "http://a.example/a/",
+		"http://a.example/%7Euser/":       "http://a.example/~user/",
+	}
+	for in, want := range cases {
+		got, err := Normalize(in)
+		if err != nil {
+			t.Errorf("Normalize(%q) error: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	if _, err := Normalize("http://bad url with spaces and %zz"); err == nil {
+		t.Error("invalid URL accepted")
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	inputs := []string{
+		"HTTP://A.Example:80/x/./y/../z#f",
+		"http://a.example//p//q/",
+		"https://b.example:443",
+		"http://c.example/%7Euser/page?q=1#top",
+	}
+	for _, in := range inputs {
+		once, err := Normalize(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twice, err := Normalize(once)
+		if err != nil {
+			t.Fatalf("re-normalize %q: %v", once, err)
+		}
+		if once != twice {
+			t.Errorf("not idempotent: %q -> %q -> %q", in, once, twice)
+		}
+	}
+}
+
+// Property: normalization is idempotent on every URL it accepts.
+func TestNormalizeIdempotentProperty(t *testing.T) {
+	f := func(host, path string) bool {
+		raw := "http://h" + sanitize(host) + ".example/" + sanitize(path)
+		once, err := Normalize(raw)
+		if err != nil {
+			return true // malformed input out of scope
+		}
+		twice, err := Normalize(once)
+		return err == nil && once == twice
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize keeps property inputs URL-legal-ish while still exercising
+// slashes and dots.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == '/' || r == '.' || r == '-' || r == '_' || r == '~':
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func TestCleanPath(t *testing.T) {
+	cases := map[string]string{
+		"/":        "/",
+		"/a/b":     "/a/b",
+		"/a//b":    "/a/b",
+		"/a/./b":   "/a/b",
+		"/a/../b":  "/b",
+		"/../a":    "/a",
+		"/a/b/../": "/a/",
+		"/a/":      "/a/",
+	}
+	for in, want := range cases {
+		if got := cleanPath(in); got != want {
+			t.Errorf("cleanPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

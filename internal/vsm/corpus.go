@@ -1,0 +1,100 @@
+package vsm
+
+import (
+	"math"
+	"sync"
+)
+
+// CorpusStats tracks document frequencies over the local document database,
+// which BINGO! uses as its approximation of the corpus for idf computation.
+// Per §2.2 the idf table is recomputed lazily upon each retraining: callers
+// add documents continuously, and Snapshot() materializes a consistent idf
+// table only when asked.
+type CorpusStats struct {
+	mu      sync.RWMutex
+	docFreq map[string]int
+	numDocs int
+}
+
+// NewCorpusStats returns empty corpus statistics.
+func NewCorpusStats() *CorpusStats {
+	return &CorpusStats{docFreq: make(map[string]int)}
+}
+
+// AddDoc registers one document's term set (counts > 0) in the statistics.
+func (c *CorpusStats) AddDoc(counts map[string]int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.numDocs++
+	for term, n := range counts {
+		if n > 0 {
+			c.docFreq[term]++
+		}
+	}
+}
+
+// NumDocs returns the number of registered documents.
+func (c *CorpusStats) NumDocs() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.numDocs
+}
+
+// DocFreq returns the document frequency of term.
+func (c *CorpusStats) DocFreq(term string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.docFreq[term]
+}
+
+// IDFTable is an immutable snapshot of idf weights.
+type IDFTable struct {
+	idf     map[string]float64
+	numDocs int
+	// defaultIDF is used for unseen terms (one hypothetical occurrence).
+	defaultIDF float64
+}
+
+// Snapshot materializes the current idf table: idf(t) = log(1 + N/df(t)),
+// the logarithmically dampened inverse document frequency of §2.2.
+func (c *CorpusStats) Snapshot() *IDFTable {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t := &IDFTable{
+		idf:     make(map[string]float64, len(c.docFreq)),
+		numDocs: c.numDocs,
+	}
+	n := float64(c.numDocs)
+	if n == 0 {
+		n = 1
+	}
+	for term, df := range c.docFreq {
+		t.idf[term] = math.Log(1 + n/float64(df))
+	}
+	t.defaultIDF = math.Log(1 + n)
+	return t
+}
+
+// NumDocs returns the corpus size at snapshot time.
+func (t *IDFTable) NumDocs() int { return t.numDocs }
+
+// IDF returns the idf weight for term (default weight for unseen terms).
+func (t *IDFTable) IDF(term string) float64 {
+	if w, ok := t.idf[term]; ok {
+		return w
+	}
+	return t.defaultIDF
+}
+
+// Weight builds a tf·idf vector from raw stem counts: the term frequency is
+// dampened as 1+log(tf), per standard IR practice.
+func (t *IDFTable) Weight(counts map[string]int) Vector {
+	v := make(Vector, len(counts))
+	for term, tf := range counts {
+		if tf <= 0 {
+			continue
+		}
+		v[term] = (1 + math.Log(float64(tf))) * t.IDF(term)
+	}
+	return v
+}

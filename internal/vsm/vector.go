@@ -1,0 +1,123 @@
+// Package vsm implements the vector space model underlying BINGO!'s
+// classifier and search engine (§2.2): sparse term vectors with tf·idf
+// weighting (logarithmically dampened inverse document frequency), cosine
+// similarity, and corpus statistics with the paper's lazy idf recomputation.
+package vsm
+
+import (
+	"math"
+	"sort"
+)
+
+// Vector is a sparse feature vector: term (or feature id) -> weight.
+type Vector map[string]float64
+
+// Copy returns a deep copy of v.
+func (v Vector) Copy() Vector {
+	out := make(Vector, len(v))
+	for k, w := range v {
+		out[k] = w
+	}
+	return out
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 {
+	var sum float64
+	for _, w := range v {
+		sum += w * w
+	}
+	return math.Sqrt(sum)
+}
+
+// Dot returns the scalar product of v and u.
+func (v Vector) Dot(u Vector) float64 {
+	if len(u) < len(v) {
+		v, u = u, v
+	}
+	var sum float64
+	for k, w := range v {
+		if uw, ok := u[k]; ok {
+			sum += w * uw
+		}
+	}
+	return sum
+}
+
+// Cosine returns the cosine similarity between v and u in [−1, 1];
+// zero vectors yield 0.
+func Cosine(v, u Vector) float64 {
+	nv, nu := v.Norm(), u.Norm()
+	if nv == 0 || nu == 0 {
+		return 0
+	}
+	return v.Dot(u) / (nv * nu)
+}
+
+// Normalize scales v to unit length in place and returns it. A zero vector
+// is returned unchanged.
+func (v Vector) Normalize() Vector {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	inv := 1 / n
+	for k := range v {
+		v[k] *= inv
+	}
+	return v
+}
+
+// Add accumulates u into v with the given scale: v += scale·u.
+func (v Vector) Add(u Vector, scale float64) {
+	for k, w := range u {
+		v[k] += scale * w
+	}
+}
+
+// Project returns a copy of v restricted to the keys in keep.
+func (v Vector) Project(keep map[string]struct{}) Vector {
+	out := make(Vector, len(keep))
+	for k, w := range v {
+		if _, ok := keep[k]; ok {
+			out[k] = w
+		}
+	}
+	return out
+}
+
+// Top returns the n highest-weighted terms in v, ties broken
+// lexicographically for determinism.
+func (v Vector) Top(n int) []string {
+	type kw struct {
+		k string
+		w float64
+	}
+	all := make([]kw, 0, len(v))
+	for k, w := range v {
+		all = append(all, kw{k, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].k < all[j].k
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].k
+	}
+	return out
+}
+
+// FromCounts builds a raw term-frequency vector from stem counts.
+func FromCounts(counts map[string]int) Vector {
+	v := make(Vector, len(counts))
+	for k, c := range counts {
+		v[k] = float64(c)
+	}
+	return v
+}

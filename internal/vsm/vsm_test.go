@@ -1,0 +1,219 @@
+package vsm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDotAndCosine(t *testing.T) {
+	v := Vector{"a": 1, "b": 2}
+	u := Vector{"b": 3, "c": 4}
+	if got := v.Dot(u); !almostEqual(got, 6) {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := u.Dot(v); !almostEqual(got, 6) {
+		t.Errorf("Dot not symmetric: %v", got)
+	}
+	// cosine of identical vectors is 1
+	if got := Cosine(v, v); !almostEqual(got, 1) {
+		t.Errorf("Cosine(v,v) = %v", got)
+	}
+	// orthogonal vectors
+	if got := Cosine(Vector{"a": 1}, Vector{"b": 1}); got != 0 {
+		t.Errorf("Cosine orthogonal = %v", got)
+	}
+	// zero vector
+	if got := Cosine(Vector{}, v); got != 0 {
+		t.Errorf("Cosine zero = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vector{"a": 3, "b": 4}
+	v.Normalize()
+	if !almostEqual(v.Norm(), 1) {
+		t.Errorf("norm = %v", v.Norm())
+	}
+	z := Vector{}
+	z.Normalize() // must not panic or produce NaN
+	if z.Norm() != 0 {
+		t.Errorf("zero norm = %v", z.Norm())
+	}
+}
+
+func TestAddAndCopy(t *testing.T) {
+	v := Vector{"a": 1}
+	c := v.Copy()
+	v.Add(Vector{"a": 1, "b": 2}, 0.5)
+	if !almostEqual(v["a"], 1.5) || !almostEqual(v["b"], 1) {
+		t.Errorf("Add result = %v", v)
+	}
+	if !almostEqual(c["a"], 1) || len(c) != 1 {
+		t.Errorf("Copy mutated: %v", c)
+	}
+}
+
+func TestProject(t *testing.T) {
+	v := Vector{"a": 1, "b": 2, "c": 3}
+	keep := map[string]struct{}{"a": {}, "c": {}, "z": {}}
+	p := v.Project(keep)
+	if len(p) != 2 || p["a"] != 1 || p["c"] != 3 {
+		t.Errorf("Project = %v", p)
+	}
+}
+
+func TestTop(t *testing.T) {
+	v := Vector{"low": 1, "high": 9, "mid": 5, "tie1": 3, "tie2": 3}
+	top := v.Top(3)
+	if top[0] != "high" || top[1] != "mid" || top[2] != "tie1" {
+		t.Errorf("Top = %v", top)
+	}
+	if got := v.Top(100); len(got) != 5 {
+		t.Errorf("Top(100) len = %d", len(got))
+	}
+}
+
+// Property tests on vector algebra invariants.
+func TestVectorProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randVec := func() Vector {
+		v := Vector{}
+		n := rng.Intn(8)
+		for i := 0; i < n; i++ {
+			v[string(rune('a'+rng.Intn(10)))] = rng.Float64()*4 - 2
+		}
+		return v
+	}
+	symmetry := func() bool {
+		v, u := randVec(), randVec()
+		return almostEqual(v.Dot(u), u.Dot(v))
+	}
+	cauchySchwarz := func() bool {
+		v, u := randVec(), randVec()
+		return math.Abs(v.Dot(u)) <= v.Norm()*u.Norm()+1e-9
+	}
+	cosineBounded := func() bool {
+		v, u := randVec(), randVec()
+		c := Cosine(v, u)
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	for name, f := range map[string]func() bool{
+		"symmetry": symmetry, "cauchy-schwarz": cauchySchwarz, "cosine-bounded": cosineBounded,
+	} {
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCorpusStatsAndIDF(t *testing.T) {
+	c := NewCorpusStats()
+	c.AddDoc(map[string]int{"databas": 3, "recoveri": 1})
+	c.AddDoc(map[string]int{"databas": 1, "mine": 2})
+	c.AddDoc(map[string]int{"sport": 5})
+	if c.NumDocs() != 3 {
+		t.Fatalf("NumDocs = %d", c.NumDocs())
+	}
+	if c.DocFreq("databas") != 2 {
+		t.Errorf("DocFreq(databas) = %d", c.DocFreq("databas"))
+	}
+	tab := c.Snapshot()
+	// rare term gets higher idf than common term
+	if tab.IDF("sport") <= tab.IDF("databas") {
+		t.Errorf("idf(sport)=%v <= idf(databas)=%v", tab.IDF("sport"), tab.IDF("databas"))
+	}
+	// unseen terms get the max (default) idf
+	if tab.IDF("unseen") < tab.IDF("sport") {
+		t.Errorf("unseen idf too low")
+	}
+	// snapshot is immutable w.r.t. later adds
+	before := tab.IDF("databas")
+	c.AddDoc(map[string]int{"databas": 1})
+	if got := tab.IDF("databas"); got != before {
+		t.Errorf("snapshot changed: %v -> %v", before, got)
+	}
+}
+
+func TestIDFWeight(t *testing.T) {
+	c := NewCorpusStats()
+	c.AddDoc(map[string]int{"common": 1, "rare": 1})
+	c.AddDoc(map[string]int{"common": 1})
+	c.AddDoc(map[string]int{"common": 1})
+	tab := c.Snapshot()
+	v := tab.Weight(map[string]int{"common": 10, "rare": 1, "zero": 0})
+	if _, ok := v["zero"]; ok {
+		t.Error("zero-count term weighted")
+	}
+	// tf dampening: weight grows sublinearly with tf
+	v1 := tab.Weight(map[string]int{"common": 1})
+	v10 := tab.Weight(map[string]int{"common": 10})
+	if v10["common"] >= 10*v1["common"] {
+		t.Errorf("tf not dampened: %v vs %v", v10["common"], v1["common"])
+	}
+	// rare term outweighs common term at equal tf
+	ve := tab.Weight(map[string]int{"common": 2, "rare": 2})
+	if ve["rare"] <= ve["common"] {
+		t.Errorf("idf ordering wrong: %v", ve)
+	}
+}
+
+func TestEmptyCorpusSnapshot(t *testing.T) {
+	tab := NewCorpusStats().Snapshot()
+	if tab.NumDocs() != 0 {
+		t.Errorf("NumDocs = %d", tab.NumDocs())
+	}
+	v := tab.Weight(map[string]int{"x": 1})
+	if math.IsNaN(v["x"]) || math.IsInf(v["x"], 0) || v["x"] <= 0 {
+		t.Errorf("weight on empty corpus = %v", v["x"])
+	}
+}
+
+func TestFromCounts(t *testing.T) {
+	v := FromCounts(map[string]int{"a": 2, "b": 1})
+	if v["a"] != 2 || v["b"] != 1 {
+		t.Errorf("FromCounts = %v", v)
+	}
+}
+
+func TestCorpusStatsConcurrent(t *testing.T) {
+	c := NewCorpusStats()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				c.AddDoc(map[string]int{"t": 1})
+				_ = c.Snapshot()
+				_ = c.NumDocs()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if c.NumDocs() != 1600 {
+		t.Errorf("NumDocs = %d", c.NumDocs())
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	v := Vector{}
+	u := Vector{}
+	for i := 0; i < 2000; i++ {
+		k := string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i%7))
+		if i%2 == 0 {
+			v[k] = float64(i)
+		}
+		if i%3 == 0 {
+			u[k] = float64(i)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Dot(u)
+	}
+}

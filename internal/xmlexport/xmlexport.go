@@ -1,0 +1,171 @@
+// Package xmlexport generates semantically tagged XML documents from the
+// HTML pages BINGO! crawls — the paper's stated future work (§6: "we plan
+// to pursue approaches to generating 'semantically' tagged XML documents
+// from the HTML pages that BINGO! crawls"). Each document is exported with
+// its topic assignment, classification confidence, the most characteristic
+// terms (tf-ranked), and its hyperlink context, so downstream XML retrieval
+// systems can run structure- and content-aware queries over a crawl result.
+package xmlexport
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/bingo-search/bingo/internal/store"
+)
+
+// Term is one characteristic term with its frequency.
+type Term struct {
+	Stem  string `xml:"stem,attr"`
+	Count int    `xml:"count,attr"`
+}
+
+// LinkRef is one outgoing hyperlink with its anchor text.
+type LinkRef struct {
+	Target string `xml:"target,attr"`
+	Anchor string `xml:",chardata"`
+}
+
+// Document is the XML form of one crawled page.
+type Document struct {
+	XMLName     xml.Name  `xml:"document"`
+	URL         string    `xml:"url,attr"`
+	Topic       string    `xml:"topic,attr"`
+	Confidence  float64   `xml:"confidence,attr"`
+	Depth       int       `xml:"depth,attr"`
+	ContentType string    `xml:"contentType,attr"`
+	CrawledAt   time.Time `xml:"crawledAt,attr"`
+	Title       string    `xml:"title,omitempty"`
+	Abstract    string    `xml:"abstract,omitempty"`
+	Terms       []Term    `xml:"terms>term,omitempty"`
+	Links       []LinkRef `xml:"links>link,omitempty"`
+}
+
+// Corpus is the root element of an export.
+type Corpus struct {
+	XMLName   xml.Name   `xml:"bingoCorpus"`
+	Generated time.Time  `xml:"generated,attr"`
+	NumDocs   int        `xml:"numDocuments,attr"`
+	Documents []Document `xml:"document"`
+}
+
+// Options controls the export.
+type Options struct {
+	// Topic restricts the export to one class subtree ("" = everything).
+	Topic string
+	// MaxTerms caps the characteristic terms per document (default 20).
+	MaxTerms int
+	// MaxAbstract caps the abstract length in bytes (default 400).
+	MaxAbstract int
+	// MaxLinks caps exported out-links per document (default 50).
+	MaxLinks int
+}
+
+func (o *Options) fill() {
+	if o.MaxTerms <= 0 {
+		o.MaxTerms = 20
+	}
+	if o.MaxAbstract <= 0 {
+		o.MaxAbstract = 400
+	}
+	if o.MaxLinks <= 0 {
+		o.MaxLinks = 50
+	}
+}
+
+// Build assembles the Corpus value for a crawl database.
+func Build(st *store.Store, opts Options, now time.Time) *Corpus {
+	opts.fill()
+	var docs []store.Document
+	if opts.Topic == "" {
+		docs = st.All()
+		sort.Slice(docs, func(i, j int) bool { return docs[i].URL < docs[j].URL })
+	} else {
+		docs = st.ByTopic(opts.Topic)
+	}
+	c := &Corpus{Generated: now, NumDocs: len(docs)}
+	for _, d := range docs {
+		xd := Document{
+			URL:         d.URL,
+			Topic:       d.Topic,
+			Confidence:  d.Confidence,
+			Depth:       d.Depth,
+			ContentType: d.ContentType,
+			CrawledAt:   d.CrawledAt,
+			Title:       d.Title,
+			Abstract:    truncate(d.Text, opts.MaxAbstract),
+		}
+		xd.Terms = topTerms(d.Terms, opts.MaxTerms)
+		for i, l := range stableLinks(st, d.URL) {
+			if i >= opts.MaxLinks {
+				break
+			}
+			xd.Links = append(xd.Links, l)
+		}
+		c.Documents = append(c.Documents, xd)
+	}
+	return c
+}
+
+// Write streams the export as indented XML with the standard header.
+func Write(w io.Writer, st *store.Store, opts Options, now time.Time) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(Build(st, opts, now)); err != nil {
+		return fmt.Errorf("xmlexport: %w", err)
+	}
+	if err := enc.Close(); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+func topTerms(counts map[string]int, n int) []Term {
+	terms := make([]Term, 0, len(counts))
+	for s, c := range counts {
+		terms = append(terms, Term{Stem: s, Count: c})
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].Count != terms[j].Count {
+			return terms[i].Count > terms[j].Count
+		}
+		return terms[i].Stem < terms[j].Stem
+	})
+	if len(terms) > n {
+		terms = terms[:n]
+	}
+	return terms
+}
+
+func stableLinks(st *store.Store, url string) []LinkRef {
+	succ := st.Successors(url)
+	sort.Strings(succ)
+	anchors := map[string]string{}
+	// reuse stored anchors where available
+	for _, to := range succ {
+		for _, a := range st.InAnchors(to) {
+			if anchors[to] == "" {
+				anchors[to] = a
+			}
+		}
+	}
+	out := make([]LinkRef, 0, len(succ))
+	for _, to := range succ {
+		out = append(out, LinkRef{Target: to, Anchor: anchors[to]})
+	}
+	return out
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

@@ -1,0 +1,121 @@
+package xmlexport
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bingo-search/bingo/internal/store"
+)
+
+func testStore() *store.Store {
+	s := store.New()
+	s.Insert(store.Document{
+		URL: "http://a.example/1", Title: "ARIES page", Topic: "ROOT/db",
+		Confidence: 0.8, Depth: 1, ContentType: "text/html",
+		Text:      strings.Repeat("aries recovery logging ", 50),
+		Terms:     map[string]int{"ari": 5, "recoveri": 9, "log": 3},
+		CrawledAt: time.Unix(1041379200, 0).UTC(),
+	})
+	s.Insert(store.Document{
+		URL: "http://a.example/2", Topic: "ROOT/OTHERS",
+		Confidence: 0.1, Text: "general stuff",
+		Terms: map[string]int{"general": 1},
+	})
+	s.AddLink(store.Link{From: "http://a.example/1", To: "http://a.example/2", Anchor: "general link"})
+	return s
+}
+
+func TestBuildCorpus(t *testing.T) {
+	now := time.Unix(1700000000, 0).UTC()
+	c := Build(testStore(), Options{}, now)
+	if c.NumDocs != 2 || len(c.Documents) != 2 {
+		t.Fatalf("corpus = %+v", c)
+	}
+	// deterministic URL order
+	if c.Documents[0].URL != "http://a.example/1" {
+		t.Errorf("order: %s first", c.Documents[0].URL)
+	}
+	d := c.Documents[0]
+	if d.Topic != "ROOT/db" || d.Title != "ARIES page" {
+		t.Errorf("doc = %+v", d)
+	}
+	// terms ranked by count
+	if len(d.Terms) != 3 || d.Terms[0].Stem != "recoveri" || d.Terms[0].Count != 9 {
+		t.Errorf("terms = %+v", d.Terms)
+	}
+	if len(d.Links) != 1 || d.Links[0].Target != "http://a.example/2" || d.Links[0].Anchor != "general link" {
+		t.Errorf("links = %+v", d.Links)
+	}
+}
+
+func TestBuildTopicFilterAndCaps(t *testing.T) {
+	c := Build(testStore(), Options{Topic: "ROOT/db", MaxTerms: 1, MaxAbstract: 10}, time.Time{})
+	if c.NumDocs != 1 {
+		t.Fatalf("NumDocs = %d", c.NumDocs)
+	}
+	d := c.Documents[0]
+	if len(d.Terms) != 1 {
+		t.Errorf("MaxTerms ignored: %+v", d.Terms)
+	}
+	if len(d.Abstract) > 10 {
+		t.Errorf("MaxAbstract ignored: %d bytes", len(d.Abstract))
+	}
+}
+
+func TestWriteProducesValidXML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, testStore(), Options{}, time.Unix(0, 0).UTC()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, xml.Header) {
+		t.Error("missing XML header")
+	}
+	// round-trip: the output must decode back into a Corpus
+	var rt Corpus
+	if err := xml.Unmarshal(buf.Bytes()[len(xml.Header):], &rt); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if rt.NumDocs != 2 || len(rt.Documents) != 2 {
+		t.Errorf("round trip = %+v", rt)
+	}
+	if rt.Documents[0].Terms[0].Stem != "recoveri" {
+		t.Errorf("round-trip terms = %+v", rt.Documents[0].Terms)
+	}
+}
+
+func TestWriteEscapesContent(t *testing.T) {
+	s := store.New()
+	s.Insert(store.Document{
+		URL: "http://x/1", Title: `<script>"evil"</script>`, Topic: "t",
+		Text: "a & b < c", Terms: map[string]int{"x": 1},
+	})
+	var buf bytes.Buffer
+	if err := Write(&buf, s, Options{}, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "<script>") {
+		t.Error("unescaped markup in XML")
+	}
+	var rt Corpus
+	if err := xml.Unmarshal(buf.Bytes()[len(xml.Header):], &rt); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Documents[0].Abstract != "a & b < c" {
+		t.Errorf("abstract round trip = %q", rt.Documents[0].Abstract)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, store.New(), Options{}, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "numDocuments=\"0\"") {
+		t.Errorf("empty export = %s", buf.String())
+	}
+}
