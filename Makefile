@@ -1,0 +1,28 @@
+# Developer entry points. `make bench` regenerates BENCH_crawl.json, the
+# before/after record of the §4.1 batched-write-path speedup.
+
+GO ?= go
+
+.PHONY: all build vet test race bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The crawl execution path is heavily concurrent (worker pool, sharded
+# store, frontier lease protocol); race runs the packages that exercise it.
+race:
+	$(GO) test -race ./internal/crawler/... ./internal/store/... ./internal/frontier/...
+
+# bench reports crawl throughput for the batched and the legacy write path,
+# then records an interleaved A/B comparison in BENCH_crawl.json.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkCrawlThroughput' -benchtime 3x .
+	BENCH_JSON=BENCH_crawl.json $(GO) test -run TestWriteCrawlBenchJSON -v .

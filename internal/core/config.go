@@ -61,6 +61,12 @@ type Config struct {
 	QueueLimit int
 	// FetchTimeout bounds one retrieval.
 	FetchTimeout time.Duration
+	// BatchSize is the per-worker workspace bulk-load batch (§4.1;
+	// default 32 rows).
+	BatchSize int
+	// FlushInterval bounds how long a crawl worker may hold a partially
+	// filled workspace before flushing it (default 200ms).
+	FlushInterval time.Duration
 
 	// LearnBudget / HarvestBudget are page-visit budgets per phase (the
 	// stand-in for the paper's wall-clock crawl durations).
@@ -140,6 +146,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.FetchTimeout <= 0 {
 		c.FetchTimeout = 10 * time.Second
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 200 * time.Millisecond
 	}
 	if c.LearnBudget <= 0 {
 		c.LearnBudget = 500

@@ -159,6 +159,9 @@ func (e *Engine) fetchDoc(ctx context.Context, rawURL string) (classify.Doc, *ht
 		return classify.Doc{}, nil, nil, err
 	}
 	resolve := func(base, href string) (string, bool) {
+		if base == "" && urlnorm.Cacheable(href) {
+			return urlnorm.NormalizeCached(href)
+		}
 		from := final
 		if base != "" {
 			if b, err := final.Parse(base); err == nil {
@@ -176,10 +179,11 @@ func (e *Engine) fetchDoc(ctx context.Context, rawURL string) (classify.Doc, *ht
 		return ref.String(), true
 	}
 	doc, err := htmldoc.Convert(res.ContentType, res.Body, resolve)
+	res.ReleaseBody() // handlers copy what they keep; recycle the buffer
 	if err != nil {
 		return classify.Doc{}, nil, nil, err
 	}
-	stems := e.pipe.Stems(doc.Title + " " + doc.Text)
+	stems := e.pipe.StemsParts(doc.Title, doc.Text)
 	return classify.Doc{ID: res.FinalURL, Input: features.DocInput{Stems: stems}}, doc, res, nil
 }
 

@@ -30,6 +30,8 @@ func (e *Engine) Learn(ctx context.Context) (crawler.Stats, error) {
 		MaxPerHost:     e.cfg.MaxPerHost,
 		MaxPerDomain:   e.cfg.MaxPerDomain,
 		PerHostDelay:   e.cfg.PerHostDelay,
+		BatchSize:      e.cfg.BatchSize,
+		FlushInterval:  e.cfg.FlushInterval,
 		MaxDepth:       e.cfg.LearnDepth,
 		MaxTunnelDepth: e.cfg.MaxTunnelDepth,
 		PageBudget:     e.cfg.LearnBudget,
@@ -104,6 +106,8 @@ func (e *Engine) HarvestN(ctx context.Context, budget int64) (crawler.Stats, err
 		MaxPerHost:     e.cfg.MaxPerHost,
 		MaxPerDomain:   e.cfg.MaxPerDomain,
 		PerHostDelay:   e.cfg.PerHostDelay,
+		BatchSize:      e.cfg.BatchSize,
+		FlushInterval:  e.cfg.FlushInterval,
 		MaxTunnelDepth: e.cfg.MaxTunnelDepth,
 		PageBudget:     budget,
 		Focus:          crawler.SoftFocus,

@@ -24,7 +24,9 @@ package corpus
 import (
 	"fmt"
 	"math/rand"
+	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -140,6 +142,10 @@ type Page struct {
 	Topic int
 	// Kind tags the page's role in the world.
 	Kind PageKind
+	// header is the precomputed response header the in-process transport
+	// serves (read-only; building one per request shows up in crawl
+	// benchmarks as pure harness overhead).
+	header http.Header
 }
 
 // PageKind enumerates the structural roles of generated pages.
@@ -290,6 +296,10 @@ func (w *World) registerHost(host string) {
 // addPage stores a page and registers its host.
 func (w *World) addPage(p *Page) {
 	w.registerHost(p.Host)
+	p.header = http.Header{
+		"Content-Type":   {p.ContentType},
+		"Content-Length": {strconv.Itoa(len(p.Body))},
+	}
 	w.Pages[p.URL] = p
 }
 

@@ -38,16 +38,15 @@ func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if !ok {
 		return notFound(req), nil
 	}
-	h := http.Header{}
-	h.Set("Content-Type", page.ContentType)
-	h.Set("Content-Length", strconv.Itoa(len(page.Body)))
+	// The header is precomputed per page and shared across responses; the
+	// fetch layer only reads it.
 	return &http.Response{
 		Status:        "200 OK",
 		StatusCode:    http.StatusOK,
 		Proto:         "HTTP/1.1",
 		ProtoMajor:    1,
 		ProtoMinor:    1,
-		Header:        h,
+		Header:        page.header,
 		Body:          io.NopCloser(bytes.NewReader(page.Body)),
 		ContentLength: int64(len(page.Body)),
 		Request:       req,

@@ -76,8 +76,21 @@ type Config struct {
 	// AllowedDomains, when non-empty, restricts the crawl to hosts whose
 	// registered domain is in the list (learning phase restriction, §2.6).
 	AllowedDomains []string
-	// BatchSize is the workspace bulk-load batch (default 32).
+	// BatchSize is the workspace bulk-load batch (default 32): each worker
+	// buffers this many rows (documents + links + redirects) before moving
+	// them into the store in one bulk load (§4.1).
 	BatchSize int
+	// FlushInterval bounds how long a worker may sit on a partially filled
+	// workspace (default 200ms), so observers of the store see crawl
+	// progress even when batches fill slowly.
+	FlushInterval time.Duration
+	// LegacyWrites routes every row through the per-row
+	// Store.Insert/AddLink/AddRedirect path with a goroutine spawned per
+	// URL — the write path the paper's §4.1 lesson argues against. It is
+	// kept so the bulk-load speedup stays measurable against a same-binary
+	// baseline (BenchmarkCrawlThroughputLegacy); production crawls leave
+	// it false.
+	LegacyWrites bool
 	// PerHostDelay enforces a minimum interval between consecutive requests
 	// to one host (0 = disabled; crawl-delay style politeness).
 	PerHostDelay time.Duration
@@ -100,6 +113,7 @@ type Stats struct {
 type Crawler struct {
 	cfg   Config
 	pipe  *textproc.Pipeline
+	stems func(title, text string) []string // analyzer hot path; uncached in legacy mode
 	hosts sync.Map // visited hosts set
 
 	visited    atomic.Int64
@@ -124,7 +138,23 @@ func New(cfg Config) *Crawler {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 32
 	}
-	return &Crawler{cfg: cfg, pipe: textproc.NewPipeline()}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 200 * time.Millisecond
+	}
+	c := &Crawler{cfg: cfg, pipe: textproc.NewPipeline()}
+	if cfg.LegacyWrites {
+		// The legacy baseline measures the whole pre-optimization hot path,
+		// so it also bypasses the stem memo, the pooled token buffers, and
+		// the join-free tokenization.
+		c.stems = func(title, text string) []string {
+			return c.pipe.StemsUncached(title + " " + text)
+		}
+	} else {
+		c.stems = func(title, text string) []string {
+			return c.pipe.StemsParts(title, text)
+		}
+	}
+	return c
 }
 
 // Seed enqueues the starting URLs for a topic with maximal priority.
@@ -137,14 +167,70 @@ func (c *Crawler) Seed(topic string, urls ...string) {
 // Run crawls until the frontier drains, the page budget is exhausted, or
 // ctx is cancelled. It is safe to call Run again afterwards (e.g. after
 // retraining with a re-seeded frontier).
+//
+// Execution model (§4.1/§4.2): a persistent pool of cfg.Workers long-lived
+// workers, each owning a store.Workspace, pulls from the frontier through
+// the blocking PopWait — idle workers park on the frontier's wakeup channel
+// instead of polling. The crawl is over when the frontier reports drain
+// (empty with no item still in flight), the budget is spent, or ctx is
+// cancelled; every worker bulk-flushes its workspace on the way out.
 func (c *Crawler) Run(ctx context.Context) Stats {
 	limiter := newHostLimiterDelay(c.cfg.MaxPerHost, c.cfg.MaxPerDomain, c.cfg.PerHostDelay)
 	defer limiter.Close()
 
+	if c.cfg.LegacyWrites {
+		return c.runLegacy(ctx, limiter)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(c.cfg.Workers)
+	for i := 0; i < c.cfg.Workers; i++ {
+		go func() {
+			defer wg.Done()
+			c.worker(runCtx, cancel, limiter)
+		}()
+	}
+	wg.Wait()
+	return c.Stats()
+}
+
+// worker is one long-lived crawl thread: pop, process, mark done, repeat.
+func (c *Crawler) worker(ctx context.Context, cancel context.CancelFunc, limiter *hostLimiter) {
+	ws := c.cfg.Store.NewWorkspace(c.cfg.BatchSize)
+	defer ws.Flush()
+	lastFlush := time.Now()
+	for {
+		if c.cfg.PageBudget > 0 && c.visited.Load() >= c.cfg.PageBudget {
+			cancel() // budget spent: wake parked peers so the pool exits
+			return
+		}
+		it, ok := c.cfg.Frontier.TryPop()
+		if !ok {
+			// About to park: publish buffered rows so store readers see a
+			// fresh view whenever the crawl goes idle, then wait for work.
+			ws.Flush()
+			lastFlush = time.Now()
+			if it, ok = c.cfg.Frontier.PopWait(ctx); !ok {
+				return // drained, closed, or cancelled
+			}
+		}
+		c.process(ctx, it, limiter, ws)
+		c.cfg.Frontier.Done()
+		if now := time.Now(); ws.Buffered() > 0 && now.Sub(lastFlush) >= c.cfg.FlushInterval {
+			ws.Flush()
+			lastFlush = now
+		}
+	}
+}
+
+// runLegacy is the original execution model — a dispatch loop spawning one
+// goroutine per URL, writing every row through the store's per-row path —
+// preserved as the measurable §4.1 baseline.
+func (c *Crawler) runLegacy(ctx context.Context, limiter *hostLimiter) Stats {
 	slots := make(chan struct{}, c.cfg.Workers)
 	var inflight sync.WaitGroup
-	var inflightN atomic.Int64
-
 	for {
 		if ctx.Err() != nil {
 			break
@@ -152,37 +238,34 @@ func (c *Crawler) Run(ctx context.Context) Stats {
 		if c.cfg.PageBudget > 0 && c.visited.Load() >= c.cfg.PageBudget {
 			break
 		}
-		it, ok := c.cfg.Frontier.Pop()
+		it, ok := c.cfg.Frontier.PopWait(ctx)
 		if !ok {
-			if inflightN.Load() == 0 {
-				break
-			}
-			time.Sleep(time.Millisecond)
-			continue
+			break
 		}
 		select {
 		case slots <- struct{}{}:
 		case <-ctx.Done():
+			c.cfg.Frontier.Done()
 			inflight.Wait()
 			return c.Stats()
 		}
 		inflight.Add(1)
-		inflightN.Add(1)
 		go func(it frontier.Item) {
 			defer func() {
 				<-slots
-				inflightN.Add(-1)
+				c.cfg.Frontier.Done()
 				inflight.Done()
 			}()
-			c.process(ctx, it, limiter)
+			c.process(ctx, it, limiter, nil)
 		}(it)
 	}
 	inflight.Wait()
 	return c.Stats()
 }
 
-// process handles one frontier item end to end.
-func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLimiter) {
+// process handles one frontier item end to end. Rows are buffered in ws and
+// bulk-loaded; a nil ws selects the legacy per-row write path.
+func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLimiter, ws *store.Workspace) {
 	if c.cfg.MaxDepth > 0 && it.Depth > c.cfg.MaxDepth {
 		return
 	}
@@ -210,8 +293,18 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 		return
 	}
 	c.hosts.Store(host, struct{}{})
-	if d := int64(it.Depth); d > c.maxDepth.Load() {
-		c.maxDepth.Store(d)
+	for d := int64(it.Depth); ; {
+		cur := c.maxDepth.Load()
+		if d <= cur || c.maxDepth.CompareAndSwap(cur, d) {
+			break
+		}
+	}
+
+	// Shutdown check between fetch and store: on cancellation the worker
+	// exits with whatever its workspace holds instead of analyzing and
+	// buffering more pages that would only be flushed on the way out.
+	if ctx.Err() != nil {
+		return
 	}
 
 	final, err := url.Parse(res.FinalURL)
@@ -219,6 +312,13 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 		final = u
 	}
 	resolve := func(base, href string) (string, bool) {
+		// Absolute hrefs don't depend on the document base, and the same
+		// targets recur across pages, so their normalization is memoized.
+		// The legacy baseline (ws == nil) predates the memo and re-parses
+		// every href, as the original hot path did.
+		if ws != nil && base == "" && urlnorm.Cacheable(href) {
+			return urlnorm.NormalizeCached(href)
+		}
 		from := final
 		if base != "" {
 			if b, err := final.Parse(base); err == nil {
@@ -236,13 +336,19 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 		return ref.String(), true
 	}
 	doc, err := htmldoc.Convert(res.ContentType, res.Body, resolve)
+	if ws != nil {
+		// Handlers copy what they keep, so the body buffer can go straight
+		// back to the fetcher's pool. The legacy baseline predates body
+		// pooling and lets each buffer become garbage instead.
+		res.ReleaseBody()
+	}
 	if err != nil {
 		c.errs.Add(1)
 		return
 	}
 
 	// Document analysis -> classification.
-	stems := c.pipe.Stems(doc.Title + " " + doc.Text)
+	stems := c.stems(doc.Title, doc.Text)
 	var anchors []string
 	if it.Anchor != "" {
 		anchors = append(anchors, it.Anchor)
@@ -258,7 +364,15 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 
 	// Store the document and its link rows (all crawled documents are kept
 	// in the database, including rejected ones).
-	terms := map[string]int{}
+	// Pre-sized to the stem count so the map never rehashes while filling;
+	// repeated terms leave some slack, which the store keeps anyway. The
+	// legacy baseline grows its map from empty, as the per-row path did.
+	var terms map[string]int
+	if ws != nil {
+		terms = make(map[string]int, len(stems))
+	} else {
+		terms = map[string]int{}
+	}
 	for _, s := range stems {
 		terms[s]++
 	}
@@ -274,14 +388,24 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 		Terms:       terms,
 		CrawledAt:   time.Now(),
 	}
-	c.cfg.Store.Insert(sd)
+	if ws != nil {
+		ws.Add(sd)
+		for _, r := range res.Redirects {
+			ws.AddRedirect(store.Redirect{From: it.URL, To: r})
+		}
+		for _, l := range doc.Links {
+			ws.AddLink(store.Link{From: res.FinalURL, To: l.URL, Anchor: l.Anchor})
+		}
+	} else {
+		c.cfg.Store.Insert(sd)
+		for _, r := range res.Redirects {
+			c.cfg.Store.AddRedirect(store.Redirect{From: it.URL, To: r})
+		}
+		for _, l := range doc.Links {
+			c.cfg.Store.AddLink(store.Link{From: res.FinalURL, To: l.URL, Anchor: l.Anchor})
+		}
+	}
 	c.stored.Add(1)
-	for _, r := range res.Redirects {
-		c.cfg.Store.AddRedirect(store.Redirect{From: it.URL, To: r})
-	}
-	for _, l := range doc.Links {
-		c.cfg.Store.AddLink(store.Link{From: res.FinalURL, To: l.URL, Anchor: l.Anchor})
-	}
 	if c.cfg.OnStored != nil {
 		c.cfg.OnStored(sd, result)
 	}

@@ -106,9 +106,13 @@ func (l *hostLimiter) Close() {
 // registeredDomain approximates the recognized domain as the last two
 // labels of the hostname ("cs00.databases.example" -> "databases.example").
 func registeredDomain(host string) string {
-	parts := strings.Split(host, ".")
-	if len(parts) <= 2 {
+	last := strings.LastIndexByte(host, '.')
+	if last < 0 {
 		return host
 	}
-	return strings.Join(parts[len(parts)-2:], ".")
+	prev := strings.LastIndexByte(host[:last], '.')
+	if prev < 0 {
+		return host
+	}
+	return host[prev+1:]
 }

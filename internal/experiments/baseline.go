@@ -46,6 +46,34 @@ func RunUnfocusedBaseline(ctx context.Context, w *corpus.World, budget int64) (c
 	return stats, stored
 }
 
+// RunThroughput is the crawl-throughput harness behind
+// BenchmarkCrawlThroughput: the unfocused baseline crawl with the write
+// path selectable, so the §4.1 batched bulk-load path can be measured
+// against the legacy per-row insert path in the same binary.
+func RunThroughput(ctx context.Context, w *corpus.World, budget int64, legacyWrites bool) crawler.Stats {
+	resolver := dns.NewResolver(dns.Config{}, w.DNSServer())
+	f := fetch.New(fetch.Config{
+		Transport: w.RoundTripper(),
+		Resolver:  resolver,
+		Timeout:   5 * time.Second,
+	}, nil, nil)
+	c := crawler.New(crawler.Config{
+		Fetcher:  f,
+		Frontier: frontier.New(frontier.DefaultConfig()),
+		Store:    store.New(),
+		Classify: func(d classify.Doc) classify.Result {
+			return classify.Result{Topic: "ROOT/any", Confidence: 0.5, Accepted: true}
+		},
+		Workers:      15,
+		PageBudget:   budget,
+		Focus:        crawler.SoftFocus,
+		Strategy:     crawler.BreadthFirst,
+		LegacyWrites: legacyWrites,
+	})
+	c.Seed("ROOT/any", w.SeedURLs()...)
+	return c.Run(ctx)
+}
+
 // TunnellingAblation reruns the portal crawl at different tunnelling depths
 // (§3.3; the paper uses 2). The budget should be large enough to saturate
 // the tunnel-free reachable subgraph — the interesting effect is that

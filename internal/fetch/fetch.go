@@ -11,6 +11,7 @@
 package fetch
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -18,6 +19,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/bingo-search/bingo/internal/dns"
@@ -66,6 +68,26 @@ type Result struct {
 	Redirects []string
 	// Elapsed is the total retrieval time.
 	Elapsed time.Duration
+
+	// bodyBuf backs Body when the body was read into a pooled buffer; see
+	// ReleaseBody.
+	bodyBuf *bytes.Buffer
+}
+
+// bodyBufs recycles body read buffers across fetches. A page body is pure
+// garbage once the content handlers have copied what they keep, and bodies
+// are the crawler's largest single allocation.
+var bodyBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// ReleaseBody hands the body buffer back to the fetcher's pool. Callers
+// that have finished converting the document should call it; Body must not
+// be touched afterwards. It is safe on an already-released or error Result.
+func (r *Result) ReleaseBody() {
+	if r.bodyBuf != nil {
+		bodyBufs.Put(r.bodyBuf)
+		r.bodyBuf = nil
+		r.Body = nil
+	}
 }
 
 // Config assembles the fetcher's collaborators and knobs.
@@ -263,15 +285,21 @@ func (f *Fetcher) Fetch(ctx context.Context, raw string) (*Result, error) {
 			return nil, fmt.Errorf("%w: declared %d > %d", ErrTooLarge, resp.ContentLength, limit)
 		}
 		// Real-size check while reading: abort as soon as the limit passes.
-		body, rerr := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+		buf := bodyBufs.Get().(*bytes.Buffer)
+		buf.Reset()
+		_, rerr = buf.ReadFrom(io.LimitReader(resp.Body, limit+1))
 		resp.Body.Close()
 		if rerr != nil {
+			bodyBufs.Put(buf)
 			f.Hosts.Failure(cur.Hostname())
 			return nil, fmt.Errorf("fetch: read %s: %w", cur, rerr)
 		}
+		body := buf.Bytes()
 		if int64(len(body)) > limit {
+			bodyBufs.Put(buf)
 			return nil, fmt.Errorf("%w: body exceeds %d", ErrTooLarge, limit)
 		}
+		res.bodyBuf = buf
 		// Fingerprint 3: IP + filesize.
 		if f.Dedup.SeenIPSize(ip, int64(len(body))) {
 			return nil, ErrDuplicate

@@ -8,6 +8,7 @@
 package frontier
 
 import (
+	"context"
 	"math"
 	"sync"
 
@@ -73,6 +74,19 @@ type Frontier struct {
 	order  []string // deterministic topic iteration order
 	seq    uint64
 	seen   map[string]struct{}
+	// pulse is closed and replaced whenever an event that could unblock a
+	// PopWait caller occurs (Push, Close, or the outstanding count hitting
+	// zero); parked workers wait on it instead of polling.
+	pulse chan struct{}
+	// outstanding counts items handed out by PopWait whose Done call is
+	// still pending; the frontier is drained only when it is empty AND no
+	// such item is in flight (an in-flight item may still Push new links).
+	outstanding int
+	// waiters counts goroutines parked in PopWait; wakeLocked only swaps
+	// the pulse channel when someone is actually waiting, keeping Push
+	// allocation-free in the common case.
+	waiters int
+	closed  bool
 	// stats
 	pushed, popped, droppedFull, droppedSeen int64
 }
@@ -92,7 +106,19 @@ func New(cfg Config) *Frontier {
 		cfg:    cfg,
 		topics: make(map[string]*topicQueues),
 		seen:   make(map[string]struct{}),
+		pulse:  make(chan struct{}),
 	}
+}
+
+// wakeLocked broadcasts to every parked PopWait caller by closing the
+// current pulse channel and installing a fresh one. It is a no-op while
+// nobody is parked. Callers must hold f.mu.
+func (f *Frontier) wakeLocked() {
+	if f.waiters == 0 {
+		return
+	}
+	close(f.pulse)
+	f.pulse = make(chan struct{})
 }
 
 // EffectivePriority applies the exponential tunnelling decay.
@@ -129,14 +155,13 @@ func (f *Frontier) Push(it Item) bool {
 	tq.incoming.Insert(key{prio: prio, seq: f.seq}, it)
 	f.seen[it.URL] = struct{}{}
 	f.pushed++
+	f.wakeLocked()
 	return true
 }
 
-// Pop returns the best available link across all topics, refilling outgoing
-// queues from incoming queues as needed. It returns ok=false when the
-// frontier is empty.
-func (f *Frontier) Pop() (Item, bool) {
-	f.mu.Lock()
+// popLocked removes and returns the best available link across all topics,
+// refilling outgoing queues from incoming queues as needed.
+func (f *Frontier) popLocked() (Item, bool) {
 	var bestTopic string
 	var bestKey key
 	found := false
@@ -152,15 +177,103 @@ func (f *Frontier) Pop() (Item, bool) {
 		}
 	}
 	if !found {
-		f.mu.Unlock()
 		return Item{}, false
 	}
 	tq := f.topics[bestTopic]
 	k, it, _ := tq.outgoing.Min()
 	tq.outgoing.Delete(k)
 	f.popped++
-	f.mu.Unlock()
 	return it, true
+}
+
+// Pop returns the best available link across all topics. It returns
+// ok=false when the frontier is empty.
+func (f *Frontier) Pop() (Item, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.popLocked()
+}
+
+// TryPop is the non-blocking form of PopWait: on success it takes the same
+// processing lease (the caller must call Done), and on failure it returns
+// immediately instead of parking. A worker can use it to detect "about to
+// park" — e.g. to flush its workspace before going idle.
+func (f *Frontier) TryPop() (Item, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return Item{}, false
+	}
+	it, ok := f.popLocked()
+	if ok {
+		f.outstanding++
+	}
+	return it, ok
+}
+
+// PopWait returns the best available link, parking the caller until one
+// arrives instead of polling. It returns ok=false when the frontier has
+// drained (empty with no PopWait item still being processed), when it is
+// closed, or when ctx is cancelled. Every item obtained through PopWait
+// MUST be matched by a Done call once processing (including any Pushes of
+// extracted links) has finished — the outstanding count is what lets a
+// worker pool distinguish "momentarily empty but a peer may still push
+// more" from "crawl over".
+func (f *Frontier) PopWait(ctx context.Context) (Item, bool) {
+	for {
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			return Item{}, false
+		}
+		if it, ok := f.popLocked(); ok {
+			f.outstanding++
+			f.mu.Unlock()
+			return it, true
+		}
+		if f.outstanding == 0 {
+			f.mu.Unlock()
+			return Item{}, false // drained: nobody can push anymore
+		}
+		f.waiters++
+		ch := f.pulse
+		f.mu.Unlock()
+		select {
+		case <-ch:
+			f.mu.Lock()
+			f.waiters--
+			f.mu.Unlock()
+		case <-ctx.Done():
+			f.mu.Lock()
+			f.waiters--
+			f.mu.Unlock()
+			return Item{}, false
+		}
+	}
+}
+
+// Done marks one PopWait item as fully processed. When the last in-flight
+// item completes with the queues empty, all parked PopWait callers are
+// woken so they can observe the drain and return.
+func (f *Frontier) Done() {
+	f.mu.Lock()
+	if f.outstanding > 0 {
+		f.outstanding--
+	}
+	if f.outstanding == 0 {
+		f.wakeLocked()
+	}
+	f.mu.Unlock()
+}
+
+// Close wakes every parked PopWait caller and makes subsequent PopWait
+// calls return immediately. Push and Pop keep working (the frontier can be
+// drained synchronously after a Close); Reset reopens it.
+func (f *Frontier) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.wakeLocked()
+	f.mu.Unlock()
 }
 
 // PopTopic returns the best link for one topic only.
@@ -266,6 +379,7 @@ func (f *Frontier) Reset() {
 	defer f.mu.Unlock()
 	f.topics = make(map[string]*topicQueues)
 	f.order = nil
+	f.closed = false
 }
 
 // Forget removes a URL from the seen set so it can be re-enqueued (used by

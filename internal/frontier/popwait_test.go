@@ -1,0 +1,200 @@
+package frontier
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func item(url string) Item { return Item{URL: url, Topic: "t", Priority: 1} }
+
+// TestPopWaitBlocksUntilPush parks a caller on an empty-but-live frontier
+// (outstanding lease held) and checks that a Push wakes it.
+func TestPopWaitBlocksUntilPush(t *testing.T) {
+	f := New(DefaultConfig())
+	f.Push(item("http://a.example/"))
+	if _, ok := f.TryPop(); !ok {
+		t.Fatal("TryPop failed on non-empty frontier")
+	}
+
+	got := make(chan Item, 1)
+	go func() {
+		it, ok := f.PopWait(context.Background())
+		if !ok {
+			t.Error("PopWait returned !ok, want item after Push")
+		}
+		got <- it
+	}()
+
+	// The waiter must still be parked: the frontier is empty but the TryPop
+	// lease is outstanding, so it cannot report drain yet.
+	select {
+	case <-got:
+		t.Fatal("PopWait returned before Push")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	f.Push(item("http://b.example/"))
+	select {
+	case it := <-got:
+		if it.URL != "http://b.example/" {
+			t.Fatalf("PopWait returned %q, want the pushed URL", it.URL)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PopWait not woken by Push")
+	}
+	f.Done()
+	f.Done()
+}
+
+// TestPopWaitDrain checks the drain protocol: once the last outstanding item
+// is Done with the queues empty, every parked caller returns !ok.
+func TestPopWaitDrain(t *testing.T) {
+	f := New(DefaultConfig())
+	f.Push(item("http://a.example/"))
+	if _, ok := f.PopWait(context.Background()); !ok {
+		t.Fatal("PopWait failed on non-empty frontier")
+	}
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			defer wg.Done()
+			if _, ok := f.PopWait(context.Background()); ok {
+				t.Error("parked PopWait got an item, want drain")
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let the waiters park
+	f.Done()                          // last lease released, queues empty -> drained
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("PopWait callers not released on drain")
+	}
+}
+
+// TestPopWaitEmptyReturnsImmediately: an empty frontier with no outstanding
+// lease is already drained; PopWait must not block.
+func TestPopWaitEmptyReturnsImmediately(t *testing.T) {
+	f := New(DefaultConfig())
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := f.PopWait(context.Background())
+		done <- ok
+	}()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("PopWait returned ok on an empty frontier")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PopWait blocked on a drained frontier")
+	}
+}
+
+// TestPopWaitClose checks that Close releases parked callers.
+func TestPopWaitClose(t *testing.T) {
+	f := New(DefaultConfig())
+	f.Push(item("http://a.example/"))
+	if _, ok := f.TryPop(); !ok { // hold a lease so the waiter parks
+		t.Fatal("TryPop failed")
+	}
+	released := make(chan bool, 1)
+	go func() {
+		_, ok := f.PopWait(context.Background())
+		released <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	f.Close()
+	select {
+	case ok := <-released:
+		if ok {
+			t.Fatal("PopWait returned ok after Close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PopWait not released by Close")
+	}
+	if _, ok := f.PopWait(context.Background()); ok {
+		t.Fatal("PopWait on a closed frontier returned ok")
+	}
+}
+
+// TestPopWaitContextCancel checks that a parked caller honours ctx.
+func TestPopWaitContextCancel(t *testing.T) {
+	f := New(DefaultConfig())
+	f.Push(item("http://a.example/"))
+	if _, ok := f.TryPop(); !ok {
+		t.Fatal("TryPop failed")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	released := make(chan bool, 1)
+	go func() {
+		_, ok := f.PopWait(ctx)
+		released <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case ok := <-released:
+		if ok {
+			t.Fatal("PopWait returned ok after cancellation")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PopWait not released by context cancellation")
+	}
+	f.Done()
+}
+
+// TestManyWorkersDrainExactlyOnce hammers the lease protocol: N workers pop
+// with PopWait, occasionally push follow-up links, and every worker must
+// observe drain (no hang, no lost item).
+func TestManyWorkersDrainExactlyOnce(t *testing.T) {
+	f := New(DefaultConfig())
+	f.Push(Item{URL: "http://seed.example/0", Topic: "t", Priority: 1, Depth: 0})
+
+	const workers = 16
+	var popped int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				it, ok := f.PopWait(context.Background())
+				if !ok {
+					return
+				}
+				mu.Lock()
+				popped++
+				mu.Unlock()
+				// Fan out a small tree: depth < 6 pushes two children.
+				if it.Depth < 6 {
+					f.Push(Item{URL: it.URL + "a", Topic: "t", Priority: 1, Depth: it.Depth + 1})
+					f.Push(Item{URL: it.URL + "b", Topic: "t", Priority: 1, Depth: it.Depth + 1})
+				}
+				f.Done()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker pool hung instead of draining")
+	}
+	want := int64(1<<7 - 1) // full binary tree of depth 6 plus the seed
+	if popped != want {
+		t.Fatalf("popped %d items, want %d", popped, want)
+	}
+	if f.Len() != 0 {
+		t.Fatalf("frontier still holds %d items after drain", f.Len())
+	}
+}

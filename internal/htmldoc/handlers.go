@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
 
 // ErrUnsupportedType is returned by Convert for MIME types the analyzer has
@@ -117,17 +118,34 @@ func parseSPDF(s string, resolve Resolver) (*Document, error) {
 	return doc, nil
 }
 
+// gzipReaders and gzipBufs recycle the decompressor state (the flate
+// dictionary is tens of KB) and the output buffer across pages; every
+// gzip-served page of a crawl goes through convertGzip, and the downstream
+// handlers copy what they keep (string(body)), so the buffer can be reused
+// as soon as Convert returns.
+var gzipReaders = sync.Pool{New: func() any { return new(gzip.Reader) }}
+var gzipBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func convertGzip(body []byte, resolve Resolver) (*Document, error) {
-	zr, err := gzip.NewReader(bytes.NewReader(body))
-	if err != nil {
+	zr := gzipReaders.Get().(*gzip.Reader)
+	if err := zr.Reset(bytes.NewReader(body)); err != nil {
+		gzipReaders.Put(zr)
 		return nil, fmt.Errorf("htmldoc: gzip: %w", err)
 	}
-	defer zr.Close()
-	data, err := io.ReadAll(io.LimitReader(zr, maxArchiveMember))
+	buf := gzipBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	_, err := buf.ReadFrom(io.LimitReader(zr, maxArchiveMember))
+	name := zr.Name
+	zr.Close()
+	gzipReaders.Put(zr)
 	if err != nil {
+		gzipBufs.Put(buf)
 		return nil, fmt.Errorf("htmldoc: gzip read: %w", err)
 	}
-	return Convert(sniffType(zr.Name, data), data, resolve)
+	data := buf.Bytes()
+	doc, err := Convert(sniffType(name, data), data, resolve)
+	gzipBufs.Put(buf)
+	return doc, err
 }
 
 func convertZip(body []byte, resolve Resolver) (*Document, error) {

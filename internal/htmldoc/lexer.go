@@ -7,6 +7,10 @@ import "strings"
 type lexer struct {
 	src string
 	pos int
+	// attrBuf backs the attrs slice of the token most recently returned by
+	// next; it is reused for the following start tag, so a token's attrs are
+	// only valid until the next call.
+	attrBuf []attr
 }
 
 func newLexer(src string) *lexer { return &lexer{src: src} }
@@ -72,7 +76,8 @@ func (l *lexer) next() (token, bool) {
 	if selfClose {
 		raw = raw[:len(raw)-1]
 	}
-	name, attrs := parseTag(raw)
+	name, attrs := parseTag(raw, l.attrBuf[:0])
+	l.attrBuf = attrs
 	kind := tokStartTag
 	if selfClose {
 		kind = tokSelfClose
@@ -99,14 +104,15 @@ func (l *lexer) skipRawText(tag string) {
 	}
 }
 
-// parseTag splits "a href=x target='y'" into name and attribute map.
-func parseTag(raw string) (string, map[string]string) {
+// parseTag splits "a href=x target='y'" into name and attribute pairs,
+// appending into attrs (a reusable buffer) to keep tag scanning
+// allocation-free.
+func parseTag(raw string, attrs []attr) (string, []attr) {
 	i := 0
 	for i < len(raw) && !isSpace(raw[i]) {
 		i++
 	}
 	name := strings.ToLower(raw[:i])
-	var attrs map[string]string
 	for i < len(raw) {
 		for i < len(raw) && isSpace(raw[i]) {
 			i++
@@ -148,11 +154,15 @@ func parseTag(raw string) (string, map[string]string) {
 			}
 		}
 		if key != "" {
-			if attrs == nil {
-				attrs = make(map[string]string, 4)
+			dup := false
+			for _, a := range attrs {
+				if a.key == key {
+					dup = true
+					break
+				}
 			}
-			if _, dup := attrs[key]; !dup {
-				attrs[key] = val
+			if !dup {
+				attrs = append(attrs, attr{key: key, val: val})
 			}
 		}
 	}

@@ -40,11 +40,27 @@ const (
 	tokDoctype
 )
 
-// token is one lexical HTML token.
+// attr is one parsed tag attribute (lower-cased key).
+type attr struct {
+	key, val string
+}
+
+// token is one lexical HTML token. attrs aliases a buffer owned by the
+// lexer and is only valid until the next token is read.
 type token struct {
 	kind  tokKind
-	data  string            // tag name (lower-case) or text content
-	attrs map[string]string // attribute map for start tags
+	data  string // tag name (lower-case) or text content
+	attrs []attr // attribute pairs for start tags
+}
+
+// attr returns the value of the named attribute.
+func (t *token) attr(name string) (string, bool) {
+	for _, a := range t.attrs {
+		if a.key == name {
+			return a.val, true
+		}
+	}
+	return "", false
 }
 
 // Resolver turns an href into an absolute URL. base is the document's
@@ -62,10 +78,18 @@ func Parse(src string, resolve Resolver) *Document {
 	var text strings.Builder
 	var anchor strings.Builder
 	var title strings.Builder
+	// Body text is a large fraction of the markup; growing once up front
+	// avoids the doubling-copy churn of building it byte by byte.
+	text.Grow(len(src) / 2)
 
 	// skip state for <script>, <style> and friends
 	inTitle := false
-	var curLink *Link
+	// The open link, if any. Anchor words accumulate in the shared anchor
+	// builder starting at anchorStart — one growing buffer for the whole
+	// page instead of a reset-and-regrow cycle per link.
+	var curLink Link
+	haveLink := false
+	anchorStart := 0
 
 	emitSpace := func(b *strings.Builder) {
 		if b.Len() > 0 {
@@ -100,8 +124,8 @@ func Parse(src string, resolve Resolver) *Document {
 				text.WriteByte(' ')
 			}
 			text.WriteString(t)
-			if curLink != nil {
-				if anchor.Len() > 0 {
+			if haveLink {
+				if anchor.Len() > anchorStart {
 					anchor.WriteByte(' ')
 				}
 				anchor.WriteString(t)
@@ -113,29 +137,31 @@ func Parse(src string, resolve Resolver) *Document {
 					inTitle = true
 				}
 			case "base":
-				if href, ok := tk.attrs["href"]; ok && doc.BaseHref == "" {
+				if href, ok := tk.attr("href"); ok && doc.BaseHref == "" {
 					doc.BaseHref = href
 				}
 			case "a":
 				// Close any dangling link first (unbalanced HTML is common).
-				if curLink != nil {
-					finishLink(doc, curLink, &anchor, resolve)
-					curLink = nil
+				if haveLink {
+					finishLink(doc, &curLink, &anchor, anchorStart, resolve)
+					haveLink = false
 				}
-				if href, ok := tk.attrs["href"]; ok {
+				if href, ok := tk.attr("href"); ok {
 					href = strings.TrimSpace(href)
 					if usableHref(href) {
-						curLink = &Link{URL: href}
-						anchor.Reset()
+						curLink = Link{URL: href}
+						haveLink = true
+						anchorStart = anchor.Len()
 					}
 				}
 			case "meta":
-				name := strings.ToLower(tk.attrs["name"])
-				if name != "" {
-					doc.Meta[name] = decodeEntities(tk.attrs["content"])
+				nameAttr, _ := tk.attr("name")
+				if name := strings.ToLower(nameAttr); name != "" {
+					content, _ := tk.attr("content")
+					doc.Meta[name] = decodeEntities(content)
 				}
 			case "frame", "iframe":
-				if src, ok := tk.attrs["src"]; ok {
+				if src, ok := tk.attr("src"); ok {
 					src = strings.TrimSpace(src)
 					if usableHref(src) {
 						if resolve != nil {
@@ -159,26 +185,29 @@ func Parse(src string, resolve Resolver) *Document {
 			case "title":
 				inTitle = false
 			case "a":
-				if curLink != nil {
-					finishLink(doc, curLink, &anchor, resolve)
-					curLink = nil
+				if haveLink {
+					finishLink(doc, &curLink, &anchor, anchorStart, resolve)
+					haveLink = false
 				}
 			case "p", "div", "td", "tr", "li", "h1", "h2", "h3", "h4", "h5", "h6":
 				emitSpace(&text)
 			}
 		}
 	}
-	if curLink != nil {
-		finishLink(doc, curLink, &anchor, resolve)
+	if haveLink {
+		finishLink(doc, &curLink, &anchor, anchorStart, resolve)
 	}
 	doc.Title = strings.TrimSpace(title.String())
 	doc.Text = strings.TrimSpace(text.String())
 	return doc
 }
 
-func finishLink(doc *Document, l *Link, anchor *strings.Builder, resolve Resolver) {
-	l.Anchor = strings.TrimSpace(anchor.String())
-	anchor.Reset()
+// finishLink completes the open link whose anchor words occupy
+// anchor.String()[start:]. Builder-backed strings stay valid after further
+// appends (growth copies out, it never overwrites), so the slice is safe to
+// keep without copying.
+func finishLink(doc *Document, l *Link, anchor *strings.Builder, start int, resolve Resolver) {
+	l.Anchor = strings.TrimSpace(anchor.String()[start:])
 	if resolve != nil {
 		abs, ok := resolve(doc.BaseHref, l.URL)
 		if !ok {
@@ -204,13 +233,39 @@ func usableHref(href string) bool {
 }
 
 // collapseSpace trims and collapses runs of whitespace to single spaces.
+// Text nodes that are already collapsed — the overwhelming majority — come
+// back as a subslice of the input without building a new string.
 func collapseSpace(s string) string {
-	var b strings.Builder
-	b.Grow(len(s))
-	space := true // leading whitespace dropped
+	start, end := 0, len(s)
+	for start < end && asciiSpace(s[start]) {
+		start++
+	}
+	for end > start && asciiSpace(s[end-1]) {
+		end--
+	}
+	s = s[start:end]
+	clean := true
 	for i := 0; i < len(s); i++ {
 		c := s[i]
-		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v' {
+		if c == ' ' {
+			if i+1 < len(s) && asciiSpace(s[i+1]) {
+				clean = false
+				break
+			}
+		} else if asciiSpace(c) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	space := false // already trimmed
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if asciiSpace(c) {
 			if !space {
 				b.WriteByte(' ')
 				space = true
@@ -220,6 +275,9 @@ func collapseSpace(s string) string {
 		b.WriteByte(c)
 		space = false
 	}
-	out := b.String()
-	return strings.TrimRight(out, " ")
+	return b.String()
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v'
 }

@@ -1,0 +1,144 @@
+package store
+
+import "sync"
+
+// indexShards sizes the sharded inverted index. Term appends from
+// concurrent workspace flushes land on shards chosen by term hash, so two
+// flushing crawler threads only collide when they touch the same shard at
+// the same instant instead of serializing on one big index lock.
+const indexShards = 64
+
+type indexShard struct {
+	mu sync.RWMutex
+	m  map[string][]posting
+}
+
+// termIndex is the sharded inverted index (term -> postings in insert
+// order). It is internally synchronized and safe for concurrent use.
+type termIndex struct {
+	shards [indexShards]indexShard
+}
+
+func newTermIndex() *termIndex {
+	t := &termIndex{}
+	for i := range t.shards {
+		// Pre-size the shard maps: a crawl touches tens of thousands of
+		// distinct terms, and growing 64 small maps beats rehashing one
+		// giant one under a global lock.
+		t.shards[i].m = make(map[string][]posting, 512)
+	}
+	return t
+}
+
+// fnv32 is the 32-bit FNV-1a hash used to pick a shard.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+func (t *termIndex) shard(term string) *indexShard {
+	return &t.shards[fnv32(term)%indexShards]
+}
+
+// add appends one posting to a term's list.
+func (t *termIndex) add(term string, p posting) {
+	sh := t.shard(term)
+	sh.mu.Lock()
+	sh.m[term] = append(sh.m[term], p)
+	sh.mu.Unlock()
+}
+
+// addDoc appends one posting per term of a document.
+func (t *termIndex) addDoc(id DocID, terms map[string]int) {
+	for term, tf := range terms {
+		t.add(term, posting{doc: id, tf: tf})
+	}
+}
+
+// removeDoc deletes the postings of one document.
+func (t *termIndex) removeDoc(id DocID, terms map[string]int) {
+	for term := range terms {
+		sh := t.shard(term)
+		sh.mu.Lock()
+		ps := sh.m[term]
+		for i := range ps {
+			if ps[i].doc == id {
+				sh.m[term] = append(ps[:i], ps[i+1:]...)
+				break
+			}
+		}
+		if len(sh.m[term]) == 0 {
+			delete(sh.m, term)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// termAdd is one pending posting append in an indexBatch.
+type termAdd struct {
+	term string
+	p    posting
+}
+
+// indexBatch groups posting appends by shard so a bulk load locks each
+// touched shard once instead of once per (term, doc) pair. A batch belongs
+// to one workspace (single goroutine) and is reused across flushes.
+type indexBatch struct {
+	groups [indexShards][]termAdd
+}
+
+// bulkAdd appends one posting per term of each document, grouped by shard.
+// ids[i] is the store-assigned DocID of terms[i].
+func (t *termIndex) bulkAdd(b *indexBatch, ids []DocID, terms []map[string]int) {
+	for si := range b.groups {
+		if cap(b.groups[si]) == 0 {
+			b.groups[si] = make([]termAdd, 0, 32)
+		}
+	}
+	for i, m := range terms {
+		for term, tf := range m {
+			si := fnv32(term) % indexShards
+			b.groups[si] = append(b.groups[si], termAdd{term: term, p: posting{doc: ids[i], tf: tf}})
+		}
+	}
+	for si := range b.groups {
+		g := b.groups[si]
+		if len(g) == 0 {
+			continue
+		}
+		sh := &t.shards[si]
+		sh.mu.Lock()
+		for _, a := range g {
+			sh.m[a.term] = append(sh.m[a.term], a.p)
+		}
+		sh.mu.Unlock()
+		b.groups[si] = g[:0]
+	}
+}
+
+// get returns a term's postings as parallel (docID, tf) slices.
+func (t *termIndex) get(term string) ([]DocID, []int) {
+	sh := t.shard(term)
+	sh.mu.RLock()
+	ps := sh.m[term]
+	ids := make([]DocID, len(ps))
+	tfs := make([]int, len(ps))
+	for i, p := range ps {
+		ids[i] = p.doc
+		tfs[i] = p.tf
+	}
+	sh.mu.RUnlock()
+	return ids, tfs
+}
+
+// docFreq returns the number of postings for a term.
+func (t *termIndex) docFreq(term string) int {
+	sh := t.shard(term)
+	sh.mu.RLock()
+	n := len(sh.m[term])
+	sh.mu.RUnlock()
+	return n
+}

@@ -19,17 +19,22 @@ type snapshot struct {
 // Encode serializes the store to w. The inverted index and topic index
 // are rebuilt on read rather than serialized.
 func (s *Store) Encode(w io.Writer) error {
-	s.mu.RLock()
-	snap := snapshot{NextID: s.nextID}
+	var snap snapshot
+	s.docMu.RLock()
+	snap.NextID = s.nextID
 	snap.Docs = make([]Document, 0, len(s.docs))
 	for _, d := range s.docs {
 		snap.Docs = append(snap.Docs, *d)
 	}
+	s.docMu.RUnlock()
+	s.linkMu.RLock()
 	for _, ls := range s.outLinks {
 		snap.Links = append(snap.Links, ls...)
 	}
+	s.linkMu.RUnlock()
+	s.redirMu.RLock()
 	snap.Redirects = append(snap.Redirects, s.redirects...)
-	s.mu.RUnlock()
+	s.redirMu.RUnlock()
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("store: encode: %w", err)
 	}
@@ -48,9 +53,7 @@ func Decode(r io.Reader) (*Store, error) {
 		cp := d
 		s.docs[id] = &cp
 		s.byURL[d.URL] = id
-		for term, tf := range d.Terms {
-			s.index[term] = append(s.index[term], posting{doc: id, tf: tf})
-		}
+		s.index.addDoc(id, d.Terms)
 		if d.Topic != "" {
 			s.byTopic[d.Topic] = append(s.byTopic[d.Topic], id)
 		}

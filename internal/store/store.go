@@ -7,12 +7,18 @@
 // minute. This package reproduces that design as an embedded store: flat
 // in-memory relations (documents, postings, links, redirects), a
 // workspace/bulk-load write path, and binary persistence.
+//
+// Locking is per relation — document rows, the inverted index (itself
+// sharded by term hash), link rows, and redirect rows each have their own
+// lock — so concurrent workspace flushes from different crawler threads do
+// not serialize on one global mutex.
 package store
 
 import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -66,19 +72,28 @@ type posting struct {
 // ErrNotFound is returned when a document is absent.
 var ErrNotFound = errors.New("store: document not found")
 
-// Store is safe for concurrent use.
+// Store is safe for concurrent use. The crawl pipeline guarantees a single
+// writer per URL (the fetcher's duplicate detection and the frontier's
+// seen-set ensure a URL is processed at most once per crawl), which is what
+// keeps the split document/index locks coherent for replacements.
 type Store struct {
-	mu        sync.RWMutex
-	nextID    DocID
-	docs      map[DocID]*Document
-	byURL     map[string]DocID
-	index     map[string][]posting // term -> postings (append order = insert order)
-	outLinks  map[string][]Link
-	inLinks   map[string][]Link
+	docMu   sync.RWMutex // guards nextID, docs, byURL, byTopic
+	nextID  DocID
+	docs    map[DocID]*Document
+	byURL   map[string]DocID
+	byTopic map[string][]DocID
+
+	index *termIndex // sharded, internally synchronized
+
+	linkMu   sync.RWMutex
+	outLinks map[string][]Link
+	inLinks  map[string][]Link
+
+	redirMu   sync.RWMutex
 	redirects []Redirect
-	byTopic   map[string][]DocID
-	inserts   int64
-	bulkLoads int64
+
+	inserts   atomic.Int64
+	bulkLoads atomic.Int64
 }
 
 // New returns an empty store.
@@ -86,7 +101,7 @@ func New() *Store {
 	return &Store{
 		docs:     make(map[DocID]*Document),
 		byURL:    make(map[string]DocID),
-		index:    make(map[string][]posting),
+		index:    newTermIndex(),
 		outLinks: make(map[string][]Link),
 		inLinks:  make(map[string][]Link),
 		byTopic:  make(map[string][]DocID),
@@ -97,50 +112,45 @@ func New() *Store {
 // document's ID is assigned by the store and returned. A document with a URL
 // already present replaces the old row (recrawl).
 func (s *Store) Insert(d Document) DocID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := s.insertLocked(d)
-	s.inserts++
+	s.docMu.Lock()
+	id, old := s.insertDocLocked(d)
+	s.docMu.Unlock()
+	if old != nil {
+		s.index.removeDoc(old.ID, old.Terms)
+	}
+	s.index.addDoc(id, d.Terms)
+	s.inserts.Add(1)
 	return id
 }
 
-func (s *Store) insertLocked(d Document) DocID {
-	if old, ok := s.byURL[d.URL]; ok {
-		s.removeLocked(old)
+// insertDocLocked inserts the document row under docMu, assigning its ID.
+// If the URL was already present the replaced row is returned so the caller
+// can clean up its postings (outside docMu).
+func (s *Store) insertDocLocked(d Document) (DocID, *Document) {
+	var old *Document
+	if oldID, ok := s.byURL[d.URL]; ok {
+		old = s.removeDocLocked(oldID)
 	}
 	s.nextID++
 	d.ID = s.nextID
 	cp := d
 	s.docs[d.ID] = &cp
 	s.byURL[d.URL] = d.ID
-	for term, tf := range d.Terms {
-		s.index[term] = append(s.index[term], posting{doc: d.ID, tf: tf})
-	}
 	if d.Topic != "" {
 		s.byTopic[d.Topic] = append(s.byTopic[d.Topic], d.ID)
 	}
-	return d.ID
+	return d.ID, old
 }
 
-func (s *Store) removeLocked(id DocID) {
+// removeDocLocked removes the document row (not its postings) and returns
+// it, or nil if absent.
+func (s *Store) removeDocLocked(id DocID) *Document {
 	d, ok := s.docs[id]
 	if !ok {
-		return
+		return nil
 	}
 	delete(s.docs, id)
 	delete(s.byURL, d.URL)
-	for term := range d.Terms {
-		ps := s.index[term]
-		for i := range ps {
-			if ps[i].doc == id {
-				s.index[term] = append(ps[:i], ps[i+1:]...)
-				break
-			}
-		}
-		if len(s.index[term]) == 0 {
-			delete(s.index, term)
-		}
-	}
 	if d.Topic != "" {
 		ids := s.byTopic[d.Topic]
 		for i := range ids {
@@ -150,24 +160,29 @@ func (s *Store) removeLocked(id DocID) {
 			}
 		}
 	}
+	return d
 }
 
 // Delete removes a document by URL.
 func (s *Store) Delete(url string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.docMu.Lock()
 	id, ok := s.byURL[url]
-	if !ok {
+	var d *Document
+	if ok {
+		d = s.removeDocLocked(id)
+	}
+	s.docMu.Unlock()
+	if d == nil {
 		return false
 	}
-	s.removeLocked(id)
+	s.index.removeDoc(d.ID, d.Terms)
 	return true
 }
 
 // Get returns the document stored under id.
 func (s *Store) Get(id DocID) (Document, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.docMu.RLock()
+	defer s.docMu.RUnlock()
 	d, ok := s.docs[id]
 	if !ok {
 		return Document{}, ErrNotFound
@@ -177,8 +192,8 @@ func (s *Store) Get(id DocID) (Document, error) {
 
 // GetByURL returns the document stored under url.
 func (s *Store) GetByURL(url string) (Document, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.docMu.RLock()
+	defer s.docMu.RUnlock()
 	id, ok := s.byURL[url]
 	if !ok {
 		return Document{}, ErrNotFound
@@ -188,24 +203,24 @@ func (s *Store) GetByURL(url string) (Document, error) {
 
 // Contains reports whether url is stored.
 func (s *Store) Contains(url string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.docMu.RLock()
+	defer s.docMu.RUnlock()
 	_, ok := s.byURL[url]
 	return ok
 }
 
 // NumDocs returns the document count.
 func (s *Store) NumDocs() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.docMu.RLock()
+	defer s.docMu.RUnlock()
 	return len(s.docs)
 }
 
 // SetTopic reassigns a document's topic and confidence (re-classification
 // after retraining).
 func (s *Store) SetTopic(url, topic string, confidence float64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.docMu.Lock()
+	defer s.docMu.Unlock()
 	id, ok := s.byURL[url]
 	if !ok {
 		return ErrNotFound
@@ -230,8 +245,8 @@ func (s *Store) SetTopic(url, topic string, confidence float64) error {
 
 // SetTraining flags or unflags a document as training data.
 func (s *Store) SetTraining(url string, training bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.docMu.Lock()
+	defer s.docMu.Unlock()
 	id, ok := s.byURL[url]
 	if !ok {
 		return ErrNotFound
@@ -243,13 +258,13 @@ func (s *Store) SetTraining(url string, training bool) error {
 // ByTopic returns the documents assigned to topic, ordered by descending
 // confidence.
 func (s *Store) ByTopic(topic string) []Document {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.docMu.RLock()
 	ids := s.byTopic[topic]
 	out := make([]Document, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, *s.docs[id])
 	}
+	s.docMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Confidence != out[j].Confidence {
 			return out[i].Confidence > out[j].Confidence
@@ -261,22 +276,22 @@ func (s *Store) ByTopic(topic string) []Document {
 
 // Topics lists the distinct topics with at least one document, sorted.
 func (s *Store) Topics() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.docMu.RLock()
 	out := make([]string, 0, len(s.byTopic))
 	for t, ids := range s.byTopic {
 		if len(ids) > 0 {
 			out = append(out, t)
 		}
 	}
+	s.docMu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
 // All returns every stored document (unordered snapshot).
 func (s *Store) All() []Document {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.docMu.RLock()
+	defer s.docMu.RUnlock()
 	out := make([]Document, 0, len(s.docs))
 	for _, d := range s.docs {
 		out = append(out, *d)
@@ -286,44 +301,33 @@ func (s *Store) All() []Document {
 
 // Postings returns (docID, tf) pairs for a term as parallel slices.
 func (s *Store) Postings(term string) ([]DocID, []int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ps := s.index[term]
-	ids := make([]DocID, len(ps))
-	tfs := make([]int, len(ps))
-	for i, p := range ps {
-		ids[i] = p.doc
-		tfs[i] = p.tf
-	}
-	return ids, tfs
+	return s.index.get(term)
 }
 
 // DocFreq returns the number of documents containing term.
 func (s *Store) DocFreq(term string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.index[term])
+	return s.index.docFreq(term)
 }
 
 // AddLink records a hyperlink row.
 func (s *Store) AddLink(l Link) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.linkMu.Lock()
 	s.outLinks[l.From] = append(s.outLinks[l.From], l)
 	s.inLinks[l.To] = append(s.inLinks[l.To], l)
+	s.linkMu.Unlock()
 }
 
 // AddRedirect records a redirect row.
 func (s *Store) AddRedirect(r Redirect) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.redirMu.Lock()
 	s.redirects = append(s.redirects, r)
+	s.redirMu.Unlock()
 }
 
 // Successors returns the target URLs linked from url.
 func (s *Store) Successors(url string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.linkMu.RLock()
+	defer s.linkMu.RUnlock()
 	ls := s.outLinks[url]
 	out := make([]string, len(ls))
 	for i, l := range ls {
@@ -334,8 +338,8 @@ func (s *Store) Successors(url string) []string {
 
 // Predecessors returns the URLs linking to url.
 func (s *Store) Predecessors(url string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.linkMu.RLock()
+	defer s.linkMu.RUnlock()
 	ls := s.inLinks[url]
 	out := make([]string, len(ls))
 	for i, l := range ls {
@@ -347,8 +351,8 @@ func (s *Store) Predecessors(url string) []string {
 // InAnchors returns the anchor texts of links pointing at url (for the
 // anchor-text feature space).
 func (s *Store) InAnchors(url string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.linkMu.RLock()
+	defer s.linkMu.RUnlock()
 	ls := s.inLinks[url]
 	out := make([]string, 0, len(ls))
 	for _, l := range ls {
@@ -361,8 +365,8 @@ func (s *Store) InAnchors(url string) []string {
 
 // Links returns a snapshot of every link row.
 func (s *Store) Links() []Link {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.linkMu.RLock()
+	defer s.linkMu.RUnlock()
 	var out []Link
 	for _, ls := range s.outLinks {
 		out = append(out, ls...)
@@ -372,8 +376,8 @@ func (s *Store) Links() []Link {
 
 // Redirects returns a snapshot of the redirect relation.
 func (s *Store) Redirects() []Redirect {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.redirMu.RLock()
+	defer s.redirMu.RUnlock()
 	out := make([]Redirect, len(s.redirects))
 	copy(out, s.redirects)
 	return out
@@ -381,7 +385,5 @@ func (s *Store) Redirects() []Redirect {
 
 // Counters reports write-path statistics (row inserts vs bulk loads).
 func (s *Store) Counters() (inserts, bulkLoads int64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.inserts, s.bulkLoads
+	return s.inserts.Load(), s.bulkLoads.Load()
 }

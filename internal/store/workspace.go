@@ -3,59 +3,125 @@ package store
 // Workspace is a per-crawler-thread write buffer (§4.1): "Each thread
 // batches the storing of new documents and avoids SQL insert commands by
 // first collecting a certain number of documents in workspaces and then
-// invoking the database system's bulk loader." Flush moves the whole batch
-// into the store under a single lock acquisition.
+// invoking the database system's bulk loader." Flush moves each buffered
+// relation into the store under that relation's lock, so two threads
+// flushing simultaneously only contend when they touch the same relation.
+//
+// A workspace is owned by one goroutine; only the store it flushes into is
+// shared.
 type Workspace struct {
 	store     *Store
 	batchSize int
 	docs      []Document
 	links     []Link
 	redirects []Redirect
+
+	// Flush scratch, reused across batches so the steady state allocates
+	// nothing per flush.
+	ids      []DocID
+	terms    []map[string]int
+	idxBatch indexBatch
 }
 
-// NewWorkspace returns a workspace that auto-flushes after batchSize
-// documents (default 64).
+// NewWorkspace returns a workspace that auto-flushes when the total number
+// of buffered rows — documents, links, and redirects — reaches batchSize
+// (default 64). Counting all rows, not just documents, bounds the buffer on
+// link-heavy pages too.
 func (s *Store) NewWorkspace(batchSize int) *Workspace {
 	if batchSize <= 0 {
 		batchSize = 64
 	}
-	return &Workspace{store: s, batchSize: batchSize}
+	return &Workspace{
+		store:     s,
+		batchSize: batchSize,
+		docs:      make([]Document, 0, batchSize),
+		links:     make([]Link, 0, 2*batchSize),
+	}
 }
 
 // Add buffers a document, flushing automatically when the batch is full.
 func (w *Workspace) Add(d Document) {
 	w.docs = append(w.docs, d)
-	if len(w.docs) >= w.batchSize {
-		w.Flush()
-	}
+	w.maybeFlush()
 }
 
-// AddLink buffers a link row.
-func (w *Workspace) AddLink(l Link) { w.links = append(w.links, l) }
+// AddLink buffers a link row, flushing automatically when the batch is full.
+func (w *Workspace) AddLink(l Link) {
+	w.links = append(w.links, l)
+	w.maybeFlush()
+}
 
-// AddRedirect buffers a redirect row.
-func (w *Workspace) AddRedirect(r Redirect) { w.redirects = append(w.redirects, r) }
+// AddRedirect buffers a redirect row, flushing automatically when the batch
+// is full.
+func (w *Workspace) AddRedirect(r Redirect) {
+	w.redirects = append(w.redirects, r)
+	w.maybeFlush()
+}
 
 // Pending returns the number of buffered documents.
 func (w *Workspace) Pending() int { return len(w.docs) }
 
+// Buffered returns the total number of buffered rows across all relations.
+func (w *Workspace) Buffered() int {
+	return len(w.docs) + len(w.links) + len(w.redirects)
+}
+
+func (w *Workspace) maybeFlush() {
+	if w.Buffered() >= w.batchSize {
+		w.Flush()
+	}
+}
+
 // Flush bulk-loads all buffered rows into the store.
 func (w *Workspace) Flush() {
-	if len(w.docs) == 0 && len(w.links) == 0 && len(w.redirects) == 0 {
+	if w.Buffered() == 0 {
 		return
 	}
 	s := w.store
-	s.mu.Lock()
-	for _, d := range w.docs {
-		s.insertLocked(d)
+	if len(w.docs) > 0 {
+		w.ids = w.ids[:0]
+		w.terms = w.terms[:0]
+		var replaced []*Document
+		s.docMu.Lock()
+		for i := range w.docs {
+			id, old := s.insertDocLocked(w.docs[i])
+			w.ids = append(w.ids, id)
+			w.terms = append(w.terms, w.docs[i].Terms)
+			if old != nil {
+				replaced = append(replaced, old)
+			}
+		}
+		s.docMu.Unlock()
+		for _, old := range replaced {
+			s.index.removeDoc(old.ID, old.Terms)
+		}
+		s.index.bulkAdd(&w.idxBatch, w.ids, w.terms)
 	}
-	for _, l := range w.links {
-		s.outLinks[l.From] = append(s.outLinks[l.From], l)
-		s.inLinks[l.To] = append(s.inLinks[l.To], l)
+	if len(w.links) > 0 {
+		s.linkMu.Lock()
+		// Links are buffered page by page, so the buffer is runs of equal
+		// From; append each run to the out-link table in one shot instead of
+		// re-probing the map per link.
+		for i := 0; i < len(w.links); {
+			j := i + 1
+			from := w.links[i].From
+			for j < len(w.links) && w.links[j].From == from {
+				j++
+			}
+			s.outLinks[from] = append(s.outLinks[from], w.links[i:j]...)
+			for ; i < j; i++ {
+				l := w.links[i]
+				s.inLinks[l.To] = append(s.inLinks[l.To], l)
+			}
+		}
+		s.linkMu.Unlock()
 	}
-	s.redirects = append(s.redirects, w.redirects...)
-	s.bulkLoads++
-	s.mu.Unlock()
+	if len(w.redirects) > 0 {
+		s.redirMu.Lock()
+		s.redirects = append(s.redirects, w.redirects...)
+		s.redirMu.Unlock()
+	}
+	s.bulkLoads.Add(1)
 	w.docs = w.docs[:0]
 	w.links = w.links[:0]
 	w.redirects = w.redirects[:0]

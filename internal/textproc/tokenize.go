@@ -6,6 +6,7 @@ package textproc
 
 import (
 	"strings"
+	"sync"
 	"unicode"
 )
 
@@ -19,7 +20,13 @@ type Token struct {
 // of letters and digits; runs that contain no letter (pure numbers) are
 // dropped, as are single-character tokens, mirroring typical IR lexers.
 func Tokenize(text string) []Token {
-	tokens := make([]Token, 0, len(text)/6)
+	return appendTokens(make([]Token, 0, len(text)/6), text)
+}
+
+// appendTokens tokenizes text into dst, reusing its capacity; it backs both
+// Tokenize and the pooled pipeline path.
+func appendTokens(dst []Token, text string) []Token {
+	tokens := dst
 	pos := 0
 	start := -1
 	hasLetter := false
@@ -66,22 +73,90 @@ type Pipeline struct {
 	// ExtraStops holds additional stopwords (e.g. the extended anchor-text
 	// list of §3.4: "click", "here", ...).
 	extra StopSet
+	// memo caches the per-word analyzer decision for this stopword
+	// configuration.
+	memo *stemCache
 }
 
 // NewPipeline returns a pipeline with the standard English stopword list.
 func NewPipeline() *Pipeline {
-	return &Pipeline{stopwords: DefaultStopwords()}
+	return &Pipeline{stopwords: DefaultStopwords(), memo: &standardStems}
 }
 
 // NewAnchorPipeline returns a pipeline with the extended stopword list used
 // for anchor texts (§3.4), which additionally removes navigation boilerplate
 // such as "click here".
 func NewAnchorPipeline() *Pipeline {
-	return &Pipeline{stopwords: DefaultStopwords(), extra: AnchorStopwords()}
+	return &Pipeline{stopwords: DefaultStopwords(), extra: AnchorStopwords(), memo: &anchorStems}
 }
 
-// Stems runs the full pipeline and returns the stem sequence.
+// analyzeWord is the uncached per-word decision: "" when the word is
+// dropped (stopword, or stem shorter than two characters), the Porter stem
+// otherwise.
+func (p *Pipeline) analyzeWord(w string) string {
+	if p.stopwords.Contains(w) || (p.extra != nil && p.extra.Contains(w)) {
+		return ""
+	}
+	s := Stem(w)
+	if len(s) < 2 {
+		return ""
+	}
+	return s
+}
+
+// cachedWord is analyzeWord through the pipeline's memo.
+func (p *Pipeline) cachedWord(w string) string {
+	s, ok := p.memo.lookup(w)
+	if !ok {
+		s = p.analyzeWord(w)
+		p.memo.store(w, s)
+	}
+	return s
+}
+
+// tokenBufs recycles the intermediate token slices of Pipeline.Stems; a
+// crawl tokenizes every fetched page, and the per-page buffer is pure
+// garbage once the stems are extracted.
+var tokenBufs = sync.Pool{
+	New: func() any {
+		buf := make([]Token, 0, 512)
+		return &buf
+	},
+}
+
+// Stems runs the full pipeline and returns the stem sequence. The per-word
+// stopword+stem decision goes through the pipeline's bounded memo, and the
+// intermediate token buffer is pooled.
 func (p *Pipeline) Stems(text string) []string {
+	return p.StemsParts(text)
+}
+
+// StemsParts is Stems over the concatenation of parts, without
+// materializing the joined string — the crawler analyzes title and body
+// together, and the pages are large enough that the extra copy (and its GC
+// scan) is measurable.
+func (p *Pipeline) StemsParts(parts ...string) []string {
+	bufp := tokenBufs.Get().(*[]Token)
+	tokens := (*bufp)[:0]
+	for _, part := range parts {
+		tokens = appendTokens(tokens, part)
+	}
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if s := p.cachedWord(t.Text); s != "" {
+			out = append(out, s)
+		}
+	}
+	*bufp = tokens[:0]
+	tokenBufs.Put(bufp)
+	return out
+}
+
+// StemsUncached is Stems without the stem memo or the pooled token buffer:
+// every call tokenizes into a fresh slice and runs the Porter stemmer on
+// every word occurrence. It exists as the measurable pre-optimization
+// analyzer for the legacy-write-path crawl baseline.
+func (p *Pipeline) StemsUncached(text string) []string {
 	tokens := Tokenize(text)
 	out := make([]string, 0, len(tokens))
 	for _, t := range tokens {

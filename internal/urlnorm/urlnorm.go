@@ -53,6 +53,17 @@ func NormalizeURL(u *url.URL) {
 			p = "/"
 		}
 		p = cleanPath(p)
+		if !strings.Contains(p, "%") {
+			// No escape sequences: the unescaped form IS p, so skip the
+			// PathUnescape/PathEscape round-trip (an allocation per URL on
+			// the crawl hot path).
+			u.Path = p
+			u.RawPath = ""
+			if u.EscapedPath() != p && url.PathEscape(p) != p {
+				u.RawPath = p
+			}
+			return
+		}
 		// assigning via Path/RawPath keeps escaping consistent
 		if unescaped, err := url.PathUnescape(p); err == nil {
 			u.Path = unescaped
@@ -70,7 +81,40 @@ func NormalizeURL(u *url.URL) {
 
 // cleanPath resolves "." and ".." segments and collapses duplicate slashes
 // while preserving a trailing slash (which is significant for directories).
+// pathIsClean reports whether p is already in canonical form — absolute,
+// no empty, "." or ".." segments — so cleanPath can return it unchanged
+// without splitting and rejoining.
+func pathIsClean(p string) bool {
+	if p == "" || p[0] != '/' {
+		return false
+	}
+	for i := 0; i < len(p); i++ {
+		if p[i] != '/' {
+			continue
+		}
+		j := i + 1
+		if j == len(p) {
+			break // a single trailing slash is preserved anyway
+		}
+		if p[j] == '/' {
+			return false // "//"
+		}
+		if p[j] == '.' {
+			if j+1 == len(p) || p[j+1] == '/' {
+				return false // "." segment
+			}
+			if p[j+1] == '.' && (j+2 == len(p) || p[j+2] == '/') {
+				return false // ".." segment
+			}
+		}
+	}
+	return true
+}
+
 func cleanPath(p string) string {
+	if pathIsClean(p) {
+		return p
+	}
 	trailing := strings.HasSuffix(p, "/") && p != "/"
 	segs := strings.Split(p, "/")
 	out := make([]string, 0, len(segs))
