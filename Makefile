@@ -1,11 +1,13 @@
 # Developer entry points. `make bench` regenerates BENCH_crawl.json, the
-# before/after record of the §4.1 batched-write-path speedup.
+# before/after record of the §4.1 batched-write-path speedup;
+# `make bench-search` regenerates BENCH_search.json, the record of the §3.6
+# snapshot-scorer query speedup.
 
 GO ?= go
 
-.PHONY: all build vet test race bench
+.PHONY: all build vet test race bench bench-search
 
-all: build vet test
+all: build test
 
 build:
 	$(GO) build ./...
@@ -13,16 +15,24 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
-# The crawl execution path is heavily concurrent (worker pool, sharded
-# store, frontier lease protocol); race runs the packages that exercise it.
+# The crawl execution path and the query read path are heavily concurrent
+# (worker pool, sharded store, frontier lease protocol, snapshot swaps,
+# parallel HITS sweeps); race runs the packages that exercise them.
 race:
-	$(GO) test -race ./internal/crawler/... ./internal/store/... ./internal/frontier/...
+	$(GO) test -race ./internal/crawler/... ./internal/store/... ./internal/frontier/... ./internal/search/... ./internal/hits/...
 
 # bench reports crawl throughput for the batched and the legacy write path,
 # then records an interleaved A/B comparison in BENCH_crawl.json.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCrawlThroughput' -benchtime 3x .
 	BENCH_JSON=BENCH_crawl.json $(GO) test -run TestWriteCrawlBenchJSON -v .
+
+# bench-search reports query throughput for the snapshot and the legacy
+# read path (with -benchmem as the allocation evidence), then records an
+# interleaved A/B comparison in BENCH_search.json.
+bench-search:
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchQPS' -benchtime 1s -benchmem .
+	BENCH_JSON=BENCH_search.json $(GO) test -run TestWriteSearchBenchJSON -v .

@@ -14,6 +14,8 @@ package bingo_test
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -23,6 +25,8 @@ import (
 
 	"github.com/bingo-search/bingo/internal/corpus"
 	"github.com/bingo-search/bingo/internal/experiments"
+	"github.com/bingo-search/bingo/internal/search"
+	"github.com/bingo-search/bingo/internal/store"
 )
 
 const (
@@ -471,5 +475,234 @@ func BenchmarkTrapResistance(b *testing.B) {
 			b.ReportMetric(float64(res.FocusedTrapped), "focused-trapped")
 			b.ReportMetric(float64(res.UnfocusedTrapped), "unfocused-trapped")
 		}
+	}
+}
+
+// buildSearchStore synthesizes a crawl database for the query benchmarks:
+// Zipf-distributed vocabulary (a few hot terms, a long tail), a topic tree,
+// real text for phrase queries, per-host link structure for HITS, and
+// varied confidences.
+func buildSearchStore(nDocs int) *store.Store {
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.2, 1.5, 799)
+	s := store.New()
+	topics := []string{"ROOT/db", "ROOT/db/core", "ROOT/db/recovery", "ROOT/web", "ROOT/OTHERS"}
+	texts := []string{
+		"the source code release includes recovery logging internals",
+		"a survey of transaction recovery protocols in database systems",
+		"notes on crawler scheduling and classifier confidence",
+		"storage and index structures for efficient query processing",
+	}
+	for i := 0; i < nDocs; i++ {
+		terms := make(map[string]int)
+		for k := 0; k < 8+rng.Intn(8); k++ {
+			terms[fmt.Sprintf("t%d", zipf.Uint64())] += 1 + rng.Intn(4)
+		}
+		// seed the query terms into a slice of the corpus
+		if i%3 == 0 {
+			terms["recoveri"] = 1 + rng.Intn(4)
+		}
+		if i%5 == 0 {
+			terms["transact"] = 1 + rng.Intn(3)
+		}
+		s.Insert(store.Document{
+			URL:        fmt.Sprintf("http://h%d.example/doc%d", i%29, i),
+			Topic:      topics[rng.Intn(len(topics))],
+			Confidence: float64(rng.Intn(1000)) / 1000,
+			Title:      fmt.Sprintf("synthetic page %d", i),
+			Text:       texts[rng.Intn(len(texts))],
+			Terms:      terms,
+		})
+	}
+	for i := 0; i < nDocs*2; i++ {
+		s.AddLink(store.Link{
+			From: fmt.Sprintf("http://h%d.example/doc%d", rng.Intn(29), rng.Intn(nDocs)),
+			To:   fmt.Sprintf("http://h%d.example/doc%d", rng.Intn(29), rng.Intn(nDocs)),
+		})
+	}
+	return s
+}
+
+// searchQueryMix is the workload of the QPS benchmarks: vague and exact
+// keyword queries, hot and long-tail terms, a topic filter, and a weighted
+// combination — the shapes §3.6 exposes, minus phrases and authority, which
+// get dedicated variants below.
+func searchQueryMix() []search.Query {
+	return []search.Query{
+		{Text: "recovery transaction"},
+		{Text: "t1 t2 t7"},
+		{Text: "recovery t3", Exact: true},
+		{Text: "t1 recovery", Topic: "ROOT/db"},
+		{Text: "recovery transaction t5", Weights: search.Weights{Cosine: 0.7, Confidence: 0.3}},
+		{Text: "t42 t100 recovery"},
+	}
+}
+
+// benchSearchQPS drives a query mix at one goroutine or GOMAXPROCS.
+func benchSearchQPS(b *testing.B, legacy, parallel bool, queries []search.Query) {
+	s := buildSearchStore(4000)
+	e := search.New(s)
+	e.LegacyScoring = legacy
+	for _, q := range queries { // warm caches/snapshot outside the timer
+		e.Search(q)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if parallel {
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				e.Search(queries[i%len(queries)])
+				i++
+			}
+		})
+		return
+	}
+	for i := 0; i < b.N; i++ {
+		e.Search(queries[i%len(queries)])
+	}
+}
+
+// BenchmarkSearchQPS measures queries/sec of the snapshot read path against
+// the legacy per-candidate scorer, single-goroutine and parallel, with and
+// without phrase, topic, and authority components (the interleaved A/B with
+// JSON output is TestWriteSearchBenchJSON).
+func BenchmarkSearchQPS(b *testing.B) {
+	phrase := []search.Query{{Text: `"transaction recovery" protocols`}, {Text: `"source code release"`}}
+	authority := []search.Query{{Text: "recovery transaction", Weights: search.Weights{Cosine: 0.5, Authority: 0.5}}}
+	topic := []search.Query{{Text: "recovery", Topic: "ROOT/db"}, {Text: "transaction", Topic: "ROOT/db/recovery"}}
+	for _, v := range []struct {
+		name     string
+		legacy   bool
+		parallel bool
+		queries  []search.Query
+	}{
+		{"Indexed", false, false, searchQueryMix()},
+		{"Legacy", true, false, searchQueryMix()},
+		{"IndexedParallel", false, true, searchQueryMix()},
+		{"LegacyParallel", true, true, searchQueryMix()},
+		{"IndexedPhrase", false, false, phrase},
+		{"LegacyPhrase", true, false, phrase},
+		{"IndexedTopic", false, false, topic},
+		{"IndexedAuthority", false, false, authority},
+		{"LegacyAuthority", true, false, authority},
+	} {
+		b.Run(v.name, func(b *testing.B) { benchSearchQPS(b, v.legacy, v.parallel, v.queries) })
+	}
+}
+
+// searchRun is one timed query-throughput sample. Queries per CPU-second is
+// the headline for the same reason as crawlRun: CPU time is immune to
+// co-tenant steal on a shared machine.
+type searchRun struct {
+	QueriesPerCPUSec  float64 `json:"queries_per_cpu_sec"`
+	QueriesPerWallSec float64 `json:"queries_per_wall_sec"`
+	AllocsPerQuery    float64 `json:"allocs_per_query"`
+}
+
+// measureSearch runs n queries from the mix as one sample.
+func measureSearch(t *testing.T, e *search.Engine, queries []search.Query, n int) searchRun {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	cpu0 := cpuSeconds(t)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		e.Search(queries[i%len(queries)])
+	}
+	wallSecs := time.Since(start).Seconds()
+	cpuSecs := cpuSeconds(t) - cpu0
+	runtime.ReadMemStats(&m1)
+	return searchRun{
+		QueriesPerCPUSec:  float64(n) / cpuSecs,
+		QueriesPerWallSec: float64(n) / wallSecs,
+		AllocsPerQuery:    float64(m1.Mallocs-m0.Mallocs) / float64(n),
+	}
+}
+
+// TestWriteSearchBenchJSON measures the snapshot read path against the
+// legacy scorer on the same store and records the result in a JSON file.
+// Methodology mirrors TestWriteCrawlBenchJSON: alternating pairs, per-pair
+// ratios, median ratio as the headline — pairwise interleaving cancels the
+// load noise of a shared machine. Opt-in via BENCH_JSON=<path> (the
+// Makefile `bench-search` target sets it).
+func TestWriteSearchBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON")
+	if out == "" {
+		t.Skip("set BENCH_JSON=<output path> to run the search A/B measurement")
+	}
+	const rounds = 7
+	const queriesPerSample = 400
+	s := buildSearchStore(4000)
+	indexed := search.New(s)
+	legacy := search.New(s)
+	legacy.LegacyScoring = true
+	mix := searchQueryMix()
+	measureSearch(t, indexed, mix, 20) // warm snapshot + pools
+	measureSearch(t, legacy, mix, 20)  // warm idf cache + stem memo
+
+	var idxRuns, legRuns []searchRun
+	var ratios, idxQPS, legQPS []float64
+	for i := 0; i < rounds; i++ {
+		n := measureSearch(t, indexed, mix, queriesPerSample)
+		l := measureSearch(t, legacy, mix, queriesPerSample)
+		idxRuns = append(idxRuns, n)
+		legRuns = append(legRuns, l)
+		ratios = append(ratios, n.QueriesPerCPUSec/l.QueriesPerCPUSec)
+		idxQPS = append(idxQPS, n.QueriesPerCPUSec)
+		legQPS = append(legQPS, l.QueriesPerCPUSec)
+		t.Logf("round %d: indexed %.0f q/cpu-sec (%.2f allocs/q), legacy %.0f q/cpu-sec (%.0f allocs/q), ratio %.2f",
+			i+1, n.QueriesPerCPUSec, n.AllocsPerQuery, l.QueriesPerCPUSec, l.AllocsPerQuery,
+			n.QueriesPerCPUSec/l.QueriesPerCPUSec)
+	}
+
+	var idxAllocs, legAllocs, idxWall, legWall []float64
+	for i := range idxRuns {
+		idxAllocs = append(idxAllocs, idxRuns[i].AllocsPerQuery)
+		legAllocs = append(legAllocs, legRuns[i].AllocsPerQuery)
+		idxWall = append(idxWall, idxRuns[i].QueriesPerWallSec)
+		legWall = append(legWall, legRuns[i].QueriesPerWallSec)
+	}
+	report := struct {
+		Benchmark   string      `json:"benchmark"`
+		Docs        int         `json:"docs"`
+		QuerySample int         `json:"queries_per_sample"`
+		Rounds      int         `json:"rounds"`
+		Indexed     searchRun   `json:"indexed_median"`
+		Legacy      searchRun   `json:"legacy_median"`
+		RatioMedian float64     `json:"queries_per_cpu_sec_ratio_median"`
+		IndexedRuns []searchRun `json:"indexed_runs"`
+		LegacyRuns  []searchRun `json:"legacy_runs"`
+	}{
+		Benchmark:   "BenchmarkSearchQPS Indexed vs Legacy (interleaved pairs, mixed query shapes)",
+		Docs:        4000,
+		QuerySample: queriesPerSample,
+		Rounds:      rounds,
+		RatioMedian: median(ratios),
+		IndexedRuns: idxRuns,
+		LegacyRuns:  legRuns,
+	}
+	report.Indexed = searchRun{
+		QueriesPerCPUSec:  median(idxQPS),
+		QueriesPerWallSec: median(idxWall),
+		AllocsPerQuery:    median(idxAllocs),
+	}
+	report.Legacy = searchRun{
+		QueriesPerCPUSec:  median(legQPS),
+		QueriesPerWallSec: median(legWall),
+		AllocsPerQuery:    median(legAllocs),
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("median ratio %.2fx (indexed %.0f vs legacy %.0f queries/cpu-sec) -> %s",
+		report.RatioMedian, report.Indexed.QueriesPerCPUSec, report.Legacy.QueriesPerCPUSec, out)
+	if report.RatioMedian < 3 {
+		t.Errorf("indexed/legacy queries/cpu-sec ratio %.2f below the 3x target", report.RatioMedian)
 	}
 }

@@ -42,6 +42,14 @@ type Engine struct {
 	resolver *dns.Resolver
 	pipe     *textproc.Pipeline
 
+	// searchMu guards the cached search engine. Caching it (instead of
+	// constructing one per Search() call) preserves the search snapshot
+	// and its epoch-keyed caches across queries; the cache is rebuilt when
+	// session restore swaps the underlying store.
+	searchMu    sync.Mutex
+	searchEng   *search.Engine
+	searchStore *store.Store
+
 	mu         sync.RWMutex
 	classifier *classify.Classifier
 	training   *classify.TrainingSet
@@ -318,8 +326,18 @@ func (e *Engine) classifyCallback(d classify.Doc) classify.Result {
 	return cls.ClassifyWithMode(d, mode)
 }
 
-// Search returns a local search engine over the crawl database (§3.6).
-func (e *Engine) Search() *search.Engine { return search.New(e.store) }
+// Search returns the local search engine over the crawl database (§3.6).
+// The engine is cached so repeated queries reuse the search snapshot and
+// the idf/authority caches instead of rebuilding them per call.
+func (e *Engine) Search() *search.Engine {
+	e.searchMu.Lock()
+	defer e.searchMu.Unlock()
+	if e.searchEng == nil || e.searchStore != e.store {
+		e.searchEng = search.New(e.store)
+		e.searchStore = e.store
+	}
+	return e.searchEng
+}
 
 // ClusterTopic runs the §3.6 cluster analysis on one class's result
 // documents, suggesting subclass structure. kMin/kMax bound the number of

@@ -7,7 +7,9 @@ package hits
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Graph is a directed hyperlink graph over string node ids (URLs).
@@ -124,42 +126,55 @@ func (g *Graph) Run(opts Options) Result {
 		auth[i], hub[i] = 1, 1
 	}
 
-	type wedge struct {
-		from, to int
-		w        float64
+	// Weighted adjacency, one arc list per node: inArcs feeds the authority
+	// sweep (in-neighbors contribute hub mass), outArcs the hub sweep. The
+	// per-node layout is what lets the sweeps run on goroutine-chunked node
+	// ranges without write conflicts — each goroutine owns a disjoint range
+	// of destination nodes.
+	// Collect the surviving edges in a deterministic order: edgeSet is a
+	// map, and letting its iteration order pick the floating-point
+	// summation order would make scores wobble in the last ulp between
+	// runs over the same graph.
+	edges := make([][2]int, 0, len(g.edgeSet))
+	for e := range g.edgeSet {
+		if opts.SkipIntraHost && g.hosts[e[0]] == g.hosts[e[1]] {
+			continue
+		}
+		edges = append(edges, e)
 	}
-	edges := make([]wedge, 0, len(g.edgeSet))
-	// authWeight[to] per from-host count, hubWeight[from] per to-host count
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a][0] != edges[b][0] {
+			return edges[a][0] < edges[b][0]
+		}
+		return edges[a][1] < edges[b][1]
+	})
+
+	inArcs := make([][]arc, n)
+	outArcs := make([][]arc, n)
+	addArc := func(f, t int, w float64) {
+		inArcs[t] = append(inArcs[t], arc{nb: f, w: w})
+		outArcs[f] = append(outArcs[f], arc{nb: t, w: w})
+	}
 	if opts.HostWeighting {
-		// count in-edges per (target, source-host) and out-edges per
-		// (source, target-host)
+		// Bharat–Henzinger 1/k weights: count in-edges per (target,
+		// source-host) and out-edges per (source, target-host).
 		inHost := make(map[[2]string]int)
 		outHost := make(map[[2]string]int)
-		for e := range g.edgeSet {
+		for _, e := range edges {
 			f, t := e[0], e[1]
-			if opts.SkipIntraHost && g.hosts[f] == g.hosts[t] {
-				continue
-			}
 			inHost[[2]string{g.ids[t], g.hosts[f]}]++
 			outHost[[2]string{g.ids[f], g.hosts[t]}]++
 		}
-		for e := range g.edgeSet {
+		for _, e := range edges {
 			f, t := e[0], e[1]
-			if opts.SkipIntraHost && g.hosts[f] == g.hosts[t] {
-				continue
-			}
 			aw := 1.0 / float64(inHost[[2]string{g.ids[t], g.hosts[f]}])
 			hw := 1.0 / float64(outHost[[2]string{g.ids[f], g.hosts[t]}])
 			// combine: use sqrt so a single weight serves both directions
-			edges = append(edges, wedge{f, t, math.Sqrt(aw * hw)})
+			addArc(f, t, math.Sqrt(aw*hw))
 		}
 	} else {
-		for e := range g.edgeSet {
-			f, t := e[0], e[1]
-			if opts.SkipIntraHost && g.hosts[f] == g.hosts[t] {
-				continue
-			}
-			edges = append(edges, wedge{f, t, 1})
+		for _, e := range edges {
+			addArc(e[0], e[1], 1)
 		}
 	}
 
@@ -168,15 +183,10 @@ func (g *Graph) Run(opts Options) Result {
 	iters := 0
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		iters = iter + 1
-		for i := range newAuth {
-			newAuth[i], newHub[i] = 0, 0
-		}
-		for _, e := range edges {
-			newAuth[e.to] += e.w * hub[e.from]
-		}
-		for _, e := range edges {
-			newHub[e.from] += e.w * newAuth[e.to]
-		}
+		// As in the classic formulation, the hub sweep reads the *updated*
+		// (pre-normalization) authority vector.
+		sweep(newAuth, inArcs, hub)
+		sweep(newHub, outArcs, newAuth)
 		normalize(newAuth)
 		normalize(newHub)
 		delta := 0.0
@@ -194,6 +204,61 @@ func (g *Graph) Run(opts Options) Result {
 	res.Authorities = g.ranked(auth)
 	res.Hubs = g.ranked(hub)
 	return res
+}
+
+// arc is one weighted adjacency entry: the neighbor's node index and the
+// (Bharat–Henzinger) edge weight.
+type arc struct {
+	nb int
+	w  float64
+}
+
+// sweepWorkers caps the goroutines used per sweep. It defaults to the
+// machine's parallelism; tests override it to force the chunked path.
+var sweepWorkers = runtime.GOMAXPROCS(0)
+
+// minParallelNodes gates the chunked sweep: below this node count the
+// goroutine fan-out costs more than the multiply-adds it spreads.
+const minParallelNodes = 1024
+
+// sweep computes dst[i] = Σ arcs[i].w · src[arcs[i].nb] for every node,
+// splitting the node range across goroutines on large graphs. Each node's
+// sum is accumulated in the same order as the sequential loop, so the
+// result is bit-identical regardless of worker count.
+func sweep(dst []float64, arcs [][]arc, src []float64) {
+	n := len(dst)
+	workers := sweepWorkers
+	if n < minParallelNodes || workers <= 1 {
+		sweepRange(dst, arcs, src, 0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sweepRange(dst, arcs, src, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func sweepRange(dst []float64, arcs [][]arc, src []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var sum float64
+		for _, a := range arcs[i] {
+			sum += a.w * src[a.nb]
+		}
+		dst[i] = sum
+	}
 }
 
 func (g *Graph) ranked(scores []float64) []Score {

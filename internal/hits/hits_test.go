@@ -277,3 +277,48 @@ func TestExpandBaseSetUnlimitedPredecessors(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelSweepMatchesSequential forces the goroutine-chunked sweep on
+// a graph above the parallelism threshold and checks it is bit-identical
+// to the sequential sweep: each node's sum accumulates in the same order,
+// so worker count must not change a single score.
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := NewGraph()
+	const n = 3000
+	id := func(i int) string { return fmt.Sprintf("http://h%d.example/p%d", i%37, i) }
+	host := func(i int) string { return fmt.Sprintf("h%d.example", i%37) }
+	for i := 0; i < 4*n; i++ {
+		f, to := rng.Intn(n), rng.Intn(n)
+		g.AddEdge(id(f), host(f), id(to), host(to))
+	}
+	if g.NumNodes() < minParallelNodes {
+		t.Fatalf("graph too small to exercise the parallel sweep: %d nodes", g.NumNodes())
+	}
+
+	run := func(workers int) Result {
+		old := sweepWorkers
+		sweepWorkers = workers
+		defer func() { sweepWorkers = old }()
+		return g.Run(DefaultOptions())
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 4, 7} {
+		par := run(workers)
+		if par.Iterations != seq.Iterations {
+			t.Fatalf("workers=%d: %d iterations, sequential took %d", workers, par.Iterations, seq.Iterations)
+		}
+		for i := range seq.Authorities {
+			if seq.Authorities[i] != par.Authorities[i] {
+				t.Fatalf("workers=%d: authority[%d] = %+v, sequential %+v",
+					workers, i, par.Authorities[i], seq.Authorities[i])
+			}
+		}
+		for i := range seq.Hubs {
+			if seq.Hubs[i] != par.Hubs[i] {
+				t.Fatalf("workers=%d: hub[%d] = %+v, sequential %+v",
+					workers, i, par.Hubs[i], seq.Hubs[i])
+			}
+		}
+	}
+}

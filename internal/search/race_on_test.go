@@ -1,0 +1,8 @@
+//go:build race
+
+package search
+
+// raceEnabled reports that this binary was built with -race, whose
+// instrumentation allocates inside the scoring loop and would fail the
+// zero-allocation assertions.
+const raceEnabled = true

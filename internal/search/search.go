@@ -5,6 +5,13 @@
 // class assignment, and by HITS authority scores — and any weighted linear
 // combination of the three, the knob the paper exposes for trial-and-error
 // experimentation by a human expert.
+//
+// Queries are served index-natively from an immutable snapshot (see
+// snapshot.go): per-document tf·idf norms, confidence, topic, and URL are
+// precomputed once per store epoch, scoring accumulates term-at-a-time from
+// the live postings into dense per-DocID arrays, and result selection uses
+// a bounded top-K heap. The original per-candidate map-vector scorer is
+// retained behind LegacyScoring as the same-commit A/B baseline.
 package search
 
 import (
@@ -57,55 +64,100 @@ type Hit struct {
 	Authority  float64
 }
 
-// Engine answers queries over a crawl database. The idf table and HITS
-// authority scores are cached and invalidated when the database's document
-// count changes (the same lazy-recomputation policy §2.2 applies to idf).
+// Engine answers queries over a crawl database. Derived state — the search
+// snapshot, and the legacy path's idf table and HITS authority scores — is
+// cached and invalidated on the store's mutation epoch, so any write
+// (including a delete followed by an insert that leaves the document count
+// unchanged) refreshes it.
 type Engine struct {
 	store *store.Store
 	pipe  *textproc.Pipeline
 
+	// LegacyScoring routes Search through the original per-candidate
+	// map-vector scorer of the pre-snapshot engine. It exists so the A/B
+	// benchmark can compare both read paths on the same commit.
+	LegacyScoring bool
+
+	// snap is the current immutable search snapshot; buildMu singleflights
+	// rebuilds (see Engine.snapshot).
+	snap    atomicSnapshot
+	buildMu sync.Mutex
+	// scratch pools per-query scoring state (dense accumulators, candidate
+	// list, top-K heap) so the scoring loop allocates nothing.
+	scratch sync.Pool
+
+	// Legacy-path caches, keyed on the store epoch.
 	mu        sync.Mutex
-	idfDocs   int
+	idfEpoch  int64
 	idf       *vsm.IDFTable
-	authDocs  int
+	authEpoch int64
 	authority map[string]float64
 }
 
 // New builds a search engine over s.
 func New(s *store.Store) *Engine {
-	return &Engine{store: s, pipe: textproc.NewPipeline()}
+	e := &Engine{store: s, pipe: textproc.NewPipeline()}
+	e.scratch.New = func() any { return newScoreScratch() }
+	return e
 }
 
-// Search runs q and returns the ranked hits.
-func (e *Engine) Search(q Query) []Hit {
+// parsedQuery is a query after text analysis: unique free+phrase stems with
+// their query-side frequencies, plus the stem sequence of each phrase.
+type parsedQuery struct {
+	uniq        map[string]int
+	phraseStems [][]string
+}
+
+// parseQuery analyzes q.Text and applies the Limit and Weights defaults in
+// place. ok is false when no indexable stems remain.
+func (e *Engine) parseQuery(q *Query) (p parsedQuery, ok bool) {
 	freeText, phrases := splitPhrases(q.Text)
 	stems := e.pipe.Stems(freeText)
-	var phraseStems [][]string
-	for _, p := range phrases {
-		ps := e.pipe.Stems(p)
+	for _, ph := range phrases {
+		ps := e.pipe.Stems(ph)
 		if len(ps) > 0 {
-			phraseStems = append(phraseStems, ps)
+			p.phraseStems = append(p.phraseStems, ps)
 			stems = append(stems, ps...) // phrase terms also rank
 		}
 	}
 	if len(stems) == 0 {
-		return nil
+		return parsedQuery{}, false
 	}
-	uniq := make(map[string]int)
+	p.uniq = make(map[string]int, len(stems))
 	for _, s := range stems {
-		uniq[s]++
+		p.uniq[s]++
 	}
 	if q.Limit <= 0 {
 		q.Limit = 10
 	}
-	w := q.Weights
-	if w.Cosine == 0 && w.Confidence == 0 && w.Authority == 0 {
-		w = DefaultWeights()
+	if q.Weights == (Weights{}) {
+		q.Weights = DefaultWeights()
 	}
+	return p, true
+}
+
+// Search runs q and returns the ranked hits.
+func (e *Engine) Search(q Query) []Hit {
+	p, ok := e.parseQuery(&q)
+	if !ok {
+		return nil
+	}
+	if e.LegacyScoring {
+		return e.searchLegacy(q, p)
+	}
+	return e.searchIndexed(q, p)
+}
+
+// searchLegacy is the original read path: candidate DocIDs from copied
+// postings, a store.Get and an idf.Weight map-vector per candidate, and a
+// full sort of all candidates. Kept verbatim (modulo the epoch-keyed
+// caches) as the measurable pre-optimization baseline.
+func (e *Engine) searchLegacy(q Query, p parsedQuery) []Hit {
+	w := q.Weights
 
 	// Candidate retrieval through the inverted index.
 	counts := make(map[store.DocID]int)
-	for term := range uniq {
+	for term := range p.uniq {
 		ids, _ := e.store.Postings(term)
 		for _, id := range ids {
 			counts[id]++
@@ -113,7 +165,7 @@ func (e *Engine) Search(q Query) []Hit {
 	}
 	var candidates []store.Document
 	for id, n := range counts {
-		if q.Exact && n < len(uniq) {
+		if q.Exact && n < len(p.uniq) {
 			continue
 		}
 		d, err := e.store.Get(id)
@@ -123,7 +175,7 @@ func (e *Engine) Search(q Query) []Hit {
 		if !topicMatches(d.Topic, q.Topic) {
 			continue
 		}
-		if len(phraseStems) > 0 && !e.matchesPhrases(d, phraseStems) {
+		if len(p.phraseStems) > 0 && !e.matchesPhrases(d, p.phraseStems) {
 			continue
 		}
 		candidates = append(candidates, d)
@@ -134,7 +186,7 @@ func (e *Engine) Search(q Query) []Hit {
 
 	// Query vector in the store's idf space.
 	idf := e.idfTable()
-	qv := idf.Weight(uniq)
+	qv := idf.Weight(p.uniq)
 
 	hitsList := make([]Hit, len(candidates))
 	var maxCos, maxConf float64
@@ -151,9 +203,8 @@ func (e *Engine) Search(q Query) []Hit {
 	}
 
 	var maxAuth float64
-	authScores := map[string]float64{}
 	if w.Authority != 0 {
-		authScores = e.authorityScores()
+		authScores := e.authorityScores()
 		for i := range hitsList {
 			a := authScores[hitsList[i].Doc.URL]
 			hitsList[i].Authority = a
@@ -219,9 +270,9 @@ func splitPhrases(text string) (free string, phrases []string) {
 }
 
 // matchesPhrases reports whether every phrase occurs as a consecutive stem
-// sequence in the document's text.
+// sequence in the document's text (legacy path: re-stems per candidate).
 func (e *Engine) matchesPhrases(d store.Document, phrases [][]string) bool {
-	docStems := e.pipe.Stems(d.Title + " " + d.Text)
+	docStems := e.pipe.StemsParts(d.Title, d.Text)
 	for _, p := range phrases {
 		if !containsSeq(docStems, p) {
 			return false
@@ -258,12 +309,12 @@ func topicMatches(docTopic, filter string) bool {
 }
 
 // idfTable returns an idf snapshot over the store, rebuilding it only when
-// the document count has changed since the last query.
+// the store has mutated since the last query (legacy path).
 func (e *Engine) idfTable() *vsm.IDFTable {
-	n := e.store.NumDocs()
+	epoch := e.store.Epoch()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.idf != nil && e.idfDocs == n {
+	if e.idf != nil && e.idfEpoch == epoch {
 		return e.idf
 	}
 	stats := vsm.NewCorpusStats()
@@ -271,18 +322,19 @@ func (e *Engine) idfTable() *vsm.IDFTable {
 		stats.AddDoc(d.Terms)
 	}
 	e.idf = stats.Snapshot()
-	e.idfDocs = n
+	e.idfEpoch = epoch
 	return e.idf
 }
 
 // authorityScores runs HITS over the stored link graph (§3.6: "it can
 // perform the HITS link analysis to compute authority scores and produce a
-// ranking according to these scores"), cached per database state.
+// ranking according to these scores"), cached per store epoch (legacy
+// path).
 func (e *Engine) authorityScores() map[string]float64 {
-	n := e.store.NumDocs()
+	epoch := e.store.Epoch()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.authority != nil && e.authDocs == n {
+	if e.authority != nil && e.authEpoch == epoch {
 		return e.authority
 	}
 	g := hits.NewGraph()
@@ -295,18 +347,35 @@ func (e *Engine) authorityScores() map[string]float64 {
 		out[s.ID] = s.Value
 	}
 	e.authority = out
-	e.authDocs = n
+	e.authEpoch = epoch
 	return out
 }
 
-// hostOf extracts the host part of an absolute URL without a full parse.
+// hostOf extracts the host part of an absolute URL without a full parse:
+// scheme, path/query/fragment, userinfo, and port are stripped, so
+// `http://user@Host.example:8080/p` and `http://host.example/q` agree on
+// the host the Bharat–Henzinger heuristics group by. A bracketed IPv6
+// literal keeps its colons; an unbracketed multi-colon rest is returned
+// as-is (no port to strip).
 func hostOf(u string) string {
 	rest := u
 	if i := strings.Index(rest, "://"); i >= 0 {
 		rest = rest[i+3:]
 	}
-	if i := strings.IndexByte(rest, '/'); i >= 0 {
+	if i := strings.IndexAny(rest, "/?#"); i >= 0 {
 		rest = rest[:i]
 	}
-	return rest
+	if i := strings.LastIndexByte(rest, '@'); i >= 0 {
+		rest = rest[i+1:]
+	}
+	if strings.HasPrefix(rest, "[") {
+		if i := strings.IndexByte(rest, ']'); i >= 0 {
+			return rest[1:i]
+		}
+		return rest
+	}
+	if i := strings.IndexByte(rest, ':'); i >= 0 && strings.IndexByte(rest[i+1:], ':') < 0 {
+		rest = rest[:i]
+	}
+	return strings.ToLower(rest)
 }

@@ -168,6 +168,18 @@ func TestHostOf(t *testing.T) {
 		"https://b.example":      "b.example",
 		"no-scheme/path":         "no-scheme",
 		"http://c.example/p/q#f": "c.example",
+		// userinfo and port must not leak into the host used for
+		// Bharat–Henzinger intra-host suppression.
+		"http://user@host.example:8080/p":      "host.example",
+		"http://user:pw@host.example/p":        "host.example",
+		"http://host.example:80":               "host.example",
+		"ftp://u@h.example:21/x?y=1":           "h.example",
+		"http://HOST.Example/p":                "host.example",
+		"http://host.example?q=1":              "host.example",
+		"http://[2001:db8::1]:8080/p":          "2001:db8::1",
+		"http://user@[2001:db8::1]/p":          "2001:db8::1",
+		"2001:db8::2/path":                     "2001:db8::2", // unbracketed v6: no port to strip
+		"http://a.example:8080/u@nothost/page": "a.example",
 	}
 	for in, want := range cases {
 		if got := hostOf(in); got != want {
@@ -349,5 +361,141 @@ func TestRankingDeterministicOrder(t *testing.T) {
 		if first[i].Score > first[i-1].Score {
 			t.Fatalf("score order broken at %d", i)
 		}
+	}
+}
+
+// TestCachesInvalidateOnDeleteInsert is the staleness bug the epoch key
+// fixes: a delete followed by an insert leaves NumDocs unchanged, so a
+// count-keyed cache would keep serving the deleted document's idf and
+// authority state.
+func TestCachesInvalidateOnDeleteInsert(t *testing.T) {
+	for _, legacy := range []bool{false, true} {
+		s := store.New()
+		s.Insert(store.Document{URL: "u1", Topic: "t", Confidence: 0.5,
+			Terms: map[string]int{"alpha": 1}})
+		s.Insert(store.Document{URL: "u2", Topic: "t", Confidence: 0.5,
+			Terms: map[string]int{"alpha": 1, "beta": 2}})
+		e := New(s)
+		e.LegacyScoring = legacy
+		if got := e.Search(Query{Text: "beta"}); len(got) != 1 || got[0].Doc.URL != "u2" {
+			t.Fatalf("legacy=%v: warm-up search = %+v", legacy, got)
+		}
+		// Same document count, different content.
+		s.Delete("u2")
+		s.Insert(store.Document{URL: "u3", Topic: "t", Confidence: 0.9,
+			Terms: map[string]int{"alpha": 1, "gamma": 2}})
+		if got := e.Search(Query{Text: "beta"}); len(got) != 0 {
+			t.Errorf("legacy=%v: deleted document still served: %+v", legacy, got)
+		}
+		got := e.Search(Query{Text: "gamma"})
+		if len(got) != 1 || got[0].Doc.URL != "u3" {
+			t.Errorf("legacy=%v: replacement document missing: %+v", legacy, got)
+		}
+
+		// Authority scores must refresh on a link append alone (count also
+		// unchanged).
+		e.Search(Query{Text: "alpha", Weights: Weights{Authority: 1}}) // warm authority cache
+		s.AddLink(store.Link{From: "http://a.example/x", To: "u1"})
+		s.AddLink(store.Link{From: "http://b.example/y", To: "u1"})
+		got = e.Search(Query{Text: "alpha", Weights: Weights{Authority: 1}})
+		if len(got) == 0 || got[0].Doc.URL != "u1" {
+			t.Errorf("legacy=%v: authority cache stale after link append: %+v", legacy, got)
+		}
+	}
+}
+
+// TestScoringLoopZeroAlloc pins the acceptance criterion: the candidate-
+// scoring loop performs zero per-query allocations for non-phrase queries
+// once the pooled scratch is warm.
+func TestScoringLoopZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts only hold without -race")
+	}
+	s := store.New()
+	for i := 0; i < 2000; i++ {
+		s.Insert(store.Document{
+			URL:        fmt.Sprintf("http://h%d.example/d%d", i%50, i),
+			Topic:      "ROOT/db",
+			Confidence: float64(i%100) / 100,
+			Terms: map[string]int{
+				"recoveri":                1 + i%3,
+				"transact":                1 + i%2,
+				fmt.Sprintf("t%d", i%200): 2,
+			},
+		})
+	}
+	e := New(s)
+	for _, q := range []Query{
+		{Text: "recovery transaction"},
+		{Text: "recovery transaction", Exact: true},
+		{Text: "recovery", Topic: "ROOT/db"},
+	} {
+		p, ok := e.parseQuery(&q)
+		if !ok {
+			t.Fatalf("query %q parsed to nothing", q.Text)
+		}
+		snap := e.snapshot()
+		q := q
+		allocs := testing.AllocsPerRun(50, func() {
+			sc := e.getScratch(snap)
+			e.scoreCandidates(sc, snap, q, p)
+			e.putScratch(sc)
+		})
+		if allocs != 0 {
+			t.Errorf("query %+v: scoring loop allocates %.1f objects per query, want 0", q, allocs)
+		}
+	}
+}
+
+// BenchmarkScoringLoop isolates the candidate-scoring loop for -benchmem
+// evidence of the zero-allocation property.
+func BenchmarkScoringLoop(b *testing.B) {
+	s := store.New()
+	for i := 0; i < 2000; i++ {
+		s.Insert(store.Document{
+			URL:        fmt.Sprintf("http://h%d.example/d%d", i%50, i),
+			Topic:      "ROOT/db",
+			Confidence: float64(i%100) / 100,
+			Terms: map[string]int{
+				"recoveri":                1 + i%3,
+				fmt.Sprintf("t%d", i%200): 2,
+			},
+		})
+	}
+	e := New(s)
+	q := Query{Text: "recovery"}
+	p, _ := e.parseQuery(&q)
+	snap := e.snapshot()
+	e.Search(Query{Text: "recovery"}) // warm pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := e.getScratch(snap)
+		e.scoreCandidates(sc, snap, q, p)
+		e.putScratch(sc)
+	}
+}
+
+// BenchmarkSearchLegacy is the in-package view of the A/B comparison (the
+// interleaved harness lives in the repo root).
+func BenchmarkSearchLegacy(b *testing.B) {
+	s := store.New()
+	for i := 0; i < 2000; i++ {
+		s.Insert(store.Document{
+			URL:        fmt.Sprintf("http://h%d.example/d%d", i%50, i),
+			Topic:      "ROOT/db",
+			Confidence: float64(i%100) / 100,
+			Terms: map[string]int{
+				"recoveri":                1 + i%3,
+				fmt.Sprintf("t%d", i%200): 2,
+			},
+		})
+	}
+	e := New(s)
+	e.LegacyScoring = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Search(Query{Text: "recovery"})
 	}
 }

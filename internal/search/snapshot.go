@@ -1,0 +1,417 @@
+package search
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bingo-search/bingo/internal/hits"
+	"github.com/bingo-search/bingo/internal/store"
+	"github.com/bingo-search/bingo/internal/textproc"
+	"github.com/bingo-search/bingo/internal/vsm"
+)
+
+// searchSnapshot is the immutable per-epoch state the index-native scorer
+// reads: every per-document quantity a query needs — tf·idf norm,
+// confidence, topic, URL, the full row for result assembly — laid out
+// densely by DocID so the scoring loop never calls store.Get or rebuilds a
+// map-vector per candidate. Snapshots are swapped atomically; in-flight
+// queries keep the one they loaded.
+//
+// Postings themselves stay in the store's sharded index and are read
+// zero-copy via Store.VisitPostings: a posting whose DocID is absent from
+// the snapshot (inserted after the build) is skipped, so a query is
+// answered entirely in terms of the snapshot's document set.
+type searchSnapshot struct {
+	epoch int64
+	idf   *vsm.IDFTable
+	// docs is dense by DocID (index 0 unused; ID == 0 marks a hole from a
+	// deleted or never-assigned ID). norm[i] is the tf·idf norm of docs[i].
+	docs []store.Document
+	norm []float64
+
+	// stems caches each document's stem sequence for phrase filtering,
+	// filled lazily on the first phrase query that inspects the document.
+	// Concurrent fills compute the same value; last store wins.
+	stems []atomic.Pointer[[]string]
+
+	// auth holds HITS authority scores dense by DocID, computed lazily on
+	// the first authority-weighted query against this snapshot.
+	authOnce sync.Once
+	auth     []float64
+}
+
+// atomicSnapshot is atomic.Pointer[searchSnapshot] with a tiny name.
+type atomicSnapshot = atomic.Pointer[searchSnapshot]
+
+// buildSnapshot materializes a snapshot of s. The epoch is captured before
+// any relation is read, so a concurrent write can only make the snapshot
+// carry *newer* data than its epoch claims — the next query then observes
+// the larger store epoch and triggers another rebuild, never serving data
+// older than the recorded epoch.
+func buildSnapshot(s *store.Store) *searchSnapshot {
+	epoch := s.Epoch()
+	docs := s.All()
+	n := int(s.MaxDocID()) + 1
+	for i := range docs {
+		if int(docs[i].ID) >= n {
+			n = int(docs[i].ID) + 1
+		}
+	}
+	snap := &searchSnapshot{
+		epoch: epoch,
+		docs:  make([]store.Document, n),
+		norm:  make([]float64, n),
+		stems: make([]atomic.Pointer[[]string], n),
+	}
+	stats := vsm.NewCorpusStats()
+	for i := range docs {
+		stats.AddDoc(docs[i].Terms)
+	}
+	snap.idf = stats.Snapshot()
+	for i := range docs {
+		id := docs[i].ID
+		snap.docs[id] = docs[i]
+		snap.norm[id] = snap.idf.Norm(docs[i].Terms)
+	}
+	return snap
+}
+
+// snapshot returns a search snapshot current for the store's epoch,
+// rebuilding off the engine's locks when stale. Rebuilds are
+// singleflighted: the caller that wins buildMu rebuilds synchronously (so
+// a sequential insert-then-search always observes its own write), while
+// callers arriving during a rebuild keep serving the previous snapshot
+// instead of blocking. Only the very first query of an engine waits.
+func (e *Engine) snapshot() *searchSnapshot {
+	if s := e.snap.Load(); s != nil && s.epoch == e.store.Epoch() {
+		return s
+	}
+	if e.buildMu.TryLock() {
+		defer e.buildMu.Unlock()
+		if s := e.snap.Load(); s != nil && s.epoch == e.store.Epoch() {
+			return s
+		}
+		s := buildSnapshot(e.store)
+		e.snap.Store(s)
+		return s
+	}
+	// A rebuild is in flight on another goroutine: serve stale.
+	if s := e.snap.Load(); s != nil {
+		return s
+	}
+	// No snapshot published yet — wait for the first build to finish.
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	if s := e.snap.Load(); s != nil && s.epoch == e.store.Epoch() {
+		return s
+	}
+	s := buildSnapshot(e.store)
+	e.snap.Store(s)
+	return s
+}
+
+// docStems returns document i's stem sequence for phrase matching, cached
+// per snapshot so repeated phrase queries stem each document at most once
+// (the legacy path re-stems every candidate on every phrase query).
+func (s *searchSnapshot) docStems(pipe *textproc.Pipeline, i int) []string {
+	if p := s.stems[i].Load(); p != nil {
+		return *p
+	}
+	d := &s.docs[i]
+	st := pipe.StemsParts(d.Title, d.Text)
+	s.stems[i].Store(&st)
+	return st
+}
+
+// authorityScores returns the snapshot's dense authority vector, running
+// HITS over the stored link graph once per snapshot.
+func (s *searchSnapshot) authorityScores(st *store.Store) []float64 {
+	s.authOnce.Do(func() {
+		g := hits.NewGraph()
+		for _, l := range st.Links() {
+			g.AddEdge(l.From, hostOf(l.From), l.To, hostOf(l.To))
+		}
+		res := g.Run(hits.DefaultOptions())
+		byURL := make(map[string]float64, len(res.Authorities))
+		for _, sc := range res.Authorities {
+			byURL[sc.ID] = sc.Value
+		}
+		auth := make([]float64, len(s.docs))
+		for i := range s.docs {
+			if s.docs[i].ID != 0 {
+				auth[i] = byURL[s.docs[i].URL]
+			}
+		}
+		s.auth = auth
+	})
+	return s.auth
+}
+
+// qterm is one unique query term with its precomputed query-side tf·idf
+// weight and raw idf (the document-side factor).
+type qterm struct {
+	term string
+	w    float64 // (1+log(qtf))·idf(term)
+	idf  float64 // idf(term)
+}
+
+// topEntry is one candidate in the bounded top-K heap.
+type topEntry struct {
+	i     int // dense DocID index
+	score float64
+}
+
+// scoreScratch is the reusable per-query scoring state. acc and matched
+// are dense by DocID and reset lazily: only the entries named in cand are
+// touched, so reset cost is proportional to the candidate set, not the
+// corpus. The postings visitor is built once so the term loop does not
+// allocate a closure per term.
+type scoreScratch struct {
+	acc     []float64 // per-doc accumulated dot product, later cosine
+	matched []int32   // per-doc count of distinct query terms (-1 = filtered)
+	cand    []int     // touched dense indices
+	heap    []topEntry
+	qterms  []qterm
+
+	// Visitor state for the current term.
+	snap    *searchSnapshot
+	termW   float64
+	termIDF float64
+	visit   func(id store.DocID, tf int)
+}
+
+func newScoreScratch() *scoreScratch {
+	sc := &scoreScratch{}
+	sc.visit = func(id store.DocID, tf int) {
+		i := int(id)
+		if tf <= 0 || i >= len(sc.snap.docs) || sc.snap.docs[i].ID == 0 {
+			return
+		}
+		if sc.matched[i] == 0 {
+			sc.cand = append(sc.cand, i)
+			sc.acc[i] = 0
+		}
+		sc.matched[i]++
+		sc.acc[i] += sc.termW * (1 + math.Log(float64(tf))) * sc.termIDF
+	}
+	return sc
+}
+
+// getScratch sizes a pooled scratch for a snapshot with n dense slots.
+func (e *Engine) getScratch(snap *searchSnapshot) *scoreScratch {
+	sc := e.scratch.Get().(*scoreScratch)
+	if n := len(snap.docs); len(sc.acc) < n {
+		sc.acc = make([]float64, n)
+		sc.matched = make([]int32, n)
+	}
+	sc.snap = snap
+	return sc
+}
+
+// putScratch zeroes the touched dense entries and returns sc to the pool.
+func (e *Engine) putScratch(sc *scoreScratch) {
+	for _, i := range sc.cand {
+		sc.acc[i] = 0
+		sc.matched[i] = 0
+	}
+	sc.cand = sc.cand[:0]
+	sc.heap = sc.heap[:0]
+	sc.qterms = sc.qterms[:0]
+	sc.snap = nil
+	e.scratch.Put(sc)
+}
+
+// worse reports whether entry a ranks strictly below entry b in the final
+// ordering: lower score, or equal score and lexicographically larger URL
+// (the deterministic tie-break the full sort used).
+func (sc *scoreScratch) worse(a, b topEntry) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return sc.snap.docs[a.i].URL > sc.snap.docs[b.i].URL
+}
+
+// pushTopK offers en to the bounded heap keeping the k best entries. The
+// heap is a min-heap under worse: the root is the worst entry retained,
+// so an offer either replaces the root or is dropped in O(1)+O(log k).
+func (sc *scoreScratch) pushTopK(k int, en topEntry) {
+	h := sc.heap
+	if len(h) < k {
+		h = append(h, en)
+		c := len(h) - 1
+		for c > 0 {
+			p := (c - 1) / 2
+			if !sc.worse(h[c], h[p]) {
+				break
+			}
+			h[c], h[p] = h[p], h[c]
+			c = p
+		}
+		sc.heap = h
+		return
+	}
+	if !sc.worse(h[0], en) {
+		return
+	}
+	h[0] = en
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && sc.worse(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && sc.worse(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// searchIndexed is the index-native read path: the allocation-free
+// candidate-scoring loop (scoreCandidates) followed by ranked-hit
+// assembly.
+func (e *Engine) searchIndexed(q Query, p parsedQuery) []Hit {
+	snap := e.snapshot()
+	sc := e.getScratch(snap)
+	defer e.putScratch(sc)
+
+	maxCos, maxConf, maxAuth, auth, ok := e.scoreCandidates(sc, snap, q, p)
+	if !ok {
+		return nil
+	}
+
+	// Assemble the ranked hit list (descending score, URL tie-break).
+	sort.Slice(sc.heap, func(a, b int) bool { return sc.worse(sc.heap[b], sc.heap[a]) })
+	out := make([]Hit, len(sc.heap))
+	for n, en := range sc.heap {
+		i := en.i
+		h := Hit{Doc: snap.docs[i], Score: en.score, Cosine: sc.acc[i], Confidence: snap.docs[i].Confidence}
+		if maxCos > 0 {
+			h.Cosine /= maxCos
+		}
+		if maxConf > 0 {
+			h.Confidence /= maxConf
+		}
+		if auth != nil {
+			h.Authority = auth[i]
+			if maxAuth > 0 {
+				h.Authority /= maxAuth
+			}
+		}
+		out[n] = h
+	}
+	return out
+}
+
+// scoreCandidates is the candidate-scoring loop: term-at-a-time
+// accumulation over the live postings into dense accumulators, filtering
+// and component maxima in one pass over the touched candidates, and
+// bounded top-K selection into sc.heap in a second. For non-phrase queries
+// it performs zero per-query allocations once the pooled scratch is warm
+// (phrase queries may fill the snapshot's lazy stem cache). ok is false
+// when no candidate survives the filters.
+func (e *Engine) scoreCandidates(sc *scoreScratch, snap *searchSnapshot, q Query, p parsedQuery) (maxCos, maxConf, maxAuth float64, auth []float64, ok bool) {
+	// Query-side weights in the snapshot's idf space.
+	var qnorm float64
+	for term, tf := range p.uniq {
+		idf := snap.idf.IDF(term)
+		w := snap.idf.TermWeight(term, tf)
+		sc.qterms = append(sc.qterms, qterm{term: term, w: w, idf: idf})
+		qnorm += w * w
+	}
+	qnorm = math.Sqrt(qnorm)
+
+	// Term-at-a-time accumulation: acc[d] += wq(t)·(1+log(tf_d))·idf(t).
+	for i := range sc.qterms {
+		sc.termW = sc.qterms[i].w
+		sc.termIDF = sc.qterms[i].idf
+		e.store.VisitPostings(sc.qterms[i].term, sc.visit)
+	}
+	if len(sc.cand) == 0 {
+		return 0, 0, 0, nil, false
+	}
+
+	// Pass 1: filter, turn dot products into cosines, find the component
+	// maxima the [0,1] normalization divides by.
+	w := q.Weights
+	if w.Authority != 0 {
+		auth = snap.authorityScores(e.store)
+	}
+	exactNeed := int32(0)
+	if q.Exact {
+		exactNeed = int32(len(p.uniq))
+	}
+	topicFilter := q.Topic
+	topicPrefix := ""
+	if topicFilter != "" {
+		topicPrefix = topicFilter + "/"
+	}
+	survivors := 0
+	for _, i := range sc.cand {
+		d := &snap.docs[i]
+		if (exactNeed > 0 && sc.matched[i] < exactNeed) ||
+			(topicFilter != "" && d.Topic != topicFilter && !strings.HasPrefix(d.Topic, topicPrefix)) ||
+			(len(p.phraseStems) > 0 && !phrasesMatch(snap.docStems(e.pipe, i), p.phraseStems)) {
+			sc.matched[i] = -1
+			continue
+		}
+		survivors++
+		var c float64
+		if qnorm > 0 && snap.norm[i] > 0 {
+			c = sc.acc[i] / (qnorm * snap.norm[i])
+		}
+		sc.acc[i] = c
+		if c > maxCos {
+			maxCos = c
+		}
+		if d.Confidence > maxConf {
+			maxConf = d.Confidence
+		}
+		if auth != nil && auth[i] > maxAuth {
+			maxAuth = auth[i]
+		}
+	}
+	if survivors == 0 {
+		return 0, 0, 0, nil, false
+	}
+
+	// Pass 2: combine the normalized components and keep the top K.
+	for _, i := range sc.cand {
+		if sc.matched[i] < 0 {
+			continue
+		}
+		cos := sc.acc[i]
+		if maxCos > 0 {
+			cos /= maxCos
+		}
+		conf := snap.docs[i].Confidence
+		if maxConf > 0 {
+			conf /= maxConf
+		}
+		score := w.Cosine*cos + w.Confidence*conf
+		if auth != nil && maxAuth > 0 {
+			score += w.Authority * auth[i] / maxAuth
+		}
+		sc.pushTopK(q.Limit, topEntry{i: i, score: score})
+	}
+	return maxCos, maxConf, maxAuth, auth, true
+}
+
+// phrasesMatch reports whether every phrase occurs consecutively in the
+// document's cached stem sequence.
+func phrasesMatch(docStems []string, phrases [][]string) bool {
+	for _, p := range phrases {
+		if !containsSeq(docStems, p) {
+			return false
+		}
+	}
+	return true
+}

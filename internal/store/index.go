@@ -134,6 +134,18 @@ func (t *termIndex) get(term string) ([]DocID, []int) {
 	return ids, tfs
 }
 
+// visit streams a term's postings to fn under the shard's read lock. No
+// copies are made; fn must not retain references or call back into the
+// index (the shard stays read-locked until the visit completes).
+func (t *termIndex) visit(term string, fn func(doc DocID, tf int)) {
+	sh := t.shard(term)
+	sh.mu.RLock()
+	for _, p := range sh.m[term] {
+		fn(p.doc, p.tf)
+	}
+	sh.mu.RUnlock()
+}
+
 // docFreq returns the number of postings for a term.
 func (t *termIndex) docFreq(term string) int {
 	sh := t.shard(term)

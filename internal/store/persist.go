@@ -64,6 +64,7 @@ func Decode(r io.Reader) (*Store, error) {
 		s.inLinks[l.To] = append(s.inLinks[l.To], l)
 	}
 	s.redirects = snap.Redirects
+	s.epoch.Add(1)
 	return s, nil
 }
 

@@ -94,6 +94,13 @@ type Store struct {
 
 	inserts   atomic.Int64
 	bulkLoads atomic.Int64
+
+	// epoch counts store mutations. Every write — row insert, delete,
+	// topic/training update, link or redirect append, bulk load, decode —
+	// advances it, so a delete followed by an insert is distinguishable
+	// from no change even though NumDocs is identical. Derived caches (idf
+	// tables, HITS authority scores, search snapshots) key on it.
+	epoch atomic.Int64
 }
 
 // New returns an empty store.
@@ -120,6 +127,7 @@ func (s *Store) Insert(d Document) DocID {
 	}
 	s.index.addDoc(id, d.Terms)
 	s.inserts.Add(1)
+	s.epoch.Add(1)
 	return id
 }
 
@@ -176,6 +184,7 @@ func (s *Store) Delete(url string) bool {
 		return false
 	}
 	s.index.removeDoc(d.ID, d.Terms)
+	s.epoch.Add(1)
 	return true
 }
 
@@ -216,6 +225,22 @@ func (s *Store) NumDocs() int {
 	return len(s.docs)
 }
 
+// Epoch returns the store's monotonic mutation counter. Two equal readings
+// bracket a window with no writes; any write in between yields a larger
+// value, which makes the epoch a sound cache key where NumDocs is not
+// (delete + insert leaves the count unchanged).
+func (s *Store) Epoch() int64 {
+	return s.epoch.Load()
+}
+
+// MaxDocID returns the highest DocID ever assigned. IDs are never reused,
+// so dense per-document arrays indexed by DocID need MaxDocID+1 slots.
+func (s *Store) MaxDocID() DocID {
+	s.docMu.RLock()
+	defer s.docMu.RUnlock()
+	return s.nextID
+}
+
 // SetTopic reassigns a document's topic and confidence (re-classification
 // after retraining).
 func (s *Store) SetTopic(url, topic string, confidence float64) error {
@@ -240,6 +265,7 @@ func (s *Store) SetTopic(url, topic string, confidence float64) error {
 	if topic != "" {
 		s.byTopic[topic] = append(s.byTopic[topic], id)
 	}
+	s.epoch.Add(1)
 	return nil
 }
 
@@ -252,6 +278,7 @@ func (s *Store) SetTraining(url string, training bool) error {
 		return ErrNotFound
 	}
 	s.docs[id].IsTraining = training
+	s.epoch.Add(1)
 	return nil
 }
 
@@ -304,6 +331,14 @@ func (s *Store) Postings(term string) ([]DocID, []int) {
 	return s.index.get(term)
 }
 
+// VisitPostings streams a term's postings to fn under the index shard's
+// read lock, without copying the postings slice — the zero-copy read path
+// for query scoring. fn must be fast and must not call back into the store
+// (the shard stays read-locked for the duration of the visit).
+func (s *Store) VisitPostings(term string, fn func(doc DocID, tf int)) {
+	s.index.visit(term, fn)
+}
+
 // DocFreq returns the number of documents containing term.
 func (s *Store) DocFreq(term string) int {
 	return s.index.docFreq(term)
@@ -315,6 +350,7 @@ func (s *Store) AddLink(l Link) {
 	s.outLinks[l.From] = append(s.outLinks[l.From], l)
 	s.inLinks[l.To] = append(s.inLinks[l.To], l)
 	s.linkMu.Unlock()
+	s.epoch.Add(1)
 }
 
 // AddRedirect records a redirect row.
@@ -322,6 +358,7 @@ func (s *Store) AddRedirect(r Redirect) {
 	s.redirMu.Lock()
 	s.redirects = append(s.redirects, r)
 	s.redirMu.Unlock()
+	s.epoch.Add(1)
 }
 
 // Successors returns the target URLs linked from url.

@@ -315,3 +315,105 @@ func BenchmarkStoreRowInserts(b *testing.B) {
 		s.Insert(Document{URL: fmt.Sprintf("u%d", i), Topic: "t", Terms: terms})
 	}
 }
+
+// TestEpochAdvancesOnEveryMutation pins the cache-key contract: every write
+// path bumps the epoch, so derived caches keyed on it can never serve stale
+// data — in particular a delete followed by an insert, which leaves
+// NumDocs unchanged and used to fool count-keyed caches.
+func TestEpochAdvancesOnEveryMutation(t *testing.T) {
+	s := New()
+	last := s.Epoch()
+	step := func(op string, f func()) {
+		t.Helper()
+		f()
+		if got := s.Epoch(); got <= last {
+			t.Errorf("%s: epoch %d did not advance past %d", op, got, last)
+		} else {
+			last = got
+		}
+	}
+	terms := map[string]int{"alpha": 1}
+	step("Insert", func() { s.Insert(Document{URL: "u1", Topic: "t", Terms: terms}) })
+	step("SetTopic", func() { s.SetTopic("u1", "t2", 0.5) })
+	step("SetTraining", func() { s.SetTraining("u1", true) })
+	step("AddLink", func() { s.AddLink(Link{From: "u1", To: "u2"}) })
+	step("AddRedirect", func() { s.AddRedirect(Redirect{From: "a", To: "b"}) })
+	step("Delete", func() { s.Delete("u1") })
+	step("Insert after delete", func() { s.Insert(Document{URL: "u3", Topic: "t", Terms: terms}) })
+	step("Workspace.Flush", func() {
+		w := s.NewWorkspace(8)
+		w.Add(Document{URL: "u4", Topic: "t", Terms: terms})
+		w.Flush()
+	})
+
+	// Failed mutations leave the epoch alone.
+	before := s.Epoch()
+	if s.Delete("missing") {
+		t.Fatal("Delete of missing URL succeeded")
+	}
+	if err := s.SetTopic("missing", "t", 0); err == nil {
+		t.Fatal("SetTopic of missing URL succeeded")
+	}
+	if got := s.Epoch(); got != before {
+		t.Errorf("failed mutations moved epoch %d -> %d", before, got)
+	}
+}
+
+// TestEpochDistinguishesDeleteInsert is the exact staleness scenario: a
+// delete plus an insert restores the document count, but the epoch differs.
+func TestEpochDistinguishesDeleteInsert(t *testing.T) {
+	s := New()
+	s.Insert(Document{URL: "u1", Topic: "t", Terms: map[string]int{"a": 1}})
+	s.Insert(Document{URL: "u2", Topic: "t", Terms: map[string]int{"b": 1}})
+	n, e := s.NumDocs(), s.Epoch()
+	s.Delete("u2")
+	s.Insert(Document{URL: "u3", Topic: "t", Terms: map[string]int{"c": 1}})
+	if s.NumDocs() != n {
+		t.Fatalf("NumDocs changed: %d -> %d", n, s.NumDocs())
+	}
+	if s.Epoch() == e {
+		t.Fatal("epoch unchanged after delete+insert")
+	}
+}
+
+// TestVisitPostings checks the zero-copy visitor streams exactly the pairs
+// Postings copies out.
+func TestVisitPostings(t *testing.T) {
+	s := New()
+	s.Insert(Document{URL: "u1", Terms: map[string]int{"alpha": 3, "beta": 1}})
+	s.Insert(Document{URL: "u2", Terms: map[string]int{"alpha": 2}})
+	for _, term := range []string{"alpha", "beta", "missing"} {
+		ids, tfs := s.Postings(term)
+		var gotIDs []DocID
+		var gotTFs []int
+		s.VisitPostings(term, func(doc DocID, tf int) {
+			gotIDs = append(gotIDs, doc)
+			gotTFs = append(gotTFs, tf)
+		})
+		if len(gotIDs) != len(ids) {
+			t.Fatalf("%s: visited %d postings, Postings returned %d", term, len(gotIDs), len(ids))
+		}
+		for i := range ids {
+			if gotIDs[i] != ids[i] || gotTFs[i] != tfs[i] {
+				t.Errorf("%s[%d]: visit (%d,%d) != copy (%d,%d)", term, i, gotIDs[i], gotTFs[i], ids[i], tfs[i])
+			}
+		}
+	}
+}
+
+// TestMaxDocIDCoversAllDocs: dense DocID-indexed arrays sized MaxDocID+1
+// must fit every live document, including after deletes.
+func TestMaxDocIDCoversAllDocs(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Insert(Document{URL: fmt.Sprintf("u%d", i), Terms: map[string]int{"a": 1}})
+	}
+	s.Delete("u3")
+	s.Insert(Document{URL: "u3", Terms: map[string]int{"a": 1}}) // new, larger ID
+	max := s.MaxDocID()
+	for _, d := range s.All() {
+		if d.ID > max {
+			t.Errorf("doc %s has ID %d > MaxDocID %d", d.URL, d.ID, max)
+		}
+	}
+}

@@ -122,6 +122,7 @@ func (w *Workspace) Flush() {
 		s.redirMu.Unlock()
 	}
 	s.bulkLoads.Add(1)
+	s.epoch.Add(1)
 	w.docs = w.docs[:0]
 	w.links = w.links[:0]
 	w.redirects = w.redirects[:0]

@@ -86,6 +86,16 @@ func (t *IDFTable) IDF(term string) float64 {
 	return t.defaultIDF
 }
 
+// TermWeight returns the tf·idf weight of one term with raw frequency tf:
+// (1+log(tf))·idf(term), the dampening Weight applies per component.
+// Non-positive frequencies weigh zero.
+func (t *IDFTable) TermWeight(term string, tf int) float64 {
+	if tf <= 0 {
+		return 0
+	}
+	return (1 + math.Log(float64(tf))) * t.IDF(term)
+}
+
 // Weight builds a tf·idf vector from raw stem counts: the term frequency is
 // dampened as 1+log(tf), per standard IR practice.
 func (t *IDFTable) Weight(counts map[string]int) Vector {
@@ -94,7 +104,22 @@ func (t *IDFTable) Weight(counts map[string]int) Vector {
 		if tf <= 0 {
 			continue
 		}
-		v[term] = (1 + math.Log(float64(tf))) * t.IDF(term)
+		v[term] = t.TermWeight(term, tf)
 	}
 	return v
+}
+
+// Norm returns the Euclidean norm of the tf·idf vector Weight would build
+// from counts, without materializing the map — the per-document constant a
+// scorer needs for cosine denominators.
+func (t *IDFTable) Norm(counts map[string]int) float64 {
+	var sum float64
+	for term, tf := range counts {
+		if tf <= 0 {
+			continue
+		}
+		w := t.TermWeight(term, tf)
+		sum += w * w
+	}
+	return math.Sqrt(sum)
 }

@@ -217,3 +217,29 @@ func BenchmarkDot(b *testing.B) {
 		v.Dot(u)
 	}
 }
+
+func TestTermWeightAndNorm(t *testing.T) {
+	c := NewCorpusStats()
+	c.AddDoc(map[string]int{"alpha": 2, "beta": 1})
+	c.AddDoc(map[string]int{"alpha": 1, "gamma": 4})
+	idf := c.Snapshot()
+
+	counts := map[string]int{"alpha": 3, "gamma": 2, "zero": 0, "unseen": 1}
+	v := idf.Weight(counts)
+	// TermWeight must agree with the vector Weight builds, component-wise.
+	for term, w := range v {
+		if got := idf.TermWeight(term, counts[term]); got != w {
+			t.Errorf("TermWeight(%s) = %v, Weight component = %v", term, got, w)
+		}
+	}
+	if idf.TermWeight("zero", 0) != 0 || idf.TermWeight("any", -1) != 0 {
+		t.Error("non-positive tf must weigh zero")
+	}
+	// Norm must equal the materialized vector's norm.
+	if got, want := idf.Norm(counts), v.Norm(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Norm = %v, Weight(...).Norm() = %v", got, want)
+	}
+	if idf.Norm(nil) != 0 {
+		t.Errorf("Norm(nil) = %v", idf.Norm(nil))
+	}
+}
