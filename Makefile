@@ -1,11 +1,12 @@
 # Developer entry points. `make bench` regenerates BENCH_crawl.json, the
 # before/after record of the §4.1 batched-write-path speedup;
 # `make bench-search` regenerates BENCH_search.json, the record of the §3.6
-# snapshot-scorer query speedup.
+# snapshot-scorer query speedup; `make bench-overhead` regenerates
+# BENCH_overhead.json, the record of the metrics layer's per-event cost.
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-search
+.PHONY: all build vet fmt-check test race bench bench-search bench-overhead
 
 all: build test
 
@@ -15,14 +16,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet
+# fmt-check fails when any file deviates from gofmt (listing the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test: vet fmt-check
 	$(GO) test ./...
 
 # The crawl execution path and the query read path are heavily concurrent
 # (worker pool, sharded store, frontier lease protocol, snapshot swaps,
-# parallel HITS sweeps); race runs the packages that exercise them.
+# parallel HITS sweeps); race runs the packages that exercise them, plus the
+# lock-free metrics primitives they all report into.
 race:
-	$(GO) test -race ./internal/crawler/... ./internal/store/... ./internal/frontier/... ./internal/search/... ./internal/hits/...
+	$(GO) test -race ./internal/crawler/... ./internal/store/... ./internal/frontier/... ./internal/search/... ./internal/hits/... ./internal/metrics/...
 
 # bench reports crawl throughput for the batched and the legacy write path,
 # then records an interleaved A/B comparison in BENCH_crawl.json.
@@ -36,3 +42,10 @@ bench:
 bench-search:
 	$(GO) test -run '^$$' -bench 'BenchmarkSearchQPS' -benchtime 1s -benchmem .
 	BENCH_JSON=BENCH_search.json $(GO) test -run TestWriteSearchBenchJSON -v .
+
+# bench-overhead reports the per-event cost of the instrumentation
+# primitives (counter inc, histogram observe, trace append) against their
+# no-op nil-handle forms, then records BENCH_overhead.json.
+bench-overhead:
+	$(GO) test -run '^$$' -bench 'BenchmarkMetricsOverhead' -benchmem ./internal/metrics
+	BENCH_JSON=$(CURDIR)/BENCH_overhead.json $(GO) test -run TestWriteOverheadBenchJSON -v ./internal/metrics

@@ -6,6 +6,7 @@
 //
 //	bingo [-world tiny|small|default] [-mode portal|expert]
 //	      [-learn N] [-harvest N] [-query "words"] [-save crawl.db]
+//	      [-metrics]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	bingo "github.com/bingo-search/bingo"
+	"github.com/bingo-search/bingo/internal/metrics"
 	"github.com/bingo-search/bingo/internal/xmlexport"
 )
 
@@ -32,6 +34,7 @@ func main() {
 	xmlOut := flag.String("xml", "", "path to export the crawl as semantically tagged XML")
 	sessionOut := flag.String("session", "", "path to save the full crawl session (resumable)")
 	resume := flag.String("resume", "", "path of a saved session to resume instead of starting fresh")
+	showMetrics := flag.Bool("metrics", false, "dump process metrics (Prometheus text format) after the run")
 	flag.Parse()
 
 	var wcfg bingo.WorldConfig
@@ -187,5 +190,11 @@ haveTopics:
 			log.Fatal(err)
 		}
 		fmt.Printf("XML export written to %s\n", *xmlOut)
+	}
+	if *showMetrics {
+		fmt.Println("\nprocess metrics:")
+		if err := metrics.Default().WritePrometheus(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

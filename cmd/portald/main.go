@@ -3,6 +3,11 @@
 // §6 "Web-service-based portal explorer". Run cmd/bingo with -save first,
 // or point -crawl at portald to crawl on startup.
 //
+// Besides the portal UI, portald exposes the observability surface (see
+// OPERATIONS.md): /metricsz (Prometheus text, or JSON with ?format=json),
+// /tracez (recent per-page crawl spans), and the net/http/pprof profiler
+// under /debug/pprof/.
+//
 // Usage:
 //
 //	portald -db crawl.db [-listen :8090]
@@ -15,8 +20,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 
 	bingo "github.com/bingo-search/bingo"
+	"github.com/bingo-search/bingo/internal/metrics"
 	"github.com/bingo-search/bingo/internal/portal"
 	"github.com/bingo-search/bingo/internal/store"
 )
@@ -65,6 +72,17 @@ func main() {
 		log.Fatal("need -db or -crawl")
 	}
 
-	fmt.Printf("serving portal over %d documents on %s\n", st.NumDocs(), *listen)
-	log.Fatal(http.ListenAndServe(*listen, portal.New(st)))
+	mux := http.NewServeMux()
+	mux.Handle("/", portal.New(st))
+	mux.HandleFunc("/metricsz", metrics.Default().Handler())
+	mux.HandleFunc("/tracez", metrics.TraceHandler(metrics.DefaultTrace()))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	fmt.Printf("serving portal over %d documents on %s (metrics on /metricsz, traces on /tracez, profiles on /debug/pprof/)\n",
+		st.NumDocs(), *listen)
+	log.Fatal(http.ListenAndServe(*listen, mux))
 }

@@ -19,9 +19,36 @@ import (
 	"github.com/bingo-search/bingo/internal/fetch"
 	"github.com/bingo-search/bingo/internal/frontier"
 	"github.com/bingo-search/bingo/internal/htmldoc"
+	"github.com/bingo-search/bingo/internal/metrics"
 	"github.com/bingo-search/bingo/internal/store"
 	"github.com/bingo-search/bingo/internal/textproc"
 	"github.com/bingo-search/bingo/internal/urlnorm"
+)
+
+// Process-wide crawl metrics. Counters mirror the per-crawl Stats (Table 1)
+// but aggregate across every Crawler in the process; the stage histograms
+// split a page's journey into fetch / parse / classify / store so a
+// throughput drop can be attributed to one pipeline stage; the busy/idle
+// counters give worker-pool utilization (busy ÷ (busy+idle)); and each
+// stage emits a trace span into the default ring so /tracez can replay one
+// page end to end. Instrumentation lives in process(), which both the
+// batched and the legacy write paths share, so the §4.1 A/B benchmark
+// ratios stay fair.
+var (
+	mPagesFetched   = metrics.NewCounter("crawler_pages_fetched_total")
+	mPagesStored    = metrics.NewCounter("crawler_pages_stored_total")
+	mPagesPositive  = metrics.NewCounter("crawler_pages_positive_total")
+	mPagesRejected  = metrics.NewCounter("crawler_pages_rejected_total")
+	mErrors         = metrics.NewCounter("crawler_errors_total")
+	mDuplicates     = metrics.NewCounter("crawler_duplicates_total")
+	mLinksExtracted = metrics.NewCounter("crawler_links_extracted_total")
+	mFetchNanos     = metrics.NewHistogram("crawler_fetch_nanos")
+	mParseNanos     = metrics.NewHistogram("crawler_parse_nanos")
+	mClassifyNanos  = metrics.NewHistogram("crawler_classify_nanos")
+	mStoreNanos     = metrics.NewHistogram("crawler_store_nanos")
+	mBusyNanos      = metrics.NewCounter("crawler_worker_busy_nanos_total")
+	mIdleNanos      = metrics.NewCounter("crawler_worker_idle_nanos_total")
+	mWorkers        = metrics.NewGauge("crawler_workers")
 )
 
 // Focus selects the link-acceptance rule (§3.3).
@@ -114,7 +141,7 @@ type Crawler struct {
 	cfg   Config
 	pipe  *textproc.Pipeline
 	stems func(title, text string) []string // analyzer hot path; uncached in legacy mode
-	hosts sync.Map // visited hosts set
+	hosts sync.Map                          // visited hosts set
 
 	visited    atomic.Int64
 	stored     atomic.Int64
@@ -184,6 +211,8 @@ func (c *Crawler) Run(ctx context.Context) Stats {
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	mWorkers.Add(int64(c.cfg.Workers))
+	defer mWorkers.Add(-int64(c.cfg.Workers))
 	var wg sync.WaitGroup
 	wg.Add(c.cfg.Workers)
 	for i := 0; i < c.cfg.Workers; i++ {
@@ -211,12 +240,17 @@ func (c *Crawler) worker(ctx context.Context, cancel context.CancelFunc, limiter
 			// About to park: publish buffered rows so store readers see a
 			// fresh view whenever the crawl goes idle, then wait for work.
 			ws.Flush()
-			lastFlush = time.Now()
+			idleStart := time.Now()
 			if it, ok = c.cfg.Frontier.PopWait(ctx); !ok {
+				mIdleNanos.Add(time.Since(idleStart).Nanoseconds())
 				return // drained, closed, or cancelled
 			}
+			mIdleNanos.Add(time.Since(idleStart).Nanoseconds())
+			lastFlush = time.Now()
 		}
+		busyStart := time.Now()
 		c.process(ctx, it, limiter, ws)
+		mBusyNanos.Add(time.Since(busyStart).Nanoseconds())
 		c.cfg.Frontier.Done()
 		if now := time.Now(); ws.Buffered() > 0 && now.Sub(lastFlush) >= c.cfg.FlushInterval {
 			ws.Flush()
@@ -283,15 +317,21 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 	defer limiter.Release(host)
 
 	c.visited.Add(1)
+	fetchStart := time.Now()
 	res, err := c.cfg.Fetcher.Fetch(ctx, it.URL)
+	mFetchNanos.ObserveSince(fetchStart)
+	metrics.Span("fetch", it.URL, fetchStart, fetch.ErrClass(err))
 	if err != nil {
 		if err == fetch.ErrDuplicate {
 			c.duplicates.Add(1)
+			mDuplicates.Inc()
 		} else {
 			c.errs.Add(1)
+			mErrors.Inc()
 		}
 		return
 	}
+	mPagesFetched.Inc()
 	c.hosts.Store(host, struct{}{})
 	for d := int64(it.Depth); ; {
 		cur := c.maxDepth.Load()
@@ -335,7 +375,9 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 		}
 		return ref.String(), true
 	}
+	parseStart := time.Now()
 	doc, err := htmldoc.Convert(res.ContentType, res.Body, resolve)
+	mParseNanos.ObserveSince(parseStart)
 	if ws != nil {
 		// Handlers copy what they keep, so the body buffer can go straight
 		// back to the fetcher's pool. The legacy baseline predates body
@@ -343,11 +385,15 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 		res.ReleaseBody()
 	}
 	if err != nil {
+		metrics.Span("parse", it.URL, parseStart, "parse-error")
 		c.errs.Add(1)
+		mErrors.Inc()
 		return
 	}
+	metrics.Span("parse", it.URL, parseStart, "")
 
 	// Document analysis -> classification.
+	classifyStart := time.Now()
 	stems := c.stems(doc.Title, doc.Text)
 	var anchors []string
 	if it.Anchor != "" {
@@ -355,11 +401,15 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 	}
 	cdoc := classify.Doc{ID: res.FinalURL, Input: features.DocInput{Stems: stems, Anchors: anchors}}
 	result := c.cfg.Classify(cdoc)
+	mClassifyNanos.ObserveSince(classifyStart)
+	metrics.Span("classify", it.URL, classifyStart, "")
 	accepted := result.Accepted
 	if accepted {
 		c.positive.Add(1)
+		mPagesPositive.Inc()
 	} else {
 		c.rejected.Add(1)
+		mPagesRejected.Inc()
 	}
 
 	// Store the document and its link rows (all crawled documents are kept
@@ -367,6 +417,7 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 	// Pre-sized to the stem count so the map never rehashes while filling;
 	// repeated terms leave some slack, which the store keeps anyway. The
 	// legacy baseline grows its map from empty, as the per-row path did.
+	storeStart := time.Now()
 	var terms map[string]int
 	if ws != nil {
 		terms = make(map[string]int, len(stems))
@@ -406,6 +457,9 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 		}
 	}
 	c.stored.Add(1)
+	mPagesStored.Inc()
+	mStoreNanos.ObserveSince(storeStart)
+	metrics.Span("store", it.URL, storeStart, "")
 	if c.cfg.OnStored != nil {
 		c.cfg.OnStored(sd, result)
 	}
@@ -439,6 +493,7 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 		links = append(links, htmldoc.Link{URL: f})
 	}
 	c.extracted.Add(int64(len(links)))
+	mLinksExtracted.Add(int64(len(links)))
 	prio := c.priority(result.Confidence, it.Depth+1)
 	for _, l := range links {
 		c.cfg.Frontier.Push(frontier.Item{

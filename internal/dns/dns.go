@@ -14,6 +14,20 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/bingo-search/bingo/internal/metrics"
+)
+
+// Process-wide resolver metrics (cache effectiveness and upstream
+// latency), aggregated across every Resolver; per-instance numbers remain
+// available through Resolver.Stats.
+var (
+	mHits        = metrics.NewCounter("dns_cache_hits_total")
+	mMisses      = metrics.NewCounter("dns_cache_misses_total")
+	mFailures    = metrics.NewCounter("dns_failures_total")
+	mEvictions   = metrics.NewCounter("dns_cache_evictions_total")
+	mTimeouts    = metrics.NewCounter("dns_timeouts_total")
+	mLookupNanos = metrics.NewHistogram("dns_lookup_nanos")
 )
 
 // Record is a successful resolution.
@@ -139,11 +153,13 @@ func (r *Resolver) Resolve(ctx context.Context, host string) (Record, error) {
 	if e, ok := r.cache[host]; ok && r.cfg.Now().Before(e.expires) {
 		r.touch(e)
 		r.stats.Hits++
+		mHits.Inc()
 		rec, err := e.rec, e.err
 		r.mu.Unlock()
 		return rec, err
 	}
 	r.stats.Misses++
+	mMisses.Inc()
 	if call, ok := r.inflight[host]; ok {
 		r.mu.Unlock()
 		select {
@@ -157,7 +173,9 @@ func (r *Resolver) Resolve(ctx context.Context, host string) (Record, error) {
 	r.inflight[host] = call
 	r.mu.Unlock()
 
+	qStart := time.Now()
 	rec, err := r.query(ctx, host)
+	mLookupNanos.ObserveSince(qStart)
 	call.rec, call.err = rec, err
 	close(call.done)
 
@@ -166,6 +184,10 @@ func (r *Resolver) Resolve(ctx context.Context, host string) (Record, error) {
 	ttl := r.cfg.TTL
 	if err != nil {
 		r.stats.Failures++
+		mFailures.Inc()
+		if errors.Is(err, context.DeadlineExceeded) {
+			mTimeouts.Inc()
+		}
 		ttl = r.cfg.NegativeTTL
 	}
 	r.insert(&cacheEntry{host: host, rec: rec, err: err, expires: r.cfg.Now().Add(ttl)})
@@ -255,6 +277,7 @@ func (r *Resolver) insert(e *cacheEntry) {
 		r.unlink(tail)
 		delete(r.cache, tail.host)
 		r.stats.Evictions++
+		mEvictions.Inc()
 	}
 }
 

@@ -5,6 +5,13 @@
 // exponentially per tunnelling step (§3.3). Expensive DNS resolution is
 // started asynchronously only for the small set of promising links promoted
 // from an incoming to an outgoing queue.
+//
+// Concurrency model: one mutex guards all queues; blocked PopWait callers
+// park on a broadcast pulse channel instead of polling, and an
+// outstanding-lease count distinguishes "momentarily empty" from "crawl
+// drained". Per-instance activity is reported by Stats; process-wide
+// frontier_* metrics (pushed, popped, drops, live queue depth) feed the
+// observability layer's /metricsz.
 package frontier
 
 import (
@@ -12,7 +19,19 @@ import (
 	"math"
 	"sync"
 
+	"github.com/bingo-search/bingo/internal/metrics"
 	"github.com/bingo-search/bingo/internal/rbtree"
+)
+
+// Process-wide frontier metrics, aggregated across every live Frontier
+// (the engine runs one per crawl phase). The queued gauge tracks the total
+// number of links currently held in any queue.
+var (
+	mPushed      = metrics.NewCounter("frontier_pushed_total")
+	mPopped      = metrics.NewCounter("frontier_popped_total")
+	mDroppedFull = metrics.NewCounter("frontier_dropped_full_total")
+	mDroppedSeen = metrics.NewCounter("frontier_dropped_seen_total")
+	mQueued      = metrics.NewGauge("frontier_queued")
 )
 
 // Item is one frontier entry.
@@ -137,24 +156,32 @@ func (f *Frontier) Push(it Item) bool {
 	defer f.mu.Unlock()
 	if _, dup := f.seen[it.URL]; dup {
 		f.droppedSeen++
+		mDroppedSeen.Inc()
 		return false
 	}
 	tq := f.topic(it.Topic)
 	prio := f.EffectivePriority(it)
+	evicted := false
 	if tq.incoming.Len() >= f.cfg.IncomingLimit {
 		// Evict the worst entry if the newcomer beats it; otherwise drop.
 		worstKey, worstItem, ok := tq.incoming.Max()
 		if !ok || worstKey.prio >= prio {
 			f.droppedFull++
+			mDroppedFull.Inc()
 			return false
 		}
 		tq.incoming.Delete(worstKey)
 		delete(f.seen, worstItem.URL)
+		evicted = true
 	}
 	f.seq++
 	tq.incoming.Insert(key{prio: prio, seq: f.seq}, it)
 	f.seen[it.URL] = struct{}{}
 	f.pushed++
+	mPushed.Inc()
+	if !evicted {
+		mQueued.Add(1)
+	}
 	f.wakeLocked()
 	return true
 }
@@ -183,6 +210,8 @@ func (f *Frontier) popLocked() (Item, bool) {
 	k, it, _ := tq.outgoing.Min()
 	tq.outgoing.Delete(k)
 	f.popped++
+	mPopped.Inc()
+	mQueued.Add(-1)
 	return it, true
 }
 
@@ -292,6 +321,8 @@ func (f *Frontier) PopTopic(topic string) (Item, bool) {
 	}
 	tq.outgoing.Delete(k)
 	f.popped++
+	mPopped.Inc()
+	mQueued.Add(-1)
 	f.mu.Unlock()
 	return it, true
 }
@@ -377,6 +408,11 @@ func (f *Frontier) Stats() Stats {
 func (f *Frontier) Reset() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	dropped := 0
+	for _, tq := range f.topics {
+		dropped += tq.incoming.Len() + tq.outgoing.Len()
+	}
+	mQueued.Add(-int64(dropped))
 	f.topics = make(map[string]*topicQueues)
 	f.order = nil
 	f.closed = false

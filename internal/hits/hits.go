@@ -10,6 +10,20 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
+
+	"github.com/bingo-search/bingo/internal/metrics"
+)
+
+// Process-wide link-analysis metrics: run counts, total power iterations,
+// wall time, and the final L1 delta of the most recent run. A convergence
+// delta stuck near the tolerance (or iteration counts pinned at MaxIter)
+// means the graph is not converging and ranks are still moving.
+var (
+	mRuns       = metrics.NewCounter("hits_runs_total")
+	mIterations = metrics.NewCounter("hits_iterations_total")
+	mRunNanos   = metrics.NewHistogram("hits_run_nanos")
+	mLastDelta  = metrics.NewFloatGauge("hits_convergence_delta")
 )
 
 // Graph is a directed hyperlink graph over string node ids (URLs).
@@ -113,6 +127,9 @@ func DefaultOptions() Options {
 // Run computes hub and authority scores with the iterative principal
 // eigenvector approximation, normalizing after every step.
 func (g *Graph) Run(opts Options) Result {
+	mRuns.Inc()
+	runStart := time.Now()
+	defer mRunNanos.ObserveSince(runStart)
 	n := len(g.ids)
 	if opts.MaxIter <= 0 {
 		opts.MaxIter = 50
@@ -195,10 +212,12 @@ func (g *Graph) Run(opts Options) Result {
 		}
 		auth, newAuth = newAuth, auth
 		hub, newHub = newHub, hub
+		mLastDelta.Set(delta)
 		if delta < opts.Tolerance {
 			break
 		}
 	}
+	mIterations.Add(int64(iters))
 
 	res := Result{Iterations: iters}
 	res.Authorities = g.ranked(auth)

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"time"
+)
+
+// Histogram internals. Values (typically latencies in nanoseconds) land in
+// power-of-two buckets: bucket i counts values in [2^(i-1), 2^i), bucket 0
+// counts values < 1. Exponential buckets give ~2x relative error over 15
+// decimal orders of magnitude with a fixed 48-slot footprint — the scheme
+// BUbiNG-style crawlers use for fetch latencies, where the interesting
+// signal is the order of magnitude (cache hit vs disk vs network vs
+// timeout), not the microsecond.
+const (
+	// histBuckets is 48: 2^48 ns ≈ 78 hours, far beyond any latency the
+	// pipeline can produce; larger values clamp into the last bucket.
+	histBuckets = 48
+	// histShards spreads concurrent observers over independent cache
+	// lines; must be a power of two (shard choice is a masked fastrand).
+	histShards = 16
+)
+
+// histShard is one independently updated slice of a histogram. The trailing
+// pad keeps the next shard's hot first fields off this shard's last cache
+// line.
+type histShard struct {
+	count counterCell
+	sum   counterCell
+	b     [histBuckets]counterCell
+	_     [48]byte
+}
+
+// counterCell is the raw atomic cell used inside histogram shards.
+type counterCell = Counter
+
+// Histogram is a lock-free sharded histogram. Observe picks a shard with a
+// per-thread fast random and performs three atomic adds; there is no lock
+// anywhere on the write path, and concurrent observers mostly touch
+// different shards. A nil *Histogram is a valid no-op handle.
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a value to its power-of-two bucket.
+func bucketOf(v int64) int {
+	if v < 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value. It is safe for concurrent use, lock-free, and
+// performs no allocation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	sh := &h.shards[rand.Uint32()&(histShards-1)]
+	sh.count.Add(1)
+	sh.sum.Add(v)
+	sh.b[bucketOf(v)].Add(1)
+}
+
+// ObserveSince records the elapsed time since start, in nanoseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// HistogramSnapshot is a point-in-time merge of a histogram's shards.
+// Concurrent observers may land between shard reads, so a snapshot is
+// consistent to within the handful of events in flight while it was taken
+// — the usual contract for monitoring reads.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [histBuckets]int64
+}
+
+// Snapshot merges the shards.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		s.Count += sh.count.Value()
+		s.Sum += sh.sum.Value()
+		for j := range sh.b {
+			s.Buckets[j] += sh.b[j].Value()
+		}
+	}
+	return s
+}
+
+// BucketUpperBound returns the exclusive upper bound of bucket i (the
+// Prometheus `le` label): 2^i, with bucket 0 meaning "< 1".
+func BucketUpperBound(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i)
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper estimate of the q-quantile (0 ≤ q ≤ 1): the
+// upper bound of the bucket the q-th observation falls in, i.e. accurate
+// to the bucket's factor-of-two resolution.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= rank {
+			return BucketUpperBound(i)
+		}
+	}
+	return BucketUpperBound(histBuckets - 1)
+}
+
+// floatBits / floatFromBits adapt float64 gauges to atomic.Uint64 storage.
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Crawl tracing: span-like start/end records in a bounded ring buffer, so
+// a single page's journey through the pipeline — fetch, parse, classify,
+// store, enqueue — is reconstructable after the fact without logging every
+// page to disk. The ring keeps the most recent events and overwrites the
+// oldest; /tracez renders it.
+
+// TraceEvent is one completed pipeline span.
+type TraceEvent struct {
+	// Seq is a process-wide monotonically increasing sequence number,
+	// assigned at append time; events with the same URL sorted by Seq
+	// reconstruct that page's journey.
+	Seq uint64 `json:"seq"`
+	// Start is the span's start time in Unix nanoseconds.
+	Start int64 `json:"start_unix_nanos"`
+	// Dur is the span's duration in nanoseconds.
+	Dur int64 `json:"dur_nanos"`
+	// Stage names the pipeline stage ("fetch", "parse", "classify",
+	// "store", ...).
+	Stage string `json:"stage"`
+	// URL is the page the span belongs to.
+	URL string `json:"url"`
+	// Err is empty on success, else the failure class.
+	Err string `json:"err,omitempty"`
+}
+
+// TraceRing is a fixed-capacity ring of TraceEvents. Appends are
+// mutex-serialized (trace events are per-page, not per-posting, so the
+// lock is touched a few times per crawled page) and allocation-free: the
+// slot array is laid out once and overwritten in place.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next uint64 // total events ever appended
+}
+
+// NewTraceRing returns a ring holding the last capacity events
+// (minimum 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{buf: make([]TraceEvent, capacity)}
+}
+
+// defaultTrace is the process-wide ring /tracez serves. 4096 events ≈ the
+// last ~800 pages at five spans per page.
+var defaultTrace = NewTraceRing(4096)
+
+// DefaultTrace returns the process-wide trace ring.
+func DefaultTrace() *TraceRing { return defaultTrace }
+
+// Append records e, assigning its sequence number and overwriting the
+// oldest event once the ring is full.
+func (r *TraceRing) Append(e TraceEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	e.Seq = r.next + 1
+	r.buf[r.next%uint64(len(r.buf))] = e
+	r.next++
+	r.mu.Unlock()
+}
+
+// Span records a completed span ending now on the default ring.
+func Span(stage, url string, start time.Time, err string) {
+	defaultTrace.Append(TraceEvent{
+		Start: start.UnixNano(),
+		Dur:   time.Since(start).Nanoseconds(),
+		Stage: stage,
+		URL:   url,
+		Err:   err,
+	})
+}
+
+// Snapshot returns the retained events, oldest first.
+func (r *TraceRing) Snapshot() []TraceEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	count := r.next
+	if count > n {
+		count = n
+	}
+	out := make([]TraceEvent, 0, count)
+	for i := r.next - count; i < r.next; i++ {
+		out = append(out, r.buf[i%n])
+	}
+	return out
+}
+
+// Len returns how many events the ring currently retains.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next > uint64(len(r.buf)) {
+		return len(r.buf)
+	}
+	return int(r.next)
+}
+
+// Cap returns the ring's capacity.
+func (r *TraceRing) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Total returns how many events were ever appended (retained or
+// overwritten).
+func (r *TraceRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}

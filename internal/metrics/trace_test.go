@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceRingWraparound asserts the ring keeps exactly the last cap
+// events, in append order, with sequence numbers that keep counting across
+// overwrites.
+func TestTraceRingWraparound(t *testing.T) {
+	r := NewTraceRing(8)
+	if r.Cap() != 8 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	for i := 1; i <= 20; i++ {
+		r.Append(TraceEvent{Stage: "fetch", URL: fmt.Sprintf("http://h/p%d", i)})
+	}
+	if r.Len() != 8 {
+		t.Errorf("len = %d, want 8", r.Len())
+	}
+	if r.Total() != 20 {
+		t.Errorf("total = %d, want 20", r.Total())
+	}
+	events := r.Snapshot()
+	if len(events) != 8 {
+		t.Fatalf("snapshot len = %d, want 8", len(events))
+	}
+	for i, e := range events {
+		wantSeq := uint64(13 + i)
+		if e.Seq != wantSeq {
+			t.Errorf("event %d: seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+		if want := fmt.Sprintf("http://h/p%d", 13+i); e.URL != want {
+			t.Errorf("event %d: url = %q, want %q", i, e.URL, want)
+		}
+	}
+}
+
+// TestTraceRingPartial covers the pre-wraparound state.
+func TestTraceRingPartial(t *testing.T) {
+	r := NewTraceRing(16)
+	r.Append(TraceEvent{Stage: "fetch", URL: "u1"})
+	r.Append(TraceEvent{Stage: "store", URL: "u1"})
+	if r.Len() != 2 {
+		t.Errorf("len = %d, want 2", r.Len())
+	}
+	events := r.Snapshot()
+	if len(events) != 2 || events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Errorf("snapshot = %+v", events)
+	}
+}
+
+// TestTraceRingConcurrent hammers the ring from parallel writers (run
+// under -race): every append must land, and a concurrent snapshot must see
+// a consistent window.
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(64)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Append(TraceEvent{Stage: "fetch", URL: "u"})
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != workers*perWorker {
+		t.Errorf("total = %d, want %d", r.Total(), workers*perWorker)
+	}
+	events := r.Snapshot()
+	if len(events) != 64 {
+		t.Fatalf("snapshot len = %d", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Errorf("snapshot not seq-contiguous at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+func TestSpanHelper(t *testing.T) {
+	before := defaultTrace.Total()
+	Span("fetch", "http://h/x", time.Now().Add(-time.Millisecond), "")
+	if defaultTrace.Total() != before+1 {
+		t.Fatal("Span did not append to the default ring")
+	}
+	events := defaultTrace.Snapshot()
+	last := events[len(events)-1]
+	if last.Stage != "fetch" || last.URL != "http://h/x" || last.Dur < int64(time.Millisecond) {
+		t.Errorf("span = %+v", last)
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	r := NewTraceRing(8)
+	r.Append(TraceEvent{Stage: "fetch", URL: "http://a/1", Dur: 1000})
+	r.Append(TraceEvent{Stage: "store", URL: "http://a/1", Dur: 2000, Err: "flush failed"})
+	r.Append(TraceEvent{Stage: "fetch", URL: "http://b/2", Dur: 500})
+	srv := httptest.NewServer(TraceHandler(r))
+	defer srv.Close()
+
+	get := func(url string) string {
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		return sb.String()
+	}
+
+	body := get(srv.URL)
+	for _, want := range []string{"http://a/1", "http://b/2", "fetch", "flush failed"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("tracez missing %q:\n%s", want, body)
+		}
+	}
+	filtered := get(srv.URL + "?url=b/2")
+	if strings.Contains(filtered, "http://a/1") || !strings.Contains(filtered, "http://b/2") {
+		t.Errorf("url filter failed:\n%s", filtered)
+	}
+	asJSON := get(srv.URL + "?format=json")
+	if !strings.Contains(asJSON, `"stage": "store"`) {
+		t.Errorf("json trace dump missing fields:\n%s", asJSON)
+	}
+}

@@ -18,11 +18,26 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/bingo-search/bingo/internal/hits"
+	"github.com/bingo-search/bingo/internal/metrics"
 	"github.com/bingo-search/bingo/internal/store"
 	"github.com/bingo-search/bingo/internal/textproc"
 	"github.com/bingo-search/bingo/internal/vsm"
+)
+
+// Process-wide search metrics: query traffic and latency, snapshot churn
+// (rebuilds vs stale serves — the freshness/latency trade the snapshot
+// design makes), and result-set sizes. The same counters cover the legacy
+// and indexed paths so A/B comparisons stay fair.
+var (
+	mQueries        = metrics.NewCounter("search_queries_total")
+	mQueryNanos     = metrics.NewHistogram("search_query_nanos")
+	mSnapRebuilds   = metrics.NewCounter("search_snapshot_rebuilds_total")
+	mSnapBuildNanos = metrics.NewHistogram("search_snapshot_build_nanos")
+	mStaleServes    = metrics.NewCounter("search_stale_serves_total")
+	mTopKHeap       = metrics.NewHistogram("search_topk_heap_size")
 )
 
 // Weights combines the ranking schemes into a linear sum. Zero-valued
@@ -142,10 +157,16 @@ func (e *Engine) Search(q Query) []Hit {
 	if !ok {
 		return nil
 	}
+	mQueries.Inc()
+	start := time.Now()
+	var hits []Hit
 	if e.LegacyScoring {
-		return e.searchLegacy(q, p)
+		hits = e.searchLegacy(q, p)
+	} else {
+		hits = e.searchIndexed(q, p)
 	}
-	return e.searchIndexed(q, p)
+	mQueryNanos.ObserveSince(start)
+	return hits
 }
 
 // searchLegacy is the original read path: candidate DocIDs from copied

@@ -1,3 +1,11 @@
+// This file implements the snapshot read path: immutable per-epoch search
+// state (buildSnapshot, Engine.snapshot), the pooled per-query scoring
+// scratch, and the allocation-free candidate-scoring loop with bounded
+// top-K selection. Snapshot lifecycle is observable through
+// search_snapshot_rebuilds_total, search_snapshot_build_nanos and
+// search_stale_serves_total; a rising stale-serve rate means writers are
+// outpacing rebuilds and queries are trading freshness for latency.
+
 package search
 
 import (
@@ -6,6 +14,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/bingo-search/bingo/internal/hits"
 	"github.com/bingo-search/bingo/internal/store"
@@ -94,12 +103,13 @@ func (e *Engine) snapshot() *searchSnapshot {
 		if s := e.snap.Load(); s != nil && s.epoch == e.store.Epoch() {
 			return s
 		}
-		s := buildSnapshot(e.store)
+		s := e.rebuild()
 		e.snap.Store(s)
 		return s
 	}
 	// A rebuild is in flight on another goroutine: serve stale.
 	if s := e.snap.Load(); s != nil {
+		mStaleServes.Inc()
 		return s
 	}
 	// No snapshot published yet — wait for the first build to finish.
@@ -108,8 +118,18 @@ func (e *Engine) snapshot() *searchSnapshot {
 	if s := e.snap.Load(); s != nil && s.epoch == e.store.Epoch() {
 		return s
 	}
-	s := buildSnapshot(e.store)
+	s := e.rebuild()
 	e.snap.Store(s)
+	return s
+}
+
+// rebuild runs buildSnapshot under the caller-held buildMu, recording the
+// rebuild count and duration.
+func (e *Engine) rebuild() *searchSnapshot {
+	mSnapRebuilds.Inc()
+	start := time.Now()
+	s := buildSnapshot(e.store)
+	mSnapBuildNanos.ObserveSince(start)
 	return s
 }
 
@@ -287,6 +307,7 @@ func (e *Engine) searchIndexed(q Query, p parsedQuery) []Hit {
 	if !ok {
 		return nil
 	}
+	mTopKHeap.Observe(int64(len(sc.heap)))
 
 	// Assemble the ranked hit list (descending score, URL tie-break).
 	sort.Slice(sc.heap, func(a, b int) bool { return sc.worse(sc.heap[b], sc.heap[a]) })

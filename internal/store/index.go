@@ -49,6 +49,7 @@ func (t *termIndex) add(term string, p posting) {
 	sh.mu.Lock()
 	sh.m[term] = append(sh.m[term], p)
 	sh.mu.Unlock()
+	mPostings.Add(1)
 }
 
 // addDoc appends one posting per term of a document.
@@ -60,6 +61,7 @@ func (t *termIndex) addDoc(id DocID, terms map[string]int) {
 
 // removeDoc deletes the postings of one document.
 func (t *termIndex) removeDoc(id DocID, terms map[string]int) {
+	var removed int64
 	for term := range terms {
 		sh := t.shard(term)
 		sh.mu.Lock()
@@ -67,6 +69,7 @@ func (t *termIndex) removeDoc(id DocID, terms map[string]int) {
 		for i := range ps {
 			if ps[i].doc == id {
 				sh.m[term] = append(ps[:i], ps[i+1:]...)
+				removed++
 				break
 			}
 		}
@@ -75,6 +78,7 @@ func (t *termIndex) removeDoc(id DocID, terms map[string]int) {
 		}
 		sh.mu.Unlock()
 	}
+	mPostings.Add(-removed)
 }
 
 // termAdd is one pending posting append in an indexBatch.
@@ -115,6 +119,7 @@ func (t *termIndex) bulkAdd(b *indexBatch, ids []DocID, terms []map[string]int) 
 			sh.m[a.term] = append(sh.m[a.term], a.p)
 		}
 		sh.mu.Unlock()
+		mPostings.Add(int64(len(g)))
 		b.groups[si] = g[:0]
 	}
 }

@@ -58,13 +58,14 @@ func Decode(r io.Reader) (*Store, error) {
 			s.byTopic[d.Topic] = append(s.byTopic[d.Topic], id)
 		}
 	}
+	mDocs.Add(int64(len(snap.Docs)))
 	s.nextID = snap.NextID
 	for _, l := range snap.Links {
 		s.outLinks[l.From] = append(s.outLinks[l.From], l)
 		s.inLinks[l.To] = append(s.inLinks[l.To], l)
 	}
 	s.redirects = snap.Redirects
-	s.epoch.Add(1)
+	s.bumpEpoch()
 	return s, nil
 }
 

@@ -20,6 +20,22 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/bingo-search/bingo/internal/metrics"
+)
+
+// Process-wide storage metrics: write-path traffic (per-row inserts vs
+// bulk loads and their batch sizes), inverted-index growth, and mutation
+// epochs — the §4.1 signals an operator needs to see whether crawler
+// threads are actually batching.
+var (
+	mRowInserts    = metrics.NewCounter("store_row_inserts_total")
+	mBulkLoads     = metrics.NewCounter("store_bulk_loads_total")
+	mFlushRows     = metrics.NewHistogram("store_flush_rows")
+	mFlushNanos    = metrics.NewHistogram("store_flush_nanos")
+	mEpochAdvances = metrics.NewCounter("store_epoch_advances_total")
+	mPostings      = metrics.NewGauge("store_postings")
+	mDocs          = metrics.NewGauge("store_docs")
 )
 
 // DocID identifies a stored document.
@@ -103,6 +119,12 @@ type Store struct {
 	epoch atomic.Int64
 }
 
+// bumpEpoch advances the mutation epoch (and its process-wide counter).
+func (s *Store) bumpEpoch() {
+	s.epoch.Add(1)
+	mEpochAdvances.Inc()
+}
+
 // New returns an empty store.
 func New() *Store {
 	return &Store{
@@ -127,7 +149,8 @@ func (s *Store) Insert(d Document) DocID {
 	}
 	s.index.addDoc(id, d.Terms)
 	s.inserts.Add(1)
-	s.epoch.Add(1)
+	mRowInserts.Inc()
+	s.bumpEpoch()
 	return id
 }
 
@@ -147,6 +170,7 @@ func (s *Store) insertDocLocked(d Document) (DocID, *Document) {
 	if d.Topic != "" {
 		s.byTopic[d.Topic] = append(s.byTopic[d.Topic], d.ID)
 	}
+	mDocs.Add(1)
 	return d.ID, old
 }
 
@@ -168,6 +192,7 @@ func (s *Store) removeDocLocked(id DocID) *Document {
 			}
 		}
 	}
+	mDocs.Add(-1)
 	return d
 }
 
@@ -184,7 +209,7 @@ func (s *Store) Delete(url string) bool {
 		return false
 	}
 	s.index.removeDoc(d.ID, d.Terms)
-	s.epoch.Add(1)
+	s.bumpEpoch()
 	return true
 }
 
@@ -265,7 +290,7 @@ func (s *Store) SetTopic(url, topic string, confidence float64) error {
 	if topic != "" {
 		s.byTopic[topic] = append(s.byTopic[topic], id)
 	}
-	s.epoch.Add(1)
+	s.bumpEpoch()
 	return nil
 }
 
@@ -278,7 +303,7 @@ func (s *Store) SetTraining(url string, training bool) error {
 		return ErrNotFound
 	}
 	s.docs[id].IsTraining = training
-	s.epoch.Add(1)
+	s.bumpEpoch()
 	return nil
 }
 
@@ -350,7 +375,7 @@ func (s *Store) AddLink(l Link) {
 	s.outLinks[l.From] = append(s.outLinks[l.From], l)
 	s.inLinks[l.To] = append(s.inLinks[l.To], l)
 	s.linkMu.Unlock()
-	s.epoch.Add(1)
+	s.bumpEpoch()
 }
 
 // AddRedirect records a redirect row.
@@ -358,7 +383,7 @@ func (s *Store) AddRedirect(r Redirect) {
 	s.redirMu.Lock()
 	s.redirects = append(s.redirects, r)
 	s.redirMu.Unlock()
-	s.epoch.Add(1)
+	s.bumpEpoch()
 }
 
 // Successors returns the target URLs linked from url.
