@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-search bench-overhead
+.PHONY: all build vet fmt-check test race chaos bench bench-search bench-overhead
 
 all: build test
 
@@ -29,6 +29,15 @@ test: vet fmt-check
 # lock-free metrics primitives they all report into.
 race:
 	$(GO) test -race ./internal/crawler/... ./internal/store/... ./internal/frontier/... ./internal/search/... ./internal/hits/... ./internal/metrics/...
+
+# chaos runs the fault-injection suite (full crawls against the seeded fault
+# plane, plus the faults/fetch resilience units) across a fixed seed matrix
+# under the race detector. It is deliberately NOT part of `test`: tier-1
+# stays fast, and `test` already runs the suite once at its default seed.
+CHAOS_SEEDS ?= 1,7,23
+chaos:
+	CHAOS_SEEDS="$(CHAOS_SEEDS)" $(GO) test -race -count=1 -run 'TestChaos' ./internal/crawler/
+	$(GO) test -race -count=1 ./internal/faults/ ./internal/fetch/
 
 # bench reports crawl throughput for the batched and the legacy write path,
 # then records an interleaved A/B comparison in BENCH_crawl.json.

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	bingo "github.com/bingo-search/bingo"
+	"github.com/bingo-search/bingo/internal/faults"
 	"github.com/bingo-search/bingo/internal/metrics"
 	"github.com/bingo-search/bingo/internal/xmlexport"
 )
@@ -35,7 +36,26 @@ func main() {
 	sessionOut := flag.String("session", "", "path to save the full crawl session (resumable)")
 	resume := flag.String("resume", "", "path of a saved session to resume instead of starting fresh")
 	showMetrics := flag.Bool("metrics", false, "dump process metrics (Prometheus text format) after the run")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault-injection plane")
+	chaosProfile := flag.String("chaos-profile", "off", "fault profile: off, default, flaky, slow, poison or flap")
 	flag.Parse()
+
+	var plane *faults.Plane
+	if *chaosProfile != "" && *chaosProfile != "off" {
+		prof, err := faults.ByName(*chaosProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plane = faults.New(*chaosSeed, prof)
+		fmt.Printf("chaos: profile=%s seed=%d\n", prof.Name, *chaosSeed)
+	}
+	chaos := func(c *bingo.Config) {
+		if plane == nil {
+			return
+		}
+		c.Transport = plane.Wrap(c.Transport)
+		c.DNSMiddleware = plane.WrapDNS
+	}
 
 	var wcfg bingo.WorldConfig
 	switch *worldFlag {
@@ -109,6 +129,7 @@ haveTopics:
 			table[h] = rec.IP
 		}
 		cfg.DNSServers = []bingo.DNSServerSpec{{Table: table}}
+		chaos(&cfg)
 		var lerr error
 		eng, lerr = bingo.LoadSession(cfg, *resume)
 		if lerr != nil {
@@ -130,6 +151,7 @@ haveTopics:
 			if *mode == "expert" {
 				c.LearnDepth = 7
 			}
+			chaos(c)
 		})
 		if nerr != nil {
 			log.Fatal(nerr)
@@ -152,6 +174,15 @@ haveTopics:
 	rt := eng.Runtime()
 	fmt.Printf("runtime: %d docs stored, %d queued, %d duplicates dismissed, %d slow / %d bad hosts, DNS %d hits / %d misses\n",
 		rt.StoredDocs, rt.FrontierQueued, rt.DuplicatesSeen, rt.SlowHosts, rt.BadHosts, rt.DNSHits, rt.DNSMisses)
+	if plane != nil {
+		fmt.Printf("chaos: %d faults injected, DNS failovers %d\n", totalInjected(plane), rt.DNSFailovers)
+		if len(rt.QuarantinedHosts) > 0 {
+			fmt.Printf("chaos: quarantined hosts: %v\n", rt.QuarantinedHosts)
+		}
+		if len(rt.BreakerOpenHosts) > 0 {
+			fmt.Printf("chaos: breakers still open: %v\n", rt.BreakerOpenHosts)
+		}
+	}
 
 	fmt.Printf("\ntop 10 results for %q:\n", q)
 	hits := eng.Search().Search(bingo.SearchQuery{
@@ -197,4 +228,13 @@ haveTopics:
 			log.Fatal(err)
 		}
 	}
+}
+
+// totalInjected sums the plane's per-kind injection counts.
+func totalInjected(p *faults.Plane) int64 {
+	var n int64
+	for _, v := range p.Injected() {
+		n += v
+	}
+	return n
 }

@@ -23,6 +23,7 @@ import (
 	"net/http/pprof"
 
 	bingo "github.com/bingo-search/bingo"
+	"github.com/bingo-search/bingo/internal/faults"
 	"github.com/bingo-search/bingo/internal/metrics"
 	"github.com/bingo-search/bingo/internal/portal"
 	"github.com/bingo-search/bingo/internal/store"
@@ -33,6 +34,8 @@ func main() {
 	crawl := flag.Bool("crawl", false, "run a fresh synthetic-web crawl instead of loading -db")
 	worldFlag := flag.String("world", "small", "synthetic world size when -crawl is set")
 	listen := flag.String("listen", ":8090", "address to serve the portal on")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault-injection plane (with -crawl)")
+	chaosProfile := flag.String("chaos-profile", "off", "fault profile for the startup crawl: off, default, flaky, slow, poison or flap")
 	flag.Parse()
 
 	var st *store.Store
@@ -51,14 +54,35 @@ func main() {
 		}
 		world := bingo.GenerateWorld(wcfg)
 		fmt.Println(world)
+		var plane *faults.Plane
+		if *chaosProfile != "" && *chaosProfile != "off" {
+			prof, perr := faults.ByName(*chaosProfile)
+			if perr != nil {
+				log.Fatal(perr)
+			}
+			plane = faults.New(*chaosSeed, prof)
+			fmt.Printf("chaos: profile=%s seed=%d\n", prof.Name, *chaosSeed)
+		}
 		eng, err := bingo.EngineForWorld(world,
 			[]bingo.TopicSpec{{Path: []string{"databases"}, Seeds: world.SeedURLs()}},
-			func(c *bingo.Config) { c.LearnBudget = 150; c.HarvestBudget = 800 })
+			func(c *bingo.Config) {
+				c.LearnBudget = 150
+				c.HarvestBudget = 800
+				if plane != nil {
+					c.Transport = plane.Wrap(c.Transport)
+					c.DNSMiddleware = plane.WrapDNS
+				}
+			})
 		if err != nil {
 			log.Fatal(err)
 		}
 		if _, _, err := eng.Run(context.Background()); err != nil {
 			log.Fatal(err)
+		}
+		if plane != nil {
+			rt := eng.Runtime()
+			fmt.Printf("chaos: quarantined %v, breakers open %v, DNS failovers %d\n",
+				rt.QuarantinedHosts, rt.BreakerOpenHosts, rt.DNSFailovers)
 		}
 		st = eng.Store()
 	case *db != "":

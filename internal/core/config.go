@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/bingo-search/bingo/internal/classify"
+	"github.com/bingo-search/bingo/internal/dns"
 	"github.com/bingo-search/bingo/internal/features"
 	"github.com/bingo-search/bingo/internal/svm"
 )
@@ -50,6 +51,28 @@ type Config struct {
 	MaxPerDomain int
 	// MaxRetries before a host is tagged bad (paper: 3).
 	MaxRetries int
+	// FetchAttempts is the per-URL retry budget: each Fetch makes up to this
+	// many attempts with capped, jittered backoff between them (default 3;
+	// 1 disables retries).
+	FetchAttempts int
+	// RetryBaseDelay / RetryMaxDelay bound one backoff sleep (defaults
+	// 100ms / 2s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a host's
+	// circuit breaker (default 5); BreakerOpenFor is the open window before
+	// the breaker half-opens for a probe (default 15s). Breaker-open hosts
+	// are requeued with delay by the crawler instead of burning workers.
+	BreakerThreshold int
+	BreakerOpenFor   time.Duration
+	// DisableDegradation turns off truncated-body degradation (on by
+	// default: a body cut mid-read on the final attempt is stored and
+	// classified with a confidence penalty instead of dropped).
+	DisableDegradation bool
+	// DNSMiddleware, when non-nil, wraps each name server as it is built
+	// (index 0 = primary). The chaos harness uses it to splice the fault
+	// plane into the DNS simulation.
+	DNSMiddleware func(index int, s dns.Server) dns.Server
 	// PerHostDelay enforces a minimum interval between consecutive requests
 	// to one host (0 = disabled).
 	PerHostDelay time.Duration
@@ -134,6 +157,15 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 3
+	}
+	if c.FetchAttempts <= 0 {
+		c.FetchAttempts = 3
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerOpenFor <= 0 {
+		c.BreakerOpenFor = 15 * time.Second
 	}
 	if c.MaxTunnelDepth == 0 {
 		c.MaxTunnelDepth = 2

@@ -78,24 +78,39 @@ func New(cfg Config) (*Engine, error) {
 	}
 
 	var servers []dns.Server
-	for _, spec := range cfg.DNSServers {
+	for i, spec := range cfg.DNSServers {
 		table := make(map[string]dns.Record, len(spec.Table))
 		for h, ip := range spec.Table {
 			table[h] = dns.Record{Host: h, IP: ip}
 		}
-		servers = append(servers, dns.NewStaticServer(table))
+		var srv dns.Server = dns.NewStaticServer(table)
+		if cfg.DNSMiddleware != nil {
+			srv = cfg.DNSMiddleware(i, srv)
+		}
+		servers = append(servers, srv)
 	}
 	var resolver *dns.Resolver
 	if len(servers) > 0 {
 		resolver = dns.NewResolver(dns.Config{}, servers...)
 	}
 
+	breakers := fetch.NewBreakerSet(fetch.BreakerConfig{
+		FailureThreshold: cfg.BreakerThreshold,
+		OpenFor:          cfg.BreakerOpenFor,
+	})
 	fetcher := fetch.New(fetch.Config{
-		Transport:     cfg.Transport,
-		Resolver:      resolver,
-		Timeout:       cfg.FetchTimeout,
-		LockedDomains: cfg.LockedDomains,
-		RespectRobots: !cfg.DisableRobots,
+		Transport: cfg.Transport,
+		Resolver:  resolver,
+		Timeout:   cfg.FetchTimeout,
+		Retry: fetch.RetryPolicy{
+			MaxAttempts: cfg.FetchAttempts,
+			BaseDelay:   cfg.RetryBaseDelay,
+			MaxDelay:    cfg.RetryMaxDelay,
+		},
+		Breaker:          breakers,
+		DegradeTruncated: !cfg.DisableDegradation,
+		LockedDomains:    cfg.LockedDomains,
+		RespectRobots:    !cfg.DisableRobots,
 	}, fetch.NewDeduper(), fetch.NewHostTracker(cfg.MaxRetries))
 
 	fr := frontier.New(frontier.Config{
@@ -450,6 +465,11 @@ type RuntimeStats struct {
 	DNSHits         int64
 	DNSMisses       int64
 	DNSFailures     int64
+	DNSFailovers    int64
+	// QuarantinedHosts lists the hosts excluded as bad during the crawl;
+	// BreakerOpenHosts lists hosts whose circuit breaker is currently open.
+	QuarantinedHosts []string
+	BreakerOpenHosts []string
 }
 
 // Runtime returns a snapshot of the operational counters.
@@ -467,9 +487,21 @@ func (e *Engine) Runtime() RuntimeStats {
 		SlowHosts:       slow,
 		BadHosts:        bad,
 	}
+	rs.QuarantinedHosts = e.fetcher.Hosts.BadHosts()
+	if bs := e.fetcher.Breakers(); bs != nil {
+		rs.BreakerOpenHosts = bs.OpenHosts()
+	}
 	if e.resolver != nil {
 		ds := e.resolver.Stats()
 		rs.DNSHits, rs.DNSMisses, rs.DNSFailures = ds.Hits, ds.Misses, ds.Failures
+		rs.DNSFailovers = ds.Failovers
 	}
 	return rs
 }
+
+// Fetcher exposes the engine's fetch layer (chaos harness and diagnostics).
+func (e *Engine) Fetcher() *fetch.Fetcher { return e.fetcher }
+
+// Resolver exposes the engine's DNS resolver (nil when no servers are
+// configured).
+func (e *Engine) Resolver() *dns.Resolver { return e.resolver }

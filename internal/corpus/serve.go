@@ -26,6 +26,18 @@ type transport struct {
 // RoundTripper returns an in-process transport for the world.
 func (w *World) RoundTripper() http.RoundTripper { return &transport{w: w} }
 
+// RoundTripperVia returns the in-process transport wrapped by mw — the
+// splice point for the fault-injection plane (internal/faults), which sits
+// between the fetcher and the synthetic web exactly where a hostile
+// network would. A nil mw yields the plain transport.
+func (w *World) RoundTripperVia(mw func(http.RoundTripper) http.RoundTripper) http.RoundTripper {
+	rt := w.RoundTripper()
+	if mw != nil {
+		rt = mw(rt)
+	}
+	return rt
+}
+
 // RoundTrip implements http.RoundTripper.
 func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	t.requests.Add(1)

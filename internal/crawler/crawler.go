@@ -8,6 +8,7 @@ package crawler
 
 import (
 	"context"
+	"errors"
 	"net/url"
 	"strings"
 	"sync"
@@ -49,6 +50,9 @@ var (
 	mBusyNanos      = metrics.NewCounter("crawler_worker_busy_nanos_total")
 	mIdleNanos      = metrics.NewCounter("crawler_worker_idle_nanos_total")
 	mWorkers        = metrics.NewGauge("crawler_workers")
+	mRequeued       = metrics.NewCounter("crawler_breaker_requeues_total")
+	mRequeueDrops   = metrics.NewCounter("crawler_requeues_exhausted_total")
+	mDegraded       = metrics.NewCounter("crawler_pages_degraded_total")
 )
 
 // Focus selects the link-acceptance rule (§3.3).
@@ -121,6 +125,14 @@ type Config struct {
 	// PerHostDelay enforces a minimum interval between consecutive requests
 	// to one host (0 = disabled; crawl-delay style politeness).
 	PerHostDelay time.Duration
+	// MaxRequeues caps how many times one link may be requeued with delay
+	// after a circuit-breaker rejection before it is dropped as an error
+	// (default 8; guarantees progress under a persistent breaker storm).
+	MaxRequeues int
+	// DegradedConfidenceFactor scales the classifier confidence of a page
+	// served from a truncated body (graceful degradation: the prefix is
+	// still classified, but with reduced trust). Default 0.5.
+	DegradedConfidenceFactor float64
 }
 
 // Stats are the counters reported in the paper's Table 1.
@@ -134,6 +146,15 @@ type Stats struct {
 	Errors         int64
 	Duplicates     int64
 	Rejected       int64 // classified into an OTHERS node
+	// Requeued counts breaker-open rejections sent back to the frontier
+	// with a cool-down delay (NOT visits, errors, or drops).
+	Requeued int64
+	// Degraded counts pages stored from truncated bodies with a confidence
+	// penalty instead of being dropped.
+	Degraded int64
+	// Quarantined lists the hosts the fetch layer tagged bad during the
+	// crawl (poisoned hosts), sorted.
+	Quarantined []string
 }
 
 // Crawler executes one crawl phase.
@@ -150,6 +171,8 @@ type Crawler struct {
 	errs       atomic.Int64
 	duplicates atomic.Int64
 	rejected   atomic.Int64
+	requeued   atomic.Int64
+	degraded   atomic.Int64
 	maxDepth   atomic.Int64
 }
 
@@ -167,6 +190,12 @@ func New(cfg Config) *Crawler {
 	}
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = 200 * time.Millisecond
+	}
+	if cfg.MaxRequeues <= 0 {
+		cfg.MaxRequeues = 8
+	}
+	if cfg.DegradedConfidenceFactor <= 0 || cfg.DegradedConfidenceFactor > 1 {
+		cfg.DegradedConfidenceFactor = 0.5
 	}
 	c := &Crawler{cfg: cfg, pipe: textproc.NewPipeline()}
 	if cfg.LegacyWrites {
@@ -301,6 +330,7 @@ func (c *Crawler) runLegacy(ctx context.Context, limiter *hostLimiter) Stats {
 // bulk-loaded; a nil ws selects the legacy per-row write path.
 func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLimiter, ws *store.Workspace) {
 	if c.cfg.MaxDepth > 0 && it.Depth > c.cfg.MaxDepth {
+		c.cfg.Frontier.DropDepth()
 		return
 	}
 	u, err := url.Parse(it.URL)
@@ -322,10 +352,32 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 	mFetchNanos.ObserveSince(fetchStart)
 	metrics.Span("fetch", it.URL, fetchStart, fetch.ErrClass(err))
 	if err != nil {
-		if err == fetch.ErrDuplicate {
+		var bo *fetch.BreakerOpenError
+		switch {
+		case err == fetch.ErrDuplicate:
 			c.duplicates.Add(1)
 			mDuplicates.Inc()
-		} else {
+		case errors.As(err, &bo):
+			// The host's circuit breaker rejected the fetch before any
+			// network work happened. Requeue with the breaker's cool-down so
+			// the link gets another chance once the host is re-probed; after
+			// MaxRequeues rejections (or once the host is quarantined) give
+			// up and book it as an error. The visit is uncounted — nothing
+			// was attempted — which also keeps the crawl accounting
+			// invariant (stored+duplicates+errors == visited) intact.
+			c.visited.Add(-1)
+			if it.Requeues < c.cfg.MaxRequeues && !c.cfg.Fetcher.Hosts.Bad(host) {
+				it.Requeues++
+				c.cfg.Frontier.Requeue(it, bo.RetryIn)
+				c.requeued.Add(1)
+				mRequeued.Inc()
+			} else {
+				c.visited.Add(1)
+				c.errs.Add(1)
+				mErrors.Inc()
+				mRequeueDrops.Inc()
+			}
+		default:
 			c.errs.Add(1)
 			mErrors.Inc()
 		}
@@ -401,6 +453,15 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 	}
 	cdoc := classify.Doc{ID: res.FinalURL, Input: features.DocInput{Stems: stems, Anchors: anchors}}
 	result := c.cfg.Classify(cdoc)
+	if res.Truncated {
+		// Graceful degradation: the body was cut mid-read on every attempt,
+		// so the classification ran on a prefix — keep the page but scale
+		// its confidence down so ranking and archetype selection trust it
+		// less.
+		result.Confidence *= c.cfg.DegradedConfidenceFactor
+		c.degraded.Add(1)
+		mDegraded.Inc()
+	}
 	mClassifyNanos.ObserveSince(classifyStart)
 	metrics.Span("classify", it.URL, classifyStart, "")
 	accepted := result.Accepted
@@ -485,6 +546,7 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 		tunnel = it.TunnelDepth + 1
 	}
 	if tunnel > c.cfg.MaxTunnelDepth {
+		c.cfg.Frontier.DropDepth()
 		return
 	}
 
@@ -544,5 +606,8 @@ func (c *Crawler) Stats() Stats {
 		Errors:         c.errs.Load(),
 		Duplicates:     c.duplicates.Load(),
 		Rejected:       c.rejected.Load(),
+		Requeued:       c.requeued.Load(),
+		Degraded:       c.degraded.Load(),
+		Quarantined:    c.cfg.Fetcher.Hosts.BadHosts(),
 	}
 }

@@ -28,6 +28,8 @@ var (
 	mEvictions   = metrics.NewCounter("dns_cache_evictions_total")
 	mTimeouts    = metrics.NewCounter("dns_timeouts_total")
 	mLookupNanos = metrics.NewHistogram("dns_lookup_nanos")
+	mFailovers   = metrics.NewCounter("dns_failover_total")
+	mServerBad   = metrics.NewCounter("dns_server_tagged_bad_total")
 )
 
 // Record is a successful resolution.
@@ -66,6 +68,13 @@ type Config struct {
 	TTL time.Duration
 	// NegativeTTL caches lookup failures briefly (default 1 minute).
 	NegativeTTL time.Duration
+	// ServerBadAfter is the consecutive-failure count that tags a name
+	// server bad (default 3; the paper's retrial limit for slow hosts,
+	// applied to the servers themselves).
+	ServerBadAfter int
+	// ServerBadFor is how long a bad server is demoted to last-resort
+	// before being probed again (default 30s).
+	ServerBadFor time.Duration
 	// Now allows tests to control time.
 	Now func() time.Time
 }
@@ -82,6 +91,12 @@ func (c *Config) fill() {
 	}
 	if c.NegativeTTL <= 0 {
 		c.NegativeTTL = time.Minute
+	}
+	if c.ServerBadAfter <= 0 {
+		c.ServerBadAfter = 3
+	}
+	if c.ServerBadFor <= 0 {
+		c.ServerBadFor = 30 * time.Second
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -102,7 +117,17 @@ type Resolver struct {
 	// inflight deduplicates concurrent lookups of the same host.
 	inflight map[string]*inflightCall
 
+	// health tracks per-server consecutive failures and bad windows,
+	// indexed parallel to servers.
+	health []serverState
+
 	stats Stats
+}
+
+// serverState is one name server's health, guarded by Resolver.mu.
+type serverState struct {
+	fails    int       // consecutive failures (reset on success)
+	badUntil time.Time // while in the future, the server is last-resort
 }
 
 // Stats counts resolver activity.
@@ -111,6 +136,20 @@ type Stats struct {
 	Misses    int64
 	Failures  int64
 	Evictions int64
+	// Failovers counts lookups answered by a server other than the first
+	// one tried (retry-against-secondary successes).
+	Failovers int64
+	// ServersTaggedBad counts bad-window activations across all servers.
+	ServersTaggedBad int64
+}
+
+// ServerHealth is one server's externally visible health snapshot.
+type ServerHealth struct {
+	Index int
+	Fails int
+	// State is "ok", "slow" (some consecutive failures) or "bad" (inside a
+	// demotion window).
+	State string
 }
 
 type cacheEntry struct {
@@ -135,7 +174,26 @@ func NewResolver(cfg Config, servers ...Server) *Resolver {
 		servers:  servers,
 		cache:    make(map[string]*cacheEntry),
 		inflight: make(map[string]*inflightCall),
+		health:   make([]serverState, len(servers)),
 	}
+}
+
+// ServerHealth snapshots every server's failure tagging, in server order.
+func (r *Resolver) ServerHealth() []ServerHealth {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.cfg.Now()
+	out := make([]ServerHealth, len(r.health))
+	for i, st := range r.health {
+		out[i] = ServerHealth{Index: i, Fails: st.fails, State: "ok"}
+		switch {
+		case st.badUntil.After(now):
+			out[i].State = "bad"
+		case st.fails > 0:
+			out[i].State = "slow"
+		}
+	}
+	return out
 }
 
 // Stats returns a snapshot of resolver counters.
@@ -207,38 +265,87 @@ func (r *Resolver) Prefetch(host string) {
 	}()
 }
 
-// query tries each server once, starting at the round-robin cursor, with a
-// per-attempt timeout; it returns the first success or the last error.
+// query tries each server once with a per-attempt timeout, starting at the
+// round-robin cursor but demoting servers inside a bad window to the end of
+// the order (fail-open: when every server is bad they are all still tried).
+// A timeout or failure moves to the next server — the paper's "resend the
+// request to alternative name servers" — and the retry-against-secondary
+// success is counted as a failover. Server health is updated per attempt:
+// consecutive failures tag a server slow and then bad for ServerBadFor.
 func (r *Resolver) query(ctx context.Context, host string) (Record, error) {
 	r.mu.Lock()
 	n := len(r.servers)
-	start := r.next
-	if n > 0 {
-		r.next = (r.next + 1) % n
-	}
-	r.mu.Unlock()
 	if n == 0 {
+		r.mu.Unlock()
 		return Record{}, ErrNoServers
 	}
-	var lastErr error
+	start := r.next
+	r.next = (r.next + 1) % n
+	now := r.cfg.Now()
+	order := make([]int, 0, n)
+	var demoted []int
 	for i := 0; i < n; i++ {
-		srv := r.servers[(start+i)%n]
+		idx := (start + i) % n
+		if r.health[idx].badUntil.After(now) {
+			demoted = append(demoted, idx)
+		} else {
+			order = append(order, idx)
+		}
+	}
+	order = append(order, demoted...)
+	r.mu.Unlock()
+
+	var lastErr error
+	for i, idx := range order {
 		attemptCtx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
-		rec, err := lookupWithContext(attemptCtx, srv, host)
+		rec, err := lookupWithContext(attemptCtx, r.servers[idx], host)
 		cancel()
 		if err == nil {
+			r.serverOK(idx)
+			if i > 0 {
+				r.mu.Lock()
+				r.stats.Failovers++
+				r.mu.Unlock()
+				mFailovers.Inc()
+			}
 			return rec, nil
 		}
 		lastErr = err
 		if errors.Is(err, ErrNotFound) {
-			// Authoritative miss: no point asking other servers.
+			// Authoritative miss: the server answered fine, the host simply
+			// does not exist — no health penalty, no point asking others.
+			r.serverOK(idx)
 			return Record{}, err
 		}
 		if ctx.Err() != nil {
+			// The CALLER's context died (cancellation or overall deadline);
+			// that is not evidence against this particular server.
 			return Record{}, ctx.Err()
 		}
+		r.serverFail(idx)
 	}
 	return Record{}, fmt.Errorf("dns: all %d servers failed for %q: %w", n, host, lastErr)
+}
+
+// serverOK clears a server's consecutive-failure tagging.
+func (r *Resolver) serverOK(idx int) {
+	r.mu.Lock()
+	r.health[idx] = serverState{}
+	r.mu.Unlock()
+}
+
+// serverFail records one failed attempt against a server, opening a bad
+// window once ServerBadAfter consecutive failures accumulate.
+func (r *Resolver) serverFail(idx int) {
+	r.mu.Lock()
+	st := &r.health[idx]
+	st.fails++
+	if st.fails >= r.cfg.ServerBadAfter && !st.badUntil.After(r.cfg.Now()) {
+		st.badUntil = r.cfg.Now().Add(r.cfg.ServerBadFor)
+		r.stats.ServersTaggedBad++
+		mServerBad.Inc()
+	}
+	r.mu.Unlock()
 }
 
 // lookupWithContext runs the lookup in a goroutine so that a server that

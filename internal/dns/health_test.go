@@ -1,0 +1,227 @@
+package dns
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countingServer wraps a lookup function and counts calls.
+type countingServer struct {
+	mu    sync.Mutex
+	calls int
+	fn    func(host string) (Record, error)
+}
+
+func (s *countingServer) Lookup(_ context.Context, host string) (Record, error) {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	return s.fn(host)
+}
+
+func (s *countingServer) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// fakeClock is a mutable test clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func alwaysDown(host string) (Record, error) {
+	return Record{}, errors.New("down")
+}
+
+func serve(host string) (Record, error) {
+	return Record{Host: host, IP: "10.9.9.9"}, nil
+}
+
+// TestServerFailureTagging drives a dead primary through the slow -> bad
+// progression and checks the failover accounting along the way.
+func TestServerFailureTagging(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	dead := &countingServer{fn: alwaysDown}
+	good := &countingServer{fn: serve}
+	r := NewResolver(Config{
+		Timeout:        50 * time.Millisecond,
+		ServerBadAfter: 2,
+		ServerBadFor:   30 * time.Second,
+		Now:            clock.now,
+	}, dead, good)
+	ctx := context.Background()
+
+	// Lookup 1 starts at server 0 (dead): one failure, then failover.
+	if _, err := r.Resolve(ctx, "h1.example"); err != nil {
+		t.Fatalf("h1: %v", err)
+	}
+	if h := r.ServerHealth(); h[0].State != "slow" || h[0].Fails != 1 {
+		t.Fatalf("after 1 failure: health[0] = %+v", h[0])
+	}
+	// Lookup 2 starts at server 1 (good): no health change.
+	if _, err := r.Resolve(ctx, "h2.example"); err != nil {
+		t.Fatalf("h2: %v", err)
+	}
+	// Lookup 3 starts at server 0 again: second failure tags it bad.
+	if _, err := r.Resolve(ctx, "h3.example"); err != nil {
+		t.Fatalf("h3: %v", err)
+	}
+	h := r.ServerHealth()
+	if h[0].State != "bad" || h[0].Fails != 2 {
+		t.Errorf("after 2 failures: health[0] = %+v", h[0])
+	}
+	if h[1].State != "ok" {
+		t.Errorf("health[1] = %+v", h[1])
+	}
+	st := r.Stats()
+	if st.Failovers != 2 {
+		t.Errorf("Failovers = %d, want 2", st.Failovers)
+	}
+	if st.ServersTaggedBad != 1 {
+		t.Errorf("ServersTaggedBad = %d, want 1", st.ServersTaggedBad)
+	}
+}
+
+// TestBadServerDemoted checks that a bad server is not asked first even
+// when the round-robin cursor lands on it, and that it is probed again
+// after the bad window expires (and recovers on success).
+func TestBadServerDemoted(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	var flakyDown = true
+	var mu sync.Mutex
+	flaky := &countingServer{fn: func(host string) (Record, error) {
+		mu.Lock()
+		down := flakyDown
+		mu.Unlock()
+		if down {
+			return Record{}, errors.New("down")
+		}
+		return serve(host)
+	}}
+	good := &countingServer{fn: serve}
+	r := NewResolver(Config{
+		Timeout:        50 * time.Millisecond,
+		ServerBadAfter: 1, // first failure tags bad
+		ServerBadFor:   30 * time.Second,
+		Now:            clock.now,
+	}, flaky, good)
+	ctx := context.Background()
+
+	if _, err := r.Resolve(ctx, "h1.example"); err != nil { // tags server 0 bad
+		t.Fatalf("h1: %v", err)
+	}
+	if h := r.ServerHealth(); h[0].State != "bad" {
+		t.Fatalf("health[0] = %+v", h[0])
+	}
+	// Next lookup's cursor starts at server 1; the one after would start at
+	// the bad server 0 but must be served by the healthy secondary without
+	// touching server 0.
+	before := flaky.count()
+	if _, err := r.Resolve(ctx, "h2.example"); err != nil {
+		t.Fatalf("h2: %v", err)
+	}
+	if _, err := r.Resolve(ctx, "h3.example"); err != nil {
+		t.Fatalf("h3: %v", err)
+	}
+	if got := flaky.count(); got != before {
+		t.Errorf("bad server was queried %d times during its bad window", got-before)
+	}
+
+	// After the window the server is probed again and, now healthy, fully
+	// recovers its tagging.
+	clock.advance(31 * time.Second)
+	mu.Lock()
+	flakyDown = false
+	mu.Unlock()
+	// Burn lookups until the cursor lands on server 0 again.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Resolve(ctx, fmt.Sprintf("h%d.example", 4+i)); err != nil {
+			t.Fatalf("recovery lookup: %v", err)
+		}
+	}
+	if got := flaky.count(); got == before {
+		t.Error("recovered server was never probed after its bad window")
+	}
+	if h := r.ServerHealth(); h[0].State != "ok" || h[0].Fails != 0 {
+		t.Errorf("after recovery: health[0] = %+v", h[0])
+	}
+}
+
+// TestAllServersBadFailOpen: when every server is inside a bad window the
+// resolver must still try them all rather than failing without a query.
+func TestAllServersBadFailOpen(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	a := &countingServer{fn: alwaysDown}
+	b := &countingServer{fn: alwaysDown}
+	r := NewResolver(Config{
+		Timeout:        50 * time.Millisecond,
+		ServerBadAfter: 1,
+		ServerBadFor:   30 * time.Second,
+		Now:            clock.now,
+	}, a, b)
+	ctx := context.Background()
+
+	if _, err := r.Resolve(ctx, "h1.example"); err == nil { // tags both bad
+		t.Fatal("expected failure")
+	}
+	h := r.ServerHealth()
+	if h[0].State != "bad" || h[1].State != "bad" {
+		t.Fatalf("health = %+v", h)
+	}
+	beforeA, beforeB := a.count(), b.count()
+	if _, err := r.Resolve(ctx, "h2.example"); err == nil {
+		t.Fatal("expected failure")
+	}
+	if a.count() == beforeA && b.count() == beforeB {
+		t.Error("no server was tried while all were bad (fail-open violated)")
+	}
+}
+
+// TestNotFoundDoesNotTagServer: an authoritative NXDOMAIN is a healthy
+// answer, not a server failure.
+func TestNotFoundDoesNotTagServer(t *testing.T) {
+	srv := NewStaticServer(table("a.example"))
+	r := NewResolver(Config{ServerBadAfter: 1}, srv)
+	for i := 0; i < 3; i++ {
+		if _, err := r.Resolve(context.Background(), fmt.Sprintf("gone%d.example", i)); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if h := r.ServerHealth(); h[0].State != "ok" || h[0].Fails != 0 {
+		t.Errorf("health after NXDOMAINs = %+v", h[0])
+	}
+}
+
+// TestTimeoutTagsServer: per-attempt timeouts count against the server
+// (the paper's "slow host" policy applied to name servers).
+func TestTimeoutTagsServer(t *testing.T) {
+	hang := ServerFunc(func(ctx context.Context, host string) (Record, error) {
+		<-ctx.Done()
+		return Record{}, ctx.Err()
+	})
+	r := NewResolver(Config{Timeout: 10 * time.Millisecond, ServerBadAfter: 3}, hang)
+	if _, err := r.Resolve(context.Background(), "h1.example"); err == nil {
+		t.Fatal("expected timeout")
+	}
+	if h := r.ServerHealth(); h[0].State != "slow" || h[0].Fails != 1 {
+		t.Errorf("health after timeout = %+v", h[0])
+	}
+}

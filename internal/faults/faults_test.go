@@ -1,0 +1,426 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bingo-search/bingo/internal/dns"
+)
+
+// okTransport is the healthy inner transport faults are spliced over.
+type okTransport struct{ calls int }
+
+func (t *okTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.calls++
+	body := "<html>ok</html>"
+	h := http.Header{}
+	h.Set("Content-Type", "text/html")
+	return &http.Response{
+		StatusCode:    200,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}, nil
+}
+
+// hostOfClass scans synthetic hostnames for one assigned the wanted class.
+func hostOfClass(t *testing.T, p *Plane, want Class) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		h := fmt.Sprintf("h%04d.example", i)
+		if p.Class(h) == want {
+			return h
+		}
+	}
+	t.Fatalf("no host of class %v in 10000 candidates", want)
+	return ""
+}
+
+// poisonHostOfKind scans for a poisoned host with the wanted stable kind.
+func poisonHostOfKind(t *testing.T, p *Plane, want Kind) string {
+	t.Helper()
+	for i := 0; i < 50000; i++ {
+		h := fmt.Sprintf("h%05d.example", i)
+		if p.Class(h) == ClassPoisoned && p.PoisonKind(h) == want {
+			return h
+		}
+	}
+	t.Fatalf("no poisoned host of kind %s found", want)
+	return ""
+}
+
+func get(t *testing.T, rt http.RoundTripper, url string, timeout time.Duration) (*http.Response, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(req)
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"off", "default", "flaky", "slow", "poison", "flap"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+		if p.Name != name && !(name == "off" && p.Name == "off") {
+			t.Errorf("ByName(%s).Name = %s", name, p.Name)
+		}
+	}
+	if p, err := ByName(""); err != nil || p.Name != "off" {
+		t.Errorf("ByName(\"\") = %+v, %v", p, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	d, _ := ByName("default")
+	if d.FlakyFrac != 0.10 || d.SlowFrac != 0.05 || d.PoisonFrac != 0.02 || d.DNSTimeoutFrac != 0.05 {
+		t.Errorf("default profile mix changed: %+v", d)
+	}
+}
+
+func TestClassAssignment(t *testing.T) {
+	prof := Profile{PoisonFrac: 0.1, SlowFrac: 0.1, FlakyFrac: 0.2, FlapFrac: 0.1}
+	p := New(7, prof)
+
+	// Deterministic: repeated calls and a second same-seed plane agree.
+	p2 := New(7, prof)
+	counts := map[Class]int{}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		h := fmt.Sprintf("h%04d.example", i)
+		c := p.Class(h)
+		if c != p.Class(h) || c != p2.Class(h) {
+			t.Fatalf("class of %s not deterministic", h)
+		}
+		counts[c]++
+	}
+	// Fractions of the host population within ±2 points.
+	check := func(c Class, want float64) {
+		got := float64(counts[c]) / n
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("class %v frequency = %.3f, want ~%.2f", c, got, want)
+		}
+	}
+	check(ClassPoisoned, 0.1)
+	check(ClassSlow, 0.1)
+	check(ClassFlaky, 0.2)
+	check(ClassFlapping, 0.1)
+	check(ClassHealthy, 0.5)
+
+	// A different seed deals a different hand.
+	p3 := New(8, prof)
+	same := 0
+	for i := 0; i < n; i++ {
+		h := fmt.Sprintf("h%04d.example", i)
+		if p.Class(h) == p3.Class(h) {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("seed does not influence class assignment")
+	}
+}
+
+// TestClassCarvingStable: fractions are carved in fixed order from one
+// uniform hash, so growing one fraction never reshuffles hosts between the
+// earlier classes.
+func TestClassCarvingStable(t *testing.T) {
+	small := New(7, Profile{PoisonFrac: 0.05, SlowFrac: 0.05, FlakyFrac: 0.05})
+	big := New(7, Profile{PoisonFrac: 0.05, SlowFrac: 0.05, FlakyFrac: 0.30})
+	for i := 0; i < 2000; i++ {
+		h := fmt.Sprintf("h%04d.example", i)
+		cs, cb := small.Class(h), big.Class(h)
+		if cs == ClassPoisoned && cb != ClassPoisoned {
+			t.Fatalf("growing FlakyFrac moved %s out of poisoned", h)
+		}
+		if cs == ClassSlow && cb != ClassSlow {
+			t.Fatalf("growing FlakyFrac moved %s out of slow", h)
+		}
+		if cs == ClassFlaky && cb != ClassFlaky {
+			t.Fatalf("growing FlakyFrac evicted flaky host %s", h)
+		}
+	}
+}
+
+func TestExemptHostsAreHealthy(t *testing.T) {
+	p := New(7, Profile{PoisonFrac: 0.2})
+	victim := hostOfClass(t, p, ClassPoisoned)
+	exempted := New(7, Profile{PoisonFrac: 0.2, Exempt: []string{victim}})
+	if got := exempted.Class(victim); got != ClassHealthy {
+		t.Errorf("exempt host classed %v", got)
+	}
+}
+
+func TestPoisonedKinds(t *testing.T) {
+	inner := &okTransport{}
+	prof := Profile{PoisonFrac: 0.5}
+	p := New(3, prof)
+	rt := p.Wrap(inner)
+
+	t.Run("refused", func(t *testing.T) {
+		h := poisonHostOfKind(t, p, KindRefused)
+		if _, err := get(t, rt, "http://"+h+"/x", time.Second); err == nil {
+			t.Error("refused host served a response")
+		}
+	})
+	t.Run("http-500", func(t *testing.T) {
+		h := poisonHostOfKind(t, p, KindHTTP500)
+		resp, err := get(t, rt, "http://"+h+"/x", time.Second)
+		if err != nil || resp.StatusCode != 500 {
+			t.Errorf("resp = %+v, %v", resp, err)
+		}
+	})
+	t.Run("corrupt-gzip", func(t *testing.T) {
+		h := poisonHostOfKind(t, p, KindCorrupt)
+		resp, err := get(t, rt, "http://"+h+"/x", time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header.Get("Content-Encoding") != "gzip" {
+			t.Error("corrupt body not declared gzip")
+		}
+		body, _ := io.ReadAll(resp.Body)
+		if !strings.HasPrefix(string(body), "\x1f\x8b") {
+			t.Error("corrupt body missing gzip magic")
+		}
+	})
+	t.Run("redirect-loop", func(t *testing.T) {
+		h := poisonHostOfKind(t, p, KindRedirLoop)
+		resp, err := get(t, rt, "http://"+h+"/x", time.Second)
+		if err != nil || resp.StatusCode != 302 {
+			t.Fatalf("resp = %+v, %v", resp, err)
+		}
+		loc := resp.Header.Get("Location")
+		if !strings.Contains(loc, "chaosloop=1") {
+			t.Errorf("Location = %q", loc)
+		}
+		// Following the Location strips the marker: a two-step cycle.
+		resp2, err := get(t, rt, loc, time.Second)
+		if err != nil || resp2.StatusCode != 302 {
+			t.Fatalf("second hop = %+v, %v", resp2, err)
+		}
+		if back := resp2.Header.Get("Location"); strings.Contains(back, "chaosloop") {
+			t.Errorf("loop marker not stripped: %q", back)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		h := poisonHostOfKind(t, p, KindTruncate)
+		resp, err := get(t, rt, "http://"+h+"/x", time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		if rerr == nil {
+			t.Error("truncated body read cleanly")
+		}
+		if int64(len(body)) >= resp.ContentLength {
+			t.Errorf("body not truncated: %d of %d", len(body), resp.ContentLength)
+		}
+	})
+}
+
+func TestFlakyHostMixesOutcomes(t *testing.T) {
+	inner := &okTransport{}
+	p := New(3, Profile{FlakyFrac: 0.5})
+	rt := p.Wrap(inner)
+	h := hostOfClass(t, p, ClassFlaky)
+
+	passed, faulted := 0, 0
+	for i := 0; i < 60; i++ {
+		resp, err := get(t, rt, fmt.Sprintf("http://%s/p%d", h, i), 50*time.Millisecond)
+		if err == nil && resp.StatusCode == 200 {
+			passed++
+		} else {
+			faulted++
+		}
+	}
+	if passed == 0 || faulted == 0 {
+		t.Errorf("flaky host not mixing: %d passed, %d faulted", passed, faulted)
+	}
+	if totalInjections(p) == 0 {
+		t.Error("no injections recorded")
+	}
+}
+
+func TestFlappingHostRecovers(t *testing.T) {
+	inner := &okTransport{}
+	p := New(3, Profile{FlapFrac: 0.5, FlapDownFirst: 3})
+	rt := p.Wrap(inner)
+	h := hostOfClass(t, p, ClassFlapping)
+
+	for i := 0; i < 3; i++ {
+		if _, err := get(t, rt, fmt.Sprintf("http://%s/p%d", h, i), time.Second); err == nil {
+			t.Fatalf("request %d not refused while host down", i)
+		}
+	}
+	resp, err := get(t, rt, "http://"+h+"/p3", time.Second)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("host did not recover after %d refusals: %v", 3, err)
+	}
+}
+
+func TestSlowHostDrips(t *testing.T) {
+	inner := &okTransport{}
+	p := New(3, Profile{SlowFrac: 0.5, SlowDelay: 5 * time.Millisecond})
+	rt := p.Wrap(inner)
+	h := hostOfClass(t, p, ClassSlow)
+
+	// A few URLs may hit the stall hash (SlowStallProb); at least one of a
+	// handful must drip — delayed but served.
+	for i := 0; i < 20; i++ {
+		start := time.Now()
+		resp, err := get(t, rt, fmt.Sprintf("http://%s/p%d", h, i), 200*time.Millisecond)
+		if err != nil {
+			continue // stalled into the deadline
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("slow host returned %d", resp.StatusCode)
+		}
+		if d := time.Since(start); d < 5*time.Millisecond {
+			t.Errorf("drip served in %v, want >= SlowDelay", d)
+		}
+		if p.Injected()[KindSlowDrip] == 0 {
+			t.Error("drip not recorded")
+		}
+		return
+	}
+	t.Fatal("all 20 slow requests stalled; expected drips")
+}
+
+// TestWrapDeterminism: two same-seed planes make identical per-request
+// decisions over an identical request sequence.
+func TestWrapDeterminism(t *testing.T) {
+	prof := Profile{PoisonFrac: 0.1, SlowFrac: 0.05, FlakyFrac: 0.3, SlowDelay: time.Millisecond}
+	outcomes := func(seed int64) []string {
+		p := New(seed, prof)
+		rt := p.Wrap(&okTransport{})
+		var out []string
+		for i := 0; i < 40; i++ {
+			for rep := 0; rep < 2; rep++ { // two requests per URL: retry indices count
+				resp, err := get(t, rt, fmt.Sprintf("http://h%02d.example/p", i), 30*time.Millisecond)
+				switch {
+				case err != nil:
+					out = append(out, "err")
+				default:
+					out = append(out, fmt.Sprintf("%d", resp.StatusCode))
+				}
+			}
+		}
+		return out
+	}
+	a, b := outcomes(11), outcomes(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged across same-seed planes: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := outcomes(12)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical decision sequences")
+	}
+}
+
+func TestSeenHostsAndPoisonedSeen(t *testing.T) {
+	p := New(3, Profile{PoisonFrac: 0.5})
+	rt := p.Wrap(&okTransport{})
+	h := hostOfClass(t, p, ClassPoisoned)
+	get(t, rt, "http://"+h+"/x", 100*time.Millisecond)
+
+	seen := p.SeenHosts()
+	if seen[h] != ClassPoisoned {
+		t.Errorf("SeenHosts[%s] = %v", h, seen[h])
+	}
+	found := false
+	for _, ph := range p.PoisonedSeen() {
+		if ph == h {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("PoisonedSeen missing %s: %v", h, p.PoisonedSeen())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	p := New(3, Profile{PoisonFrac: 0.3, FlakyFrac: 0.3})
+	var hosts []string
+	for i := 0; i < 100; i++ {
+		hosts = append(hosts, fmt.Sprintf("h%03d.example", i))
+	}
+	buckets := p.Classify(hosts)
+	total := 0
+	for c, hs := range buckets {
+		total += len(hs)
+		for _, h := range hs {
+			if p.Class(h) != c {
+				t.Errorf("host %s bucketed as %v but classed %v", h, c, p.Class(h))
+			}
+		}
+	}
+	if total != len(hosts) {
+		t.Errorf("Classify lost hosts: %d of %d", total, len(hosts))
+	}
+}
+
+func TestWrapDNSFaultsPrimaryOnly(t *testing.T) {
+	table := map[string]dns.Record{}
+	for i := 0; i < 200; i++ {
+		h := fmt.Sprintf("h%03d.example", i)
+		table[h] = dns.Record{Host: h, IP: "10.0.0.1"}
+	}
+	inner := dns.NewStaticServer(table)
+	p := New(3, Profile{DNSTimeoutFrac: 0.3})
+
+	if s := p.WrapDNS(1, inner); s != dns.Server(inner) {
+		t.Error("secondary server was wrapped")
+	}
+	primary := p.WrapDNS(0, inner)
+
+	// Find a hostname whose primary lookup hangs, and one that passes.
+	var timedOut, passed bool
+	for i := 0; i < 200 && !(timedOut && passed); i++ {
+		h := fmt.Sprintf("h%03d.example", i)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		_, err := primary.Lookup(ctx, h)
+		cancel()
+		if err != nil {
+			timedOut = true
+		} else {
+			passed = true
+		}
+	}
+	if !timedOut {
+		t.Error("no lookup hung despite DNSTimeoutFrac=0.3")
+	}
+	if !passed {
+		t.Error("every lookup hung despite DNSTimeoutFrac=0.3")
+	}
+	if p.Injected()[KindDNSTimeout] == 0 {
+		t.Error("DNS timeouts not recorded")
+	}
+}
+
+func totalInjections(p *Plane) int64 {
+	var n int64
+	for _, v := range p.Injected() {
+		n += v
+	}
+	return n
+}

@@ -5,6 +5,14 @@
 // redirect chains up to a configurable depth, multi-fingerprint duplicate
 // detection, and slow/bad host bookkeeping.
 //
+// On top of the paper's policy layer sits a resilience layer: retries with
+// capped exponential backoff and deterministic decorrelated jitter
+// (RetryPolicy), a per-attempt timeout budget, per-host circuit breakers
+// (BreakerSet), transparent gzip decoding with corrupt-stream detection,
+// redirect-loop cuts, and graceful degradation — a body truncated by the
+// peer on the final attempt is served as a Truncated result instead of
+// being dropped, so the document analyzer can still salvage it.
+//
 // The transport is an http.RoundTripper, so the same fetcher runs against
 // the real network or against the in-process synthetic web server used by
 // the experiments.
@@ -12,12 +20,14 @@ package fetch
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -28,7 +38,8 @@ import (
 )
 
 // Process-wide retrieval metrics: request outcomes by §4.2 policy class,
-// redirect and byte volumes, and end-to-end retrieval latency.
+// redirect and byte volumes, end-to-end retrieval latency, and the
+// resilience layer's retry/backoff/degradation activity.
 var (
 	mRequests     = metrics.NewCounter("fetch_requests_total")
 	mSuccess      = metrics.NewCounter("fetch_success_total")
@@ -42,6 +53,18 @@ var (
 	mRedirects    = metrics.NewCounter("fetch_redirects_total")
 	mBodyBytes    = metrics.NewCounter("fetch_body_bytes_total")
 	mFetchNanos   = metrics.NewHistogram("fetch_latency_nanos")
+
+	// Resilience-layer metrics (fault classes and recovery activity).
+	mRetries       = metrics.NewCounter("fetch_retries_total")
+	mBackoffNanos  = metrics.NewHistogram("fetch_retry_backoff_nanos")
+	mAttempts      = metrics.NewHistogram("fetch_attempts_per_fetch")
+	mDegraded      = metrics.NewCounter("fetch_truncated_degraded_total")
+	mCanceled      = metrics.NewCounter("fetch_canceled_total")
+	mCorruptBodies = metrics.NewCounter("fetch_corrupt_body_total")
+	mRedirectLoops = metrics.NewCounter("fetch_redirect_loops_total")
+	mBreakerSkips  = metrics.NewCounter("fetch_breaker_open_skipped_total")
+	mQuarantined   = metrics.NewCounter("fetch_hosts_quarantined_total")
+	mRetrySuccess  = metrics.NewCounter("fetch_retry_success_total")
 )
 
 // ErrClass buckets a fetch error into the static label the metrics and
@@ -61,8 +84,20 @@ func ErrClass(err error) string {
 		return "robots"
 	case errors.Is(err, ErrHTTPStatus):
 		return "http-status"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
 	case errors.Is(err, context.DeadlineExceeded):
 		return "timeout"
+	case errors.Is(err, ErrBreakerOpen):
+		return "breaker-open"
+	case errors.Is(err, ErrCorruptBody):
+		return "corrupt-body"
+	case errors.Is(err, ErrRedirectLoop):
+		return "redirect-loop"
+	case errors.Is(err, ErrTruncated):
+		return "truncated"
+	case errors.Is(err, dns.ErrNotFound):
+		return "no-such-host"
 	case errors.Is(err, ErrBadHost), errors.Is(err, ErrLockedDomain):
 		return "host-policy"
 	case errors.Is(err, ErrURLTooLong), errors.Is(err, ErrHostTooLong),
@@ -81,6 +116,12 @@ func record(res *Result, err error) {
 		mSuccess.Inc()
 		mRedirects.Add(int64(len(res.Redirects)))
 		mBodyBytes.Add(int64(len(res.Body)))
+		if res.Truncated {
+			mDegraded.Inc()
+		}
+		if res.Attempts > 1 {
+			mRetrySuccess.Inc()
+		}
 	case "duplicate":
 		mDuplicates.Inc()
 	case "mime-rejected":
@@ -93,6 +134,14 @@ func record(res *Result, err error) {
 		mHTTPErrors.Inc()
 	case "timeout":
 		mTimeouts.Inc()
+	case "canceled":
+		mCanceled.Inc()
+	case "corrupt-body":
+		mCorruptBodies.Inc()
+	case "redirect-loop":
+		mRedirectLoops.Inc()
+	case "breaker-open":
+		mBreakerSkips.Inc()
 	default:
 		mOtherErrors.Inc()
 	}
@@ -123,7 +172,35 @@ var (
 	ErrHTTPStatus    = errors.New("fetch: unexpected HTTP status")
 	ErrEmptyRedirect = errors.New("fetch: redirect without location")
 	ErrRobots        = errors.New("fetch: disallowed by robots.txt")
+	// ErrCanceled marks a fetch abandoned because the CALLER's context was
+	// cancelled or hit its deadline — not a peer failure. It carries no host
+	// penalty, no breaker penalty, and is never retried.
+	ErrCanceled = errors.New("fetch: canceled by caller")
+	// ErrTruncated marks a body cut off mid-read by the peer.
+	ErrTruncated = errors.New("fetch: body truncated by peer")
+	// ErrCorruptBody marks a body whose declared content encoding failed to
+	// decode (e.g. a corrupt gzip stream).
+	ErrCorruptBody = errors.New("fetch: corrupt body encoding")
+	// ErrRedirectLoop marks a redirect chain that revisited a URL.
+	ErrRedirectLoop = errors.New("fetch: redirect loop")
+	// ErrBreakerOpen marks a fetch refused because the host's circuit
+	// breaker is open; the work should be requeued with a delay.
+	ErrBreakerOpen = errors.New("fetch: host circuit breaker open")
 )
+
+// BreakerOpenError carries the cool-down remaining on an open breaker so
+// the caller can requeue with an informed delay.
+type BreakerOpenError struct {
+	Host    string
+	RetryIn time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return "fetch: circuit breaker open for " + e.Host
+}
+
+// Is makes errors.Is(err, ErrBreakerOpen) work.
+func (e *BreakerOpenError) Is(target error) bool { return target == ErrBreakerOpen }
 
 // Result is a successfully retrieved and vetted document.
 type Result struct {
@@ -140,6 +217,12 @@ type Result struct {
 	Redirects []string
 	// Elapsed is the total retrieval time.
 	Elapsed time.Duration
+	// Attempts is how many attempts the retrieval took (1 = first try).
+	Attempts int
+	// Truncated marks a degraded result: the peer cut the body mid-read on
+	// the final attempt, and the partial prefix is served instead of an
+	// error. Consumers should classify it with reduced confidence.
+	Truncated bool
 
 	// bodyBuf backs Body when the body was read into a pooled buffer; see
 	// ReleaseBody.
@@ -174,8 +257,20 @@ type Config struct {
 	Types TypeLimits
 	// MaxRedirects caps redirect chains (DefaultMaxRedirects if 0).
 	MaxRedirects int
-	// Timeout bounds one complete retrieval (default 10s).
+	// Timeout bounds ONE attempt (default 10s). With retries enabled the
+	// total budget is at most MaxAttempts*Timeout plus backoff sleeps, all
+	// still bounded by the caller's context.
 	Timeout time.Duration
+	// Retry bounds the retry loop; the zero value disables retries.
+	Retry RetryPolicy
+	// Breaker, when non-nil, is consulted before any attempt and fed every
+	// host-level outcome. Share one BreakerSet between the fetcher and the
+	// crawler so frontier scheduling sees the same circuit state.
+	Breaker *BreakerSet
+	// DegradeTruncated serves a body truncated on the final attempt as a
+	// Truncated result instead of an error (graceful degradation; the
+	// truncation still counts as a host failure).
+	DegradeTruncated bool
 	// LockedDomains are host suffixes excluded from crawling, e.g. the
 	// domains of major Web search engines (§5.1) or the DBLP mirrors in the
 	// portal experiment.
@@ -219,15 +314,11 @@ func New(cfg Config, dedup *Deduper, hosts *HostTracker) *Fetcher {
 	if hosts == nil {
 		hosts = NewHostTracker(3)
 	}
-	var robots *robotsCache
-	if cfg.RespectRobots {
-		robots = newRobotsCache()
-	}
 	return &Fetcher{
 		cfg:    cfg,
 		Dedup:  dedup,
 		Hosts:  hosts,
-		robots: robots,
+		robots: newRobotsCacheIf(cfg.RespectRobots),
 		client: &http.Client{
 			Transport: cfg.Transport,
 			// Redirects are followed manually so each hop is validated,
@@ -237,6 +328,25 @@ func New(cfg Config, dedup *Deduper, hosts *HostTracker) *Fetcher {
 			},
 		},
 	}
+}
+
+func newRobotsCacheIf(on bool) *robotsCache {
+	if !on {
+		return nil
+	}
+	return newRobotsCache()
+}
+
+// Breakers returns the fetcher's breaker set (nil when disabled).
+func (f *Fetcher) Breakers() *BreakerSet { return f.cfg.Breaker }
+
+// BreakerAllow consults the host's circuit breaker (always allowed when
+// breakers are disabled).
+func (f *Fetcher) BreakerAllow(host string) (ok bool, retryIn time.Duration) {
+	if f.cfg.Breaker == nil {
+		return true, 0
+	}
+	return f.cfg.Breaker.Allow(host)
 }
 
 // ValidateURL applies the structural limits; it returns the parsed URL.
@@ -265,20 +375,33 @@ func (f *Fetcher) ValidateURL(raw string) (*url.URL, error) {
 }
 
 // Fetch retrieves raw, following redirects and enforcing every §4.2 policy.
-// Duplicate documents yield ErrDuplicate. Network and HTTP failures are
-// recorded against the host. Every call lands in the fetch_* outcome
-// counters and the retrieval-latency histogram.
+// Duplicate documents yield ErrDuplicate. Peer failures are retried per the
+// RetryPolicy with capped, jittered backoff; they are recorded against the
+// host and its circuit breaker. Caller cancellation is classified as
+// ErrCanceled and carries no penalty. Every call lands in the fetch_*
+// outcome counters and the retrieval-latency histogram.
 func (f *Fetcher) Fetch(ctx context.Context, raw string) (*Result, error) {
 	mRequests.Inc()
 	start := time.Now()
-	res, err := f.fetch(ctx, raw)
+	res, err := f.fetchRetry(ctx, raw)
 	mFetchNanos.ObserveSince(start)
 	record(res, err)
 	return res, err
 }
 
-// fetch is the uninstrumented retrieval cycle.
-func (f *Fetcher) fetch(ctx context.Context, raw string) (*Result, error) {
+// attemptOutcome is one attempt's classified result.
+type attemptOutcome struct {
+	res        *Result // partial on ErrTruncated, full on success
+	err        error
+	failHost   string        // host the failure is attributed to ("" = none)
+	retryAfter time.Duration // positive when the peer sent Retry-After
+}
+
+// fetchRetry wraps the single-attempt retrieval cycle in the resilience
+// loop: policy checks once, then up to Retry.MaxAttempts attempts with
+// backoff, host/breaker bookkeeping per attempt, and truncation
+// degradation on the final one.
+func (f *Fetcher) fetchRetry(ctx context.Context, raw string) (*Result, error) {
 	start := time.Now()
 	u, err := f.ValidateURL(raw)
 	if err != nil {
@@ -288,46 +411,158 @@ func (f *Fetcher) fetch(ctx context.Context, raw string) (*Result, error) {
 	if f.Hosts.Bad(host) {
 		return nil, fmt.Errorf("%w: %s", ErrBadHost, host)
 	}
+	if f.cfg.Breaker != nil {
+		if ok, retryIn := f.cfg.Breaker.Allow(host); !ok {
+			return nil, &BreakerOpenError{Host: host, RetryIn: retryIn}
+		}
+	}
 	if f.Dedup.SeenURL(u.String()) {
 		return nil, ErrDuplicate
 	}
 
-	ctx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
+	attempts := f.cfg.Retry.attempts()
+	var prevDelay time.Duration
+	for attempt := 1; ; attempt++ {
+		out := f.fetchAttempt(ctx, u, raw, attempt == 1)
+
+		// Caller cancellation first: a dead parent context means WE are
+		// shutting down, not that the peer failed — no host penalty, no
+		// breaker penalty, no retry (the satellite fix: a cancellation
+		// mid-body-read used to be booked as a host error).
+		if cerr := ctx.Err(); cerr != nil && out.err != nil {
+			releasePartial(out.res)
+			return nil, fmt.Errorf("%w: %v", ErrCanceled, cerr)
+		}
+
+		if out.failHost != "" {
+			if f.Hosts.Failure(out.failHost) {
+				mQuarantined.Inc()
+			}
+			if f.cfg.Breaker != nil {
+				f.cfg.Breaker.OnFailure(out.failHost)
+			}
+		}
+
+		if out.err == nil {
+			f.Hosts.Success(out.res.finalHost())
+			if f.cfg.Breaker != nil {
+				f.cfg.Breaker.OnSuccess(host)
+			}
+			out.res.Attempts = attempt
+			out.res.Elapsed = time.Since(start)
+			mAttempts.Observe(int64(attempt))
+			return out.res, nil
+		}
+
+		last := attempt >= attempts || !Retryable(out.err) || f.Hosts.Bad(host)
+		if last {
+			mAttempts.Observe(int64(attempt))
+			// Graceful degradation: a truncated-but-nonempty body on the
+			// final attempt is served, flagged, for best-effort analysis.
+			if f.cfg.DegradeTruncated && out.res != nil &&
+				errors.Is(out.err, ErrTruncated) && len(out.res.Body) > 0 {
+				out.res.Truncated = true
+				out.res.Attempts = attempt
+				out.res.Elapsed = time.Since(start)
+				return out.res, nil
+			}
+			releasePartial(out.res)
+			return nil, out.err
+		}
+		releasePartial(out.res)
+
+		delay := f.cfg.Retry.Backoff(raw, attempt+1, prevDelay, out.retryAfter)
+		prevDelay = delay
+		mRetries.Inc()
+		mBackoffNanos.Observe(delay.Nanoseconds())
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+		}
+	}
+}
+
+// releasePartial returns a partial result's pooled buffer (nil-safe).
+func releasePartial(res *Result) {
+	if res != nil {
+		res.ReleaseBody()
+	}
+}
+
+// finalHost returns the hostname of the final URL (fallback: request URL).
+func (r *Result) finalHost() string {
+	if u, err := url.Parse(r.FinalURL); err == nil && u.Hostname() != "" {
+		return u.Hostname()
+	}
+	if u, err := url.Parse(r.URL); err == nil {
+		return u.Hostname()
+	}
+	return ""
+}
+
+// fetchAttempt runs one complete retrieval attempt (resolve, redirect
+// chain, body read, decode, fingerprints) under its own per-attempt
+// timeout. dedup disables the duplicate verdicts on retries: the first
+// attempt already recorded this URL's fingerprints, so re-checking them
+// would dismiss the retry as a duplicate of itself (fingerprints are still
+// recorded so later genuine duplicates are caught).
+func (f *Fetcher) fetchAttempt(parent context.Context, u *url.URL, raw string, dedup bool) attemptOutcome {
+	ctx, cancel := context.WithTimeout(parent, f.cfg.Timeout)
 	defer cancel()
 
 	res := &Result{URL: raw}
 	cur := u
+	var chain map[string]struct{} // redirect-loop detection, lazily built
 	for hop := 0; ; hop++ {
+		curHost := cur.Hostname()
 		if hop > f.cfg.MaxRedirects {
-			return nil, ErrTooManyHops
+			return attemptOutcome{err: ErrTooManyHops, failHost: curHost}
 		}
 		ip := ""
 		if f.cfg.Resolver != nil {
-			rec, rerr := f.cfg.Resolver.Resolve(ctx, cur.Hostname())
+			rec, rerr := f.cfg.Resolver.Resolve(ctx, curHost)
 			if rerr != nil {
-				f.Hosts.Failure(cur.Hostname())
-				return nil, fmt.Errorf("fetch: resolve %s: %w", cur.Hostname(), rerr)
+				return attemptOutcome{
+					err:      fmt.Errorf("fetch: resolve %s: %w", curHost, rerr),
+					failHost: curHost,
+				}
 			}
 			ip = rec.IP
 		}
 		// Fingerprint 2: IP + path (catches host aliases).
-		if f.Dedup.SeenIPPath(ip, cur.EscapedPath()) {
-			return nil, ErrDuplicate
+		if f.Dedup.SeenIPPath(ip, cur.EscapedPath()) && dedup {
+			// A redirect hop that lands back on the requested URL's own
+			// host+path (typically with a shuffled query — the classic
+			// session-id cycle) is a loop charged to the host, not a
+			// duplicate: the only reason the fingerprint is seen is that WE
+			// recorded it when this same chain started.
+			if hop > 0 && cur.Hostname() == u.Hostname() && cur.EscapedPath() == u.EscapedPath() {
+				return attemptOutcome{
+					err:      fmt.Errorf("%w: %s revisits the start path", ErrRedirectLoop, cur),
+					failHost: curHost,
+				}
+			}
+			return attemptOutcome{err: ErrDuplicate}
 		}
 		if f.robots != nil && cur.Path != "/robots.txt" &&
 			!f.robotsAllowed(ctx, cur.Scheme, cur.Host, cur.EscapedPath()) {
-			return nil, fmt.Errorf("%w: %s", ErrRobots, cur)
+			return attemptOutcome{err: fmt.Errorf("%w: %s", ErrRobots, cur)}
 		}
 
 		req, rerr := http.NewRequestWithContext(ctx, http.MethodGet, cur.String(), nil)
 		if rerr != nil {
-			return nil, rerr
+			return attemptOutcome{err: rerr}
 		}
 		req.Header.Set("User-Agent", f.cfg.UserAgent)
 		resp, rerr := f.client.Do(req)
 		if rerr != nil {
-			f.Hosts.Failure(cur.Hostname())
-			return nil, fmt.Errorf("fetch: get %s: %w", cur, rerr)
+			return attemptOutcome{
+				err:      fmt.Errorf("fetch: get %s: %w", cur, rerr),
+				failHost: curHost,
+			}
 		}
 
 		if resp.StatusCode >= 300 && resp.StatusCode < 400 {
@@ -335,37 +570,58 @@ func (f *Fetcher) fetch(ctx context.Context, raw string) (*Result, error) {
 			io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
 			resp.Body.Close()
 			if loc == "" {
-				return nil, ErrEmptyRedirect
+				return attemptOutcome{err: ErrEmptyRedirect}
 			}
 			next, perr := cur.Parse(loc)
 			if perr != nil {
-				return nil, fmt.Errorf("fetch: redirect %q: %w", loc, perr)
+				return attemptOutcome{err: fmt.Errorf("fetch: redirect %q: %w", loc, perr)}
 			}
 			if _, verr := f.ValidateURL(next.String()); verr != nil {
-				return nil, verr
+				return attemptOutcome{err: verr}
+			}
+			// Loop cut: revisiting any URL of this chain (including the
+			// start) is a hard peer fault — poisoned hosts love 302 cycles.
+			if chain == nil {
+				chain = map[string]struct{}{cur.String(): {}}
+			} else {
+				chain[cur.String()] = struct{}{}
+			}
+			if _, looped := chain[next.String()]; looped {
+				return attemptOutcome{
+					err:      fmt.Errorf("%w: %s revisits %s", ErrRedirectLoop, cur, next),
+					failHost: curHost,
+				}
 			}
 			res.Redirects = append(res.Redirects, next.String())
 			cur = next
 			continue
 		}
 		if resp.StatusCode != http.StatusOK {
+			retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
 			resp.Body.Close()
-			if resp.StatusCode >= 500 {
-				f.Hosts.Failure(cur.Hostname())
+			out := attemptOutcome{
+				err:        &StatusError{Code: resp.StatusCode, URL: cur.String(), RetryAfter: retryAfter},
+				retryAfter: retryAfter,
 			}
-			return nil, fmt.Errorf("%w: %d for %s", ErrHTTPStatus, resp.StatusCode, cur)
+			// 5xx is a server failure; 4xx (including 429 throttling) is not
+			// held against the host's health.
+			if resp.StatusCode >= 500 {
+				out.failHost = curHost
+			}
+			return out
 		}
 
 		ct := resp.Header.Get("Content-Type")
 		limit, ok := f.cfg.Types.Allowed(ct)
 		if !ok {
 			resp.Body.Close()
-			return nil, fmt.Errorf("%w: %s", ErrTypeRejected, canonicalType(ct))
+			return attemptOutcome{err: fmt.Errorf("%w: %s", ErrTypeRejected, canonicalType(ct))}
 		}
 		// Header-declared size check before reading.
 		if resp.ContentLength > limit {
 			resp.Body.Close()
-			return nil, fmt.Errorf("%w: declared %d > %d", ErrTooLarge, resp.ContentLength, limit)
+			return attemptOutcome{err: fmt.Errorf("%w: declared %d > %d", ErrTooLarge, resp.ContentLength, limit)}
 		}
 		// Real-size check while reading: abort as soon as the limit passes.
 		buf := bodyBufs.Get().(*bytes.Buffer)
@@ -373,27 +629,99 @@ func (f *Fetcher) fetch(ctx context.Context, raw string) (*Result, error) {
 		_, rerr = buf.ReadFrom(io.LimitReader(resp.Body, limit+1))
 		resp.Body.Close()
 		if rerr != nil {
-			bodyBufs.Put(buf)
-			f.Hosts.Failure(cur.Hostname())
-			return nil, fmt.Errorf("fetch: read %s: %w", cur, rerr)
+			// The peer cut the stream mid-body. Keep the partial prefix so
+			// the final attempt can degrade instead of dropping the page.
+			res.bodyBuf = buf
+			res.Body = buf.Bytes()
+			res.FinalURL = cur.String()
+			res.IP = ip
+			res.ContentType = canonicalType(ct)
+			return attemptOutcome{
+				res:      res,
+				err:      fmt.Errorf("%w: read %s: %v", ErrTruncated, cur, rerr),
+				failHost: curHost,
+			}
 		}
 		body := buf.Bytes()
 		if int64(len(body)) > limit {
 			bodyBufs.Put(buf)
-			return nil, fmt.Errorf("%w: body exceeds %d", ErrTooLarge, limit)
+			return attemptOutcome{err: fmt.Errorf("%w: body exceeds %d", ErrTooLarge, limit)}
 		}
 		res.bodyBuf = buf
-		// Fingerprint 3: IP + filesize.
-		if f.Dedup.SeenIPSize(ip, int64(len(body))) {
-			return nil, ErrDuplicate
+
+		// Transparent gzip decode: a declared Content-Encoding that fails
+		// to decode is a corrupt body — a retryable peer fault, and the
+		// signature fault of poisoned hosts in the chaos suite.
+		if enc := resp.Header.Get("Content-Encoding"); enc != "" {
+			decoded, derr := decodeBody(enc, body, limit)
+			if derr != nil {
+				releasePartial(res)
+				return attemptOutcome{
+					err:      fmt.Errorf("%w: %s: %v", ErrCorruptBody, cur, derr),
+					failHost: curHost,
+				}
+			}
+			if decoded != nil {
+				bodyBufs.Put(res.bodyBuf)
+				res.bodyBuf = decoded
+				body = decoded.Bytes()
+			}
 		}
 
-		f.Hosts.Success(cur.Hostname())
+		// Fingerprint 3: IP + filesize.
+		if f.Dedup.SeenIPSize(ip, int64(len(body))) && dedup {
+			releasePartial(res)
+			return attemptOutcome{err: ErrDuplicate}
+		}
+
 		res.FinalURL = cur.String()
 		res.IP = ip
 		res.ContentType = canonicalType(ct)
 		res.Body = body
-		res.Elapsed = time.Since(start)
-		return res, nil
+		return attemptOutcome{res: res}
 	}
+}
+
+// decodeBody inflates a gzip-encoded body into a fresh pooled buffer. It
+// returns (nil, nil) for identity/unknown encodings (served as-is).
+func decodeBody(encoding string, body []byte, limit int64) (*bytes.Buffer, error) {
+	switch strings.ToLower(strings.TrimSpace(encoding)) {
+	case "gzip", "x-gzip":
+	case "", "identity":
+		return nil, nil
+	default:
+		return nil, nil // unknown encodings pass through untouched
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	out := bodyBufs.Get().(*bytes.Buffer)
+	out.Reset()
+	if _, err := out.ReadFrom(io.LimitReader(zr, limit+1)); err != nil {
+		bodyBufs.Put(out)
+		return nil, err
+	}
+	if err := zr.Close(); err != nil {
+		bodyBufs.Put(out)
+		return nil, err
+	}
+	if int64(out.Len()) > limit {
+		bodyBufs.Put(out)
+		return nil, fmt.Errorf("decoded body exceeds %d", limit)
+	}
+	return out, nil
+}
+
+// parseRetryAfter reads a Retry-After header given in seconds (the
+// HTTP-date form is ignored; crawls don't wait minutes for one host).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }

@@ -1,6 +1,9 @@
 package fetch
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // HostTracker implements the paper's crawl-failure policy (§4.2): when a DNS
 // resolution or page download times out or errors, the host is tagged
@@ -68,6 +71,19 @@ func (h *HostTracker) Success(host string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	delete(h.failures, host)
+}
+
+// BadHosts lists the quarantined hosts, sorted — the crawl report's
+// "poisoned hosts" section.
+func (h *HostTracker) BadHosts() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.bad))
+	for host := range h.bad {
+		out = append(out, host)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Counts returns how many hosts are currently slow and bad.

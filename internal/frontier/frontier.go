@@ -15,9 +15,11 @@
 package frontier
 
 import (
+	"container/heap"
 	"context"
 	"math"
 	"sync"
+	"time"
 
 	"github.com/bingo-search/bingo/internal/metrics"
 	"github.com/bingo-search/bingo/internal/rbtree"
@@ -25,13 +27,18 @@ import (
 
 // Process-wide frontier metrics, aggregated across every live Frontier
 // (the engine runs one per crawl phase). The queued gauge tracks the total
-// number of links currently held in any queue.
+// number of links currently held in any queue (delayed requeues included).
+// Drops are split by cause — dedup (seen), queue overflow (full), and
+// depth/tunnel limits — so a requeue-with-delay is never mistaken for a
+// drop and chaos tests can assert each bucket exactly.
 var (
-	mPushed      = metrics.NewCounter("frontier_pushed_total")
-	mPopped      = metrics.NewCounter("frontier_popped_total")
-	mDroppedFull = metrics.NewCounter("frontier_dropped_full_total")
-	mDroppedSeen = metrics.NewCounter("frontier_dropped_seen_total")
-	mQueued      = metrics.NewGauge("frontier_queued")
+	mPushed       = metrics.NewCounter("frontier_pushed_total")
+	mPopped       = metrics.NewCounter("frontier_popped_total")
+	mDroppedFull  = metrics.NewCounter("frontier_dropped_full_total")
+	mDroppedSeen  = metrics.NewCounter("frontier_dropped_seen_total")
+	mDroppedDepth = metrics.NewCounter("frontier_dropped_depth_total")
+	mRequeued     = metrics.NewCounter("frontier_requeued_total")
+	mQueued       = metrics.NewGauge("frontier_queued")
 )
 
 // Item is one frontier entry.
@@ -48,6 +55,10 @@ type Item struct {
 	Referrer string
 	// Anchor is the link's anchor text (kept for anchor-text features).
 	Anchor string
+	// Requeues counts how many times this item has been requeued with delay
+	// (circuit-breaker rejections); the crawler caps it to guarantee
+	// progress.
+	Requeues int
 }
 
 // Config sizes the queues.
@@ -61,6 +72,8 @@ type Config struct {
 	// Prefetch, when non-nil, is invoked with the hostname of every link
 	// promoted to an outgoing queue (asynchronous DNS warm-up).
 	Prefetch func(url string)
+	// Now allows tests to control the delayed-requeue clock.
+	Now func() time.Time
 }
 
 // DefaultConfig mirrors the paper's tuning.
@@ -106,8 +119,38 @@ type Frontier struct {
 	// allocation-free in the common case.
 	waiters int
 	closed  bool
+	// delayed holds requeued items not yet eligible for popping (circuit
+	// breaker cool-downs); popLocked promotes the ready ones.
+	delayed delayedHeap
 	// stats
-	pushed, popped, droppedFull, droppedSeen int64
+	pushed, popped, droppedFull, droppedSeen, droppedDepth, requeued int64
+}
+
+// delayedItem is one cooling-off frontier entry.
+type delayedItem struct {
+	readyAt time.Time
+	seq     uint64 // FIFO among equal readyAt
+	it      Item
+}
+
+// delayedHeap is a min-heap on readyAt.
+type delayedHeap []delayedItem
+
+func (h delayedHeap) Len() int { return len(h) }
+func (h delayedHeap) Less(i, j int) bool {
+	if !h[i].readyAt.Equal(h[j].readyAt) {
+		return h[i].readyAt.Before(h[j].readyAt)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h delayedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *delayedHeap) Push(x any)   { *h = append(*h, x.(delayedItem)) }
+func (h *delayedHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
 }
 
 // New returns an empty frontier.
@@ -120,6 +163,9 @@ func New(cfg Config) *Frontier {
 	}
 	if cfg.TunnelDecay <= 0 || cfg.TunnelDecay > 1 {
 		cfg.TunnelDecay = 0.5
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
 	}
 	return &Frontier{
 		cfg:    cfg,
@@ -186,9 +232,65 @@ func (f *Frontier) Push(it Item) bool {
 	return true
 }
 
+// Requeue puts a previously popped item back with a cool-down: it becomes
+// eligible for popping again only after delay elapses. Requeues bypass the
+// seen set (the URL is already marked seen from its original Push) and are
+// counted separately from drops. The crawler uses it for links whose host
+// circuit breaker is open.
+func (f *Frontier) Requeue(it Item, delay time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	heap.Push(&f.delayed, delayedItem{
+		readyAt: f.cfg.Now().Add(delay),
+		seq:     f.seq,
+		it:      it,
+	})
+	f.requeued++
+	mRequeued.Inc()
+	mQueued.Add(1)
+	// Wake parked workers so one re-arms its timer on the (possibly
+	// earlier) new readyAt.
+	f.wakeLocked()
+}
+
+// DropDepth records a link discarded for exceeding the depth or tunnelling
+// limit. The crawler calls it instead of silently discarding, so depth
+// drops are distinguishable from dedup and overflow drops.
+func (f *Frontier) DropDepth() {
+	f.mu.Lock()
+	f.droppedDepth++
+	f.mu.Unlock()
+	mDroppedDepth.Inc()
+}
+
+// promoteDelayedLocked moves every delayed item whose cool-down has expired
+// into its topic queue. It returns the wait until the next item matures
+// (0 when the delayed heap is empty).
+func (f *Frontier) promoteDelayedLocked() (nextReady time.Duration) {
+	if len(f.delayed) == 0 {
+		return 0
+	}
+	now := f.cfg.Now()
+	for len(f.delayed) > 0 && !f.delayed[0].readyAt.After(now) {
+		d := heap.Pop(&f.delayed).(delayedItem)
+		tq := f.topic(d.it.Topic)
+		f.seq++
+		// The item keeps its original priority; the queued gauge was already
+		// bumped at Requeue time.
+		tq.incoming.Insert(key{prio: f.EffectivePriority(d.it), seq: f.seq}, d.it)
+	}
+	if len(f.delayed) == 0 {
+		return 0
+	}
+	return f.delayed[0].readyAt.Sub(now)
+}
+
 // popLocked removes and returns the best available link across all topics,
-// refilling outgoing queues from incoming queues as needed.
+// promoting matured requeues and refilling outgoing queues from incoming
+// queues as needed.
 func (f *Frontier) popLocked() (Item, bool) {
+	f.promoteDelayedLocked()
 	var bestTopic string
 	var bestKey key
 	found := false
@@ -242,12 +344,16 @@ func (f *Frontier) TryPop() (Item, bool) {
 
 // PopWait returns the best available link, parking the caller until one
 // arrives instead of polling. It returns ok=false when the frontier has
-// drained (empty with no PopWait item still being processed), when it is
-// closed, or when ctx is cancelled. Every item obtained through PopWait
-// MUST be matched by a Done call once processing (including any Pushes of
-// extracted links) has finished — the outstanding count is what lets a
-// worker pool distinguish "momentarily empty but a peer may still push
-// more" from "crawl over".
+// drained (empty queues, empty delayed heap, and no PopWait item still
+// being processed), when it is closed, or when ctx is cancelled. Items
+// cooling off in the delayed heap count as pending work: a caller parks on
+// a timer armed for the earliest readyAt, so a crawl whose only remaining
+// links sit behind an open circuit breaker waits the cool-down out instead
+// of declaring the crawl over. Every item obtained through PopWait MUST be
+// matched by a Done call once processing (including any Pushes of extracted
+// links) has finished — the outstanding count is what lets a worker pool
+// distinguish "momentarily empty but a peer may still push more" from
+// "crawl over".
 func (f *Frontier) PopWait(ctx context.Context) (Item, bool) {
 	for {
 		f.mu.Lock()
@@ -260,24 +366,41 @@ func (f *Frontier) PopWait(ctx context.Context) (Item, bool) {
 			f.mu.Unlock()
 			return it, true
 		}
-		if f.outstanding == 0 {
+		if f.outstanding == 0 && len(f.delayed) == 0 {
 			f.mu.Unlock()
 			return Item{}, false // drained: nobody can push anymore
+		}
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if len(f.delayed) > 0 {
+			wait := f.delayed[0].readyAt.Sub(f.cfg.Now())
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+			timer = time.NewTimer(wait)
+			timerC = timer.C
 		}
 		f.waiters++
 		ch := f.pulse
 		f.mu.Unlock()
 		select {
 		case <-ch:
-			f.mu.Lock()
-			f.waiters--
-			f.mu.Unlock()
+		case <-timerC:
 		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
 			f.mu.Lock()
 			f.waiters--
 			f.mu.Unlock()
 			return Item{}, false
 		}
+		if timer != nil {
+			timer.Stop()
+		}
+		f.mu.Lock()
+		f.waiters--
+		f.mu.Unlock()
 	}
 }
 
@@ -378,13 +501,18 @@ func (f *Frontier) TopicLen(topic string) (in, out int) {
 	return tq.incoming.Len(), tq.outgoing.Len()
 }
 
-// Stats summarizes frontier activity.
+// Stats summarizes frontier activity. Drops are split by cause; Requeued
+// counts breaker cool-down requeues (not drops), and Delayed is the number
+// of items currently cooling off.
 type Stats struct {
-	Pushed      int64
-	Popped      int64
-	DroppedFull int64
-	DroppedSeen int64
-	Queued      int
+	Pushed       int64
+	Popped       int64
+	DroppedFull  int64
+	DroppedSeen  int64
+	DroppedDepth int64
+	Requeued     int64
+	Queued       int
+	Delayed      int
 }
 
 // Stats returns a snapshot.
@@ -398,7 +526,8 @@ func (f *Frontier) Stats() Stats {
 	return Stats{
 		Pushed: f.pushed, Popped: f.popped,
 		DroppedFull: f.droppedFull, DroppedSeen: f.droppedSeen,
-		Queued: n,
+		DroppedDepth: f.droppedDepth, Requeued: f.requeued,
+		Queued: n, Delayed: len(f.delayed),
 	}
 }
 
@@ -408,13 +537,14 @@ func (f *Frontier) Stats() Stats {
 func (f *Frontier) Reset() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	dropped := 0
+	dropped := len(f.delayed)
 	for _, tq := range f.topics {
 		dropped += tq.incoming.Len() + tq.outgoing.Len()
 	}
 	mQueued.Add(-int64(dropped))
 	f.topics = make(map[string]*topicQueues)
 	f.order = nil
+	f.delayed = nil
 	f.closed = false
 }
 
