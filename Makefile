@@ -2,11 +2,13 @@
 # before/after record of the §4.1 batched-write-path speedup;
 # `make bench-search` regenerates BENCH_search.json, the record of the §3.6
 # snapshot-scorer query speedup; `make bench-overhead` regenerates
-# BENCH_overhead.json, the record of the metrics layer's per-event cost.
+# BENCH_overhead.json, the record of the metrics layer's per-event cost;
+# `make bench-shard` regenerates BENCH_shard.json, the record of the
+# partitioned store's dirty-shard rebuild economy under mixed load.
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race chaos bench bench-search bench-overhead
+.PHONY: all build vet fmt-check test race chaos bench bench-search bench-overhead bench-shard
 
 all: build test
 
@@ -51,6 +53,14 @@ bench:
 bench-search:
 	$(GO) test -run '^$$' -bench 'BenchmarkSearchQPS' -benchtime 1s -benchmem .
 	BENCH_JSON=BENCH_search.json $(GO) test -run TestWriteSearchBenchJSON -v .
+
+# bench-shard reports mixed write/query throughput for the sharded (P=8)
+# vs single-shard (P=1) store on the same commit, then records an
+# interleaved A/B comparison — including docs rebuilt per localized write,
+# the dirty-shard economy headline — in BENCH_shard.json.
+bench-shard:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardChurn' -benchtime 1s -benchmem .
+	BENCH_JSON=BENCH_shard.json $(GO) test -run TestWriteShardBenchJSON -v .
 
 # bench-overhead reports the per-event cost of the instrumentation
 # primitives (counter inc, histogram observe, trace append) against their

@@ -25,6 +25,7 @@ import (
 
 	"github.com/bingo-search/bingo/internal/corpus"
 	"github.com/bingo-search/bingo/internal/experiments"
+	"github.com/bingo-search/bingo/internal/metrics"
 	"github.com/bingo-search/bingo/internal/search"
 	"github.com/bingo-search/bingo/internal/store"
 )
@@ -483,9 +484,17 @@ func BenchmarkTrapResistance(b *testing.B) {
 // real text for phrase queries, per-host link structure for HITS, and
 // varied confidences.
 func buildSearchStore(nDocs int) *store.Store {
+	s := store.New()
+	fillSearchStore(s, nDocs)
+	return s
+}
+
+// fillSearchStore populates s with the synthetic query corpus; the shard
+// benchmark reuses it to feed identical corpora to differently partitioned
+// stores.
+func fillSearchStore(s *store.Store, nDocs int) {
 	rng := rand.New(rand.NewSource(7))
 	zipf := rand.NewZipf(rng, 1.2, 1.5, 799)
-	s := store.New()
 	topics := []string{"ROOT/db", "ROOT/db/core", "ROOT/db/recovery", "ROOT/web", "ROOT/OTHERS"}
 	texts := []string{
 		"the source code release includes recovery logging internals",
@@ -520,7 +529,6 @@ func buildSearchStore(nDocs int) *store.Store {
 			To:   fmt.Sprintf("http://h%d.example/doc%d", rng.Intn(29), rng.Intn(nDocs)),
 		})
 	}
-	return s
 }
 
 // searchQueryMix is the workload of the QPS benchmarks: vague and exact
@@ -704,5 +712,186 @@ func TestWriteSearchBenchJSON(t *testing.T) {
 		report.RatioMedian, report.Indexed.QueriesPerCPUSec, report.Legacy.QueriesPerCPUSec, out)
 	if report.RatioMedian < 3 {
 		t.Errorf("indexed/legacy queries/cpu-sec ratio %.2f below the 3x target", report.RatioMedian)
+	}
+}
+
+// ---- Sharded store: dirty-rebuild economy under mixed write/query load ----
+
+// shardChurnOps is one write+query op batch of the shard benchmark: one
+// localized insert followed by queries that force a fresh snapshot.
+const shardChurnQueriesPerWrite = 2
+
+// shardRun is one timed mixed-load sample over a store with P shards. Ops
+// per CPU-second is the headline; DocsRebuiltPerWrite is the direct
+// evidence for the incremental economy — how many document rows the search
+// layer had to rematerialize per localized write (P=1 pays the whole
+// corpus, P=8 pays roughly corpus/8).
+type shardRun struct {
+	OpsPerCPUSec        float64 `json:"ops_per_cpu_sec"`
+	OpsPerWallSec       float64 `json:"ops_per_wall_sec"`
+	DocsRebuiltPerWrite float64 `json:"docs_rebuilt_per_write"`
+	ShardRebuilds       int64   `json:"shard_snapshot_rebuilds"`
+	ShardReuses         int64   `json:"shard_snapshots_reused"`
+}
+
+// measureShardChurn drives writes (round-robin over a small URL pool, so
+// each write lands on one shard) interleaved with queries, and reads the
+// process-wide shard-rebuild counters around the sample.
+func measureShardChurn(t *testing.T, s *store.Store, e *search.Engine, queries []search.Query, writes int) shardRun {
+	rebuilt := metrics.NewCounter("search_shard_docs_rebuilt_total")
+	shardRebuilds := metrics.NewCounter("search_shard_snapshot_rebuilds_total")
+	shardReuses := metrics.NewCounter("search_shard_snapshots_reused_total")
+	r0, b0, u0 := rebuilt.Value(), shardRebuilds.Value(), shardReuses.Value()
+	cpu0 := cpuSeconds(t)
+	start := time.Now()
+	ops := 0
+	for i := 0; i < writes; i++ {
+		s.Insert(store.Document{
+			URL:        fmt.Sprintf("http://churn.example/slot%d", i%64),
+			Topic:      "ROOT/db",
+			Confidence: float64(i%100) / 100,
+			Terms:      map[string]int{"recoveri": 1 + i%3, "churn": 2},
+		})
+		ops++
+		for q := 0; q < shardChurnQueriesPerWrite; q++ {
+			e.Search(queries[(i+q)%len(queries)])
+			ops++
+		}
+	}
+	wallSecs := time.Since(start).Seconds()
+	cpuSecs := cpuSeconds(t) - cpu0
+	return shardRun{
+		OpsPerCPUSec:        float64(ops) / cpuSecs,
+		OpsPerWallSec:       float64(ops) / wallSecs,
+		DocsRebuiltPerWrite: float64(rebuilt.Value()-r0) / float64(writes),
+		ShardRebuilds:       shardRebuilds.Value() - b0,
+		ShardReuses:         shardReuses.Value() - u0,
+	}
+}
+
+// BenchmarkShardChurn is the `go test -bench` view of the mixed load: one
+// localized insert + queries per iteration, sharded vs single-shard.
+func BenchmarkShardChurn(b *testing.B) {
+	for _, v := range []struct {
+		name   string
+		shards int
+	}{{"P8", 8}, {"P1", 1}} {
+		b.Run(v.name, func(b *testing.B) {
+			s := store.NewSharded(v.shards)
+			fillSearchStore(s, 4000)
+			e := search.New(s)
+			mix := searchQueryMix()
+			e.Search(mix[0])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Insert(store.Document{
+					URL:   fmt.Sprintf("http://churn.example/slot%d", i%64),
+					Topic: "ROOT/db",
+					Terms: map[string]int{"recoveri": 1 + i%3, "churn": 2},
+				})
+				e.Search(mix[i%len(mix)])
+			}
+		})
+	}
+}
+
+// TestWriteShardBenchJSON measures the sharded store (P=8) against a
+// single-shard store built from the same commit under a mixed localized-
+// write/query load, recording ops/CPU-sec and the dirty-rebuild economy.
+// Methodology mirrors TestWriteCrawlBenchJSON: alternating pairs, per-pair
+// ratios, median ratio as the headline. Opt-in via BENCH_JSON=<path> (the
+// Makefile `bench-shard` target sets it).
+func TestWriteShardBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON")
+	if out == "" {
+		t.Skip("set BENCH_JSON=<output path> to run the shard A/B measurement")
+	}
+	const rounds = 7
+	const writesPerSample = 60
+	const docs = 4000
+	mix := searchQueryMix()
+
+	sharded := store.NewSharded(8)
+	fillSearchStore(sharded, docs)
+	single := store.NewSharded(1)
+	fillSearchStore(single, docs)
+	se := search.New(sharded)
+	le := search.New(single)
+	measureShardChurn(t, sharded, se, mix, 10) // warm snapshots + pools
+	measureShardChurn(t, single, le, mix, 10)
+
+	var shardRuns, singleRuns []shardRun
+	var ratios, shardOps, singleOps []float64
+	for i := 0; i < rounds; i++ {
+		a := measureShardChurn(t, sharded, se, mix, writesPerSample)
+		b := measureShardChurn(t, single, le, mix, writesPerSample)
+		shardRuns = append(shardRuns, a)
+		singleRuns = append(singleRuns, b)
+		ratios = append(ratios, a.OpsPerCPUSec/b.OpsPerCPUSec)
+		shardOps = append(shardOps, a.OpsPerCPUSec)
+		singleOps = append(singleOps, b.OpsPerCPUSec)
+		t.Logf("round %d: P=8 %.0f ops/cpu-sec (%.0f docs rebuilt/write), P=1 %.0f ops/cpu-sec (%.0f docs rebuilt/write), ratio %.2f",
+			i+1, a.OpsPerCPUSec, a.DocsRebuiltPerWrite, b.OpsPerCPUSec, b.DocsRebuiltPerWrite,
+			a.OpsPerCPUSec/b.OpsPerCPUSec)
+	}
+
+	medRun := func(runs []shardRun, ops float64) shardRun {
+		var wall, rebuilt []float64
+		var sb, su int64
+		for _, r := range runs {
+			wall = append(wall, r.OpsPerWallSec)
+			rebuilt = append(rebuilt, r.DocsRebuiltPerWrite)
+			sb += r.ShardRebuilds
+			su += r.ShardReuses
+		}
+		return shardRun{
+			OpsPerCPUSec:        ops,
+			OpsPerWallSec:       median(wall),
+			DocsRebuiltPerWrite: median(rebuilt),
+			ShardRebuilds:       sb,
+			ShardReuses:         su,
+		}
+	}
+	report := struct {
+		Benchmark    string     `json:"benchmark"`
+		Docs         int        `json:"docs"`
+		WritesSample int        `json:"writes_per_sample"`
+		Rounds       int        `json:"rounds"`
+		Sharded      shardRun   `json:"sharded_p8_median"`
+		Single       shardRun   `json:"single_p1_median"`
+		RatioMedian  float64    `json:"ops_per_cpu_sec_ratio_median"`
+		RebuildRatio float64    `json:"docs_rebuilt_per_write_p1_over_p8"`
+		ShardedRuns  []shardRun `json:"sharded_runs"`
+		SingleRuns   []shardRun `json:"single_runs"`
+	}{
+		Benchmark:    "BenchmarkShardChurn P8 vs P1 (interleaved pairs, localized writes + mixed queries)",
+		Docs:         docs,
+		WritesSample: writesPerSample,
+		Rounds:       rounds,
+		RatioMedian:  median(ratios),
+		ShardedRuns:  shardRuns,
+		SingleRuns:   singleRuns,
+	}
+	report.Sharded = medRun(shardRuns, median(shardOps))
+	report.Single = medRun(singleRuns, median(singleOps))
+	if report.Sharded.DocsRebuiltPerWrite > 0 {
+		report.RebuildRatio = report.Single.DocsRebuiltPerWrite / report.Sharded.DocsRebuiltPerWrite
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("median ops ratio %.2fx; docs rebuilt/write: P=1 %.0f vs P=8 %.0f (%.1fx less) -> %s",
+		report.RatioMedian, report.Single.DocsRebuiltPerWrite, report.Sharded.DocsRebuiltPerWrite,
+		report.RebuildRatio, out)
+	// The economy claim: a localized write must rematerialize far fewer
+	// document rows on the sharded store than on the monolithic one.
+	if report.RebuildRatio < 3 {
+		t.Errorf("P=1 rebuilds only %.1fx more docs per write than P=8; want >= 3x", report.RebuildRatio)
 	}
 }

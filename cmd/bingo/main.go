@@ -38,6 +38,7 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "dump process metrics (Prometheus text format) after the run")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault-injection plane")
 	chaosProfile := flag.String("chaos-profile", "off", "fault profile: off, default, flaky, slow, poison or flap")
+	storeShards := flag.Int("store-shards", 0, "document partitions in the crawl database (power of two, max 64; 0 = default 8)")
 	flag.Parse()
 
 	var plane *faults.Plane
@@ -129,6 +130,7 @@ haveTopics:
 			table[h] = rec.IP
 		}
 		cfg.DNSServers = []bingo.DNSServerSpec{{Table: table}}
+		cfg.StoreShards = *storeShards
 		chaos(&cfg)
 		var lerr error
 		eng, lerr = bingo.LoadSession(cfg, *resume)
@@ -148,6 +150,7 @@ haveTopics:
 		eng, nerr = bingo.EngineForWorld(world, topics, func(c *bingo.Config) {
 			c.LearnBudget = *learnBudget
 			c.HarvestBudget = *harvestBudget
+			c.StoreShards = *storeShards
 			if *mode == "expert" {
 				c.LearnDepth = 7
 			}

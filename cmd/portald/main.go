@@ -36,6 +36,7 @@ func main() {
 	listen := flag.String("listen", ":8090", "address to serve the portal on")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault-injection plane (with -crawl)")
 	chaosProfile := flag.String("chaos-profile", "off", "fault profile for the startup crawl: off, default, flaky, slow, poison or flap")
+	storeShards := flag.Int("store-shards", 0, "document partitions for the startup crawl's database (power of two, max 64; 0 = default 8)")
 	flag.Parse()
 
 	var st *store.Store
@@ -68,6 +69,7 @@ func main() {
 			func(c *bingo.Config) {
 				c.LearnBudget = 150
 				c.HarvestBudget = 800
+				c.StoreShards = *storeShards
 				if plane != nil {
 					c.Transport = plane.Wrap(c.Transport)
 					c.DNSMiddleware = plane.WrapDNS

@@ -90,6 +90,12 @@ type Config struct {
 	// FlushInterval bounds how long a crawl worker may hold a partially
 	// filled workspace before flushing it (default 200ms).
 	FlushInterval time.Duration
+	// StoreShards is the number of document partitions in the crawl
+	// database (default 8, rounded down to a power of two, max 64).
+	// Workers flush to the shards their documents route to, and search
+	// rebuilds only the shards that changed; results are identical for
+	// every shard count.
+	StoreShards int
 
 	// LearnBudget / HarvestBudget are page-visit budgets per phase (the
 	// stand-in for the paper's wall-clock crawl durations).
@@ -184,6 +190,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.FlushInterval <= 0 {
 		c.FlushInterval = 200 * time.Millisecond
+	}
+	if c.StoreShards <= 0 {
+		c.StoreShards = 8
 	}
 	if c.LearnBudget <= 0 {
 		c.LearnBudget = 500

@@ -130,7 +130,7 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:        cfg,
 		tree:       tree,
-		store:      store.New(),
+		store:      store.NewSharded(cfg.StoreShards),
 		frontier:   fr,
 		fetcher:    fetcher,
 		resolver:   resolver,
@@ -306,9 +306,10 @@ func (e *Engine) Bootstrap(ctx context.Context) error {
 // recomputation upon retraining, §2.2) and retrains every topic classifier.
 func (e *Engine) retrainLocked() error {
 	stats := vsm.NewCorpusStats()
-	for _, d := range e.store.All() {
+	e.store.VisitDocs(func(d store.Document) bool {
 		stats.AddDoc(d.Terms)
-	}
+		return true
+	})
 	idf := stats.Snapshot()
 	cls, err := classify.Train(e.tree, e.training, idf, classify.Config{
 		Spaces:      e.cfg.Spaces,
@@ -414,20 +415,29 @@ func (e *Engine) ReclassifyAll() int {
 	if cls == nil {
 		return 0
 	}
-	changed := 0
-	for _, d := range e.store.All() {
-		if d.IsTraining {
-			continue // training assignments are the user's ground truth
+	// Collect the rows first: SetTopic takes a shard's write lock, so
+	// mutating from inside the VisitDocs read iteration would deadlock.
+	type row struct {
+		url, title, text, topic string
+	}
+	var rows []row
+	e.store.VisitDocs(func(d store.Document) bool {
+		if !d.IsTraining { // training assignments are the user's ground truth
+			rows = append(rows, row{d.URL, d.Title, d.Text, d.Topic})
 		}
-		stems := e.pipe.Stems(d.Title + " " + d.Text)
+		return true
+	})
+	changed := 0
+	for _, d := range rows {
+		stems := e.pipe.Stems(d.title + " " + d.text)
 		res := cls.ClassifyWithMode(classify.Doc{
-			ID:    d.URL,
-			Input: features.DocInput{Stems: stems, Anchors: e.store.InAnchors(d.URL)},
+			ID:    d.url,
+			Input: features.DocInput{Stems: stems, Anchors: e.store.InAnchors(d.url)},
 		}, mode)
-		if res.Topic != d.Topic {
+		if res.Topic != d.topic {
 			changed++
 		}
-		_ = e.store.SetTopic(d.URL, res.Topic, res.Confidence)
+		_ = e.store.SetTopic(d.url, res.Topic, res.Confidence)
 	}
 	return changed
 }

@@ -2,12 +2,14 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"os"
 
 	"github.com/bingo-search/bingo/internal/classify"
 	"github.com/bingo-search/bingo/internal/features"
+	"github.com/bingo-search/bingo/internal/frontier"
 	"github.com/bingo-search/bingo/internal/store"
 )
 
@@ -15,13 +17,19 @@ import (
 // setting up an overnight crawl, and another few minutes for looking at the
 // results the next morning" (§1.2). SaveSession captures everything needed
 // to analyze and *resume* a crawl later: the document database, the current
-// training set (seeds + promoted archetypes + feedback), and the engine's
-// lifecycle counters. LoadSession rebuilds the engine, re-trains the
-// classifier from the restored training set, and primes the duplicate
+// training set (seeds + promoted archetypes + feedback), the engine's
+// lifecycle counters, and the crawl frontier — queued links, cooling
+// breaker requeues (with their remaining delays), and the dedup set — so a
+// resumed harvest picks up mid-queue instead of only re-seeding from hubs.
+// LoadSession rebuilds the engine, re-trains the classifier from the
+// restored training set, restores the frontier, and primes the duplicate
 // detector with every stored URL so a resumed harvest does not refetch.
-// The frontier itself is not persisted — resuming re-seeds it with the
-// best hubs from the stored link analysis, exactly what a fresh harvesting
-// phase does (§2.6).
+//
+// Streams written by this release start with a magic and a one-byte format
+// version so a reader can reject an incompatible file with a clear error;
+// headerless streams from earlier releases are still read (their inner
+// gob Version field distinguishes layouts).
+var sessionMagic = [4]byte{'B', 'N', 'G', 'S'}
 
 // savedDoc is the serialized form of a training document.
 type savedDoc struct {
@@ -31,7 +39,8 @@ type savedDoc struct {
 }
 
 // sessionState is the serialized engine state (the store follows it in the
-// same stream).
+// same stream). Version 2 added the frontier snapshot; version-1 states
+// (which predate the header and carry no frontier) load with an empty one.
 type sessionState struct {
 	Version    int
 	Training   map[string][]savedDoc
@@ -39,9 +48,10 @@ type sessionState struct {
 	SeedTopics map[string]string
 	Retrains   int
 	Phase      Phase
+	Frontier   frontier.Dump
 }
 
-const sessionVersion = 1
+const sessionVersion = 2
 
 // SaveSession writes the engine's crawl session to path atomically.
 func (e *Engine) SaveSession(path string) error {
@@ -65,6 +75,7 @@ func (e *Engine) SaveSession(path string) error {
 		st.SeedTopics[u] = t
 	}
 	e.mu.RUnlock()
+	st.Frontier = e.frontier.Dump()
 
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -72,7 +83,14 @@ func (e *Engine) SaveSession(path string) error {
 		return fmt.Errorf("core: save session: %w", err)
 	}
 	w := bufio.NewWriter(f)
-	if err := gob.NewEncoder(w).Encode(&st); err == nil {
+	_, err = w.Write(sessionMagic[:])
+	if err == nil {
+		err = w.WriteByte(sessionVersion)
+	}
+	if err == nil {
+		err = gob.NewEncoder(w).Encode(&st)
+	}
+	if err == nil {
 		err = e.store.Encode(w)
 		if err == nil {
 			err = w.Flush()
@@ -112,11 +130,21 @@ func LoadSession(cfg Config, path string) (*Engine, error) {
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)
+	head, err := r.Peek(5)
+	if err == nil && bytes.Equal(head[:4], sessionMagic[:]) {
+		version := head[4]
+		if version != sessionVersion {
+			return nil, fmt.Errorf("core: load session: unsupported format version %d (this release reads versions 1-%d)", version, sessionVersion)
+		}
+		if _, err := r.Discard(5); err != nil {
+			return nil, fmt.Errorf("core: load session: %w", err)
+		}
+	}
 	var st sessionState
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("core: load session: %w", err)
 	}
-	if st.Version != sessionVersion {
+	if st.Version < 1 || st.Version > sessionVersion {
 		return nil, fmt.Errorf("core: load session: unsupported version %d", st.Version)
 	}
 	loaded, err := store.Decode(r)
@@ -141,13 +169,18 @@ func LoadSession(cfg Config, path string) (*Engine, error) {
 	e.phase = st.Phase
 	e.mu.Unlock()
 
+	// Restore the crawl frontier (version-1 states carry an empty dump, so
+	// this is a no-op for them and resuming re-seeds from hubs as before).
+	e.frontier.Restore(st.Frontier)
+
 	// Prime the duplicate detector so resumed crawling skips stored pages.
-	for _, d := range loaded.All() {
+	loaded.VisitDocs(func(d store.Document) bool {
 		e.fetcher.Dedup.SeenURL(d.URL)
 		if d.FinalURL != "" && d.FinalURL != d.URL {
 			e.fetcher.Dedup.SeenURL(d.FinalURL)
 		}
-	}
+		return true
+	})
 	if err := e.retrainLocked(); err != nil {
 		return nil, err
 	}

@@ -1,10 +1,16 @@
 package core
 
 import (
+	"bufio"
 	"context"
+	"encoding/gob"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
+
+	"github.com/bingo-search/bingo/internal/frontier"
 )
 
 func TestSaveLoadSessionAndResume(t *testing.T) {
@@ -168,5 +174,166 @@ func TestClusterTopicEmptyClass(t *testing.T) {
 	res, k, docs := e.ClusterTopic("ROOT/nonexistent", 2, 4)
 	if len(docs) != 0 || k != 0 && len(res.Assign) != 0 {
 		t.Errorf("empty class clustering: k=%d docs=%d", k, len(docs))
+	}
+}
+
+// TestSessionPersistsFrontier checks that queued frontier work survives a
+// save/load cycle: a resumed crawl starts from the saved queue, not empty.
+func TestSessionPersistsFrontier(t *testing.T) {
+	e, w := newTestEngine(t, nil)
+	if err := e.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	e.frontier.Push(frontier.Item{URL: "http://pending.example/a", Topic: "ROOT/databases", Priority: 1e9})
+	e.frontier.Push(frontier.Item{URL: "http://pending.example/b", Topic: "ROOT/databases", Priority: 0.4})
+	e.frontier.Requeue(frontier.Item{URL: "http://cooling.example/", Topic: "ROOT/databases", Priority: 0.7}, time.Hour)
+	queuedBefore := e.frontier.Stats()
+
+	path := filepath.Join(t.TempDir(), "s.bingo")
+	if err := e.SaveSession(path); err != nil {
+		t.Fatal(err)
+	}
+
+	table := map[string]string{}
+	for h, rec := range w.DNSTable() {
+		table[h] = rec.IP
+	}
+	cfg := Config{
+		Topics:     []TopicSpec{{Path: []string{"databases"}, Seeds: w.SeedURLs()}},
+		OthersURLs: w.GeneralPageURLs(12),
+		Transport:  w.RoundTripper(),
+		DNSServers: []DNSServerSpec{{Table: table}},
+	}
+	e2, err := LoadSession(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := e2.frontier.Stats()
+	if after.Queued != queuedBefore.Queued {
+		t.Errorf("restored queued = %d, want %d", after.Queued, queuedBefore.Queued)
+	}
+	if after.Delayed != 1 {
+		t.Errorf("restored delayed = %d, want 1", after.Delayed)
+	}
+	// Dedup restored with the queue: a duplicate push is dropped.
+	if e2.frontier.Push(frontier.Item{URL: "http://pending.example/a", Topic: "ROOT/databases", Priority: 1e9}) {
+		t.Error("re-push of saved frontier URL succeeded after restore")
+	}
+	// The best pending link pops first.
+	it, ok := e2.frontier.Pop()
+	if !ok {
+		t.Fatal("restored frontier empty")
+	}
+	if it.URL != "http://pending.example/a" {
+		t.Errorf("first pop = %q, want the highest-priority saved link", it.URL)
+	}
+}
+
+// TestLoadSessionLegacyHeaderless checks that a version-1 stream — written
+// before the magic header existed, with no frontier state — still loads.
+func TestSessionLegacyHeaderless(t *testing.T) {
+	e, w := newTestEngine(t, nil)
+	if err := e.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-write the historical layout: a bare gob of a Version-1 state
+	// followed by the store, no magic.
+	e.mu.RLock()
+	st := sessionState{
+		Version:    1,
+		Training:   make(map[string][]savedDoc, len(e.training.ByTopic)),
+		SeedTopics: map[string]string{},
+		Retrains:   e.retrains,
+		Phase:      e.phase,
+	}
+	for topic, docs := range e.training.ByTopic {
+		for _, d := range docs {
+			st.Training[topic] = append(st.Training[topic], saveDoc(d))
+		}
+	}
+	for _, d := range e.training.Others {
+		st.Others = append(st.Others, saveDoc(d))
+	}
+	for u, tp := range e.seedTopics {
+		st.SeedTopics[u] = tp
+	}
+	e.mu.RUnlock()
+	path := filepath.Join(t.TempDir(), "legacy.bingo")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := gob.NewEncoder(bw).Encode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Store().Encode(bw); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	table := map[string]string{}
+	for h, rec := range w.DNSTable() {
+		table[h] = rec.IP
+	}
+	cfg := Config{
+		Topics:     []TopicSpec{{Path: []string{"databases"}, Seeds: w.SeedURLs()}},
+		OthersURLs: w.GeneralPageURLs(12),
+		Transport:  w.RoundTripper(),
+		DNSServers: []DNSServerSpec{{Table: table}},
+	}
+	e2, err := LoadSession(cfg, path)
+	if err != nil {
+		t.Fatalf("legacy headerless session rejected: %v", err)
+	}
+	if e2.Store().NumDocs() != e.Store().NumDocs() {
+		t.Errorf("legacy load docs = %d, want %d", e2.Store().NumDocs(), e.Store().NumDocs())
+	}
+	if got := e2.frontier.Stats().Queued; got != 0 {
+		t.Errorf("legacy load restored %d frontier items, want 0", got)
+	}
+}
+
+// TestSessionUnknownFormatVersion checks the header gives a clear error for
+// a future format instead of a gob decode failure.
+func TestSessionUnknownFormatVersion(t *testing.T) {
+	e, w := newTestEngine(t, nil)
+	if err := e.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s.bingo")
+	if err := e.SaveSession(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4] = 99 // bump the format version byte
+	future := filepath.Join(t.TempDir(), "future.bingo")
+	if err := os.WriteFile(future, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	table := map[string]string{}
+	for h, rec := range w.DNSTable() {
+		table[h] = rec.IP
+	}
+	cfg := Config{
+		Topics:     []TopicSpec{{Path: []string{"databases"}, Seeds: w.SeedURLs()}},
+		OthersURLs: w.GeneralPageURLs(12),
+		Transport:  w.RoundTripper(),
+		DNSServers: []DNSServerSpec{{Table: table}},
+	}
+	_, err = LoadSession(cfg, future)
+	if err == nil {
+		t.Fatal("future format version accepted")
+	}
+	if !strings.Contains(err.Error(), "unsupported format version 99") {
+		t.Errorf("error %q does not name the unsupported version", err)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"container/heap"
 	"context"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -554,4 +555,93 @@ func (f *Frontier) Forget(url string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	delete(f.seen, url)
+}
+
+// DelayedDump is one cooling-off entry in a Dump: the item plus how much
+// cool-down it still had left when the dump was taken. Remaining time is
+// stored as a duration rather than an absolute deadline so a session
+// resumed hours later re-arms the breaker cool-downs relative to the
+// resume instant instead of finding them all long expired.
+type DelayedDump struct {
+	Item    Item
+	ReadyIn time.Duration
+}
+
+// Dump is a serializable snapshot of the frontier's pending work: queued
+// items in priority order (outgoing before incoming per topic, topics in
+// first-seen order), items still cooling off after a breaker requeue, and
+// the dedup set. Counters and in-flight leases are deliberately excluded —
+// a restored crawl starts its statistics fresh, and an in-flight item that
+// was never Done'd is simply lost to the dump (its URL stays in Seen).
+type Dump struct {
+	Items   []Item
+	Delayed []DelayedDump
+	Seen    []string
+}
+
+// Dump captures the frontier's pending work for session persistence. The
+// ordering is deterministic: topics in first-seen order, each topic's
+// outgoing queue before its incoming queue, both in key order, then the
+// delayed heap in readyAt order.
+func (f *Frontier) Dump() Dump {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var d Dump
+	for _, name := range f.order {
+		tq := f.topics[name]
+		tq.outgoing.Ascend(func(_ key, it Item) bool {
+			d.Items = append(d.Items, it)
+			return true
+		})
+		tq.incoming.Ascend(func(_ key, it Item) bool {
+			d.Items = append(d.Items, it)
+			return true
+		})
+	}
+	now := f.cfg.Now()
+	tmp := make(delayedHeap, len(f.delayed))
+	copy(tmp, f.delayed)
+	for tmp.Len() > 0 {
+		di := heap.Pop(&tmp).(delayedItem)
+		left := di.readyAt.Sub(now)
+		if left < 0 {
+			left = 0
+		}
+		d.Delayed = append(d.Delayed, DelayedDump{Item: di.it, ReadyIn: left})
+	}
+	d.Seen = make([]string, 0, len(f.seen))
+	for url := range f.seen {
+		d.Seen = append(d.Seen, url)
+	}
+	sort.Strings(d.Seen)
+	return d
+}
+
+// Restore reloads a Dump into an empty (or Reset) frontier: queued items
+// re-enter their topic queues with their effective priorities, delayed
+// items re-arm relative to now, and the seen set is replaced. Items whose
+// URLs the dump also lists as seen do not double-drop: Restore inserts
+// directly, bypassing Push's dedup check.
+func (f *Frontier) Restore(d Dump) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, it := range d.Items {
+		tq := f.topic(it.Topic)
+		f.seq++
+		tq.incoming.Insert(key{prio: f.EffectivePriority(it), seq: f.seq}, it)
+	}
+	now := f.cfg.Now()
+	for _, dd := range d.Delayed {
+		f.seq++
+		heap.Push(&f.delayed, delayedItem{
+			readyAt: now.Add(dd.ReadyIn),
+			seq:     f.seq,
+			it:      dd.Item,
+		})
+	}
+	for _, url := range d.Seen {
+		f.seen[url] = struct{}{}
+	}
+	mQueued.Add(int64(len(d.Items) + len(d.Delayed)))
+	f.wakeLocked()
 }

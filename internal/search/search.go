@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/bingo-search/bingo/internal/hits"
@@ -93,9 +94,10 @@ type Engine struct {
 	// benchmark can compare both read paths on the same commit.
 	LegacyScoring bool
 
-	// snap is the current immutable search snapshot; buildMu singleflights
-	// rebuilds (see Engine.snapshot).
-	snap    atomicSnapshot
+	// view is the current immutable search view (one snapshot per store
+	// shard plus the merged idf layer); buildMu singleflights rebuilds
+	// (see Engine.snapshot).
+	view    atomic.Pointer[searchView]
 	buildMu sync.Mutex
 	// scratch pools per-query scoring state (dense accumulators, candidate
 	// list, top-K heap) so the scoring loop allocates nothing.

@@ -1,15 +1,39 @@
-// This file implements the snapshot read path: immutable per-epoch search
-// state (buildSnapshot, Engine.snapshot), the pooled per-query scoring
-// scratch, and the allocation-free candidate-scoring loop with bounded
-// top-K selection. Snapshot lifecycle is observable through
-// search_snapshot_rebuilds_total, search_snapshot_build_nanos and
-// search_stale_serves_total; a rising stale-serve rate means writers are
-// outpacing rebuilds and queries are trading freshness for latency.
+// This file implements the sharded snapshot read path. Search state is
+// two-layered:
+//
+//   - shardSnap: one immutable snapshot per store shard — dense-by-sequence
+//     document rows, the shard's term vectors in CSR layout with
+//     precomputed 1+log(tf) factors, the shard-local vocabulary with its
+//     document frequencies, and a lazy stem cache. A shardSnap is keyed on
+//     its shard's mutation epoch and is rebuilt only when that shard
+//     changed, so steady-state rebuild cost under localized writes is
+//     O(changed shards), not O(corpus).
+//
+//   - searchView: the per-epoch-vector global view gluing the shard snaps
+//     together — the merged idf table (per-shard df counts are summed as
+//     integers, so the merge is exact and order-independent) and the
+//     per-shard tf·idf norm vectors recomputed against the merged idf (a
+//     dense multiply-add pass over the CSR vectors; no hashing, no log()).
+//
+// Queries scatter term-at-a-time scoring across the shard snaps (in
+// parallel when the corpus is big enough to pay for it), reduce the
+// order-independent component maxima, combine scores per shard into
+// bounded top-K heaps, and merge the heaps with the deterministic
+// score/URL tie-break — the result list is bit-identical to the same
+// engine over a single-shard store.
+//
+// Snapshot lifecycle is observable through search_snapshot_rebuilds_total
+// (view rebuilds), search_shard_snapshot_rebuilds_total /
+// search_shard_snapshots_reused_total (the dirty-shard economy),
+// search_snapshot_build_nanos and search_stale_serves_total; a rising
+// stale-serve rate means writers are outpacing rebuilds and queries are
+// trading freshness for latency.
 
 package search
 
 import (
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -17,141 +41,295 @@ import (
 	"time"
 
 	"github.com/bingo-search/bingo/internal/hits"
+	"github.com/bingo-search/bingo/internal/metrics"
 	"github.com/bingo-search/bingo/internal/store"
 	"github.com/bingo-search/bingo/internal/textproc"
 	"github.com/bingo-search/bingo/internal/vsm"
 )
 
-// searchSnapshot is the immutable per-epoch state the index-native scorer
-// reads: every per-document quantity a query needs — tf·idf norm,
-// confidence, topic, URL, the full row for result assembly — laid out
-// densely by DocID so the scoring loop never calls store.Get or rebuilds a
-// map-vector per candidate. Snapshots are swapped atomically; in-flight
-// queries keep the one they loaded.
-//
-// Postings themselves stay in the store's sharded index and are read
-// zero-copy via Store.VisitPostings: a posting whose DocID is absent from
-// the snapshot (inserted after the build) is skipped, so a query is
-// answered entirely in terms of the snapshot's document set.
-type searchSnapshot struct {
-	epoch int64
-	idf   *vsm.IDFTable
-	// docs is dense by DocID (index 0 unused; ID == 0 marks a hole from a
-	// deleted or never-assigned ID). norm[i] is the tf·idf norm of docs[i].
+// Per-shard snapshot economy: rebuilds vs reuses, and how many document
+// rows the rebuilds had to rematerialize (the work dirty-shard tracking
+// saves shows up as reuses with few docs rebuilt).
+var (
+	mShardRebuilds    = metrics.NewCounter("search_shard_snapshot_rebuilds_total")
+	mShardReused      = metrics.NewCounter("search_shard_snapshots_reused_total")
+	mShardDocsRebuilt = metrics.NewCounter("search_shard_docs_rebuilt_total")
+)
+
+// parallelMinDocs gates the parallel scatter: below this corpus size the
+// goroutine fan-out costs more than the scoring it spreads.
+const parallelMinDocs = 4096
+
+// shardSnap is the immutable snapshot of one store shard, dense by
+// shard-local sequence number (index 0 unused; ID == 0 marks a hole from a
+// deleted or never-assigned sequence). Document seq owns the CSR range
+// termIDs[docOff[seq]:docOff[seq+1]] (parallel to logtf), sorted by term
+// string so every float accumulation over a document's terms has one
+// deterministic order regardless of shard count or map iteration.
+type shardSnap struct {
+	epoch   int64
+	shard   int
+	bits    uint // DocID shard bits: seq = id >> bits
+	numDocs int  // live documents
+
 	docs []store.Document
-	norm []float64
+
+	docOff  []int32
+	termIDs []int32
+	logtf   []float64 // 1+log(tf) per CSR entry, precomputed once
+
+	terms []string // shard vocabulary by termID
+	df    []int32  // shard-local document frequency by termID
 
 	// stems caches each document's stem sequence for phrase filtering,
 	// filled lazily on the first phrase query that inspects the document.
-	// Concurrent fills compute the same value; last store wins.
+	// Concurrent fills compute the same value; last store wins. The cache
+	// rides along when a clean shard's snap is reused across views.
 	stems []atomic.Pointer[[]string]
-
-	// auth holds HITS authority scores dense by DocID, computed lazily on
-	// the first authority-weighted query against this snapshot.
-	authOnce sync.Once
-	auth     []float64
 }
 
-// atomicSnapshot is atomic.Pointer[searchSnapshot] with a tiny name.
-type atomicSnapshot = atomic.Pointer[searchSnapshot]
+// searchView is the immutable global read state for one per-shard epoch
+// vector: the shard snaps, the merged idf table, and the per-shard norm
+// vectors in that idf space. Views are swapped atomically; in-flight
+// queries keep the one they loaded.
+//
+// Postings themselves stay in the store's per-shard term-hash-sharded
+// indexes and are read zero-copy via Store.VisitShardPostings: a posting
+// whose sequence is absent from the shard snap (inserted after the build)
+// is skipped, so a query is answered entirely in terms of the view's
+// document set.
+type searchView struct {
+	epochs  []int64 // per-shard epochs the view was built against
+	shards  []*shardSnap
+	idf     *vsm.IDFTable
+	norms   [][]float64 // [shard][seq] tf·idf norm under the merged idf
+	numDocs int
 
-// buildSnapshot materializes a snapshot of s. The epoch is captured before
-// any relation is read, so a concurrent write can only make the snapshot
-// carry *newer* data than its epoch claims — the next query then observes
-// the larger store epoch and triggers another rebuild, never serving data
+	// auth holds HITS authority scores dense by [shard][seq], computed
+	// lazily on the first authority-weighted query against this view.
+	authOnce sync.Once
+	auth     [][]float64
+}
+
+// buildShardSnap materializes shard si. The shard epoch is captured before
+// any relation is read, so a concurrent write can only make the snap carry
+// *newer* data than its epoch claims — the next query then observes the
+// larger shard epoch and triggers another rebuild, never serving data
 // older than the recorded epoch.
-func buildSnapshot(s *store.Store) *searchSnapshot {
-	epoch := s.Epoch()
-	docs := s.All()
-	n := int(s.MaxDocID()) + 1
+func buildShardSnap(st *store.Store, si int) *shardSnap {
+	epoch := st.ShardEpoch(si)
+	docs := st.ShardDocs(si)
+	bits := st.ShardBits()
+	maxSeq := st.ShardMaxSeq(si)
 	for i := range docs {
-		if int(docs[i].ID) >= n {
-			n = int(docs[i].ID) + 1
+		if seq := int64(docs[i].ID) >> bits; seq > maxSeq {
+			maxSeq = seq
 		}
 	}
-	snap := &searchSnapshot{
-		epoch: epoch,
-		docs:  make([]store.Document, n),
-		norm:  make([]float64, n),
-		stems: make([]atomic.Pointer[[]string], n),
+	n := int(maxSeq) + 1
+	sn := &shardSnap{
+		epoch:   epoch,
+		shard:   si,
+		bits:    bits,
+		numDocs: len(docs),
+		docs:    make([]store.Document, n),
+		docOff:  make([]int32, n+1),
+		stems:   make([]atomic.Pointer[[]string], n),
 	}
-	stats := vsm.NewCorpusStats()
 	for i := range docs {
-		stats.AddDoc(docs[i].Terms)
+		sn.docs[int64(docs[i].ID)>>bits] = docs[i]
 	}
-	snap.idf = stats.Snapshot()
-	for i := range docs {
-		id := docs[i].ID
-		snap.docs[id] = docs[i]
-		snap.norm[id] = snap.idf.Norm(docs[i].Terms)
+	type termEntry struct {
+		term string
+		tf   int
 	}
-	return snap
+	tids := make(map[string]int32, 256)
+	var scratch []termEntry
+	for seq := 1; seq < n; seq++ {
+		sn.docOff[seq] = int32(len(sn.termIDs))
+		d := &sn.docs[seq]
+		if d.ID == 0 {
+			continue
+		}
+		scratch = scratch[:0]
+		for term, tf := range d.Terms {
+			if tf > 0 {
+				scratch = append(scratch, termEntry{term, tf})
+			}
+		}
+		sort.Slice(scratch, func(a, b int) bool { return scratch[a].term < scratch[b].term })
+		for _, te := range scratch {
+			tid, ok := tids[te.term]
+			if !ok {
+				tid = int32(len(sn.terms))
+				tids[te.term] = tid
+				sn.terms = append(sn.terms, te.term)
+				sn.df = append(sn.df, 0)
+			}
+			sn.df[tid]++
+			sn.termIDs = append(sn.termIDs, tid)
+			sn.logtf = append(sn.logtf, 1+math.Log(float64(te.tf)))
+		}
+	}
+	sn.docOff[n] = int32(len(sn.termIDs))
+	return sn
 }
 
-// snapshot returns a search snapshot current for the store's epoch,
+// snapshot returns a search view current for the store's per-shard epochs,
 // rebuilding off the engine's locks when stale. Rebuilds are
 // singleflighted: the caller that wins buildMu rebuilds synchronously (so
 // a sequential insert-then-search always observes its own write), while
-// callers arriving during a rebuild keep serving the previous snapshot
-// instead of blocking. Only the very first query of an engine waits.
-func (e *Engine) snapshot() *searchSnapshot {
-	if s := e.snap.Load(); s != nil && s.epoch == e.store.Epoch() {
-		return s
+// callers arriving during a rebuild keep serving the previous view instead
+// of blocking. Only the very first query of an engine waits. A rebuild
+// reuses every shard snap whose epoch is unchanged — only dirty shards are
+// rematerialized.
+func (e *Engine) snapshot() *searchView {
+	if v := e.view.Load(); v != nil && e.viewCurrent(v) {
+		return v
 	}
 	if e.buildMu.TryLock() {
 		defer e.buildMu.Unlock()
-		if s := e.snap.Load(); s != nil && s.epoch == e.store.Epoch() {
-			return s
+		if v := e.view.Load(); v != nil && e.viewCurrent(v) {
+			return v
 		}
-		s := e.rebuild()
-		e.snap.Store(s)
-		return s
+		v := e.rebuildView()
+		e.view.Store(v)
+		return v
 	}
 	// A rebuild is in flight on another goroutine: serve stale.
-	if s := e.snap.Load(); s != nil {
+	if v := e.view.Load(); v != nil {
 		mStaleServes.Inc()
-		return s
+		return v
 	}
-	// No snapshot published yet — wait for the first build to finish.
+	// No view published yet — wait for the first build to finish.
 	e.buildMu.Lock()
 	defer e.buildMu.Unlock()
-	if s := e.snap.Load(); s != nil && s.epoch == e.store.Epoch() {
-		return s
+	if v := e.view.Load(); v != nil && e.viewCurrent(v) {
+		return v
 	}
-	s := e.rebuild()
-	e.snap.Store(s)
-	return s
+	v := e.rebuildView()
+	e.view.Store(v)
+	return v
 }
 
-// rebuild runs buildSnapshot under the caller-held buildMu, recording the
-// rebuild count and duration.
-func (e *Engine) rebuild() *searchSnapshot {
+// viewCurrent reports whether v matches the store's per-shard epochs.
+func (e *Engine) viewCurrent(v *searchView) bool {
+	if len(v.epochs) != e.store.NumShards() {
+		return false
+	}
+	for i, ep := range v.epochs {
+		if e.store.ShardEpoch(i) != ep {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildView runs under the caller-held buildMu: rematerialize the dirty
+// shard snaps, reuse the clean ones, then rebuild the cheap global layer
+// (merged idf, per-shard norms) over them.
+func (e *Engine) rebuildView() *searchView {
 	mSnapRebuilds.Inc()
 	start := time.Now()
-	s := buildSnapshot(e.store)
+	prev := e.view.Load()
+	st := e.store
+	p := st.NumShards()
+	v := &searchView{
+		epochs: make([]int64, p),
+		shards: make([]*shardSnap, p),
+		norms:  make([][]float64, p),
+	}
+	for i := 0; i < p; i++ {
+		ep := st.ShardEpoch(i)
+		if prev != nil && i < len(prev.shards) && prev.shards[i].epoch == ep {
+			v.shards[i] = prev.shards[i]
+			mShardReused.Inc()
+		} else {
+			v.shards[i] = buildShardSnap(st, i)
+			mShardRebuilds.Inc()
+			mShardDocsRebuilt.Add(int64(v.shards[i].numDocs))
+		}
+		v.epochs[i] = v.shards[i].epoch
+	}
+
+	// Merged idf: per-shard df counts sum exactly (integers), so the
+	// resulting idf floats are identical no matter how the corpus is
+	// partitioned.
+	vocab, total := 0, 0
+	for _, sn := range v.shards {
+		vocab += len(sn.terms)
+		total += sn.numDocs
+	}
+	v.numDocs = total
+	df := make(map[string]int, vocab)
+	for _, sn := range v.shards {
+		for tid, term := range sn.terms {
+			df[term] += int(sn.df[tid])
+		}
+	}
+	v.idf = vsm.TableFromDocFreq(df, total)
+
+	// Per-shard norms under the merged idf: a dense multiply-add pass over
+	// the CSR vectors (the 1+log(tf) factors are precomputed, the idf is
+	// resolved once per shard term) — the only per-document work a clean
+	// shard pays when some other shard changed.
+	for i, sn := range v.shards {
+		idfByTID := make([]float64, len(sn.terms))
+		for tid, term := range sn.terms {
+			idfByTID[tid] = v.idf.IDF(term)
+		}
+		norm := make([]float64, len(sn.docs))
+		for seq := 1; seq < len(sn.docs); seq++ {
+			if sn.docs[seq].ID == 0 {
+				continue
+			}
+			var sum float64
+			for j := sn.docOff[seq]; j < sn.docOff[seq+1]; j++ {
+				w := sn.logtf[j] * idfByTID[sn.termIDs[j]]
+				sum += w * w
+			}
+			norm[seq] = math.Sqrt(sum)
+		}
+		v.norms[i] = norm
+	}
 	mSnapBuildNanos.ObserveSince(start)
-	return s
+	return v
 }
 
-// docStems returns document i's stem sequence for phrase matching, cached
-// per snapshot so repeated phrase queries stem each document at most once
-// (the legacy path re-stems every candidate on every phrase query).
-func (s *searchSnapshot) docStems(pipe *textproc.Pipeline, i int) []string {
-	if p := s.stems[i].Load(); p != nil {
+// docStems returns document seq's stem sequence for phrase matching,
+// cached per shard snap so repeated phrase queries stem each document at
+// most once — and, because snaps are reused across views, at most once per
+// shard epoch.
+func (sn *shardSnap) docStems(pipe *textproc.Pipeline, seq int) []string {
+	if p := sn.stems[seq].Load(); p != nil {
 		return *p
 	}
-	d := &s.docs[i]
+	d := &sn.docs[seq]
 	st := pipe.StemsParts(d.Title, d.Text)
-	s.stems[i].Store(&st)
+	sn.stems[seq].Store(&st)
 	return st
 }
 
-// authorityScores returns the snapshot's dense authority vector, running
-// HITS over the stored link graph once per snapshot.
-func (s *searchSnapshot) authorityScores(st *store.Store) []float64 {
-	s.authOnce.Do(func() {
+// authorityScores returns the view's dense authority vectors, running HITS
+// over the stored link graph once per view. The edge feed is sorted
+// (From, To) before graph construction so node numbering — and therefore
+// the floating-point summation order inside HITS — is identical no matter
+// which shards the link rows came from.
+func (v *searchView) authorityScores(st *store.Store) [][]float64 {
+	v.authOnce.Do(func() {
+		var links []store.Link
+		st.VisitLinks(func(l store.Link) bool {
+			links = append(links, l)
+			return true
+		})
+		sort.Slice(links, func(i, j int) bool {
+			if links[i].From != links[j].From {
+				return links[i].From < links[j].From
+			}
+			return links[i].To < links[j].To
+		})
 		g := hits.NewGraph()
-		for _, l := range st.Links() {
+		for _, l := range links {
 			g.AddEdge(l.From, hostOf(l.From), l.To, hostOf(l.To))
 		}
 		res := g.Run(hits.DefaultOptions())
@@ -159,15 +337,19 @@ func (s *searchSnapshot) authorityScores(st *store.Store) []float64 {
 		for _, sc := range res.Authorities {
 			byURL[sc.ID] = sc.Value
 		}
-		auth := make([]float64, len(s.docs))
-		for i := range s.docs {
-			if s.docs[i].ID != 0 {
-				auth[i] = byURL[s.docs[i].URL]
+		auth := make([][]float64, len(v.shards))
+		for si, sn := range v.shards {
+			a := make([]float64, len(sn.docs))
+			for i := range sn.docs {
+				if sn.docs[i].ID != 0 {
+					a[i] = byURL[sn.docs[i].URL]
+				}
 			}
+			auth[si] = a
 		}
-		s.auth = auth
+		v.auth = auth
 	})
-	return s.auth
+	return v.auth
 }
 
 // qterm is one unique query term with its precomputed query-side tf·idf
@@ -178,35 +360,44 @@ type qterm struct {
 	idf  float64 // idf(term)
 }
 
-// topEntry is one candidate in the bounded top-K heap.
+// topEntry is one candidate in a bounded top-K heap: shard index plus
+// shard-local sequence.
 type topEntry struct {
-	i     int // dense DocID index
+	si    int32
+	seq   int32
 	score float64
 }
 
-// scoreScratch is the reusable per-query scoring state. acc and matched
-// are dense by DocID and reset lazily: only the entries named in cand are
-// touched, so reset cost is proportional to the candidate set, not the
-// corpus. The postings visitor is built once so the term loop does not
-// allocate a closure per term.
-type scoreScratch struct {
+// shardScratch is the reusable per-shard scoring state. acc and matched
+// are dense by shard-local sequence and reset lazily: only the entries
+// named in cand are touched, so reset cost is proportional to the
+// candidate set, not the corpus. The postings visitor is built once so the
+// term loop does not allocate a closure per term. During a parallel
+// scatter each goroutine owns exactly one shardScratch, so the scatter
+// shares no mutable state.
+type shardScratch struct {
+	shard   int
 	acc     []float64 // per-doc accumulated dot product, later cosine
 	matched []int32   // per-doc count of distinct query terms (-1 = filtered)
-	cand    []int     // touched dense indices
+	cand    []int     // touched sequence numbers
 	heap    []topEntry
-	qterms  []qterm
 
 	// Visitor state for the current term.
-	snap    *searchSnapshot
+	snap    *shardSnap
+	norm    []float64
 	termW   float64
 	termIDF float64
 	visit   func(id store.DocID, tf int)
+
+	// Pass-1 partials, reduced across shards after the scatter.
+	maxCos, maxConf, maxAuth float64
+	survivors                int
 }
 
-func newScoreScratch() *scoreScratch {
-	sc := &scoreScratch{}
+func newShardScratch(shard int) *shardScratch {
+	sc := &shardScratch{shard: shard}
 	sc.visit = func(id store.DocID, tf int) {
-		i := int(id)
+		i := int(int64(id) >> sc.snap.bits)
 		if tf <= 0 || i >= len(sc.snap.docs) || sc.snap.docs[i].ID == 0 {
 			return
 		}
@@ -220,51 +411,48 @@ func newScoreScratch() *scoreScratch {
 	return sc
 }
 
-// getScratch sizes a pooled scratch for a snapshot with n dense slots.
-func (e *Engine) getScratch(snap *searchSnapshot) *scoreScratch {
-	sc := e.scratch.Get().(*scoreScratch)
-	if n := len(snap.docs); len(sc.acc) < n {
-		sc.acc = make([]float64, n)
-		sc.matched = make([]int32, n)
-	}
-	sc.snap = snap
-	return sc
-}
+// scoreScratch is the pooled per-query scoring state: one shardScratch per
+// store shard plus the query-term list and the heap-merge buffer.
+// getScratch sizes a fresh (or layout-changed) scratch for the view in
+// hand, so the pool constructor stays trivial.
+type scoreScratch struct {
+	view   *searchView
+	shards []*shardScratch
+	qterms []qterm
+	merged []topEntry
 
-// putScratch zeroes the touched dense entries and returns sc to the pool.
-func (e *Engine) putScratch(sc *scoreScratch) {
-	for _, i := range sc.cand {
-		sc.acc[i] = 0
-		sc.matched[i] = 0
-	}
-	sc.cand = sc.cand[:0]
-	sc.heap = sc.heap[:0]
-	sc.qterms = sc.qterms[:0]
-	sc.snap = nil
-	e.scratch.Put(sc)
+	// Per-query scatter inputs. They live in the (heap-pooled) scratch
+	// rather than being captured by the parallel fan-out — a goroutine
+	// closure over stack parameters would force them to escape and cost
+	// two heap boxes per query even on the sequential path.
+	q     Query
+	p     parsedQuery
+	qnorm float64
+	auth  [][]float64
 }
 
 // worse reports whether entry a ranks strictly below entry b in the final
 // ordering: lower score, or equal score and lexicographically larger URL
-// (the deterministic tie-break the full sort used).
-func (sc *scoreScratch) worse(a, b topEntry) bool {
+// (the deterministic tie-break the full sort used). It is total across
+// shards, which is what makes the scatter-gather merge order-independent.
+func (qs *scoreScratch) worse(a, b topEntry) bool {
 	if a.score != b.score {
 		return a.score < b.score
 	}
-	return sc.snap.docs[a.i].URL > sc.snap.docs[b.i].URL
+	return qs.view.shards[a.si].docs[a.seq].URL > qs.view.shards[b.si].docs[b.seq].URL
 }
 
-// pushTopK offers en to the bounded heap keeping the k best entries. The
+// pushTopK offers en to sc's bounded heap keeping the k best entries. The
 // heap is a min-heap under worse: the root is the worst entry retained,
 // so an offer either replaces the root or is dropped in O(1)+O(log k).
-func (sc *scoreScratch) pushTopK(k int, en topEntry) {
+func (qs *scoreScratch) pushTopK(sc *shardScratch, k int, en topEntry) {
 	h := sc.heap
 	if len(h) < k {
 		h = append(h, en)
 		c := len(h) - 1
 		for c > 0 {
 			p := (c - 1) / 2
-			if !sc.worse(h[c], h[p]) {
+			if !qs.worse(h[c], h[p]) {
 				break
 			}
 			h[c], h[p] = h[p], h[c]
@@ -273,7 +461,7 @@ func (sc *scoreScratch) pushTopK(k int, en topEntry) {
 		sc.heap = h
 		return
 	}
-	if !sc.worse(h[0], en) {
+	if !qs.worse(h[0], en) {
 		return
 	}
 	h[0] = en
@@ -281,10 +469,10 @@ func (sc *scoreScratch) pushTopK(k int, en topEntry) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
-		if l < len(h) && sc.worse(h[l], h[min]) {
+		if l < len(h) && qs.worse(h[l], h[min]) {
 			min = l
 		}
-		if r < len(h) && sc.worse(h[r], h[min]) {
+		if r < len(h) && qs.worse(h[r], h[min]) {
 			min = r
 		}
 		if min == i {
@@ -295,26 +483,86 @@ func (sc *scoreScratch) pushTopK(k int, en topEntry) {
 	}
 }
 
-// searchIndexed is the index-native read path: the allocation-free
-// candidate-scoring loop (scoreCandidates) followed by ranked-hit
-// assembly.
-func (e *Engine) searchIndexed(q Query, p parsedQuery) []Hit {
-	snap := e.snapshot()
-	sc := e.getScratch(snap)
-	defer e.putScratch(sc)
+func newScoreScratch() *scoreScratch { return &scoreScratch{} }
 
-	maxCos, maxConf, maxAuth, auth, ok := e.scoreCandidates(sc, snap, q, p)
+// getScratch sizes a pooled scratch for a view's shard layout.
+func (e *Engine) getScratch(v *searchView) *scoreScratch {
+	qs := e.scratch.Get().(*scoreScratch)
+	if len(qs.shards) != len(v.shards) {
+		qs.shards = make([]*shardScratch, len(v.shards))
+		for i := range qs.shards {
+			qs.shards[i] = newShardScratch(i)
+		}
+	}
+	for i, sc := range qs.shards {
+		sn := v.shards[i]
+		if n := len(sn.docs); len(sc.acc) < n {
+			sc.acc = make([]float64, n)
+			sc.matched = make([]int32, n)
+		}
+		sc.snap = sn
+		sc.norm = v.norms[i]
+	}
+	qs.view = v
+	return qs
+}
+
+// putScratch zeroes the touched dense entries and returns qs to the pool.
+func (e *Engine) putScratch(qs *scoreScratch) {
+	for _, sc := range qs.shards {
+		for _, i := range sc.cand {
+			sc.acc[i] = 0
+			sc.matched[i] = 0
+		}
+		sc.cand = sc.cand[:0]
+		sc.heap = sc.heap[:0]
+		sc.snap = nil
+		sc.norm = nil
+	}
+	qs.qterms = qs.qterms[:0]
+	qs.merged = qs.merged[:0]
+	qs.view = nil
+	qs.q = Query{}
+	qs.p = parsedQuery{}
+	qs.qnorm = 0
+	qs.auth = nil
+	e.scratch.Put(qs)
+}
+
+// searchIndexed is the index-native read path: the scatter-gather
+// candidate-scoring loop (scoreCandidates) followed by the deterministic
+// heap merge and ranked-hit assembly.
+func (e *Engine) searchIndexed(q Query, p parsedQuery) []Hit {
+	v := e.snapshot()
+	qs := e.getScratch(v)
+	defer e.putScratch(qs)
+
+	maxCos, maxConf, maxAuth, auth, ok := e.scoreCandidates(qs, v, q, p)
 	if !ok {
 		return nil
 	}
-	mTopKHeap.Observe(int64(len(sc.heap)))
 
-	// Assemble the ranked hit list (descending score, URL tie-break).
-	sort.Slice(sc.heap, func(a, b int) bool { return sc.worse(sc.heap[b], sc.heap[a]) })
-	out := make([]Hit, len(sc.heap))
-	for n, en := range sc.heap {
-		i := en.i
-		h := Hit{Doc: snap.docs[i], Score: en.score, Cosine: sc.acc[i], Confidence: snap.docs[i].Confidence}
+	// Gather: merge the bounded per-shard heaps and sort with the same
+	// comparator the heaps used. The union of per-shard top-Ks is a
+	// superset of the global top-K, so truncating the merged order to K
+	// yields exactly the single-shard result.
+	total := 0
+	for _, sc := range qs.shards {
+		total += len(sc.heap)
+	}
+	mTopKHeap.Observe(int64(total))
+	for _, sc := range qs.shards {
+		qs.merged = append(qs.merged, sc.heap...)
+	}
+	sort.Slice(qs.merged, func(a, b int) bool { return qs.worse(qs.merged[b], qs.merged[a]) })
+	if len(qs.merged) > q.Limit {
+		qs.merged = qs.merged[:q.Limit]
+	}
+	out := make([]Hit, len(qs.merged))
+	for n, en := range qs.merged {
+		sn := v.shards[en.si]
+		sc := qs.shards[en.si]
+		h := Hit{Doc: sn.docs[en.seq], Score: en.score, Cosine: sc.acc[en.seq], Confidence: sn.docs[en.seq].Confidence}
 		if maxCos > 0 {
 			h.Cosine /= maxCos
 		}
@@ -322,7 +570,7 @@ func (e *Engine) searchIndexed(q Query, p parsedQuery) []Hit {
 			h.Confidence /= maxConf
 		}
 		if auth != nil {
-			h.Authority = auth[i]
+			h.Authority = auth[en.si][en.seq]
 			if maxAuth > 0 {
 				h.Authority /= maxAuth
 			}
@@ -332,39 +580,123 @@ func (e *Engine) searchIndexed(q Query, p parsedQuery) []Hit {
 	return out
 }
 
-// scoreCandidates is the candidate-scoring loop: term-at-a-time
-// accumulation over the live postings into dense accumulators, filtering
-// and component maxima in one pass over the touched candidates, and
-// bounded top-K selection into sc.heap in a second. For non-phrase queries
-// it performs zero per-query allocations once the pooled scratch is warm
-// (phrase queries may fill the snapshot's lazy stem cache). ok is false
-// when no candidate survives the filters.
-func (e *Engine) scoreCandidates(sc *scoreScratch, snap *searchSnapshot, q Query, p parsedQuery) (maxCos, maxConf, maxAuth float64, auth []float64, ok bool) {
-	// Query-side weights in the snapshot's idf space.
-	var qnorm float64
+// scoreCandidates is the candidate-scoring loop: scatter term-at-a-time
+// accumulation over each shard's live postings into dense accumulators
+// with per-shard filtering and component maxima, an order-independent
+// reduction of the maxima, and a second pass combining the normalized
+// components into bounded per-shard top-K heaps. For non-phrase queries on
+// a single-shard store it performs zero per-query allocations once the
+// pooled scratch is warm (phrase queries may fill the snap's lazy stem
+// cache; the parallel scatter allocates its goroutines). ok is false when
+// no candidate survives the filters.
+func (e *Engine) scoreCandidates(qs *scoreScratch, v *searchView, q Query, p parsedQuery) (maxCos, maxConf, maxAuth float64, auth [][]float64, ok bool) {
+	// Query-side weights in the view's idf space. The terms are sorted so
+	// every accumulation that iterates them — qnorm here, the per-document
+	// dot products in the scatter — has one deterministic float order no
+	// matter how p.uniq iterates.
 	for term, tf := range p.uniq {
-		idf := snap.idf.IDF(term)
-		w := snap.idf.TermWeight(term, tf)
-		sc.qterms = append(sc.qterms, qterm{term: term, w: w, idf: idf})
-		qnorm += w * w
+		idf := v.idf.IDF(term)
+		w := v.idf.TermWeight(term, tf)
+		qs.qterms = append(qs.qterms, qterm{term: term, w: w, idf: idf})
+	}
+	sortQTerms(qs.qterms)
+	var qnorm float64
+	for i := range qs.qterms {
+		qnorm += qs.qterms[i].w * qs.qterms[i].w
 	}
 	qnorm = math.Sqrt(qnorm)
 
-	// Term-at-a-time accumulation: acc[d] += wq(t)·(1+log(tf_d))·idf(t).
-	for i := range sc.qterms {
-		sc.termW = sc.qterms[i].w
-		sc.termIDF = sc.qterms[i].idf
-		e.store.VisitPostings(sc.qterms[i].term, sc.visit)
+	if q.Weights.Authority != 0 {
+		auth = v.authorityScores(e.store)
 	}
-	if len(sc.cand) == 0 {
+	qs.q, qs.p, qs.qnorm, qs.auth = q, p, qnorm, auth
+
+	// Scatter: accumulate and pass-1 filter each shard independently —
+	// in parallel when the corpus is large enough to pay for the fan-out.
+	if len(qs.shards) > 1 && v.numDocs >= parallelMinDocs && runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		for _, sc := range qs.shards {
+			wg.Add(1)
+			go e.scatterShard(&wg, qs, sc)
+		}
+		wg.Wait()
+	} else {
+		for _, sc := range qs.shards {
+			e.scatterShard(nil, qs, sc)
+		}
+	}
+
+	// Reduce: maxima are order-independent, so the reduction is
+	// deterministic regardless of scatter scheduling.
+	candidates, survivors := 0, 0
+	for _, sc := range qs.shards {
+		candidates += len(sc.cand)
+		survivors += sc.survivors
+		if sc.maxCos > maxCos {
+			maxCos = sc.maxCos
+		}
+		if sc.maxConf > maxConf {
+			maxConf = sc.maxConf
+		}
+		if sc.maxAuth > maxAuth {
+			maxAuth = sc.maxAuth
+		}
+	}
+	if candidates == 0 || survivors == 0 {
 		return 0, 0, 0, nil, false
 	}
 
-	// Pass 1: filter, turn dot products into cosines, find the component
-	// maxima the [0,1] normalization divides by.
+	// Pass 2: combine the normalized components and keep each shard's top
+	// K. Per-candidate work is a handful of float ops; the scatter already
+	// did the heavy lifting.
 	w := q.Weights
-	if w.Authority != 0 {
-		auth = snap.authorityScores(e.store)
+	for _, sc := range qs.shards {
+		var shardAuth []float64
+		if auth != nil {
+			shardAuth = auth[sc.shard]
+		}
+		for _, i := range sc.cand {
+			if sc.matched[i] < 0 {
+				continue
+			}
+			cos := sc.acc[i]
+			if maxCos > 0 {
+				cos /= maxCos
+			}
+			conf := sc.snap.docs[i].Confidence
+			if maxConf > 0 {
+				conf /= maxConf
+			}
+			score := w.Cosine*cos + w.Confidence*conf
+			if shardAuth != nil && maxAuth > 0 {
+				score += w.Authority * shardAuth[i] / maxAuth
+			}
+			qs.pushTopK(sc, q.Limit, topEntry{si: int32(sc.shard), seq: int32(i), score: score})
+		}
+	}
+	return maxCos, maxConf, maxAuth, auth, true
+}
+
+// scatterShard runs one shard's accumulate + pass-1: term-at-a-time
+// accumulation (acc[d] += wq(t)·(1+log(tf_d))·idf(t)) over the shard's
+// live postings, then filtering, cosines, and the shard-local component
+// maxima. It mutates only sc and reads the immutable view, the store's
+// read-locked postings, and the query inputs parked in qs by
+// scoreCandidates, so shards scatter concurrently without shared mutable
+// state. wg is non-nil only on the parallel path.
+func (e *Engine) scatterShard(wg *sync.WaitGroup, qs *scoreScratch, sc *shardScratch) {
+	if wg != nil {
+		defer wg.Done()
+	}
+	q, p, qnorm, auth := qs.q, qs.p, qs.qnorm, qs.auth
+	sc.maxCos, sc.maxConf, sc.maxAuth, sc.survivors = 0, 0, 0, 0
+	for i := range qs.qterms {
+		sc.termW = qs.qterms[i].w
+		sc.termIDF = qs.qterms[i].idf
+		e.store.VisitShardPostings(sc.shard, qs.qterms[i].term, sc.visit)
+	}
+	if len(sc.cand) == 0 {
+		return
 	}
 	exactNeed := int32(0)
 	if q.Exact {
@@ -375,55 +707,45 @@ func (e *Engine) scoreCandidates(sc *scoreScratch, snap *searchSnapshot, q Query
 	if topicFilter != "" {
 		topicPrefix = topicFilter + "/"
 	}
-	survivors := 0
+	var shardAuth []float64
+	if auth != nil {
+		shardAuth = auth[sc.shard]
+	}
 	for _, i := range sc.cand {
-		d := &snap.docs[i]
+		d := &sc.snap.docs[i]
 		if (exactNeed > 0 && sc.matched[i] < exactNeed) ||
 			(topicFilter != "" && d.Topic != topicFilter && !strings.HasPrefix(d.Topic, topicPrefix)) ||
-			(len(p.phraseStems) > 0 && !phrasesMatch(snap.docStems(e.pipe, i), p.phraseStems)) {
+			(len(p.phraseStems) > 0 && !phrasesMatch(sc.snap.docStems(e.pipe, i), p.phraseStems)) {
 			sc.matched[i] = -1
 			continue
 		}
-		survivors++
+		sc.survivors++
 		var c float64
-		if qnorm > 0 && snap.norm[i] > 0 {
-			c = sc.acc[i] / (qnorm * snap.norm[i])
+		if qnorm > 0 && sc.norm[i] > 0 {
+			c = sc.acc[i] / (qnorm * sc.norm[i])
 		}
 		sc.acc[i] = c
-		if c > maxCos {
-			maxCos = c
+		if c > sc.maxCos {
+			sc.maxCos = c
 		}
-		if d.Confidence > maxConf {
-			maxConf = d.Confidence
+		if d.Confidence > sc.maxConf {
+			sc.maxConf = d.Confidence
 		}
-		if auth != nil && auth[i] > maxAuth {
-			maxAuth = auth[i]
+		if shardAuth != nil && shardAuth[i] > sc.maxAuth {
+			sc.maxAuth = shardAuth[i]
 		}
 	}
-	if survivors == 0 {
-		return 0, 0, 0, nil, false
-	}
+}
 
-	// Pass 2: combine the normalized components and keep the top K.
-	for _, i := range sc.cand {
-		if sc.matched[i] < 0 {
-			continue
+// sortQTerms orders query terms lexicographically with an in-place
+// insertion sort — query term counts are tiny, and sort.Slice would
+// allocate in the zero-alloc scoring loop.
+func sortQTerms(qt []qterm) {
+	for i := 1; i < len(qt); i++ {
+		for j := i; j > 0 && qt[j].term < qt[j-1].term; j-- {
+			qt[j], qt[j-1] = qt[j-1], qt[j]
 		}
-		cos := sc.acc[i]
-		if maxCos > 0 {
-			cos /= maxCos
-		}
-		conf := snap.docs[i].Confidence
-		if maxConf > 0 {
-			conf /= maxConf
-		}
-		score := w.Cosine*cos + w.Confidence*conf
-		if auth != nil && maxAuth > 0 {
-			score += w.Authority * auth[i] / maxAuth
-		}
-		sc.pushTopK(q.Limit, topEntry{i: i, score: score})
 	}
-	return maxCos, maxConf, maxAuth, auth, true
 }
 
 // phrasesMatch reports whether every phrase occurs consecutively in the

@@ -20,12 +20,18 @@ type termIndex struct {
 }
 
 func newTermIndex() *termIndex {
+	return newTermIndexSized(512)
+}
+
+// newTermIndexSized pre-sizes each term-hash shard's map. A crawl touches
+// tens of thousands of distinct terms, and growing 64 small maps beats
+// rehashing one giant one under a global lock; stores partitioned into
+// many document shards pass a smaller hint so P term indexes do not
+// pre-allocate P times the memory one did.
+func newTermIndexSized(hint int) *termIndex {
 	t := &termIndex{}
 	for i := range t.shards {
-		// Pre-size the shard maps: a crawl touches tens of thousands of
-		// distinct terms, and growing 64 small maps beats rehashing one
-		// giant one under a global lock.
-		t.shards[i].m = make(map[string][]posting, 512)
+		t.shards[i].m = make(map[string][]posting, hint)
 	}
 	return t
 }

@@ -2,71 +2,179 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
 )
 
-// snapshot is the serialized form of a Store.
-type snapshot struct {
+// Persistence format. Streams written by this release start with a magic
+// and a one-byte format version, so a reader can tell a stream's layout
+// apart from its content and fail with a clear error instead of letting
+// gob mis-decode an incompatible snapshot deep inside the decoder.
+// Streams without the magic are the version-0 layout (a bare gob of the
+// unsharded snapshot struct), still read for one release.
+var storeMagic = [4]byte{'B', 'N', 'G', 'O'}
+
+// formatVersion is the store stream layout this release writes.
+const formatVersion = 1
+
+// snapshotV0 is the historical version-0 serialized form (one global
+// DocID sequence, no shard layout).
+type snapshotV0 struct {
 	NextID    DocID
 	Docs      []Document
 	Links     []Link
 	Redirects []Redirect
 }
 
-// Encode serializes the store to w. The inverted index and topic index
-// are rebuilt on read rather than serialized.
+// snapshotV1 is the version-1 serialized form: the shard layout rides
+// along so DocIDs (which encode the shard in their low bits) stay valid on
+// reload. The inverted index and topic index are rebuilt on read.
+type snapshotV1 struct {
+	ShardCount int
+	NextSeqs   []int64
+	Docs       []Document
+	Links      []Link
+	Redirects  []Redirect
+}
+
+// Encode serializes the store to w: magic, format version, then the gob
+// snapshot. The inverted index and topic index are rebuilt on read rather
+// than serialized.
 func (s *Store) Encode(w io.Writer) error {
-	var snap snapshot
-	s.docMu.RLock()
-	snap.NextID = s.nextID
-	snap.Docs = make([]Document, 0, len(s.docs))
-	for _, d := range s.docs {
-		snap.Docs = append(snap.Docs, *d)
+	snap := snapshotV1{
+		ShardCount: len(s.shards),
+		NextSeqs:   make([]int64, len(s.shards)),
 	}
-	s.docMu.RUnlock()
-	s.linkMu.RLock()
-	for _, ls := range s.outLinks {
-		snap.Links = append(snap.Links, ls...)
+	snap.Docs = make([]Document, 0, s.NumDocs())
+	for i, sh := range s.shards {
+		sh.docMu.RLock()
+		snap.NextSeqs[i] = sh.nextSeq
+		for _, d := range sh.docs {
+			snap.Docs = append(snap.Docs, *d)
+		}
+		sh.docMu.RUnlock()
+		sh.linkMu.RLock()
+		for _, ls := range sh.outLinks {
+			snap.Links = append(snap.Links, ls...)
+		}
+		sh.linkMu.RUnlock()
+		sh.redirMu.RLock()
+		snap.Redirects = append(snap.Redirects, sh.redirects...)
+		sh.redirMu.RUnlock()
 	}
-	s.linkMu.RUnlock()
-	s.redirMu.RLock()
-	snap.Redirects = append(snap.Redirects, s.redirects...)
-	s.redirMu.RUnlock()
+	if _, err := w.Write(storeMagic[:]); err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	if _, err := w.Write([]byte{formatVersion}); err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("store: encode: %w", err)
 	}
 	return nil
 }
 
-// Decode deserializes a store previously written by Encode.
+// Decode deserializes a store previously written by Encode. Version-1
+// streams restore the saved shard layout; streams without the version
+// header are decoded as the version-0 (unsharded) layout into a
+// single-shard store with their DocIDs preserved. An unknown version is a
+// clear error, not a gob panic.
 func Decode(r io.Reader) (*Store, error) {
-	var snap snapshot
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	head, err := br.Peek(5)
+	if err != nil || !bytes.Equal(head[:4], storeMagic[:]) {
+		// No magic: a version-0 stream (or garbage, which gob will reject
+		// with its own error).
+		return decodeV0(br)
+	}
+	if _, err := br.Discard(5); err != nil {
+		return nil, fmt.Errorf("store: decode: %w", err)
+	}
+	version := head[4]
+	if version != formatVersion {
+		return nil, fmt.Errorf("store: decode: unsupported format version %d (this release reads versions 0-%d)", version, formatVersion)
+	}
+	var snap snapshotV1
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store: decode: %w", err)
+	}
+	p := snap.ShardCount
+	if p < 1 || p > MaxShards || p&(p-1) != 0 {
+		return nil, fmt.Errorf("store: decode: invalid shard count %d", p)
+	}
+	if len(snap.NextSeqs) != p {
+		return nil, fmt.Errorf("store: decode: %d shard sequences for %d shards", len(snap.NextSeqs), p)
+	}
+	s := NewSharded(p)
+	for _, d := range snap.Docs {
+		sh := s.shardOf(d.ID)
+		if s.shardForURL(d.URL) != sh {
+			return nil, fmt.Errorf("store: decode: document %q carries an ID of shard %d but routes to shard %d", d.URL, sh.idx, s.ShardForURL(d.URL))
+		}
+		cp := d
+		sh.docs[d.ID] = &cp
+		sh.byURL[d.URL] = d.ID
+		sh.index.addDoc(d.ID, d.Terms)
+		if d.Topic != "" {
+			sh.byTopic[d.Topic] = append(sh.byTopic[d.Topic], d.ID)
+		}
+		mDocs.Add(1)
+		sh.docsGauge.Add(1)
+	}
+	for i, sh := range s.shards {
+		sh.nextSeq = snap.NextSeqs[i]
+	}
+	loadRows(s, snap.Links, snap.Redirects)
+	for _, sh := range s.shards {
+		sh.bumpEpoch()
+	}
+	return s, nil
+}
+
+// decodeV0 reads the historical headerless layout into a single-shard
+// store, preserving its sequential DocIDs exactly.
+func decodeV0(r io.Reader) (*Store, error) {
+	var snap snapshotV0
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("store: decode: %w", err)
 	}
-	s := New()
+	s := NewSharded(1)
+	sh := s.shards[0]
 	for _, d := range snap.Docs {
-		id := d.ID
 		cp := d
-		s.docs[id] = &cp
-		s.byURL[d.URL] = id
-		s.index.addDoc(id, d.Terms)
+		sh.docs[d.ID] = &cp
+		sh.byURL[d.URL] = d.ID
+		sh.index.addDoc(d.ID, d.Terms)
 		if d.Topic != "" {
-			s.byTopic[d.Topic] = append(s.byTopic[d.Topic], id)
+			sh.byTopic[d.Topic] = append(sh.byTopic[d.Topic], d.ID)
 		}
 	}
 	mDocs.Add(int64(len(snap.Docs)))
-	s.nextID = snap.NextID
-	for _, l := range snap.Links {
-		s.outLinks[l.From] = append(s.outLinks[l.From], l)
-		s.inLinks[l.To] = append(s.inLinks[l.To], l)
-	}
-	s.redirects = snap.Redirects
-	s.bumpEpoch()
+	sh.docsGauge.Add(int64(len(snap.Docs)))
+	sh.nextSeq = int64(snap.NextID)
+	loadRows(s, snap.Links, snap.Redirects)
+	sh.bumpEpoch()
 	return s, nil
+}
+
+// loadRows routes decoded link and redirect rows to their owning shards.
+func loadRows(s *Store, links []Link, redirects []Redirect) {
+	for _, l := range links {
+		shFrom := s.shardForURL(l.From)
+		shFrom.outLinks[l.From] = append(shFrom.outLinks[l.From], l)
+		shTo := s.shardForURL(l.To)
+		shTo.inLinks[l.To] = append(shTo.inLinks[l.To], l)
+	}
+	for _, r := range redirects {
+		sh := s.shardForURL(r.From)
+		sh.redirects = append(sh.redirects, r)
+	}
 }
 
 // Save writes the store to path atomically (write to a temp file, then

@@ -1,0 +1,124 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bingo-search/bingo/internal/metrics"
+)
+
+// MaxShards bounds the shard count (and the number of per-shard metric
+// series a store registers).
+const MaxShards = 64
+
+// storeShard is one document partition. A shard owns its document rows,
+// its slice of the inverted index, its link and redirect rows, and its own
+// mutation epoch; everything a shard-local read needs lives behind the
+// shard's locks, so writes to different shards never contend.
+//
+// Link rows are routed by URL: a link is appended to the out-link table of
+// shard(From) and the in-link table of shard(To), so Successors,
+// Predecessors and InAnchors stay single-shard reads. Redirect rows live
+// on shard(From).
+type storeShard struct {
+	idx  int
+	bits uint // copy of the store's shardBits, for DocID encoding
+
+	docMu   sync.RWMutex // guards nextSeq, docs, byURL, byTopic
+	nextSeq int64
+	docs    map[DocID]*Document
+	byURL   map[string]DocID
+	byTopic map[string][]DocID
+
+	index *termIndex // sharded by term hash, internally synchronized
+
+	linkMu   sync.RWMutex
+	outLinks map[string][]Link
+	inLinks  map[string][]Link
+
+	redirMu   sync.RWMutex
+	redirects []Redirect
+
+	// epoch counts this shard's mutations. The store's Epoch() is the sum
+	// over shards; search keys per-shard snapshots on the individual value.
+	epoch atomic.Int64
+
+	// docsGauge is store_shard_docs{shard="i"} — the per-shard document
+	// count an operator watches for hot or skewed shards.
+	docsGauge *metrics.Gauge
+}
+
+func newStoreShard(idx int, bits uint, indexHint int) *storeShard {
+	return &storeShard{
+		idx:       idx,
+		bits:      bits,
+		docs:      make(map[DocID]*Document),
+		byURL:     make(map[string]DocID),
+		byTopic:   make(map[string][]DocID),
+		index:     newTermIndexSized(indexHint),
+		outLinks:  make(map[string][]Link),
+		inLinks:   make(map[string][]Link),
+		docsGauge: metrics.NewGauge(fmt.Sprintf(`store_shard_docs{shard="%d"}`, idx)),
+	}
+}
+
+// bumpEpoch advances the shard's mutation epoch (and the process-wide
+// counter).
+func (sh *storeShard) bumpEpoch() {
+	sh.epoch.Add(1)
+	mEpochAdvances.Inc()
+}
+
+// idFor encodes a shard-local sequence number into a DocID: the shard
+// index occupies the low bits, the sequence the rest. With one shard the
+// encoding degenerates to the plain sequence, so single-shard stores
+// assign the same IDs the unsharded store did.
+func (sh *storeShard) idFor(seq int64) DocID {
+	return DocID(seq<<sh.bits | int64(sh.idx))
+}
+
+// insertDocLocked inserts the document row under the shard's docMu,
+// assigning its ID from the shard's sequence. If the URL was already
+// present the replaced row is returned so the caller can clean up its
+// postings (outside docMu).
+func (sh *storeShard) insertDocLocked(d Document) (DocID, *Document) {
+	var old *Document
+	if oldID, ok := sh.byURL[d.URL]; ok {
+		old = sh.removeDocLocked(oldID)
+	}
+	sh.nextSeq++
+	d.ID = sh.idFor(sh.nextSeq)
+	cp := d
+	sh.docs[d.ID] = &cp
+	sh.byURL[d.URL] = d.ID
+	if d.Topic != "" {
+		sh.byTopic[d.Topic] = append(sh.byTopic[d.Topic], d.ID)
+	}
+	mDocs.Add(1)
+	sh.docsGauge.Add(1)
+	return d.ID, old
+}
+
+// removeDocLocked removes the document row (not its postings) and returns
+// it, or nil if absent.
+func (sh *storeShard) removeDocLocked(id DocID) *Document {
+	d, ok := sh.docs[id]
+	if !ok {
+		return nil
+	}
+	delete(sh.docs, id)
+	delete(sh.byURL, d.URL)
+	if d.Topic != "" {
+		ids := sh.byTopic[d.Topic]
+		for i := range ids {
+			if ids[i] == id {
+				sh.byTopic[d.Topic] = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+	}
+	mDocs.Add(-1)
+	sh.docsGauge.Add(-1)
+	return d
+}

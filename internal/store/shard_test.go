@@ -1,0 +1,317 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func shardDoc(url, topic string, conf float64, terms map[string]int) Document {
+	return Document{URL: url, Topic: topic, Confidence: conf, Terms: terms}
+}
+
+func fillSharded(s *Store, n int) {
+	for i := 0; i < n; i++ {
+		s.Insert(shardDoc(
+			fmt.Sprintf("http://h%d.example/p%d", i%17, i),
+			[]string{"db", "ir", "web"}[i%3],
+			float64(i%90)/100,
+			map[string]int{"alpha": 1 + i%3, fmt.Sprintf("t%d", i%29): 2},
+		))
+		if i%4 == 0 {
+			s.AddLink(Link{From: fmt.Sprintf("http://h%d.example/p%d", i%17, i), To: fmt.Sprintf("http://h%d.example/p%d", (i+1)%17, i+1), Anchor: "a"})
+		}
+		if i%9 == 0 {
+			s.AddRedirect(Redirect{From: fmt.Sprintf("http://h%d.example/r%d", i%17, i), To: "http://x.example/"})
+		}
+	}
+}
+
+// TestShardRouting pins the DocID encoding contract: the shard index lives
+// in the low ShardBits of every assigned ID and matches the URL hash route.
+func TestShardRouting(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		s := NewSharded(p)
+		if s.NumShards() != p {
+			t.Fatalf("NumShards(%d) = %d", p, s.NumShards())
+		}
+		for i := 0; i < 200; i++ {
+			u := fmt.Sprintf("http://host%d.example/doc%d", i%13, i)
+			id := s.Insert(shardDoc(u, "db", 0.5, map[string]int{"x": 1}))
+			if got, want := s.ShardOf(id), s.ShardForURL(u); got != want {
+				t.Fatalf("p=%d: doc %s got shard %d from ID, %d from URL", p, u, got, want)
+			}
+			d, err := s.Get(id)
+			if err != nil || d.URL != u {
+				t.Fatalf("p=%d: Get(%d) = %+v, %v", p, id, d, err)
+			}
+		}
+	}
+}
+
+// TestShardedPowerOfTwoClamp: shard counts round up to powers of two and
+// clamp to [1, MaxShards].
+func TestShardedPowerOfTwoClamp(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {63, 64}, {1000, 64},
+	} {
+		if got := NewSharded(tc.in).NumShards(); got != tc.want {
+			t.Errorf("NewSharded(%d).NumShards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestShardedReadsMatchSingleShard: every merged read (NumDocs, All,
+// Topics, ByTopic, Postings/DocFreq, Links, Redirects, MaxDocID coverage)
+// agrees with the single-shard store over the same inserts.
+func TestShardedReadsMatchSingleShard(t *testing.T) {
+	base := NewSharded(1)
+	fillSharded(base, 300)
+	for _, p := range []int{2, 8} {
+		s := NewSharded(p)
+		fillSharded(s, 300)
+		if s.NumDocs() != base.NumDocs() {
+			t.Fatalf("p=%d: NumDocs %d vs %d", p, s.NumDocs(), base.NumDocs())
+		}
+		urls := func(ds []Document) []string {
+			out := make([]string, len(ds))
+			for i, d := range ds {
+				out[i] = d.URL
+			}
+			sort.Strings(out)
+			return out
+		}
+		if got, want := urls(s.All()), urls(base.All()); !equalStrings(got, want) {
+			t.Fatalf("p=%d: All() mismatch", p)
+		}
+		if got, want := s.Topics(), base.Topics(); !equalStrings(got, want) {
+			t.Fatalf("p=%d: Topics %v vs %v", p, got, want)
+		}
+		// ByTopic order (confidence desc, URL tie-break) must be identical
+		// across shardings, not just set-equal.
+		for _, topic := range base.Topics() {
+			g, w := s.ByTopic(topic), base.ByTopic(topic)
+			if len(g) != len(w) {
+				t.Fatalf("p=%d: ByTopic(%s) sizes %d vs %d", p, topic, len(g), len(w))
+			}
+			for i := range g {
+				if g[i].URL != w[i].URL || g[i].Confidence != w[i].Confidence {
+					t.Fatalf("p=%d: ByTopic(%s)[%d] = %s/%v vs %s/%v", p, topic, i, g[i].URL, g[i].Confidence, w[i].URL, w[i].Confidence)
+				}
+			}
+		}
+		if got, want := s.DocFreq("alpha"), base.DocFreq("alpha"); got != want {
+			t.Fatalf("p=%d: DocFreq %d vs %d", p, got, want)
+		}
+		ids, tfs := s.Postings("alpha")
+		if len(ids) != len(tfs) || len(ids) != s.DocFreq("alpha") {
+			t.Fatalf("p=%d: Postings/DocFreq disagree", p)
+		}
+		if len(s.Links()) != len(base.Links()) || len(s.Redirects()) != len(base.Redirects()) {
+			t.Fatalf("p=%d: link/redirect counts differ", p)
+		}
+		max := s.MaxDocID()
+		for _, d := range s.All() {
+			if d.ID > max {
+				t.Fatalf("p=%d: doc ID %d > MaxDocID %d", p, d.ID, max)
+			}
+		}
+	}
+}
+
+// TestShardEpochsFeedStoreEpoch: a write advances exactly its shard's
+// epoch, and Store.Epoch is the sum.
+func TestShardEpochsFeedStoreEpoch(t *testing.T) {
+	s := NewSharded(4)
+	u := "http://epoch.example/d1"
+	si := s.ShardForURL(u)
+	before := make([]int64, s.NumShards())
+	for i := range before {
+		before[i] = s.ShardEpoch(i)
+	}
+	s.Insert(shardDoc(u, "db", 0.5, map[string]int{"x": 1}))
+	var sum int64
+	for i := 0; i < s.NumShards(); i++ {
+		e := s.ShardEpoch(i)
+		sum += e
+		if i == si {
+			if e <= before[i] {
+				t.Errorf("owning shard %d epoch did not advance", i)
+			}
+		} else if e != before[i] {
+			t.Errorf("shard %d epoch moved on a foreign write", i)
+		}
+	}
+	if s.Epoch() != sum {
+		t.Errorf("Epoch() = %d, want sum %d", s.Epoch(), sum)
+	}
+}
+
+// TestShardedVisitors: VisitDocs and VisitLinks stream every row and stop
+// early when fn returns false.
+func TestShardedVisitors(t *testing.T) {
+	s := NewSharded(4)
+	fillSharded(s, 120)
+	seen := 0
+	s.VisitDocs(func(d Document) bool { seen++; return true })
+	if seen != s.NumDocs() {
+		t.Errorf("VisitDocs saw %d of %d", seen, s.NumDocs())
+	}
+	seen = 0
+	s.VisitDocs(func(d Document) bool { seen++; return seen < 5 })
+	if seen != 5 {
+		t.Errorf("VisitDocs early stop saw %d", seen)
+	}
+	links := 0
+	s.VisitLinks(func(l Link) bool { links++; return true })
+	if links != len(s.Links()) {
+		t.Errorf("VisitLinks saw %d of %d", links, len(s.Links()))
+	}
+}
+
+// TestShardedWorkspaceFlush: workspace rows land on their owning shards
+// and the merged view stays consistent with direct inserts.
+func TestShardedWorkspaceFlush(t *testing.T) {
+	s := NewSharded(8)
+	w := s.NewWorkspace(16)
+	for i := 0; i < 100; i++ {
+		u := fmt.Sprintf("http://ws%d.example/p%d", i%11, i)
+		w.Add(shardDoc(u, "db", 0.5, map[string]int{"ws": 1}))
+		w.AddLink(Link{From: u, To: fmt.Sprintf("http://ws%d.example/p%d", (i+3)%11, i+1), Anchor: "x"})
+	}
+	w.Flush()
+	if s.NumDocs() != 100 {
+		t.Fatalf("NumDocs = %d", s.NumDocs())
+	}
+	if got := s.DocFreq("ws"); got != 100 {
+		t.Fatalf("DocFreq(ws) = %d", got)
+	}
+	for i := 0; i < 100; i++ {
+		u := fmt.Sprintf("http://ws%d.example/p%d", i%11, i)
+		d, err := s.GetByURL(u)
+		if err != nil {
+			t.Fatalf("GetByURL(%s): %v", u, err)
+		}
+		if s.ShardOf(d.ID) != s.ShardForURL(u) {
+			t.Fatalf("doc %s on wrong shard", u)
+		}
+		if len(s.Successors(u)) != 1 {
+			t.Fatalf("Successors(%s) = %v", u, s.Successors(u))
+		}
+	}
+}
+
+// TestPersistV1RoundTrip: encode/decode preserves the shard layout, IDs,
+// rows, and keeps assigning fresh IDs afterwards.
+func TestPersistV1RoundTrip(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		s := NewSharded(p)
+		fillSharded(s, 150)
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(buf.Bytes(), append(storeMagic[:], formatVersion)) {
+			t.Fatalf("p=%d: stream missing version header", p)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumShards() != p {
+			t.Fatalf("p=%d: reloaded shard count %d", p, got.NumShards())
+		}
+		if got.NumDocs() != s.NumDocs() {
+			t.Fatalf("p=%d: doc count %d vs %d", p, got.NumDocs(), s.NumDocs())
+		}
+		for _, d := range s.All() {
+			rd, err := got.GetByURL(d.URL)
+			if err != nil || rd.ID != d.ID {
+				t.Fatalf("p=%d: doc %s ID %d -> %d (%v)", p, d.URL, d.ID, rd.ID, err)
+			}
+		}
+		if len(got.Links()) != len(s.Links()) || len(got.Redirects()) != len(s.Redirects()) {
+			t.Fatalf("p=%d: rows lost on reload", p)
+		}
+		// Fresh IDs must not collide with restored ones.
+		before := got.NumDocs()
+		id := got.Insert(shardDoc("http://fresh.example/x", "db", 0.1, map[string]int{"x": 1}))
+		if got.NumDocs() != before+1 {
+			t.Fatalf("p=%d: insert after reload collided (ID %d)", p, id)
+		}
+	}
+}
+
+// TestPersistV0Compat: a stream in the historical headerless layout still
+// decodes, into a single-shard store with IDs preserved.
+func TestPersistV0Compat(t *testing.T) {
+	var buf bytes.Buffer
+	writeLegacyV0Stream(t, &buf)
+	s, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() != 1 {
+		t.Fatalf("v0 stream decoded into %d shards", s.NumShards())
+	}
+	d, err := s.GetByURL("http://v0.example/a")
+	if err != nil || d.ID != 7 {
+		t.Fatalf("v0 doc = %+v, %v", d, err)
+	}
+	if got := s.DocFreq("legaci"); got != 1 {
+		t.Fatalf("v0 postings not rebuilt: %d", got)
+	}
+	if len(s.Links()) != 1 || len(s.Redirects()) != 1 {
+		t.Fatalf("v0 rows lost")
+	}
+	// NextID carries over: the next insert gets 11.
+	id := s.Insert(shardDoc("http://v0.example/b", "db", 0.5, map[string]int{"x": 1}))
+	if id != 11 {
+		t.Fatalf("post-v0 insert got ID %d, want 11", id)
+	}
+}
+
+// TestPersistUnknownVersion: a future format version is a clear error.
+func TestPersistUnknownVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(storeMagic[:])
+	buf.WriteByte(99)
+	buf.WriteString("whatever follows")
+	_, err := Decode(&buf)
+	if err == nil || !strings.Contains(err.Error(), "unsupported format version 99") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// writeLegacyV0Stream emits a stream exactly as the pre-versioning Encode
+// did: a bare gob of the unsharded snapshot.
+func writeLegacyV0Stream(t *testing.T, buf *bytes.Buffer) {
+	t.Helper()
+	legacy := snapshotV0{
+		NextID: 10,
+		Docs: []Document{{
+			ID: 7, URL: "http://v0.example/a", Topic: "db", Confidence: 0.4,
+			Terms: map[string]int{"legaci": 2},
+		}},
+		Links:     []Link{{From: "http://v0.example/a", To: "http://v0.example/z"}},
+		Redirects: []Redirect{{From: "http://v0.example/r", To: "http://v0.example/a"}},
+	}
+	if err := gob.NewEncoder(buf).Encode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -8,16 +8,20 @@
 // in-memory relations (documents, postings, links, redirects), a
 // workspace/bulk-load write path, and binary persistence.
 //
-// Locking is per relation — document rows, the inverted index (itself
-// sharded by term hash), link rows, and redirect rows each have their own
-// lock — so concurrent workspace flushes from different crawler threads do
-// not serialize on one global mutex.
+// The store is partitioned into P document shards (NewSharded). A document
+// belongs to the shard its URL hashes to, and its DocID encodes the shard
+// in the low bits — routing any ID or URL to its shard is a mask, not a
+// map lookup. Each shard owns its rows, its slice of the inverted index
+// (itself sharded by term hash), its link/redirect rows, and its own
+// mutation epoch, so concurrent workspace flushes from different crawler
+// threads touching different shards share no locks at all. New() returns a
+// single-shard store whose IDs and iteration behavior match the historical
+// unsharded store exactly.
 package store
 
 import (
 	"errors"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -27,7 +31,8 @@ import (
 // Process-wide storage metrics: write-path traffic (per-row inserts vs
 // bulk loads and their batch sizes), inverted-index growth, and mutation
 // epochs — the §4.1 signals an operator needs to see whether crawler
-// threads are actually batching.
+// threads are actually batching. Per-shard document counts are exported as
+// store_shard_docs{shard="i"} (see shard.go).
 var (
 	mRowInserts    = metrics.NewCounter("store_row_inserts_total")
 	mBulkLoads     = metrics.NewCounter("store_bulk_loads_total")
@@ -38,7 +43,9 @@ var (
 	mDocs          = metrics.NewGauge("store_docs")
 )
 
-// DocID identifies a stored document.
+// DocID identifies a stored document. The shard index lives in the low
+// bits (ShardOf) and the shard-local sequence number in the rest; ID 0 is
+// never assigned and marks a hole in dense per-document arrays.
 type DocID int64
 
 // Document is one row of the document relation.
@@ -93,131 +100,110 @@ var ErrNotFound = errors.New("store: document not found")
 // seen-set ensure a URL is processed at most once per crawl), which is what
 // keeps the split document/index locks coherent for replacements.
 type Store struct {
-	docMu   sync.RWMutex // guards nextID, docs, byURL, byTopic
-	nextID  DocID
-	docs    map[DocID]*Document
-	byURL   map[string]DocID
-	byTopic map[string][]DocID
-
-	index *termIndex // sharded, internally synchronized
-
-	linkMu   sync.RWMutex
-	outLinks map[string][]Link
-	inLinks  map[string][]Link
-
-	redirMu   sync.RWMutex
-	redirects []Redirect
+	shardBits uint
+	mask      uint32 // shard count - 1 (shard counts are powers of two)
+	shards    []*storeShard
 
 	inserts   atomic.Int64
 	bulkLoads atomic.Int64
-
-	// epoch counts store mutations. Every write — row insert, delete,
-	// topic/training update, link or redirect append, bulk load, decode —
-	// advances it, so a delete followed by an insert is distinguishable
-	// from no change even though NumDocs is identical. Derived caches (idf
-	// tables, HITS authority scores, search snapshots) key on it.
-	epoch atomic.Int64
 }
 
-// bumpEpoch advances the mutation epoch (and its process-wide counter).
-func (s *Store) bumpEpoch() {
-	s.epoch.Add(1)
-	mEpochAdvances.Inc()
-}
-
-// New returns an empty store.
+// New returns an empty single-shard store. Its DocIDs are the plain
+// sequence 1, 2, 3, … and every read iterates one partition, exactly the
+// behavior of the historical unsharded store.
 func New() *Store {
-	return &Store{
-		docs:     make(map[DocID]*Document),
-		byURL:    make(map[string]DocID),
-		index:    newTermIndex(),
-		outLinks: make(map[string][]Link),
-		inLinks:  make(map[string][]Link),
-		byTopic:  make(map[string][]DocID),
+	return NewSharded(1)
+}
+
+// NewSharded returns an empty store partitioned into p document shards.
+// p is clamped to [1, MaxShards] and rounded up to a power of two so
+// shard routing is a bit mask.
+func NewSharded(p int) *Store {
+	if p < 1 {
+		p = 1
 	}
+	if p > MaxShards {
+		p = MaxShards
+	}
+	bits := uint(0)
+	for 1<<bits < p {
+		bits++
+	}
+	p = 1 << bits
+	// Split the historical per-index-shard map pre-size across store
+	// shards: P stores of 64 index shards should not pre-allocate P times
+	// the memory one store did.
+	hint := 512 / p
+	if hint < 16 {
+		hint = 16
+	}
+	s := &Store{shardBits: bits, mask: uint32(p - 1), shards: make([]*storeShard, p)}
+	for i := range s.shards {
+		s.shards[i] = newStoreShard(i, bits, hint)
+	}
+	return s
+}
+
+// NumShards returns the store's shard count (a power of two).
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ShardBits returns the number of low DocID bits that hold the shard
+// index; id >> ShardBits() is the shard-local sequence number.
+func (s *Store) ShardBits() uint { return s.shardBits }
+
+// ShardOf returns the shard index encoded in id.
+func (s *Store) ShardOf(id DocID) int { return int(uint32(id) & s.mask) }
+
+// ShardForURL returns the shard index url routes to.
+func (s *Store) ShardForURL(url string) int { return int(fnv32(url) & s.mask) }
+
+func (s *Store) shardOf(id DocID) *storeShard { return s.shards[uint32(id)&s.mask] }
+func (s *Store) shardForURL(url string) *storeShard {
+	return s.shards[fnv32(url)&s.mask]
 }
 
 // Insert stores one document immediately (the slow per-row path). The
-// document's ID is assigned by the store and returned. A document with a URL
-// already present replaces the old row (recrawl).
+// document's ID is assigned by its shard and returned. A document with a
+// URL already present replaces the old row (recrawl).
 func (s *Store) Insert(d Document) DocID {
-	s.docMu.Lock()
-	id, old := s.insertDocLocked(d)
-	s.docMu.Unlock()
+	sh := s.shardForURL(d.URL)
+	sh.docMu.Lock()
+	id, old := sh.insertDocLocked(d)
+	sh.docMu.Unlock()
 	if old != nil {
-		s.index.removeDoc(old.ID, old.Terms)
+		sh.index.removeDoc(old.ID, old.Terms)
 	}
-	s.index.addDoc(id, d.Terms)
+	sh.index.addDoc(id, d.Terms)
 	s.inserts.Add(1)
 	mRowInserts.Inc()
-	s.bumpEpoch()
+	sh.bumpEpoch()
 	return id
-}
-
-// insertDocLocked inserts the document row under docMu, assigning its ID.
-// If the URL was already present the replaced row is returned so the caller
-// can clean up its postings (outside docMu).
-func (s *Store) insertDocLocked(d Document) (DocID, *Document) {
-	var old *Document
-	if oldID, ok := s.byURL[d.URL]; ok {
-		old = s.removeDocLocked(oldID)
-	}
-	s.nextID++
-	d.ID = s.nextID
-	cp := d
-	s.docs[d.ID] = &cp
-	s.byURL[d.URL] = d.ID
-	if d.Topic != "" {
-		s.byTopic[d.Topic] = append(s.byTopic[d.Topic], d.ID)
-	}
-	mDocs.Add(1)
-	return d.ID, old
-}
-
-// removeDocLocked removes the document row (not its postings) and returns
-// it, or nil if absent.
-func (s *Store) removeDocLocked(id DocID) *Document {
-	d, ok := s.docs[id]
-	if !ok {
-		return nil
-	}
-	delete(s.docs, id)
-	delete(s.byURL, d.URL)
-	if d.Topic != "" {
-		ids := s.byTopic[d.Topic]
-		for i := range ids {
-			if ids[i] == id {
-				s.byTopic[d.Topic] = append(ids[:i], ids[i+1:]...)
-				break
-			}
-		}
-	}
-	mDocs.Add(-1)
-	return d
 }
 
 // Delete removes a document by URL.
 func (s *Store) Delete(url string) bool {
-	s.docMu.Lock()
-	id, ok := s.byURL[url]
+	sh := s.shardForURL(url)
+	sh.docMu.Lock()
+	id, ok := sh.byURL[url]
 	var d *Document
 	if ok {
-		d = s.removeDocLocked(id)
+		d = sh.removeDocLocked(id)
 	}
-	s.docMu.Unlock()
+	sh.docMu.Unlock()
 	if d == nil {
 		return false
 	}
-	s.index.removeDoc(d.ID, d.Terms)
-	s.bumpEpoch()
+	sh.index.removeDoc(d.ID, d.Terms)
+	sh.bumpEpoch()
 	return true
 }
 
 // Get returns the document stored under id.
 func (s *Store) Get(id DocID) (Document, error) {
-	s.docMu.RLock()
-	defer s.docMu.RUnlock()
-	d, ok := s.docs[id]
+	sh := s.shardOf(id)
+	sh.docMu.RLock()
+	defer sh.docMu.RUnlock()
+	d, ok := sh.docs[id]
 	if !ok {
 		return Document{}, ErrNotFound
 	}
@@ -226,61 +212,114 @@ func (s *Store) Get(id DocID) (Document, error) {
 
 // GetByURL returns the document stored under url.
 func (s *Store) GetByURL(url string) (Document, error) {
-	s.docMu.RLock()
-	defer s.docMu.RUnlock()
-	id, ok := s.byURL[url]
+	sh := s.shardForURL(url)
+	sh.docMu.RLock()
+	defer sh.docMu.RUnlock()
+	id, ok := sh.byURL[url]
 	if !ok {
 		return Document{}, ErrNotFound
 	}
-	return *s.docs[id], nil
+	return *sh.docs[id], nil
 }
 
 // Contains reports whether url is stored.
 func (s *Store) Contains(url string) bool {
-	s.docMu.RLock()
-	defer s.docMu.RUnlock()
-	_, ok := s.byURL[url]
+	sh := s.shardForURL(url)
+	sh.docMu.RLock()
+	defer sh.docMu.RUnlock()
+	_, ok := sh.byURL[url]
 	return ok
 }
 
-// NumDocs returns the document count.
+// NumDocs returns the document count across all shards.
 func (s *Store) NumDocs() int {
-	s.docMu.RLock()
-	defer s.docMu.RUnlock()
-	return len(s.docs)
+	n := 0
+	for _, sh := range s.shards {
+		sh.docMu.RLock()
+		n += len(sh.docs)
+		sh.docMu.RUnlock()
+	}
+	return n
 }
 
-// Epoch returns the store's monotonic mutation counter. Two equal readings
-// bracket a window with no writes; any write in between yields a larger
-// value, which makes the epoch a sound cache key where NumDocs is not
-// (delete + insert leaves the count unchanged).
+// Epoch returns the store's monotonic mutation counter — the sum of the
+// per-shard epochs. Two equal readings bracket a window with no writes;
+// any write in between yields a larger value, which makes the epoch a
+// sound cache key where NumDocs is not (delete + insert leaves the count
+// unchanged). Derived caches that want to rebuild incrementally key on the
+// individual ShardEpoch values instead.
 func (s *Store) Epoch() int64 {
-	return s.epoch.Load()
+	var sum int64
+	for _, sh := range s.shards {
+		sum += sh.epoch.Load()
+	}
+	return sum
+}
+
+// ShardEpoch returns shard i's mutation counter.
+func (s *Store) ShardEpoch(i int) int64 { return s.shards[i].epoch.Load() }
+
+// ShardNumDocs returns shard i's document count.
+func (s *Store) ShardNumDocs(i int) int {
+	sh := s.shards[i]
+	sh.docMu.RLock()
+	defer sh.docMu.RUnlock()
+	return len(sh.docs)
+}
+
+// ShardMaxSeq returns the highest shard-local sequence number ever
+// assigned in shard i; dense per-sequence arrays need ShardMaxSeq+1 slots.
+func (s *Store) ShardMaxSeq(i int) int64 {
+	sh := s.shards[i]
+	sh.docMu.RLock()
+	defer sh.docMu.RUnlock()
+	return sh.nextSeq
+}
+
+// ShardDocs returns a snapshot of shard i's documents (unordered).
+func (s *Store) ShardDocs(i int) []Document {
+	sh := s.shards[i]
+	sh.docMu.RLock()
+	defer sh.docMu.RUnlock()
+	out := make([]Document, 0, len(sh.docs))
+	for _, d := range sh.docs {
+		out = append(out, *d)
+	}
+	return out
 }
 
 // MaxDocID returns the highest DocID ever assigned. IDs are never reused,
 // so dense per-document arrays indexed by DocID need MaxDocID+1 slots.
 func (s *Store) MaxDocID() DocID {
-	s.docMu.RLock()
-	defer s.docMu.RUnlock()
-	return s.nextID
+	var max DocID
+	for _, sh := range s.shards {
+		sh.docMu.RLock()
+		if sh.nextSeq > 0 {
+			if id := sh.idFor(sh.nextSeq); id > max {
+				max = id
+			}
+		}
+		sh.docMu.RUnlock()
+	}
+	return max
 }
 
 // SetTopic reassigns a document's topic and confidence (re-classification
 // after retraining).
 func (s *Store) SetTopic(url, topic string, confidence float64) error {
-	s.docMu.Lock()
-	defer s.docMu.Unlock()
-	id, ok := s.byURL[url]
+	sh := s.shardForURL(url)
+	sh.docMu.Lock()
+	defer sh.docMu.Unlock()
+	id, ok := sh.byURL[url]
 	if !ok {
 		return ErrNotFound
 	}
-	d := s.docs[id]
+	d := sh.docs[id]
 	if d.Topic != "" {
-		ids := s.byTopic[d.Topic]
+		ids := sh.byTopic[d.Topic]
 		for i := range ids {
 			if ids[i] == id {
-				s.byTopic[d.Topic] = append(ids[:i], ids[i+1:]...)
+				sh.byTopic[d.Topic] = append(ids[:i], ids[i+1:]...)
 				break
 			}
 		}
@@ -288,109 +327,180 @@ func (s *Store) SetTopic(url, topic string, confidence float64) error {
 	d.Topic = topic
 	d.Confidence = confidence
 	if topic != "" {
-		s.byTopic[topic] = append(s.byTopic[topic], id)
+		sh.byTopic[topic] = append(sh.byTopic[topic], id)
 	}
-	s.bumpEpoch()
+	sh.bumpEpoch()
 	return nil
 }
 
 // SetTraining flags or unflags a document as training data.
 func (s *Store) SetTraining(url string, training bool) error {
-	s.docMu.Lock()
-	defer s.docMu.Unlock()
-	id, ok := s.byURL[url]
+	sh := s.shardForURL(url)
+	sh.docMu.Lock()
+	defer sh.docMu.Unlock()
+	id, ok := sh.byURL[url]
 	if !ok {
 		return ErrNotFound
 	}
-	s.docs[id].IsTraining = training
-	s.bumpEpoch()
+	sh.docs[id].IsTraining = training
+	sh.bumpEpoch()
 	return nil
 }
 
 // ByTopic returns the documents assigned to topic, ordered by descending
-// confidence.
+// confidence with URL as the tie-break. (The tie-break is by URL, not
+// DocID, so the ordering is identical no matter how the store is sharded —
+// IDs encode the shard and would order ties differently per layout.)
 func (s *Store) ByTopic(topic string) []Document {
-	s.docMu.RLock()
-	ids := s.byTopic[topic]
-	out := make([]Document, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, *s.docs[id])
+	var out []Document
+	for _, sh := range s.shards {
+		sh.docMu.RLock()
+		ids := sh.byTopic[topic]
+		for _, id := range ids {
+			out = append(out, *sh.docs[id])
+		}
+		sh.docMu.RUnlock()
 	}
-	s.docMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Confidence != out[j].Confidence {
 			return out[i].Confidence > out[j].Confidence
 		}
-		return out[i].ID < out[j].ID
+		return out[i].URL < out[j].URL
 	})
 	return out
 }
 
 // Topics lists the distinct topics with at least one document, sorted.
 func (s *Store) Topics() []string {
-	s.docMu.RLock()
-	out := make([]string, 0, len(s.byTopic))
-	for t, ids := range s.byTopic {
-		if len(ids) > 0 {
-			out = append(out, t)
+	seen := make(map[string]struct{})
+	for _, sh := range s.shards {
+		sh.docMu.RLock()
+		for t, ids := range sh.byTopic {
+			if len(ids) > 0 {
+				seen[t] = struct{}{}
+			}
 		}
+		sh.docMu.RUnlock()
 	}
-	s.docMu.RUnlock()
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
 	sort.Strings(out)
 	return out
 }
 
-// All returns every stored document (unordered snapshot).
+// All returns every stored document (unordered snapshot across shards).
 func (s *Store) All() []Document {
-	s.docMu.RLock()
-	defer s.docMu.RUnlock()
-	out := make([]Document, 0, len(s.docs))
-	for _, d := range s.docs {
-		out = append(out, *d)
+	out := make([]Document, 0, s.NumDocs())
+	for _, sh := range s.shards {
+		sh.docMu.RLock()
+		for _, d := range sh.docs {
+			out = append(out, *d)
+		}
+		sh.docMu.RUnlock()
 	}
 	return out
 }
 
-// Postings returns (docID, tf) pairs for a term as parallel slices.
-func (s *Store) Postings(term string) ([]DocID, []int) {
-	return s.index.get(term)
+// VisitDocs streams every stored document to fn, shard by shard, without
+// materializing the whole corpus — the merged read view HITS, clustering,
+// feature selection and XML export consume. fn receives a copy of each
+// row; returning false stops the walk. fn must not call back into the
+// store (the visited shard's document lock is held for the duration of its
+// walk).
+func (s *Store) VisitDocs(fn func(Document) bool) {
+	for _, sh := range s.shards {
+		sh.docMu.RLock()
+		for _, d := range sh.docs {
+			if !fn(*d) {
+				sh.docMu.RUnlock()
+				return
+			}
+		}
+		sh.docMu.RUnlock()
+	}
 }
 
-// VisitPostings streams a term's postings to fn under the index shard's
-// read lock, without copying the postings slice — the zero-copy read path
-// for query scoring. fn must be fast and must not call back into the store
-// (the shard stays read-locked for the duration of the visit).
+// Postings returns (docID, tf) pairs for a term as parallel slices,
+// concatenated shard by shard (within a shard, postings keep insert
+// order).
+func (s *Store) Postings(term string) ([]DocID, []int) {
+	if len(s.shards) == 1 {
+		return s.shards[0].index.get(term)
+	}
+	var ids []DocID
+	var tfs []int
+	for _, sh := range s.shards {
+		i2, t2 := sh.index.get(term)
+		ids = append(ids, i2...)
+		tfs = append(tfs, t2...)
+	}
+	return ids, tfs
+}
+
+// VisitPostings streams a term's postings to fn shard by shard under each
+// index shard's read lock, without copying the postings slice — the
+// zero-copy read path for query scoring. fn must be fast and must not call
+// back into the store (an index shard stays read-locked for the duration
+// of its visit).
 func (s *Store) VisitPostings(term string, fn func(doc DocID, tf int)) {
-	s.index.visit(term, fn)
+	for _, sh := range s.shards {
+		sh.index.visit(term, fn)
+	}
+}
+
+// VisitShardPostings streams a term's postings within shard i only (the
+// scatter phase of a sharded query reads each shard independently).
+func (s *Store) VisitShardPostings(i int, term string, fn func(doc DocID, tf int)) {
+	s.shards[i].index.visit(term, fn)
 }
 
 // DocFreq returns the number of documents containing term.
 func (s *Store) DocFreq(term string) int {
-	return s.index.docFreq(term)
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.index.docFreq(term)
+	}
+	return n
 }
 
-// AddLink records a hyperlink row.
+// AddLink records a hyperlink row: the out-link row lands on the source
+// URL's shard, the in-link row on the target URL's shard.
 func (s *Store) AddLink(l Link) {
-	s.linkMu.Lock()
-	s.outLinks[l.From] = append(s.outLinks[l.From], l)
-	s.inLinks[l.To] = append(s.inLinks[l.To], l)
-	s.linkMu.Unlock()
-	s.bumpEpoch()
+	shFrom := s.shardForURL(l.From)
+	shTo := s.shardForURL(l.To)
+	shFrom.linkMu.Lock()
+	shFrom.outLinks[l.From] = append(shFrom.outLinks[l.From], l)
+	if shTo == shFrom {
+		shTo.inLinks[l.To] = append(shTo.inLinks[l.To], l)
+		shFrom.linkMu.Unlock()
+		shFrom.bumpEpoch()
+		return
+	}
+	shFrom.linkMu.Unlock()
+	shTo.linkMu.Lock()
+	shTo.inLinks[l.To] = append(shTo.inLinks[l.To], l)
+	shTo.linkMu.Unlock()
+	shFrom.bumpEpoch()
+	shTo.bumpEpoch()
 }
 
-// AddRedirect records a redirect row.
+// AddRedirect records a redirect row on the source URL's shard.
 func (s *Store) AddRedirect(r Redirect) {
-	s.redirMu.Lock()
-	s.redirects = append(s.redirects, r)
-	s.redirMu.Unlock()
-	s.bumpEpoch()
+	sh := s.shardForURL(r.From)
+	sh.redirMu.Lock()
+	sh.redirects = append(sh.redirects, r)
+	sh.redirMu.Unlock()
+	sh.bumpEpoch()
 }
 
 // Successors returns the target URLs linked from url.
 func (s *Store) Successors(url string) []string {
-	s.linkMu.RLock()
-	defer s.linkMu.RUnlock()
-	ls := s.outLinks[url]
+	sh := s.shardForURL(url)
+	sh.linkMu.RLock()
+	defer sh.linkMu.RUnlock()
+	ls := sh.outLinks[url]
 	out := make([]string, len(ls))
 	for i, l := range ls {
 		out[i] = l.To
@@ -400,9 +510,10 @@ func (s *Store) Successors(url string) []string {
 
 // Predecessors returns the URLs linking to url.
 func (s *Store) Predecessors(url string) []string {
-	s.linkMu.RLock()
-	defer s.linkMu.RUnlock()
-	ls := s.inLinks[url]
+	sh := s.shardForURL(url)
+	sh.linkMu.RLock()
+	defer sh.linkMu.RUnlock()
+	ls := sh.inLinks[url]
 	out := make([]string, len(ls))
 	for i, l := range ls {
 		out[i] = l.From
@@ -413,9 +524,10 @@ func (s *Store) Predecessors(url string) []string {
 // InAnchors returns the anchor texts of links pointing at url (for the
 // anchor-text feature space).
 func (s *Store) InAnchors(url string) []string {
-	s.linkMu.RLock()
-	defer s.linkMu.RUnlock()
-	ls := s.inLinks[url]
+	sh := s.shardForURL(url)
+	sh.linkMu.RLock()
+	defer sh.linkMu.RUnlock()
+	ls := sh.inLinks[url]
 	out := make([]string, 0, len(ls))
 	for _, l := range ls {
 		if l.Anchor != "" {
@@ -425,23 +537,47 @@ func (s *Store) InAnchors(url string) []string {
 	return out
 }
 
-// Links returns a snapshot of every link row.
+// Links returns a snapshot of every link row. Each link is stored once in
+// its source shard's out-link table, so the concatenation has no
+// duplicates.
 func (s *Store) Links() []Link {
-	s.linkMu.RLock()
-	defer s.linkMu.RUnlock()
 	var out []Link
-	for _, ls := range s.outLinks {
-		out = append(out, ls...)
+	for _, sh := range s.shards {
+		sh.linkMu.RLock()
+		for _, ls := range sh.outLinks {
+			out = append(out, ls...)
+		}
+		sh.linkMu.RUnlock()
 	}
 	return out
 }
 
-// Redirects returns a snapshot of the redirect relation.
+// VisitLinks streams every link row to fn, shard by shard (the merged read
+// view for link analysis). Returning false stops the walk; fn must not
+// call back into the store.
+func (s *Store) VisitLinks(fn func(Link) bool) {
+	for _, sh := range s.shards {
+		sh.linkMu.RLock()
+		for _, ls := range sh.outLinks {
+			for _, l := range ls {
+				if !fn(l) {
+					sh.linkMu.RUnlock()
+					return
+				}
+			}
+		}
+		sh.linkMu.RUnlock()
+	}
+}
+
+// Redirects returns a snapshot of the redirect relation across shards.
 func (s *Store) Redirects() []Redirect {
-	s.redirMu.RLock()
-	defer s.redirMu.RUnlock()
-	out := make([]Redirect, len(s.redirects))
-	copy(out, s.redirects)
+	var out []Redirect
+	for _, sh := range s.shards {
+		sh.redirMu.RLock()
+		out = append(out, sh.redirects...)
+		sh.redirMu.RUnlock()
+	}
 	return out
 }
 

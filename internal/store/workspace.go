@@ -5,26 +5,44 @@ import "time"
 // This file implements the batched write path: workspaces buffer rows per
 // crawler thread and move them into the store with one bulk load, which is
 // what lets the crawl sustain §4.1's "up to ten thousand documents per
-// minute" without per-row lock traffic. Flush sizes and durations are
-// exported as store_flush_rows / store_flush_nanos so an operator can see
-// whether batching is actually happening (many small flushes mean the
-// batch size is too low or the crawl is starved).
+// minute" without per-row lock traffic. Rows are buffered per document
+// shard at Add time, so a flush walks the shards it actually touched and
+// takes each shard's relation locks exactly once — two threads flushing
+// simultaneously only contend when they touch the same shard's same
+// relation at the same instant. Flush sizes and durations are exported as
+// store_flush_rows / store_flush_nanos so an operator can see whether
+// batching is actually happening (many small flushes mean the batch size
+// is too low or the crawl is starved).
+
+// wsShard is one shard's slice of a workspace buffer. An out-link row is
+// buffered on its source URL's shard, an in-link row on its target's (the
+// same Link lands in two buffers when the endpoints hash apart), matching
+// the store's link-row routing.
+type wsShard struct {
+	docs      []Document
+	outLinks  []Link
+	inLinks   []Link
+	redirects []Redirect
+}
+
+func (b *wsShard) rows() int {
+	return len(b.docs) + len(b.outLinks) + len(b.redirects)
+}
 
 // Workspace is a per-crawler-thread write buffer (§4.1): "Each thread
 // batches the storing of new documents and avoids SQL insert commands by
 // first collecting a certain number of documents in workspaces and then
 // invoking the database system's bulk loader." Flush moves each buffered
-// relation into the store under that relation's lock, so two threads
-// flushing simultaneously only contend when they touch the same relation.
+// relation into its owning shard under that shard's relation lock.
 //
 // A workspace is owned by one goroutine; only the store it flushes into is
 // shared.
 type Workspace struct {
 	store     *Store
 	batchSize int
-	docs      []Document
-	links     []Link
-	redirects []Redirect
+	byShard   []wsShard
+	buffered  int // total rows across shards (in-link rows not double-counted)
+	pending   int // buffered documents
 
 	// Flush scratch, reused across batches so the steady state allocates
 	// nothing per flush.
@@ -44,100 +62,117 @@ func (s *Store) NewWorkspace(batchSize int) *Workspace {
 	return &Workspace{
 		store:     s,
 		batchSize: batchSize,
-		docs:      make([]Document, 0, batchSize),
-		links:     make([]Link, 0, 2*batchSize),
+		byShard:   make([]wsShard, len(s.shards)),
 	}
 }
 
 // Add buffers a document, flushing automatically when the batch is full.
 func (w *Workspace) Add(d Document) {
-	w.docs = append(w.docs, d)
+	b := &w.byShard[w.store.ShardForURL(d.URL)]
+	b.docs = append(b.docs, d)
+	w.buffered++
+	w.pending++
 	w.maybeFlush()
 }
 
 // AddLink buffers a link row, flushing automatically when the batch is full.
 func (w *Workspace) AddLink(l Link) {
-	w.links = append(w.links, l)
+	from := w.store.ShardForURL(l.From)
+	to := w.store.ShardForURL(l.To)
+	w.byShard[from].outLinks = append(w.byShard[from].outLinks, l)
+	w.byShard[to].inLinks = append(w.byShard[to].inLinks, l)
+	w.buffered++
 	w.maybeFlush()
 }
 
 // AddRedirect buffers a redirect row, flushing automatically when the batch
 // is full.
 func (w *Workspace) AddRedirect(r Redirect) {
-	w.redirects = append(w.redirects, r)
+	b := &w.byShard[w.store.ShardForURL(r.From)]
+	b.redirects = append(b.redirects, r)
+	w.buffered++
 	w.maybeFlush()
 }
 
 // Pending returns the number of buffered documents.
-func (w *Workspace) Pending() int { return len(w.docs) }
+func (w *Workspace) Pending() int { return w.pending }
 
 // Buffered returns the total number of buffered rows across all relations.
-func (w *Workspace) Buffered() int {
-	return len(w.docs) + len(w.links) + len(w.redirects)
-}
+func (w *Workspace) Buffered() int { return w.buffered }
 
 func (w *Workspace) maybeFlush() {
-	if w.Buffered() >= w.batchSize {
+	if w.buffered >= w.batchSize {
 		w.Flush()
 	}
 }
 
-// Flush bulk-loads all buffered rows into the store.
+// Flush bulk-loads all buffered rows into their owning shards, walking the
+// shards in index order and skipping untouched ones.
 func (w *Workspace) Flush() {
-	if w.Buffered() == 0 {
+	if w.buffered == 0 {
 		return
 	}
 	start := time.Now()
-	mFlushRows.Observe(int64(w.Buffered()))
+	mFlushRows.Observe(int64(w.buffered))
 	s := w.store
-	if len(w.docs) > 0 {
-		w.ids = w.ids[:0]
-		w.terms = w.terms[:0]
-		var replaced []*Document
-		s.docMu.Lock()
-		for i := range w.docs {
-			id, old := s.insertDocLocked(w.docs[i])
-			w.ids = append(w.ids, id)
-			w.terms = append(w.terms, w.docs[i].Terms)
-			if old != nil {
-				replaced = append(replaced, old)
-			}
+	for si := range w.byShard {
+		b := &w.byShard[si]
+		if b.rows() == 0 && len(b.inLinks) == 0 {
+			continue
 		}
-		s.docMu.Unlock()
-		for _, old := range replaced {
-			s.index.removeDoc(old.ID, old.Terms)
-		}
-		s.index.bulkAdd(&w.idxBatch, w.ids, w.terms)
-	}
-	if len(w.links) > 0 {
-		s.linkMu.Lock()
-		// Links are buffered page by page, so the buffer is runs of equal
-		// From; append each run to the out-link table in one shot instead of
-		// re-probing the map per link.
-		for i := 0; i < len(w.links); {
-			j := i + 1
-			from := w.links[i].From
-			for j < len(w.links) && w.links[j].From == from {
-				j++
+		sh := s.shards[si]
+		if len(b.docs) > 0 {
+			w.ids = w.ids[:0]
+			w.terms = w.terms[:0]
+			var replaced []*Document
+			sh.docMu.Lock()
+			for i := range b.docs {
+				id, old := sh.insertDocLocked(b.docs[i])
+				w.ids = append(w.ids, id)
+				w.terms = append(w.terms, b.docs[i].Terms)
+				if old != nil {
+					replaced = append(replaced, old)
+				}
 			}
-			s.outLinks[from] = append(s.outLinks[from], w.links[i:j]...)
-			for ; i < j; i++ {
-				l := w.links[i]
-				s.inLinks[l.To] = append(s.inLinks[l.To], l)
+			sh.docMu.Unlock()
+			for _, old := range replaced {
+				sh.index.removeDoc(old.ID, old.Terms)
 			}
+			sh.index.bulkAdd(&w.idxBatch, w.ids, w.terms)
 		}
-		s.linkMu.Unlock()
-	}
-	if len(w.redirects) > 0 {
-		s.redirMu.Lock()
-		s.redirects = append(s.redirects, w.redirects...)
-		s.redirMu.Unlock()
+		if len(b.outLinks) > 0 || len(b.inLinks) > 0 {
+			sh.linkMu.Lock()
+			// Out-links are buffered page by page, so the buffer is runs of
+			// equal From; append each run to the out-link table in one shot
+			// instead of re-probing the map per link.
+			for i := 0; i < len(b.outLinks); {
+				j := i + 1
+				from := b.outLinks[i].From
+				for j < len(b.outLinks) && b.outLinks[j].From == from {
+					j++
+				}
+				sh.outLinks[from] = append(sh.outLinks[from], b.outLinks[i:j]...)
+				i = j
+			}
+			for _, l := range b.inLinks {
+				sh.inLinks[l.To] = append(sh.inLinks[l.To], l)
+			}
+			sh.linkMu.Unlock()
+		}
+		if len(b.redirects) > 0 {
+			sh.redirMu.Lock()
+			sh.redirects = append(sh.redirects, b.redirects...)
+			sh.redirMu.Unlock()
+		}
+		sh.bumpEpoch()
+		b.docs = b.docs[:0]
+		b.outLinks = b.outLinks[:0]
+		b.inLinks = b.inLinks[:0]
+		b.redirects = b.redirects[:0]
 	}
 	s.bulkLoads.Add(1)
 	mBulkLoads.Inc()
-	s.bumpEpoch()
-	w.docs = w.docs[:0]
-	w.links = w.links[:0]
-	w.redirects = w.redirects[:0]
+	w.buffered = 0
+	w.pending = 0
 	mFlushNanos.ObserveSince(start)
 }

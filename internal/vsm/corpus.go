@@ -75,6 +75,27 @@ func (c *CorpusStats) Snapshot() *IDFTable {
 	return t
 }
 
+// TableFromDocFreq materializes an idf table directly from a document-
+// frequency map and corpus size, bypassing CorpusStats. Partitioned
+// corpora merge per-partition df counts (an exact, order-independent
+// integer sum) and build the global table in one step, yielding idf values
+// bit-identical to a single-partition pass over the same documents.
+func TableFromDocFreq(docFreq map[string]int, numDocs int) *IDFTable {
+	t := &IDFTable{
+		idf:     make(map[string]float64, len(docFreq)),
+		numDocs: numDocs,
+	}
+	n := float64(numDocs)
+	if n == 0 {
+		n = 1
+	}
+	for term, df := range docFreq {
+		t.idf[term] = math.Log(1 + n/float64(df))
+	}
+	t.defaultIDF = math.Log(1 + n)
+	return t
+}
+
 // NumDocs returns the corpus size at snapshot time.
 func (t *IDFTable) NumDocs() int { return t.numDocs }
 

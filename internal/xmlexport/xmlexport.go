@@ -81,7 +81,10 @@ func Build(st *store.Store, opts Options, now time.Time) *Corpus {
 	opts.fill()
 	var docs []store.Document
 	if opts.Topic == "" {
-		docs = st.All()
+		st.VisitDocs(func(d store.Document) bool {
+			docs = append(docs, d)
+			return true
+		})
 		sort.Slice(docs, func(i, j int) bool { return docs[i].URL < docs[j].URL })
 	} else {
 		docs = st.ByTopic(opts.Topic)
