@@ -4,11 +4,14 @@
 # snapshot-scorer query speedup; `make bench-overhead` regenerates
 # BENCH_overhead.json, the record of the metrics layer's per-event cost;
 # `make bench-shard` regenerates BENCH_shard.json, the record of the
-# partitioned store's dirty-shard rebuild economy under mixed load.
+# partitioned store's dirty-shard rebuild economy under mixed load;
+# `make bench-serve` regenerates BENCH_serve.json, the record of the
+# serving path's epoch-keyed result-cache speedup under open-loop load;
+# `make smoke` boots portald and drives a loadgen burst end to end.
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race chaos bench bench-search bench-overhead bench-shard
+.PHONY: all build vet fmt-check test race chaos smoke bench bench-search bench-overhead bench-shard bench-serve
 
 all: build test
 
@@ -30,7 +33,7 @@ test: vet fmt-check
 # parallel HITS sweeps); race runs the packages that exercise them, plus the
 # lock-free metrics primitives they all report into.
 race:
-	$(GO) test -race ./internal/crawler/... ./internal/store/... ./internal/frontier/... ./internal/search/... ./internal/hits/... ./internal/metrics/...
+	$(GO) test -race ./internal/crawler/... ./internal/store/... ./internal/frontier/... ./internal/search/... ./internal/hits/... ./internal/metrics/... ./internal/serve/... ./internal/servecache/... ./internal/admit/... ./internal/loadgen/...
 
 # chaos runs the fault-injection suite (full crawls against the seeded fault
 # plane, plus the faults/fetch resilience units) across a fixed seed matrix
@@ -61,6 +64,21 @@ bench-search:
 bench-shard:
 	$(GO) test -run '^$$' -bench 'BenchmarkShardChurn' -benchtime 1s -benchmem .
 	BENCH_JSON=BENCH_shard.json $(GO) test -run TestWriteShardBenchJSON -v .
+
+# bench-serve reports requests/sec through the serving handler with the
+# result cache on vs off, then records the full open-loop rate sweep —
+# max sustained QPS under the p99 SLO for both configs, their ratio, and
+# the bit-identical-results equivalence gate — in BENCH_serve.json.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeQPS' -benchtime 1s -benchmem .
+	BENCH_JSON=BENCH_serve.json $(GO) test -run TestWriteServeBenchJSON -v .
+
+# smoke is the end-to-end serving check CI runs on every push: build
+# portald + loadgen, crawl a tiny world, serve on an ephemeral port, drive
+# an open-loop burst (every response must be 2xx or a 429 shed), then
+# SIGTERM and require a graceful drain with exit 0.
+smoke:
+	sh scripts/smoke.sh
 
 # bench-overhead reports the per-event cost of the instrumentation
 # primitives (counter inc, histogram observe, trace append) against their

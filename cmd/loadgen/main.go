@@ -1,0 +1,145 @@
+// Command loadgen drives an open-loop query load against a running
+// portald and reports open-loop latency percentiles (measured from each
+// request's scheduled arrival, so server queueing is never hidden) plus a
+// status-class breakdown. It exits non-zero under -fail-on-errors when any
+// response was neither 2xx nor a 429 shed — the CI smoke contract.
+//
+// Usage:
+//
+//	loadgen -target http://127.0.0.1:8090 -rate 500 -duration 5s
+//	loadgen -target ... -rates 250,500,1000,2000 -json sweep.json
+//	loadgen -target ... -queries mix.txt -fail-on-errors
+//
+// The query mix is Zipf-weighted by file position (earlier lines are more
+// popular); each line of -queries is either a raw query text or a
+// prebuilt query string containing '='.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/bingo-search/bingo/internal/loadgen"
+)
+
+func main() {
+	target := flag.String("target", "", "base URL of the server under test (required)")
+	path := flag.String("path", "/search", "endpoint the query mix applies to")
+	rate := flag.Float64("rate", 500, "offered arrival rate in requests/second")
+	rates := flag.String("rates", "", "comma-separated rate sweep (overrides -rate)")
+	duration := flag.Duration("duration", 5*time.Second, "length of each run")
+	workers := flag.Int("workers", 64, "client-side concurrent request bound")
+	zipfS := flag.Float64("zipf-s", 1.1, "Zipf exponent over the query mix (>1)")
+	seed := flag.Int64("seed", 1, "seed for the arrival-to-query assignment")
+	queriesFile := flag.String("queries", "", "recorded query mix, one query per line (default: built-in mix)")
+	k := flag.Int("k", 10, "result limit attached to raw query texts")
+	jsonOut := flag.String("json", "", "write the per-rate results as JSON to this file")
+	failOnErrors := flag.Bool("fail-on-errors", false, "exit 1 if any response was neither 2xx nor 429")
+	flag.Parse()
+
+	if *target == "" {
+		flag.Usage()
+		log.Fatal("need -target")
+	}
+	mix := loadgen.DefaultMix()
+	if *queriesFile != "" {
+		var err error
+		mix, err = loadMix(*queriesFile, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	sweep := []float64{*rate}
+	if *rates != "" {
+		sweep = sweep[:0]
+		for _, f := range strings.Split(*rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || v <= 0 {
+				log.Fatalf("bad -rates entry %q", f)
+			}
+			sweep = append(sweep, v)
+		}
+	}
+
+	var results []loadgen.Result
+	failed := false
+	for _, r := range sweep {
+		res, err := loadgen.Run(context.Background(), loadgen.Config{
+			Target:   *target,
+			Path:     *path,
+			Rate:     r,
+			Duration: *duration,
+			Workers:  *workers,
+			Queries:  mix,
+			ZipfS:    *zipfS,
+			Seed:     *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+		results = append(results, res)
+		if res.Errors > 0 {
+			failed = true
+		}
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *failOnErrors && failed {
+		log.Fatal("loadgen: observed responses that were neither 2xx nor 429")
+	}
+}
+
+// loadMix reads a recorded mix file: one query per line, raw text or a
+// prebuilt query string (detected by an '='), comments with '#'.
+func loadMix(path string, k int) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prebuilt, texts []string
+	var order []bool // true = prebuilt, preserves file order for Zipf ranks
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Contains(line, "=") {
+			prebuilt = append(prebuilt, line)
+			order = append(order, true)
+		} else {
+			texts = append(texts, line)
+			order = append(order, false)
+		}
+	}
+	encoded := loadgen.BuildMix(texts, k)
+	out := make([]string, 0, len(order))
+	pi, ti := 0, 0
+	for _, isPre := range order {
+		if isPre {
+			out = append(out, prebuilt[pi])
+			pi++
+		} else {
+			out = append(out, encoded[ti])
+			ti++
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: %s contains no queries", path)
+	}
+	return out, nil
+}

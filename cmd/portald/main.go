@@ -1,12 +1,24 @@
 // Command portald serves a saved crawl database as a browsable information
 // portal (topic tree, search with snippets, document views) — the paper's
-// §6 "Web-service-based portal explorer". Run cmd/bingo with -save first,
-// or point -crawl at portald to crawl on startup.
+// §6 "Web-service-based portal explorer" — plus the machine-facing query
+// API the production serving path uses:
+//
+//   - GET /search?q=...&k=... answers JSON for API clients (anything not
+//     asking for text/html); browsers get the HTML portal page.
+//   - /healthz and /readyz expose liveness and readiness; /readyz flips to
+//     503 as the first step of a drain, so rolling restarts stop traffic
+//     before in-flight queries are drained.
+//   - Query results are cached in an epoch-keyed result cache and guarded
+//     by admission control (bounded in-flight + queue, 429 + Retry-After
+//     beyond it). See DESIGN.md "Query serving path".
 //
 // Besides the portal UI, portald exposes the observability surface (see
 // OPERATIONS.md): /metricsz (Prometheus text, or JSON with ?format=json),
 // /tracez (recent per-page crawl spans), and the net/http/pprof profiler
 // under /debug/pprof/.
+//
+// portald shuts down gracefully on SIGINT/SIGTERM: readiness flips first,
+// in-flight requests drain under -drain-timeout, then the process exits 0.
 //
 // Usage:
 //
@@ -19,13 +31,23 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	bingo "github.com/bingo-search/bingo"
+	"github.com/bingo-search/bingo/internal/admit"
 	"github.com/bingo-search/bingo/internal/faults"
 	"github.com/bingo-search/bingo/internal/metrics"
 	"github.com/bingo-search/bingo/internal/portal"
+	"github.com/bingo-search/bingo/internal/search"
+	"github.com/bingo-search/bingo/internal/serve"
+	"github.com/bingo-search/bingo/internal/servecache"
 	"github.com/bingo-search/bingo/internal/store"
 )
 
@@ -33,10 +55,17 @@ func main() {
 	db := flag.String("db", "", "path to a saved crawl database")
 	crawl := flag.Bool("crawl", false, "run a fresh synthetic-web crawl instead of loading -db")
 	worldFlag := flag.String("world", "small", "synthetic world size when -crawl is set")
-	listen := flag.String("listen", ":8090", "address to serve the portal on")
+	listen := flag.String("listen", ":8090", "address to serve the portal on (use :0 for an ephemeral port)")
+	portFile := flag.String("port-file", "", "write the bound listen address to this file once serving (for harnesses)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault-injection plane (with -crawl)")
 	chaosProfile := flag.String("chaos-profile", "off", "fault profile for the startup crawl: off, default, flaky, slow, poison or flap")
 	storeShards := flag.Int("store-shards", 0, "document partitions for the startup crawl's database (power of two, max 64; 0 = default 8)")
+	cacheEntries := flag.Int("cache-entries", 4096, "query-result cache capacity in entries (0 disables the cache)")
+	maxInFlight := flag.Int("max-inflight", 64, "admission control: concurrently served search requests")
+	maxQueue := flag.Int("max-queue", 128, "admission control: queued search requests beyond -max-inflight (-1 for none)")
+	queueTimeout := flag.Duration("queue-timeout", 100*time.Millisecond, "admission control: max wait in the queue before shedding")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (429) responses")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown: deadline for draining in-flight requests")
 	flag.Parse()
 
 	var st *store.Store
@@ -98,8 +127,36 @@ func main() {
 		log.Fatal("need -db or -crawl")
 	}
 
+	// One engine feeds both frontends so they share search snapshots.
+	engine := search.New(st)
+	var cache *servecache.Cache
+	if *cacheEntries > 0 {
+		cache = servecache.New(*cacheEntries)
+	}
+	api := serve.New(st, engine, serve.Options{
+		Cache: cache,
+		Admission: admit.New(admit.Options{
+			MaxInFlight:  *maxInFlight,
+			MaxQueue:     *maxQueue,
+			QueueTimeout: *queueTimeout,
+			RetryAfter:   *retryAfter,
+		}),
+	})
+	explorer := portal.NewWithEngine(st, engine)
+
 	mux := http.NewServeMux()
-	mux.Handle("/", portal.New(st))
+	mux.Handle("/", explorer)
+	// /search is shared: browsers (Accept: text/html) get the portal's
+	// result page, everything else gets the JSON API.
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.Header.Get("Accept"), "text/html") {
+			explorer.ServeHTTP(w, r)
+			return
+		}
+		api.HandleSearch(w, r)
+	})
+	mux.Handle("/healthz", api.Handler())
+	mux.Handle("/readyz", api.Handler())
 	mux.HandleFunc("/metricsz", metrics.Default().Handler())
 	mux.HandleFunc("/tracez", metrics.TraceHandler(metrics.DefaultTrace()))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -108,7 +165,45 @@ func main() {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	fmt.Printf("serving portal over %d documents on %s (metrics on /metricsz, traces on /tracez, profiles on /debug/pprof/)\n",
-		st.NumDocs(), *listen)
-	log.Fatal(http.ListenAndServe(*listen, mux))
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+
+	// Warm the serving path before announcing readiness, so the first real
+	// query never pays the initial snapshot build.
+	engine.Search(search.Query{Text: "warm"})
+	api.SetReady(true)
+
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("serving portal over %d documents on %s (API on /search, health on /healthz + /readyz, metrics on /metricsz, traces on /tracez, profiles on /debug/pprof/)\n",
+		st.NumDocs(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop advertising readiness first, then let in-flight
+	// requests finish under the drain deadline.
+	stop()
+	api.SetReady(false)
+	fmt.Println("shutting down: readiness flipped, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("drain did not complete within %s: %v", *drainTimeout, err)
+	}
+	fmt.Println("shutdown complete")
 }

@@ -1,0 +1,225 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFastPathAdmitsUpToLimit fills every in-flight slot without blocking
+// and verifies releases return the controller to empty.
+func TestFastPathAdmitsUpToLimit(t *testing.T) {
+	c := New(Options{MaxInFlight: 4, MaxQueue: -1})
+	var releases []func()
+	for i := 0; i < 4; i++ {
+		rel, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	if got := c.InFlight(); got != 4 {
+		t.Fatalf("InFlight = %d, want 4", got)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	if got := c.InFlight(); got != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", got)
+	}
+}
+
+// TestShedWhenSaturatedNoQueue: with no queue allowed, the request beyond
+// the in-flight bound sheds immediately with a queue_full ShedError
+// carrying a positive Retry-After.
+func TestShedWhenSaturatedNoQueue(t *testing.T) {
+	c := New(Options{MaxInFlight: 1, MaxQueue: -1, RetryAfter: 2 * time.Second})
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	_, err = c.Acquire(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("expected ShedError, got %v", err)
+	}
+	if shed.Reason != "queue_full" {
+		t.Fatalf("Reason = %q, want queue_full", shed.Reason)
+	}
+	if shed.RetryAfter != 2*time.Second {
+		t.Fatalf("RetryAfter = %s, want 2s", shed.RetryAfter)
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("no-queue shed took %s; must be immediate", elapsed)
+	}
+}
+
+// TestQueueDeadline: a queued request that never gets a slot sheds with
+// the deadline cause after (and not much before) the queue timeout.
+func TestQueueDeadline(t *testing.T) {
+	c := New(Options{MaxInFlight: 1, MaxQueue: 4, QueueTimeout: 40 * time.Millisecond})
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	_, err = c.Acquire(context.Background())
+	elapsed := time.Since(start)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("expected ShedError, got %v", err)
+	}
+	if shed.Reason != "deadline" {
+		t.Fatalf("Reason = %q, want deadline", shed.Reason)
+	}
+	if elapsed < 40*time.Millisecond {
+		t.Fatalf("shed after %s, before the 40ms deadline", elapsed)
+	}
+	if got := c.Queued(); got != 0 {
+		t.Fatalf("Queued after shed = %d, want 0", got)
+	}
+}
+
+// TestQueuedRequestGetsFreedSlot: a queued request is admitted when a slot
+// frees within its deadline.
+func TestQueuedRequestGetsFreedSlot(t *testing.T) {
+	c := New(Options{MaxInFlight: 1, MaxQueue: 4, QueueTimeout: time.Second})
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan error, 1)
+	go func() {
+		rel2, err := c.Acquire(context.Background())
+		if err == nil {
+			rel2()
+		}
+		admitted <- err
+	}()
+	// Wait for the second request to be queued, then free the slot.
+	deadline := time.Now().Add(time.Second)
+	for c.Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c.Queued() != 1 {
+		t.Fatal("second request never queued")
+	}
+	rel()
+	if err := <-admitted; err != nil {
+		t.Fatalf("queued request shed: %v", err)
+	}
+	if got := c.InFlight(); got != 0 {
+		t.Fatalf("InFlight after drain = %d, want 0", got)
+	}
+}
+
+// TestQueueFullSheds: with the queue at capacity, further arrivals shed
+// immediately as queue_full.
+func TestQueueFullSheds(t *testing.T) {
+	c := New(Options{MaxInFlight: 1, MaxQueue: 2, QueueTimeout: 300 * time.Millisecond})
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := c.Acquire(context.Background())
+			results <- err
+		}()
+	}
+	deadline := time.Now().Add(time.Second)
+	for c.Queued() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c.Queued() != 2 {
+		t.Fatalf("Queued = %d, want 2", c.Queued())
+	}
+	_, err = c.Acquire(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "queue_full" {
+		t.Fatalf("expected queue_full shed, got %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-results; err == nil {
+			t.Fatal("queued request was admitted while the slot stayed held")
+		}
+	}
+}
+
+// TestContextCancelWhileQueued: a caller abandoning the queue gets
+// ctx.Err(), not a ShedError.
+func TestContextCancelWhileQueued(t *testing.T) {
+	c := New(Options{MaxInFlight: 1, MaxQueue: 4, QueueTimeout: time.Second})
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx)
+		done <- err
+	}()
+	deadline := time.Now().Add(time.Second)
+	for c.Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}
+
+// TestReleaseIdempotent: calling release twice must not free two slots.
+func TestReleaseIdempotent(t *testing.T) {
+	c := New(Options{MaxInFlight: 2, MaxQueue: -1})
+	rel1, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rel1()
+	rel1() // double release of the same grant
+	if got := c.InFlight(); got != 1 {
+		t.Fatalf("InFlight after double release = %d, want 1 (second slot still held)", got)
+	}
+}
+
+// TestConcurrentDrainToZero hammers the controller from many goroutines
+// under load-shedding conditions and asserts every admitted request is
+// matched by a release: in-flight and queue depth return to zero.
+func TestConcurrentDrainToZero(t *testing.T) {
+	c := New(Options{MaxInFlight: 4, MaxQueue: 8, QueueTimeout: 20 * time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rel, err := c.Acquire(context.Background())
+				if err != nil {
+					continue // shed: nothing to release
+				}
+				time.Sleep(100 * time.Microsecond)
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.InFlight(); got != 0 {
+		t.Fatalf("InFlight after drain = %d, want 0", got)
+	}
+	if got := c.Queued(); got != 0 {
+		t.Fatalf("Queued after drain = %d, want 0", got)
+	}
+}

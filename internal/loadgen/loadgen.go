@@ -1,0 +1,298 @@
+// Package loadgen is the open-loop load harness for the query serving
+// path. Open-loop means arrivals follow a fixed schedule that never slows
+// down when the server does — the schedule is derived from the offered
+// rate alone, and each request's latency is measured from its *scheduled*
+// arrival time, so time a request spends waiting behind a saturated
+// server (or a saturated client worker pool) counts against the server.
+// This is the discipline that avoids coordinated omission: a closed-loop
+// driver quietly stops offering load exactly when the server is at its
+// worst, and its percentiles flatter the system under test.
+//
+// The query mix is a recorded set of request query-strings replayed under
+// a Zipfian popularity distribution (a few head queries dominate, a long
+// tail of rare ones), the shape a result cache lives or dies on.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config describes one load run.
+type Config struct {
+	// Target is the base URL of the server under test (e.g.
+	// "http://127.0.0.1:8090"); requests hit Target+Path.
+	Target string
+	// Path is the endpoint the query strings apply to (default "/search").
+	Path string
+	// Rate is the offered arrival rate in requests/second.
+	Rate float64
+	// Duration is how long arrivals are generated.
+	Duration time.Duration
+	// Workers bounds concurrent in-flight requests on the client side
+	// (default 64). Arrivals beyond the worker pool queue in the arrival
+	// buffer; their queue wait is part of measured latency.
+	Workers int
+	// QueueCap bounds the pending-arrival buffer (default: every arrival
+	// of the run, i.e. effectively unbounded). Arrivals dropped because
+	// the buffer is full are reported as ClientDropped.
+	QueueCap int
+	// Queries is the recorded mix: raw URL query strings such as
+	// "q=recovery+transaction&k=10", replayed under Zipf popularity by
+	// list position (earlier = more popular).
+	Queries []string
+	// ZipfS is the Zipf exponent over the mix (default 1.1; must be > 1).
+	ZipfS float64
+	// Seed makes the arrival-to-query assignment deterministic.
+	Seed int64
+	// RequestTimeout bounds one HTTP request (default 5s).
+	RequestTimeout time.Duration
+	// Client overrides the HTTP client (tests; nil builds a pooled one).
+	Client *http.Client
+}
+
+// Result is the measured outcome of one run. Latency percentiles are over
+// successful (2xx) responses, measured from scheduled arrival to response
+// completion.
+type Result struct {
+	OfferedRate   float64 `json:"offered_rate_qps"`
+	Offered       int64   `json:"offered"`
+	Completed     int64   `json:"completed"`
+	OK            int64   `json:"ok_2xx"`
+	Shed          int64   `json:"shed_429"`
+	Errors        int64   `json:"errors"`
+	ClientDropped int64   `json:"client_dropped"`
+	DurationSecs  float64 `json:"duration_secs"`
+	ServedQPS     float64 `json:"served_qps"`
+	P50Nanos      int64   `json:"p50_ns"`
+	P90Nanos      int64   `json:"p90_ns"`
+	P99Nanos      int64   `json:"p99_ns"`
+	MaxNanos      int64   `json:"max_ns"`
+}
+
+// String renders the one-line human summary the CLI prints.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"rate %.0f/s: served %.0f q/s (%d ok, %d shed, %d errors, %d dropped) p50 %s p90 %s p99 %s max %s",
+		r.OfferedRate, r.ServedQPS, r.OK, r.Shed, r.Errors, r.ClientDropped,
+		time.Duration(r.P50Nanos), time.Duration(r.P90Nanos),
+		time.Duration(r.P99Nanos), time.Duration(r.MaxNanos))
+}
+
+// arrival is one scheduled request.
+type arrival struct {
+	at time.Time
+	qi int
+}
+
+// Run drives one open-loop load run and blocks until every dispatched
+// request completes (or ctx cancels the remainder).
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	if cfg.Target == "" {
+		return Result{}, fmt.Errorf("loadgen: Target is required")
+	}
+	if cfg.Rate <= 0 || cfg.Duration <= 0 {
+		return Result{}, fmt.Errorf("loadgen: Rate and Duration must be positive")
+	}
+	if len(cfg.Queries) == 0 {
+		return Result{}, fmt.Errorf("loadgen: empty query mix")
+	}
+	path := cfg.Path
+	if path == "" {
+		path = "/search"
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 64
+	}
+	zipfS := cfg.ZipfS
+	if zipfS <= 1 {
+		zipfS = 1.1
+	}
+	reqTimeout := cfg.RequestTimeout
+	if reqTimeout <= 0 {
+		reqTimeout = 5 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: reqTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        workers,
+				MaxIdleConnsPerHost: workers,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		}
+	}
+
+	total := int(cfg.Rate * cfg.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	queueCap := cfg.QueueCap
+	if queueCap <= 0 {
+		queueCap = total
+	}
+
+	// The query index of each arrival is drawn on the dispatcher goroutine
+	// from one seeded source, so the mix is a pure function of (seed,
+	// rate, duration), independent of worker scheduling.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pick := func() int { return 0 }
+	if len(cfg.Queries) > 1 {
+		zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(cfg.Queries)-1))
+		pick = func() int { return int(zipf.Uint64()) }
+	}
+	urls := make([]string, len(cfg.Queries))
+	for i, qs := range cfg.Queries {
+		urls[i] = strings.TrimSuffix(cfg.Target, "/") + path + "?" + qs
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []int64
+		res       Result
+	)
+	res.OfferedRate = cfg.Rate
+	ch := make(chan arrival, queueCap)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int64, 0, total/workers+1)
+			var ok, shed, errs int64
+			for a := range ch {
+				status, err := doRequest(ctx, client, urls[a.qi])
+				lat := time.Since(a.at).Nanoseconds()
+				switch {
+				case err != nil:
+					if ctx.Err() != nil {
+						return
+					}
+					errs++
+				case status == http.StatusTooManyRequests:
+					shed++
+				case status >= 200 && status < 300:
+					ok++
+					local = append(local, lat)
+				default:
+					errs++
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			res.OK += ok
+			res.Shed += shed
+			res.Errors += errs
+			mu.Unlock()
+		}()
+	}
+
+	start := time.Now()
+	interval := float64(time.Second) / cfg.Rate
+	for i := 0; i < total; i++ {
+		sched := start.Add(time.Duration(float64(i) * interval))
+		// Sleep until the scheduled instant; an overshoot is repaid by the
+		// catch-up burst that follows (subsequent arrivals are already
+		// due), keeping the average offered rate exact.
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		res.Offered++
+		select {
+		case ch <- arrival{at: sched, qi: pick()}:
+		default:
+			res.ClientDropped++
+		}
+	}
+	close(ch)
+	wg.Wait()
+	wall := time.Since(start)
+
+	res.Completed = res.OK + res.Shed + res.Errors
+	res.DurationSecs = wall.Seconds()
+	if wall > 0 {
+		res.ServedQPS = float64(res.OK) / wall.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.P50Nanos = percentile(latencies, 0.50)
+	res.P90Nanos = percentile(latencies, 0.90)
+	res.P99Nanos = percentile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		res.MaxNanos = latencies[n-1]
+	}
+	return res, nil
+}
+
+// doRequest performs one GET, draining and closing the body so the
+// connection returns to the keep-alive pool.
+func doRequest(ctx context.Context, client *http.Client, url string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// percentile reads quantile q from sorted (ascending) samples.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// BuildMix URL-encodes a recorded list of query texts into the query
+// strings Run replays, each with the given result limit.
+func BuildMix(texts []string, k int) []string {
+	out := make([]string, len(texts))
+	for i, t := range texts {
+		v := url.Values{}
+		v.Set("q", t)
+		if k > 0 {
+			v.Set("k", fmt.Sprint(k))
+		}
+		out[i] = v.Encode()
+	}
+	return out
+}
+
+// DefaultMix is a generic recorded mix for smoke runs against an arbitrary
+// portal: head terms a crawled corpus plausibly contains plus tail
+// variants. Result correctness does not depend on the terms matching the
+// corpus — empty result lists are still served responses.
+func DefaultMix() []string {
+	texts := []string{
+		"database systems",
+		"recovery",
+		"transaction recovery",
+		"index structures",
+		"query processing",
+		"crawler",
+		"classification",
+		"portal search",
+	}
+	for i := 0; i < 24; i++ {
+		texts = append(texts, fmt.Sprintf("database topic%d", i))
+	}
+	return BuildMix(texts, 10)
+}

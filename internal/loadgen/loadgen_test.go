@@ -1,0 +1,145 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunAccounting drives a short open-loop run against a server that
+// sheds every fourth request and errors every ninth, then checks the
+// ledger: every offered arrival is either completed or client-dropped, and
+// completions split exactly into 2xx / 429 / error.
+func TestRunAccounting(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch i := n.Add(1); {
+		case i%9 == 0:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		case i%4 == 0:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+		default:
+			w.Write([]byte(`{"ok":true}`))
+		}
+	}))
+	defer srv.Close()
+
+	res, err := Run(context.Background(), Config{
+		Target:   srv.URL,
+		Rate:     400,
+		Duration: 500 * time.Millisecond,
+		Workers:  16,
+		Queries:  []string{"q=alpha", "q=beta", "q=gamma"},
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 {
+		t.Fatal("no arrivals offered")
+	}
+	if res.Offered != res.Completed+res.ClientDropped {
+		t.Fatalf("offered %d != completed %d + dropped %d",
+			res.Offered, res.Completed, res.ClientDropped)
+	}
+	if res.Completed != res.OK+res.Shed+res.Errors {
+		t.Fatalf("completed %d != ok %d + shed %d + errors %d",
+			res.Completed, res.OK, res.Shed, res.Errors)
+	}
+	if res.OK == 0 || res.Shed == 0 || res.Errors == 0 {
+		t.Fatalf("expected all three status classes, got ok=%d shed=%d errors=%d",
+			res.OK, res.Shed, res.Errors)
+	}
+	if res.ServedQPS <= 0 {
+		t.Fatalf("ServedQPS = %g", res.ServedQPS)
+	}
+	if res.P50Nanos <= 0 || res.P50Nanos > res.P99Nanos || res.P99Nanos > res.MaxNanos {
+		t.Fatalf("percentiles out of order: p50=%d p99=%d max=%d",
+			res.P50Nanos, res.P99Nanos, res.MaxNanos)
+	}
+}
+
+// TestRunOpenLoopLatency: a server that stalls every request must show up
+// in the percentiles even though the client never saturates — open-loop
+// latency is measured from the scheduled arrival.
+func TestRunOpenLoopLatency(t *testing.T) {
+	const stall = 20 * time.Millisecond
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(stall)
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	res, err := Run(context.Background(), Config{
+		Target:   srv.URL,
+		Rate:     50,
+		Duration: 400 * time.Millisecond,
+		Workers:  32,
+		Queries:  []string{"q=x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.P50Nanos < int64(stall) {
+		t.Fatalf("p50 = %s, below the server stall %s", time.Duration(res.P50Nanos), stall)
+	}
+}
+
+// TestRunSingleQueryMix: a one-entry mix must not panic the Zipf picker.
+func TestRunSingleQueryMix(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.URL.RawQuery; got != "q=only" {
+			t.Errorf("query = %q", got)
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	res, err := Run(context.Background(), Config{
+		Target: srv.URL, Rate: 100, Duration: 200 * time.Millisecond,
+		Queries: []string{"q=only"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK == 0 {
+		t.Fatal("no successes")
+	}
+}
+
+// TestRunValidation rejects nonsense configs.
+func TestRunValidation(t *testing.T) {
+	cases := []Config{
+		{Target: "", Rate: 1, Duration: time.Second, Queries: []string{"q=x"}},
+		{Target: "http://x", Rate: 0, Duration: time.Second, Queries: []string{"q=x"}},
+		{Target: "http://x", Rate: 1, Duration: 0, Queries: []string{"q=x"}},
+		{Target: "http://x", Rate: 1, Duration: time.Second, Queries: nil},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}
+
+// TestBuildMix encodes raw texts into /search query strings.
+func TestBuildMix(t *testing.T) {
+	got := BuildMix([]string{"recovery transaction", `"exact phrase"`}, 5)
+	if len(got) != 2 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for _, qs := range got {
+		if qs == "" {
+			t.Fatal("empty query string")
+		}
+	}
+	if got[0] != "k=5&q=recovery+transaction" {
+		t.Fatalf("got[0] = %q", got[0])
+	}
+}

@@ -58,6 +58,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			out[n] = e.fgauge.Value()
 		case kindGaugeFunc:
 			out[n] = e.gaugeFn()
+		case kindFloatGaugeFunc:
+			out[n] = e.fgaugeFn()
 		case kindHistogram:
 			out[n] = histToJSON(e.histogram.Snapshot())
 		}
@@ -84,6 +86,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, e.fgauge.Value())
 		case kindGaugeFunc:
 			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, e.gaugeFn())
+		case kindFloatGaugeFunc:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, e.fgaugeFn())
 		case kindHistogram:
 			err = writePromHistogram(w, n, e.histogram.Snapshot())
 		}

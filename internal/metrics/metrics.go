@@ -109,6 +109,7 @@ const (
 	kindGauge
 	kindFloatGauge
 	kindGaugeFunc
+	kindFloatGaugeFunc
 	kindHistogram
 )
 
@@ -119,6 +120,7 @@ type entry struct {
 	gauge     *Gauge
 	fgauge    *FloatGauge
 	gaugeFn   func() int64
+	fgaugeFn  func() float64
 	histogram *Histogram
 }
 
@@ -204,6 +206,22 @@ func (r *Registry) GaugeFunc(name string, fn func() int64) {
 	r.entries[name] = &entry{kind: kindGaugeFunc, gaugeFn: fn}
 }
 
+// FloatGaugeFunc registers fn as a sampled float gauge: exporters call it
+// at snapshot time (derived levels like hit ratios, which would drift if
+// stored). Re-registering a name replaces the function (latest wins).
+func (r *Registry) FloatGaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kindFloatGaugeFunc {
+			panic(fmt.Sprintf("metrics: %q already registered with a different kind", name))
+		}
+		e.fgaugeFn = fn
+		return
+	}
+	r.entries[name] = &entry{kind: kindFloatGaugeFunc, fgaugeFn: fn}
+}
+
 // names returns the registered metric names, sorted, plus a map view taken
 // under the lock (the entries themselves are safe to read lock-free).
 func (r *Registry) names() ([]string, map[string]*entry) {
@@ -236,3 +254,7 @@ func NewHistogram(name string) *Histogram { return defaultRegistry.Histogram(nam
 
 // RegisterGaugeFunc registers a sampled gauge on the default registry.
 func RegisterGaugeFunc(name string, fn func() int64) { defaultRegistry.GaugeFunc(name, fn) }
+
+// RegisterFloatGaugeFunc registers a sampled float gauge on the default
+// registry.
+func RegisterFloatGaugeFunc(name string, fn func() float64) { defaultRegistry.FloatGaugeFunc(name, fn) }

@@ -25,9 +25,14 @@ type Explorer struct {
 	mux    *http.ServeMux
 }
 
-// New builds an explorer over st.
-func New(st *store.Store) *Explorer {
-	e := &Explorer{store: st, engine: search.New(st)}
+// New builds an explorer over st with its own search engine.
+func New(st *store.Store) *Explorer { return NewWithEngine(st, search.New(st)) }
+
+// NewWithEngine builds an explorer serving queries through eng, so a
+// process that also mounts the JSON query API can share one engine — and
+// therefore one set of search snapshots — between both frontends.
+func NewWithEngine(st *store.Store, eng *search.Engine) *Explorer {
+	e := &Explorer{store: st, engine: eng}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", e.handleIndex)
 	mux.HandleFunc("/topic", e.handleTopic)

@@ -155,20 +155,53 @@ func (e *Engine) parseQuery(q *Query) (p parsedQuery, ok bool) {
 
 // Search runs q and returns the ranked hits.
 func (e *Engine) Search(q Query) []Hit {
+	hits, _ := e.search(q)
+	return hits
+}
+
+// SearchWithEpochs runs q like Search and additionally returns the
+// per-shard store epoch vector of the search view that answered it — the
+// provenance a result cache needs to be correct by construction: an entry
+// stored under the served epochs can only be returned to a request that
+// observed exactly those epochs, so no explicit invalidation is ever
+// needed. The returned slice is shared with the engine's immutable view
+// and must not be modified. Epochs is nil when the query has no indexable
+// stems (the result is the empty list for every epoch).
+//
+// On the legacy scoring path the epochs are read from the store before
+// scoring; a write racing the query can therefore make the result carry
+// newer data than the vector claims — the same one-sided staleness
+// guarantee buildShardSnap documents.
+func (e *Engine) SearchWithEpochs(q Query) ([]Hit, []int64) {
+	return e.search(q)
+}
+
+func (e *Engine) search(q Query) ([]Hit, []int64) {
 	p, ok := e.parseQuery(&q)
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	mQueries.Inc()
 	start := time.Now()
 	var hits []Hit
+	var epochs []int64
 	if e.LegacyScoring {
+		epochs = e.storeEpochs()
 		hits = e.searchLegacy(q, p)
 	} else {
-		hits = e.searchIndexed(q, p)
+		hits, epochs = e.searchIndexed(q, p)
 	}
 	mQueryNanos.ObserveSince(start)
-	return hits
+	return hits, epochs
+}
+
+// storeEpochs snapshots the store's per-shard epoch vector.
+func (e *Engine) storeEpochs() []int64 {
+	eps := make([]int64, e.store.NumShards())
+	for i := range eps {
+		eps[i] = e.store.ShardEpoch(i)
+	}
+	return eps
 }
 
 // searchLegacy is the original read path: candidate DocIDs from copied

@@ -531,15 +531,17 @@ func (e *Engine) putScratch(qs *scoreScratch) {
 
 // searchIndexed is the index-native read path: the scatter-gather
 // candidate-scoring loop (scoreCandidates) followed by the deterministic
-// heap merge and ranked-hit assembly.
-func (e *Engine) searchIndexed(q Query, p parsedQuery) []Hit {
+// heap merge and ranked-hit assembly. The second return value is the
+// per-shard epoch vector of the view that served the query (shared with
+// the view; callers must not modify it).
+func (e *Engine) searchIndexed(q Query, p parsedQuery) ([]Hit, []int64) {
 	v := e.snapshot()
 	qs := e.getScratch(v)
 	defer e.putScratch(qs)
 
 	maxCos, maxConf, maxAuth, auth, ok := e.scoreCandidates(qs, v, q, p)
 	if !ok {
-		return nil
+		return nil, v.epochs
 	}
 
 	// Gather: merge the bounded per-shard heaps and sort with the same
@@ -577,7 +579,7 @@ func (e *Engine) searchIndexed(q Query, p parsedQuery) []Hit {
 		}
 		out[n] = h
 	}
-	return out
+	return out, v.epochs
 }
 
 // scoreCandidates is the candidate-scoring loop: scatter term-at-a-time

@@ -1,0 +1,70 @@
+#!/bin/sh
+# Serving-path smoke test: boot portald on an ephemeral port over a tiny
+# synthetic crawl, drive a short open-loop burst through loadgen asserting
+# every response is 2xx or a 429 shed, then SIGTERM the server and require
+# a clean graceful exit (readiness flip + drain + exit 0).
+#
+# Run via `make smoke`; CI runs it on every push.
+set -eu
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+        kill -9 "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "smoke: building portald + loadgen"
+go build -o "$tmp/portald" ./cmd/portald
+go build -o "$tmp/loadgen" ./cmd/loadgen
+
+echo "smoke: starting portald (tiny world crawl, ephemeral port)"
+"$tmp/portald" -crawl -world tiny -listen 127.0.0.1:0 -port-file "$tmp/port" \
+    >"$tmp/portald.log" 2>&1 &
+pid=$!
+
+# The port file appears only after the crawl finishes and the listener is
+# bound with readiness announced; the tiny world takes seconds, budget more.
+i=0
+while [ ! -s "$tmp/port" ]; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "smoke: portald exited before serving; log follows" >&2
+        cat "$tmp/portald.log" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 1200 ]; then
+        echo "smoke: timed out waiting for portald to serve" >&2
+        cat "$tmp/portald.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="$(cat "$tmp/port")"
+echo "smoke: portald serving on $addr"
+
+echo "smoke: checking readiness"
+"$tmp/loadgen" -target "http://$addr" -path /readyz -rate 5 -duration 1s -fail-on-errors
+
+echo "smoke: 2s open-loop burst on /search (zero non-2xx/non-429 required)"
+"$tmp/loadgen" -target "http://$addr" -rate 200 -duration 2s -fail-on-errors
+
+echo "smoke: SIGTERM, expecting graceful drain and exit 0"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "smoke: portald exited $rc on SIGTERM (graceful shutdown broken); log follows" >&2
+    cat "$tmp/portald.log" >&2
+    exit 1
+fi
+if ! grep -q "shutdown complete" "$tmp/portald.log"; then
+    echo "smoke: portald never logged 'shutdown complete'; log follows" >&2
+    cat "$tmp/portald.log" >&2
+    exit 1
+fi
+echo "smoke: OK"
