@@ -7,11 +7,14 @@
 # partitioned store's dirty-shard rebuild economy under mixed load;
 # `make bench-serve` regenerates BENCH_serve.json, the record of the
 # serving path's epoch-keyed result-cache speedup under open-loop load;
-# `make smoke` boots portald and drives a loadgen burst end to end.
+# `make bench-segments` regenerates BENCH_segments.json, the record of the
+# disk-native segment tier's heap economy, cold-start speedup, and write
+# amplification; `make smoke` boots portald and drives a loadgen burst end
+# to end, then kill -9s a tiered crawl and verifies WAL recovery.
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race chaos smoke bench bench-search bench-overhead bench-shard bench-serve
+.PHONY: all build vet fmt-check test race chaos smoke bench bench-search bench-overhead bench-shard bench-serve bench-segments
 
 all: build test
 
@@ -33,7 +36,7 @@ test: vet fmt-check
 # parallel HITS sweeps); race runs the packages that exercise them, plus the
 # lock-free metrics primitives they all report into.
 race:
-	$(GO) test -race ./internal/crawler/... ./internal/store/... ./internal/frontier/... ./internal/search/... ./internal/hits/... ./internal/metrics/... ./internal/serve/... ./internal/servecache/... ./internal/admit/... ./internal/loadgen/...
+	$(GO) test -race ./internal/crawler/... ./internal/store/... ./internal/segment/... ./internal/frontier/... ./internal/search/... ./internal/hits/... ./internal/metrics/... ./internal/serve/... ./internal/servecache/... ./internal/admit/... ./internal/loadgen/...
 
 # chaos runs the fault-injection suite (full crawls against the seeded fault
 # plane, plus the faults/fetch resilience units) across a fixed seed matrix
@@ -79,6 +82,14 @@ bench-serve:
 # SIGTERM and require a graceful drain with exit 0.
 smoke:
 	sh scripts/smoke.sh
+
+# bench-segments reports cold-start latency for the segment tier, then
+# records the tiered-vs-in-memory evidence — corpus held per heap byte,
+# cold start vs gob decode, write amplification, on-disk compression, and
+# the read-API equivalence gate — in BENCH_segments.json. Not part of CI.
+bench-segments:
+	$(GO) test -run '^$$' -bench 'BenchmarkTieredColdStart' -benchtime 3x ./internal/store
+	BENCH_JSON=$(CURDIR)/BENCH_segments.json $(GO) test -run TestWriteSegmentsBenchJSON -v -timeout 600s -count=1 ./internal/store
 
 # bench-overhead reports the per-event cost of the instrumentation
 # primitives (counter inc, histogram observe, trace append) against their

@@ -39,6 +39,10 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault-injection plane")
 	chaosProfile := flag.String("chaos-profile", "off", "fault profile: off, default, flaky, slow, poison or flap")
 	storeShards := flag.Int("store-shards", 0, "document partitions in the crawl database (power of two, max 64; 0 = default 8)")
+	dataDir := flag.String("data-dir", "", "root of a disk-backed tiered store (segments + write-ahead log); the crawl writes through it and a rerun recovers it")
+	memtableBudget := flag.Int64("memtable-budget", 0, "tiered store: per-shard bytes of hot documents before a freeze (0 = default 64 MiB)")
+	compactFanout := flag.Int("compact-fanout", 0, "tiered store: size-tiered segment merge fanout (0 = default 4)")
+	walSync := flag.Bool("wal-sync", true, "tiered store: fsync the write-ahead log at every crawl flush")
 	flag.Parse()
 
 	var plane *faults.Plane
@@ -151,6 +155,10 @@ haveTopics:
 			c.LearnBudget = *learnBudget
 			c.HarvestBudget = *harvestBudget
 			c.StoreShards = *storeShards
+			c.DataDir = *dataDir
+			c.MemtableBudget = *memtableBudget
+			c.CompactFanout = *compactFanout
+			c.WALSync = *walSync
 			if *mode == "expert" {
 				c.LearnDepth = 7
 			}
@@ -158,6 +166,11 @@ haveTopics:
 		})
 		if nerr != nil {
 			log.Fatal(nerr)
+		}
+		if *dataDir != "" {
+			r := eng.Store().Recovery()
+			fmt.Printf("tiered store %s: recovered %d segments (%d docs), %d WAL records (%d docs) in %s\n",
+				*dataDir, r.Segments, r.SegmentDocs, r.WALRecords, r.WALDocs, r.Elapsed)
 		}
 
 		fmt.Println("\ntopic tree:")
@@ -230,6 +243,9 @@ haveTopics:
 		if err := metrics.Default().WritePrometheus(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
 	}
 }
 

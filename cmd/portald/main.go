@@ -60,6 +60,10 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault-injection plane (with -crawl)")
 	chaosProfile := flag.String("chaos-profile", "off", "fault profile for the startup crawl: off, default, flaky, slow, poison or flap")
 	storeShards := flag.Int("store-shards", 0, "document partitions for the startup crawl's database (power of two, max 64; 0 = default 8)")
+	dataDir := flag.String("data-dir", "", "root of a disk-backed tiered store: segments + write-ahead log; with -crawl the crawl writes through it, alone it is opened and served")
+	memtableBudget := flag.Int64("memtable-budget", 0, "tiered store: per-shard bytes of hot documents before a freeze (0 = default 64 MiB)")
+	compactFanout := flag.Int("compact-fanout", 0, "tiered store: size-tiered segment merge fanout (0 = default 4)")
+	walSync := flag.Bool("wal-sync", true, "tiered store: fsync the write-ahead log at every crawl flush (acknowledged documents survive a crash)")
 	cacheEntries := flag.Int("cache-entries", 4096, "query-result cache capacity in entries (0 disables the cache)")
 	maxInFlight := flag.Int("max-inflight", 64, "admission control: concurrently served search requests")
 	maxQueue := flag.Int("max-queue", 128, "admission control: queued search requests beyond -max-inflight (-1 for none)")
@@ -99,6 +103,10 @@ func main() {
 				c.LearnBudget = 150
 				c.HarvestBudget = 800
 				c.StoreShards = *storeShards
+				c.DataDir = *dataDir
+				c.MemtableBudget = *memtableBudget
+				c.CompactFanout = *compactFanout
+				c.WALSync = *walSync
 				if plane != nil {
 					c.Transport = plane.Wrap(c.Transport)
 					c.DNSMiddleware = plane.WrapDNS
@@ -107,8 +115,35 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		stopProgress := make(chan struct{})
+		if *dataDir != "" {
+			logRecovery(eng.Store())
+			// Durability progress: the smoke harness greps these lines to
+			// know how many documents are crash-safe before it pulls the
+			// plug mid-crawl.
+			go func() {
+				tick := time.NewTicker(250 * time.Millisecond)
+				defer tick.Stop()
+				last := int64(-1)
+				for {
+					select {
+					case <-stopProgress:
+						return
+					case <-tick.C:
+						if n := eng.Store().DurableDocs(); n != last {
+							last = n
+							fmt.Printf("crawl progress: %d docs durable\n", n)
+						}
+					}
+				}
+			}()
+		}
 		if _, _, err := eng.Run(context.Background()); err != nil {
 			log.Fatal(err)
+		}
+		close(stopProgress)
+		if *dataDir != "" {
+			fmt.Printf("crawl progress: %d docs durable\n", eng.Store().DurableDocs())
 		}
 		if plane != nil {
 			rt := eng.Runtime()
@@ -116,6 +151,20 @@ func main() {
 				rt.QuarantinedHosts, rt.BreakerOpenHosts, rt.DNSFailovers)
 		}
 		st = eng.Store()
+	case *dataDir != "":
+		// Serve an existing tiered data directory: mmap the segments,
+		// replay the WAL tails, done — cold start is O(WAL tail), not
+		// O(corpus).
+		var err error
+		st, err = store.OpenTiered(*dataDir, *storeShards, store.TierOptions{
+			MemtableBudget: *memtableBudget,
+			WALSync:        *walSync,
+			CompactFanout:  *compactFanout,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		logRecovery(st)
 	case *db != "":
 		var err error
 		st, err = store.Load(*db)
@@ -124,7 +173,7 @@ func main() {
 		}
 	default:
 		flag.Usage()
-		log.Fatal("need -db or -crawl")
+		log.Fatal("need -db, -data-dir or -crawl")
 	}
 
 	// One engine feeds both frontends so they share search snapshots.
@@ -205,5 +254,15 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Fatalf("drain did not complete within %s: %v", *drainTimeout, err)
 	}
+	if err := st.Close(); err != nil {
+		log.Fatalf("closing store: %v", err)
+	}
 	fmt.Println("shutdown complete")
+}
+
+// logRecovery reports what OpenTiered reconstructed from disk.
+func logRecovery(st *store.Store) {
+	r := st.Recovery()
+	fmt.Printf("tiered store recovered: %d segments (%d docs), %d WAL records (%d docs) in %s; %d docs durable\n",
+		r.Segments, r.SegmentDocs, r.WALRecords, r.WALDocs, r.Elapsed, st.DurableDocs())
 }

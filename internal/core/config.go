@@ -97,6 +97,23 @@ type Config struct {
 	// every shard count.
 	StoreShards int
 
+	// DataDir, when set, opens the crawl database as a disk-backed tiered
+	// store rooted at this directory: crawled documents are WAL-logged at
+	// flush time and frozen into compressed immutable segments, so the
+	// corpus can exceed RAM and a restart recovers everything acknowledged
+	// before the crash. Empty keeps the store purely in memory.
+	DataDir string
+	// MemtableBudget bounds the per-shard bytes of hot (in-memory)
+	// document payload before a freeze moves them into a segment
+	// (tiered store only; default 64 MiB).
+	MemtableBudget int64
+	// WALSync fsyncs the write-ahead log at every crawl flush; off, the
+	// log is synced only when segments are written (tiered store only).
+	WALSync bool
+	// CompactFanout is the size-tiered segment merge fanout (tiered store
+	// only; default 4).
+	CompactFanout int
+
 	// LearnBudget / HarvestBudget are page-visit budgets per phase (the
 	// stand-in for the paper's wall-clock crawl durations).
 	LearnBudget   int64

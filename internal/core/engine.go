@@ -127,10 +127,25 @@ func New(cfg Config) (*Engine, error) {
 		},
 	})
 
+	var st *store.Store
+	if cfg.DataDir != "" {
+		var err error
+		st, err = store.OpenTiered(cfg.DataDir, cfg.StoreShards, store.TierOptions{
+			MemtableBudget: cfg.MemtableBudget,
+			WALSync:        cfg.WALSync,
+			CompactFanout:  cfg.CompactFanout,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: open data dir %s: %w", cfg.DataDir, err)
+		}
+	} else {
+		st = store.NewSharded(cfg.StoreShards)
+	}
+
 	e := &Engine{
 		cfg:        cfg,
 		tree:       tree,
-		store:      store.NewSharded(cfg.StoreShards),
+		store:      st,
 		frontier:   fr,
 		fetcher:    fetcher,
 		resolver:   resolver,
@@ -148,6 +163,11 @@ func (e *Engine) Tree() *classify.Tree { return e.tree }
 
 // Store returns the crawl database.
 func (e *Engine) Store() *store.Store { return e.store }
+
+// Close releases the engine's crawl database. For a tiered (disk-backed)
+// store this stops the background compactor, syncs the write-ahead logs,
+// and closes the segment readers; for an in-memory store it is a no-op.
+func (e *Engine) Close() error { return e.store.Close() }
 
 // Phase returns the current lifecycle phase.
 func (e *Engine) Phase() Phase {

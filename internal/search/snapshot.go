@@ -144,12 +144,41 @@ func buildShardSnap(st *store.Store, si int) *shardSnap {
 		tf   int
 	}
 	tids := make(map[string]int32, 256)
+	addTerm := func(term string, tf int) {
+		tid, ok := tids[term]
+		if !ok {
+			tid = int32(len(sn.terms))
+			tids[term] = tid
+			sn.terms = append(sn.terms, term)
+			sn.df = append(sn.df, 0)
+		}
+		sn.df[tid]++
+		sn.termIDs = append(sn.termIDs, tid)
+		sn.logtf = append(sn.logtf, 1+math.Log(float64(tf)))
+	}
+	tiered := st.Tiered()
+	var coldBuf []store.TermTF
 	var scratch []termEntry
 	for seq := 1; seq < n; seq++ {
 		sn.docOff[seq] = int32(len(sn.termIDs))
 		d := &sn.docs[seq]
 		if d.ID == 0 {
 			continue
+		}
+		if d.Terms == nil && tiered {
+			// Cold document: ShardDocs returned a slim row. The segment
+			// term vector is already sorted by term, so it feeds the CSR
+			// directly — no map materialization, no sort. Iterating seqs
+			// ascending keeps the segment reads sequential.
+			if vec, ok := st.ColdDocTerms(d.ID, coldBuf[:0]); ok {
+				for _, tc := range vec {
+					if tc.TF > 0 {
+						addTerm(tc.Term, tc.TF)
+					}
+				}
+				coldBuf = vec
+				continue
+			}
 		}
 		scratch = scratch[:0]
 		for term, tf := range d.Terms {
@@ -159,16 +188,7 @@ func buildShardSnap(st *store.Store, si int) *shardSnap {
 		}
 		sort.Slice(scratch, func(a, b int) bool { return scratch[a].term < scratch[b].term })
 		for _, te := range scratch {
-			tid, ok := tids[te.term]
-			if !ok {
-				tid = int32(len(sn.terms))
-				tids[te.term] = tid
-				sn.terms = append(sn.terms, te.term)
-				sn.df = append(sn.df, 0)
-			}
-			sn.df[tid]++
-			sn.termIDs = append(sn.termIDs, tid)
-			sn.logtf = append(sn.logtf, 1+math.Log(float64(te.tf)))
+			addTerm(te.term, te.tf)
 		}
 	}
 	sn.docOff[n] = int32(len(sn.termIDs))
@@ -300,14 +320,23 @@ func (e *Engine) rebuildView() *searchView {
 // cached per shard snap so repeated phrase queries stem each document at
 // most once — and, because snaps are reused across views, at most once per
 // shard epoch.
-func (sn *shardSnap) docStems(pipe *textproc.Pipeline, seq int) []string {
+func (sn *shardSnap) docStems(pipe *textproc.Pipeline, st *store.Store, seq int) []string {
 	if p := sn.stems[seq].Load(); p != nil {
 		return *p
 	}
 	d := &sn.docs[seq]
-	st := pipe.StemsParts(d.Title, d.Text)
-	sn.stems[seq].Store(&st)
-	return st
+	text := d.Text
+	if d.Terms == nil && st != nil && st.Tiered() {
+		// Cold document: the slim row carries no body; read it through the
+		// segment tier. The stem cache means each document pays this once
+		// per shard epoch.
+		if t, ok := st.DocText(d.ID); ok {
+			text = t
+		}
+	}
+	stems := pipe.StemsParts(d.Title, text)
+	sn.stems[seq].Store(&stems)
+	return stems
 }
 
 // authorityScores returns the view's dense authority vectors, running HITS
@@ -561,10 +590,20 @@ func (e *Engine) searchIndexed(q Query, p parsedQuery) ([]Hit, []int64) {
 		qs.merged = qs.merged[:q.Limit]
 	}
 	out := make([]Hit, len(qs.merged))
+	tiered := e.store.Tiered()
 	for n, en := range qs.merged {
 		sn := v.shards[en.si]
 		sc := qs.shards[en.si]
-		h := Hit{Doc: sn.docs[en.seq], Score: en.score, Cosine: sc.acc[en.seq], Confidence: sn.docs[en.seq].Confidence}
+		doc := sn.docs[en.seq]
+		if doc.Terms == nil && tiered {
+			// Cold hit: the snap row is slim; hydrate body and terms from
+			// the segment tier so callers can render snippets. Only the
+			// top-K pay the segment read.
+			if full, err := e.store.Get(doc.ID); err == nil {
+				doc = full
+			}
+		}
+		h := Hit{Doc: doc, Score: en.score, Cosine: sc.acc[en.seq], Confidence: sn.docs[en.seq].Confidence}
 		if maxCos > 0 {
 			h.Cosine /= maxCos
 		}
@@ -717,7 +756,7 @@ func (e *Engine) scatterShard(wg *sync.WaitGroup, qs *scoreScratch, sc *shardScr
 		d := &sc.snap.docs[i]
 		if (exactNeed > 0 && sc.matched[i] < exactNeed) ||
 			(topicFilter != "" && d.Topic != topicFilter && !strings.HasPrefix(d.Topic, topicPrefix)) ||
-			(len(p.phraseStems) > 0 && !phrasesMatch(sc.snap.docStems(e.pipe, i), p.phraseStems)) {
+			(len(p.phraseStems) > 0 && !phrasesMatch(sc.snap.docStems(e.pipe, e.store, i), p.phraseStems)) {
 			sc.matched[i] = -1
 			continue
 		}

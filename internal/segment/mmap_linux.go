@@ -1,0 +1,24 @@
+//go:build linux
+
+package segment
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps a segment file read-only. Cold start touches only the pages
+// the footer and lazily-loaded indexes live on; the kernel pages the rest
+// in on demand, so an open segment costs address space, not resident
+// memory.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("segment: mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

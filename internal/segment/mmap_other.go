@@ -1,0 +1,19 @@
+//go:build !linux
+
+package segment
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mapFile on platforms without the mmap fast path reads the whole file
+// into memory. Functionally identical, without the lazy-paging benefit.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, nil, fmt.Errorf("segment: read: %w", err)
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,42 @@
+package segment
+
+// Exported wrappers over the internal encoder/decoder so the store's WAL
+// record payloads share one wire vocabulary (varints, length-prefixed
+// strings, the Meta and term-vector forms) with the segment file format,
+// and share the same never-panic decode discipline.
+
+// Enc builds a WAL record payload.
+type Enc struct{ e enc }
+
+func (p *Enc) Uvarint(v uint64)        { p.e.uvarint(v) }
+func (p *Enc) Varint(v int64)          { p.e.varint(v) }
+func (p *Enc) U32(v uint32)            { p.e.u32(v) }
+func (p *Enc) F64(v float64)           { p.e.f64(v) }
+func (p *Enc) Byte(v byte)             { p.e.byte(v) }
+func (p *Enc) Bool(v bool)             { p.e.bool(v) }
+func (p *Enc) Str(s string)            { p.e.str(s) }
+func (p *Enc) Meta(seq int64, m *Meta) { encodeMeta(&p.e, seq, m) }
+func (p *Enc) TermVec(vec []TermCount) { encodeTermVec(&p.e, vec) }
+func (p *Enc) Bytes() []byte           { return p.e.b }
+func (p *Enc) Reset()                  { p.e.reset() }
+
+// Dec reads a WAL record payload with the latching-error discipline: the
+// first malformed read sets Err and later reads return zero values.
+type Dec struct{ d dec }
+
+// NewDecoder decodes b; context names the source in error messages.
+func NewDecoder(b []byte, context string) *Dec {
+	return &Dec{d: dec{b: b, file: context, sect: "record"}}
+}
+
+func (p *Dec) Uvarint() uint64                     { return p.d.uvarint() }
+func (p *Dec) Varint() int64                       { return p.d.varint() }
+func (p *Dec) U32() uint32                         { return p.d.u32() }
+func (p *Dec) F64() float64                        { return p.d.f64() }
+func (p *Dec) Byte() byte                          { return p.d.byte() }
+func (p *Dec) Bool() bool                          { return p.d.bool() }
+func (p *Dec) Str() string                         { return p.d.str() }
+func (p *Dec) Remaining() int                      { return p.d.remaining() }
+func (p *Dec) Err() error                          { return p.d.err }
+func (p *Dec) Meta() (int64, Meta)                 { return decodeMeta(&p.d) }
+func (p *Dec) TermVec(buf []TermCount) []TermCount { return decodeTermVec(&p.d, buf) }

@@ -1,0 +1,202 @@
+package segment
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// WAL file layout:
+//
+//	header  "BWAL" | version u8
+//	records [u32 payloadLen][u32 crc32(payload)][payload] ...
+//
+// A record is acknowledged once Append returns and Sync (or an Append with
+// the sync option) has completed. Replay distinguishes two failure shapes:
+// a final record whose frame extends past EOF is a torn tail — the normal
+// result of a crash mid-write — and is silently dropped (the file is
+// logically truncated at the last good record); a complete record whose
+// CRC does not match is corruption and fails with *CorruptError.
+
+const (
+	walMagic   = "BWAL"
+	walVersion = 1
+	walHdrLen  = 5
+	// walMaxRecord bounds a single record so a bit-flipped length field
+	// cannot drive replay into a multi-gigabyte allocation.
+	walMaxRecord = 1 << 28
+)
+
+// WAL is an append-only CRC-framed log. Appends are serialized; Sync makes
+// everything appended so far durable.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	size int64
+	hdr  enc // scratch for record headers
+}
+
+// CreateWAL creates (or truncates) a WAL at path and writes its header.
+func CreateWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("segment: wal create: %w", err)
+	}
+	hdr := append([]byte(walMagic), walVersion)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("segment: wal create: %w", err)
+	}
+	return &WAL{f: f, path: path, size: int64(len(hdr))}, nil
+}
+
+// OpenWALForAppend opens an existing WAL positioned after its last good
+// record; goodSize must come from ReplayWAL. Any torn tail beyond it is
+// truncated away so new records never follow garbage.
+func OpenWALForAppend(path string, goodSize int64) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("segment: wal open: %w", err)
+	}
+	if err := f.Truncate(goodSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("segment: wal truncate: %w", err)
+	}
+	if _, err := f.Seek(goodSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("segment: wal seek: %w", err)
+	}
+	return &WAL{f: f, path: path, size: goodSize}, nil
+}
+
+// Path returns the file path.
+func (w *WAL) Path() string { return w.path }
+
+// Size returns the current file size in bytes.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Append writes one framed record. If sync is true the record is fsynced
+// before Append returns — the durability point callers may acknowledge.
+func (w *WAL) Append(payload []byte, sync bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("segment: wal: append after close")
+	}
+	w.hdr.reset()
+	w.hdr.u32(uint32(len(payload)))
+	w.hdr.u32(crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(w.hdr.b); err != nil {
+		return fmt.Errorf("segment: wal append: %w", err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return fmt.Errorf("segment: wal append: %w", err)
+	}
+	w.size += int64(len(w.hdr.b) + len(payload))
+	if sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("segment: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync fsyncs the log.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("segment: wal sync: %w", err)
+	}
+	return nil
+}
+
+// Close fsyncs and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// ReplayWAL streams every intact record to fn and returns the number of
+// records delivered plus goodSize, the offset just past the last intact
+// record. A torn tail (header or payload cut short by a crash) stops
+// replay cleanly; a complete record with a CRC mismatch, a bad header, or
+// an absurd length returns a *CorruptError. fn returning an error aborts
+// replay with that error.
+func ReplayWAL(path string, fn func(payload []byte) error) (records int, goodSize int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("segment: wal replay: %w", err)
+	}
+	defer f.Close()
+	var hdr [walHdrLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		// A WAL so short its header is cut off: created but never fully
+		// written. Treat as empty-with-torn-tail, not corruption.
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("segment: wal replay: %w", err)
+	}
+	if string(hdr[:4]) != walMagic {
+		return 0, 0, corruptf(path, "wal-header", "bad magic %q", hdr[:4])
+	}
+	if hdr[4] != walVersion {
+		return 0, 0, corruptf(path, "wal-header", "unsupported version %d", hdr[4])
+	}
+	goodSize = walHdrLen
+	var frame [8]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, frame[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return records, goodSize, nil // torn frame header
+			}
+			return records, goodSize, fmt.Errorf("segment: wal replay: %w", err)
+		}
+		d := newDec(frame[:], path, "wal-record")
+		plen := int(d.u32())
+		wantCRC := d.u32()
+		if plen > walMaxRecord {
+			return records, goodSize, corruptf(path, "wal-record", "record of %d bytes at offset %d exceeds limit", plen, goodSize)
+		}
+		if cap(payload) < plen {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return records, goodSize, nil // torn payload
+			}
+			return records, goodSize, fmt.Errorf("segment: wal replay: %w", err)
+		}
+		if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+			return records, goodSize, corruptf(path, "wal-record", "crc mismatch at offset %d: stored %08x computed %08x", goodSize, wantCRC, got)
+		}
+		if err := fn(payload); err != nil {
+			return records, goodSize, err
+		}
+		records++
+		goodSize += int64(len(frame) + plen)
+	}
+}

@@ -3,10 +3,12 @@ package store
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
+	"sync"
 )
 
 // Persistence format. Streams written by this release start with a magic
@@ -15,10 +17,18 @@ import (
 // gob mis-decode an incompatible snapshot deep inside the decoder.
 // Streams without the magic are the version-0 layout (a bare gob of the
 // unsharded snapshot struct), still read for one release.
+//
+// Version 2 frames the snapshot per shard: a header frame carrying the
+// shard layout, then one length-prefixed gob frame per shard holding that
+// shard's documents, link rows and redirects. Because every frame is
+// shard-local (a shard's frame carries both its out-link and its in-link
+// rows, so no cross-shard routing is needed on read), Decode gob-decodes
+// and ingests all P frames in parallel — index rebuild, the dominant
+// load-time cost, spreads across cores. Versions 0 and 1 are still read.
 var storeMagic = [4]byte{'B', 'N', 'G', 'O'}
 
 // formatVersion is the store stream layout this release writes.
-const formatVersion = 1
+const formatVersion = 2
 
 // snapshotV0 is the historical version-0 serialized form (one global
 // DocID sequence, no shard layout).
@@ -31,7 +41,8 @@ type snapshotV0 struct {
 
 // snapshotV1 is the version-1 serialized form: the shard layout rides
 // along so DocIDs (which encode the shard in their low bits) stay valid on
-// reload. The inverted index and topic index are rebuilt on read.
+// reload. The inverted index and topic index are rebuilt on read rather
+// than serialized.
 type snapshotV1 struct {
 	ShardCount int
 	NextSeqs   []int64
@@ -40,30 +51,106 @@ type snapshotV1 struct {
 	Redirects  []Redirect
 }
 
-// Encode serializes the store to w: magic, format version, then the gob
-// snapshot. The inverted index and topic index are rebuilt on read rather
-// than serialized.
+// headerV2 is version 2's layout frame.
+type headerV2 struct {
+	ShardCount int
+	NextSeqs   []int64
+}
+
+// shardFrameV2 is one shard's version-2 frame. OutLinks/InLinks are the
+// flattened rows of the shard's two link tables; redirects are the shard's
+// redirect rows.
+type shardFrameV2 struct {
+	Docs      []Document
+	OutLinks  []Link
+	InLinks   []Link
+	Redirects []Redirect
+}
+
+// maxFrameBytes caps a single shard frame so a corrupt length prefix
+// cannot drive Decode into an absurd allocation.
+const maxFrameBytes = 1 << 33
+
+func writeFrame(w io.Writer, b []byte) error {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(b)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := int64(binary.LittleEndian.Uint32(lenBuf[:]))
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("frame of %d bytes exceeds limit", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Encode serializes the store to w: magic, format version, a header frame
+// with the shard layout, then one gob frame per shard. Shard frames are
+// gob-encoded concurrently (one goroutine per shard) and written in shard
+// order. Cold documents in a tiered store are hydrated from their
+// segments, so the snapshot is complete and self-contained. The inverted
+// index and topic index are rebuilt on read rather than serialized.
 func (s *Store) Encode(w io.Writer) error {
-	snap := snapshotV1{
+	hdr := headerV2{
 		ShardCount: len(s.shards),
 		NextSeqs:   make([]int64, len(s.shards)),
 	}
-	snap.Docs = make([]Document, 0, s.NumDocs())
+	frames := make([][]byte, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
 	for i, sh := range s.shards {
 		sh.docMu.RLock()
-		snap.NextSeqs[i] = sh.nextSeq
+		hdr.NextSeqs[i] = sh.nextSeq
+		var frame shardFrameV2
+		frame.Docs = make([]Document, 0, len(sh.docs))
 		for _, d := range sh.docs {
-			snap.Docs = append(snap.Docs, *d)
+			if sh.tier != nil {
+				frame.Docs = append(frame.Docs, sh.hydrateLocked(d))
+			} else {
+				frame.Docs = append(frame.Docs, *d)
+			}
 		}
 		sh.docMu.RUnlock()
 		sh.linkMu.RLock()
 		for _, ls := range sh.outLinks {
-			snap.Links = append(snap.Links, ls...)
+			frame.OutLinks = append(frame.OutLinks, ls...)
+		}
+		for _, ls := range sh.inLinks {
+			frame.InLinks = append(frame.InLinks, ls...)
 		}
 		sh.linkMu.RUnlock()
 		sh.redirMu.RLock()
-		snap.Redirects = append(snap.Redirects, sh.redirects...)
+		frame.Redirects = append(frame.Redirects, sh.redirects...)
 		sh.redirMu.RUnlock()
+		wg.Add(1)
+		go func(i int, frame shardFrameV2) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(&frame); err != nil {
+				errs[i] = err
+				return
+			}
+			frames[i] = buf.Bytes()
+		}(i, frame)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("store: encode: %w", err)
+		}
 	}
 	if _, err := w.Write(storeMagic[:]); err != nil {
 		return fmt.Errorf("store: encode: %w", err)
@@ -71,17 +158,26 @@ func (s *Store) Encode(w io.Writer) error {
 	if _, err := w.Write([]byte{formatVersion}); err != nil {
 		return fmt.Errorf("store: encode: %w", err)
 	}
-	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+	var hdrBuf bytes.Buffer
+	if err := gob.NewEncoder(&hdrBuf).Encode(&hdr); err != nil {
 		return fmt.Errorf("store: encode: %w", err)
+	}
+	if err := writeFrame(w, hdrBuf.Bytes()); err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	for _, frame := range frames {
+		if err := writeFrame(w, frame); err != nil {
+			return fmt.Errorf("store: encode: %w", err)
+		}
 	}
 	return nil
 }
 
-// Decode deserializes a store previously written by Encode. Version-1
-// streams restore the saved shard layout; streams without the version
-// header are decoded as the version-0 (unsharded) layout into a
-// single-shard store with their DocIDs preserved. An unknown version is a
-// clear error, not a gob panic.
+// Decode deserializes a store previously written by Encode. Version-2
+// streams decode their shard frames in parallel; version-1 streams restore
+// the saved shard layout; streams without the version header are decoded
+// as the version-0 (unsharded) layout into a single-shard store with their
+// DocIDs preserved. An unknown version is a clear error, not a gob panic.
 func Decode(r io.Reader) (*Store, error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
@@ -96,12 +192,100 @@ func Decode(r io.Reader) (*Store, error) {
 	if _, err := br.Discard(5); err != nil {
 		return nil, fmt.Errorf("store: decode: %w", err)
 	}
-	version := head[4]
-	if version != formatVersion {
+	switch version := head[4]; version {
+	case 1:
+		return decodeV1(br)
+	case 2:
+		return decodeV2(br)
+	default:
 		return nil, fmt.Errorf("store: decode: unsupported format version %d (this release reads versions 0-%d)", version, formatVersion)
 	}
+}
+
+// decodeV2 reads the framed per-shard layout, decoding and ingesting all
+// shard frames concurrently.
+func decodeV2(r io.Reader) (*Store, error) {
+	hdrBytes, err := readFrame(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: decode: header frame: %w", err)
+	}
+	var hdr headerV2
+	if err := gob.NewDecoder(bytes.NewReader(hdrBytes)).Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("store: decode: %w", err)
+	}
+	p := hdr.ShardCount
+	if p < 1 || p > MaxShards || p&(p-1) != 0 {
+		return nil, fmt.Errorf("store: decode: invalid shard count %d", p)
+	}
+	if len(hdr.NextSeqs) != p {
+		return nil, fmt.Errorf("store: decode: %d shard sequences for %d shards", len(hdr.NextSeqs), p)
+	}
+	frames := make([][]byte, p)
+	for i := range frames {
+		if frames[i], err = readFrame(r); err != nil {
+			return nil, fmt.Errorf("store: decode: shard %d frame: %w", i, err)
+		}
+	}
+	s := NewSharded(p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := range frames {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.ingestFrameV2(i, frames[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, sh := range s.shards {
+		sh.nextSeq = hdr.NextSeqs[i]
+		sh.bumpEpoch()
+	}
+	return s, nil
+}
+
+// ingestFrameV2 decodes one shard frame and rebuilds the shard's rows and
+// index slice. Frames are shard-local, so concurrent ingests touch
+// disjoint state.
+func (s *Store) ingestFrameV2(i int, frame []byte) error {
+	var fr shardFrameV2
+	if err := gob.NewDecoder(bytes.NewReader(frame)).Decode(&fr); err != nil {
+		return fmt.Errorf("store: decode: shard %d: %w", i, err)
+	}
+	sh := s.shards[i]
+	for _, d := range fr.Docs {
+		if s.shardOf(d.ID) != sh || s.shardForURL(d.URL) != sh {
+			return fmt.Errorf("store: decode: document %q (id %d) does not belong to shard %d", d.URL, d.ID, i)
+		}
+		cp := d
+		sh.docs[d.ID] = &cp
+		sh.byURL[d.URL] = d.ID
+		sh.index.addDoc(d.ID, d.Terms)
+		if d.Topic != "" {
+			sh.byTopic[d.Topic] = append(sh.byTopic[d.Topic], d.ID)
+		}
+	}
+	for _, l := range fr.OutLinks {
+		sh.outLinks[l.From] = append(sh.outLinks[l.From], l)
+	}
+	for _, l := range fr.InLinks {
+		sh.inLinks[l.To] = append(sh.inLinks[l.To], l)
+	}
+	sh.redirects = append(sh.redirects, fr.Redirects...)
+	mDocs.Add(int64(len(fr.Docs)))
+	sh.docsGauge.Add(int64(len(fr.Docs)))
+	return nil
+}
+
+// decodeV1 reads the version-1 single-gob layout.
+func decodeV1(r io.Reader) (*Store, error) {
 	var snap snapshotV1
-	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("store: decode: %w", err)
 	}
 	p := snap.ShardCount
@@ -175,6 +359,46 @@ func loadRows(s *Store, links []Link, redirects []Redirect) {
 		sh := s.shardForURL(r.From)
 		sh.redirects = append(sh.redirects, r)
 	}
+}
+
+// encodeV1 writes the version-1 layout (kept for round-trip tests against
+// the previous release's reader).
+func (s *Store) encodeV1(w io.Writer) error {
+	snap := snapshotV1{
+		ShardCount: len(s.shards),
+		NextSeqs:   make([]int64, len(s.shards)),
+	}
+	snap.Docs = make([]Document, 0, s.NumDocs())
+	for i, sh := range s.shards {
+		sh.docMu.RLock()
+		snap.NextSeqs[i] = sh.nextSeq
+		for _, d := range sh.docs {
+			if sh.tier != nil {
+				snap.Docs = append(snap.Docs, sh.hydrateLocked(d))
+			} else {
+				snap.Docs = append(snap.Docs, *d)
+			}
+		}
+		sh.docMu.RUnlock()
+		sh.linkMu.RLock()
+		for _, ls := range sh.outLinks {
+			snap.Links = append(snap.Links, ls...)
+		}
+		sh.linkMu.RUnlock()
+		sh.redirMu.RLock()
+		snap.Redirects = append(snap.Redirects, sh.redirects...)
+		sh.redirMu.RUnlock()
+	}
+	if _, err := w.Write(storeMagic[:]); err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	if _, err := w.Write([]byte{1}); err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	return nil
 }
 
 // Save writes the store to path atomically (write to a temp file, then

@@ -47,6 +47,13 @@ type storeShard struct {
 	// docsGauge is store_shard_docs{shard="i"} — the per-shard document
 	// count an operator watches for hot or skewed shards.
 	docsGauge *metrics.Gauge
+
+	// tier is the shard's disk tier (nil in a purely in-memory store).
+	// cold maps a document whose payload lives in a segment to its row
+	// there; such a document's in-memory Text/Terms are empty and its
+	// postings live in the segment, not in index. Guarded by docMu.
+	tier *shardTier
+	cold map[DocID]coldRef
 }
 
 func newStoreShard(idx int, bits uint, indexHint int) *storeShard {
@@ -100,8 +107,10 @@ func (sh *storeShard) insertDocLocked(d Document) (DocID, *Document) {
 	return d.ID, old
 }
 
-// removeDocLocked removes the document row (not its postings) and returns
-// it, or nil if absent.
+// removeDocLocked removes the document row (not its memory postings) and
+// returns it, or nil if absent. In a tiered shard a cold document's
+// removal tombstones its segment row (its postings disappear with it); a
+// hot document's removal uncounts it from the memtable.
 func (sh *storeShard) removeDocLocked(id DocID) *Document {
 	d, ok := sh.docs[id]
 	if !ok {
@@ -118,7 +127,41 @@ func (sh *storeShard) removeDocLocked(id DocID) *Document {
 			}
 		}
 	}
+	if t := sh.tier; t != nil {
+		if _, cold := sh.cold[id]; cold {
+			delete(sh.cold, id)
+			seq := int64(id) >> sh.bits
+			st := t.state.load()
+			tombs := copyTombs(st.tombs)
+			tombs[seq] = struct{}{}
+			t.state.store(&tierState{segs: st.segs, tombs: tombs})
+			delete(t.overrides, seq)
+		} else {
+			t.addHotLocked(-docBytesRaw(d.Text, d.Terms), -1)
+		}
+	}
 	mDocs.Add(-1)
 	sh.docsGauge.Add(-1)
 	return d
+}
+
+// setTopicLocked reassigns a document's topic and confidence under docMu,
+// maintaining the topic index and (for cold rows) the override table.
+func (sh *storeShard) setTopicLocked(id DocID, topic string, confidence float64) {
+	d := sh.docs[id]
+	if d.Topic != "" {
+		ids := sh.byTopic[d.Topic]
+		for i := range ids {
+			if ids[i] == id {
+				sh.byTopic[d.Topic] = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+	}
+	d.Topic = topic
+	d.Confidence = confidence
+	if topic != "" {
+		sh.byTopic[topic] = append(sh.byTopic[topic], id)
+	}
+	sh.noteColdTopicLocked(id, topic, confidence)
 }

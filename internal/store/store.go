@@ -22,10 +22,12 @@ package store
 import (
 	"errors"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/bingo-search/bingo/internal/metrics"
+	"github.com/bingo-search/bingo/internal/segment"
 )
 
 // Process-wide storage metrics: write-path traffic (per-row inserts vs
@@ -106,6 +108,15 @@ type Store struct {
 
 	inserts   atomic.Int64
 	bulkLoads atomic.Int64
+
+	// Disk tier (see tier.go); all nil/zero in a purely in-memory store.
+	dir       string
+	opt       *TierOptions
+	recovery  RecoveryStats
+	durable   atomic.Int64
+	closeCh   chan struct{}
+	compactCh chan struct{}
+	compactWG sync.WaitGroup
 }
 
 // New returns an empty single-shard store. Its DocIDs are the plain
@@ -169,6 +180,15 @@ func (s *Store) Insert(d Document) DocID {
 	sh := s.shardForURL(d.URL)
 	sh.docMu.Lock()
 	id, old := sh.insertDocLocked(d)
+	var w *segment.WAL
+	if t := sh.tier; t != nil {
+		t.addHotLocked(docBytes(&d), 1)
+		var e segment.Enc
+		e.Byte(walOpDocs)
+		e.Uvarint(1)
+		walEncodeDoc(&e, int64(id)>>sh.bits, &d)
+		w, _ = t.appendWALLocked(e.Bytes())
+	}
 	sh.docMu.Unlock()
 	if old != nil {
 		sh.index.removeDoc(old.ID, old.Terms)
@@ -177,7 +197,28 @@ func (s *Store) Insert(d Document) DocID {
 	s.inserts.Add(1)
 	mRowInserts.Inc()
 	sh.bumpEpoch()
+	if t := sh.tier; t != nil {
+		s.syncWAL(t, w, 1)
+		s.maybeFreeze(sh)
+	}
 	return id
+}
+
+// syncWAL fsyncs w when the store runs with WALSync and advances the
+// durable-document counter by docs on success. Called without locks.
+func (s *Store) syncWAL(t *shardTier, w *segment.WAL, docs int64) {
+	if t == nil || w == nil || !t.opt.WALSync {
+		return
+	}
+	start := time.Now()
+	if err := w.Sync(); err != nil {
+		t.noteErr(err)
+		return
+	}
+	mWALSyncNanos.ObserveSince(start)
+	if docs > 0 {
+		s.durable.Add(docs)
+	}
 }
 
 // Delete removes a document by URL.
@@ -186,8 +227,15 @@ func (s *Store) Delete(url string) bool {
 	sh.docMu.Lock()
 	id, ok := sh.byURL[url]
 	var d *Document
+	var w *segment.WAL
 	if ok {
 		d = sh.removeDocLocked(id)
+		if d != nil && sh.tier != nil {
+			var e segment.Enc
+			e.Byte(walOpDelete)
+			e.Str(url)
+			w, _ = sh.tier.appendWALLocked(e.Bytes())
+		}
 	}
 	sh.docMu.Unlock()
 	if d == nil {
@@ -195,10 +243,12 @@ func (s *Store) Delete(url string) bool {
 	}
 	sh.index.removeDoc(d.ID, d.Terms)
 	sh.bumpEpoch()
+	s.syncWAL(sh.tier, w, 0)
 	return true
 }
 
-// Get returns the document stored under id.
+// Get returns the document stored under id. In a tiered store a cold
+// document's Text and Terms are read back from its segment.
 func (s *Store) Get(id DocID) (Document, error) {
 	sh := s.shardOf(id)
 	sh.docMu.RLock()
@@ -207,10 +257,13 @@ func (s *Store) Get(id DocID) (Document, error) {
 	if !ok {
 		return Document{}, ErrNotFound
 	}
+	if sh.tier != nil {
+		return sh.hydrateLocked(d), nil
+	}
 	return *d, nil
 }
 
-// GetByURL returns the document stored under url.
+// GetByURL returns the document stored under url, hydrated like Get.
 func (s *Store) GetByURL(url string) (Document, error) {
 	sh := s.shardForURL(url)
 	sh.docMu.RLock()
@@ -218,6 +271,9 @@ func (s *Store) GetByURL(url string) (Document, error) {
 	id, ok := sh.byURL[url]
 	if !ok {
 		return Document{}, ErrNotFound
+	}
+	if sh.tier != nil {
+		return sh.hydrateLocked(sh.docs[id]), nil
 	}
 	return *sh.docs[id], nil
 }
@@ -276,7 +332,11 @@ func (s *Store) ShardMaxSeq(i int) int64 {
 	return sh.nextSeq
 }
 
-// ShardDocs returns a snapshot of shard i's documents (unordered).
+// ShardDocs returns a snapshot of shard i's documents (unordered). In a
+// tiered store cold rows come back slim — Terms nil and Text empty; the
+// snapshot builder (the only consumer) reads term vectors through
+// ColdDocTerms instead, which streams straight from the segment without
+// materializing per-document maps.
 func (s *Store) ShardDocs(i int) []Document {
 	sh := s.shards[i]
 	sh.docMu.RLock()
@@ -309,27 +369,24 @@ func (s *Store) MaxDocID() DocID {
 func (s *Store) SetTopic(url, topic string, confidence float64) error {
 	sh := s.shardForURL(url)
 	sh.docMu.Lock()
-	defer sh.docMu.Unlock()
 	id, ok := sh.byURL[url]
 	if !ok {
+		sh.docMu.Unlock()
 		return ErrNotFound
 	}
-	d := sh.docs[id]
-	if d.Topic != "" {
-		ids := sh.byTopic[d.Topic]
-		for i := range ids {
-			if ids[i] == id {
-				sh.byTopic[d.Topic] = append(ids[:i], ids[i+1:]...)
-				break
-			}
-		}
+	sh.setTopicLocked(id, topic, confidence)
+	var w *segment.WAL
+	if t := sh.tier; t != nil {
+		var e segment.Enc
+		e.Byte(walOpSetTopic)
+		e.Str(url)
+		e.Str(topic)
+		e.F64(confidence)
+		w, _ = t.appendWALLocked(e.Bytes())
 	}
-	d.Topic = topic
-	d.Confidence = confidence
-	if topic != "" {
-		sh.byTopic[topic] = append(sh.byTopic[topic], id)
-	}
+	sh.docMu.Unlock()
 	sh.bumpEpoch()
+	s.syncWAL(sh.tier, w, 0)
 	return nil
 }
 
@@ -337,13 +394,24 @@ func (s *Store) SetTopic(url, topic string, confidence float64) error {
 func (s *Store) SetTraining(url string, training bool) error {
 	sh := s.shardForURL(url)
 	sh.docMu.Lock()
-	defer sh.docMu.Unlock()
 	id, ok := sh.byURL[url]
 	if !ok {
+		sh.docMu.Unlock()
 		return ErrNotFound
 	}
 	sh.docs[id].IsTraining = training
+	sh.noteColdTrainingLocked(id, training)
+	var w *segment.WAL
+	if t := sh.tier; t != nil {
+		var e segment.Enc
+		e.Byte(walOpSetTraining)
+		e.Str(url)
+		e.Bool(training)
+		w, _ = t.appendWALLocked(e.Bytes())
+	}
+	sh.docMu.Unlock()
 	sh.bumpEpoch()
+	s.syncWAL(sh.tier, w, 0)
 	return nil
 }
 
@@ -357,7 +425,11 @@ func (s *Store) ByTopic(topic string) []Document {
 		sh.docMu.RLock()
 		ids := sh.byTopic[topic]
 		for _, id := range ids {
-			out = append(out, *sh.docs[id])
+			if sh.tier != nil {
+				out = append(out, sh.hydrateLocked(sh.docs[id]))
+			} else {
+				out = append(out, *sh.docs[id])
+			}
 		}
 		sh.docMu.RUnlock()
 	}
@@ -390,13 +462,18 @@ func (s *Store) Topics() []string {
 	return out
 }
 
-// All returns every stored document (unordered snapshot across shards).
+// All returns every stored document (unordered snapshot across shards),
+// hydrated like Get.
 func (s *Store) All() []Document {
 	out := make([]Document, 0, s.NumDocs())
 	for _, sh := range s.shards {
 		sh.docMu.RLock()
 		for _, d := range sh.docs {
-			out = append(out, *d)
+			if sh.tier != nil {
+				out = append(out, sh.hydrateLocked(d))
+			} else {
+				out = append(out, *d)
+			}
 		}
 		sh.docMu.RUnlock()
 	}
@@ -413,7 +490,13 @@ func (s *Store) VisitDocs(fn func(Document) bool) {
 	for _, sh := range s.shards {
 		sh.docMu.RLock()
 		for _, d := range sh.docs {
-			if !fn(*d) {
+			var row Document
+			if sh.tier != nil {
+				row = sh.hydrateLocked(d)
+			} else {
+				row = *d
+			}
+			if !fn(row) {
 				sh.docMu.RUnlock()
 				return
 			}
@@ -423,20 +506,43 @@ func (s *Store) VisitDocs(fn func(Document) bool) {
 }
 
 // Postings returns (docID, tf) pairs for a term as parallel slices,
-// concatenated shard by shard (within a shard, postings keep insert
-// order).
+// concatenated shard by shard (within a shard, segment-resident postings
+// come first in sequence order, then memory postings in insert order).
 func (s *Store) Postings(term string) ([]DocID, []int) {
-	if len(s.shards) == 1 {
+	if len(s.shards) == 1 && s.shards[0].tier == nil {
 		return s.shards[0].index.get(term)
 	}
 	var ids []DocID
 	var tfs []int
 	for _, sh := range s.shards {
-		i2, t2 := sh.index.get(term)
-		ids = append(ids, i2...)
-		tfs = append(tfs, t2...)
+		if sh.tier == nil {
+			i2, t2 := sh.index.get(term)
+			ids = append(ids, i2...)
+			tfs = append(tfs, t2...)
+			continue
+		}
+		sh.visitAllPostings(term, func(doc DocID, tf int) {
+			ids = append(ids, doc)
+			tfs = append(tfs, tf)
+		})
 	}
 	return ids, tfs
+}
+
+// visitAllPostings streams term's postings within one shard: the segment
+// tier first (tombstone-filtered, in sequence order), then the memory
+// index. Holding docMu.RLock across both halves pins the freeze's
+// publication point — postings move from the memory index to a segment
+// under one docMu hold, so a reader sees each document exactly once.
+func (sh *storeShard) visitAllPostings(term string, fn func(doc DocID, tf int)) {
+	if sh.tier == nil {
+		sh.index.visit(term, fn)
+		return
+	}
+	sh.docMu.RLock()
+	sh.visitTierPostings(term, fn)
+	sh.index.visit(term, fn)
+	sh.docMu.RUnlock()
 }
 
 // VisitPostings streams a term's postings to fn shard by shard under each
@@ -446,23 +552,89 @@ func (s *Store) Postings(term string) ([]DocID, []int) {
 // of its visit).
 func (s *Store) VisitPostings(term string, fn func(doc DocID, tf int)) {
 	for _, sh := range s.shards {
-		sh.index.visit(term, fn)
+		sh.visitAllPostings(term, fn)
 	}
 }
 
 // VisitShardPostings streams a term's postings within shard i only (the
 // scatter phase of a sharded query reads each shard independently).
 func (s *Store) VisitShardPostings(i int, term string, fn func(doc DocID, tf int)) {
-	s.shards[i].index.visit(term, fn)
+	s.shards[i].visitAllPostings(term, fn)
 }
 
 // DocFreq returns the number of documents containing term.
 func (s *Store) DocFreq(term string) int {
 	n := 0
 	for _, sh := range s.shards {
-		n += sh.index.docFreq(term)
+		n += sh.termDocFreq(term)
 	}
 	return n
+}
+
+// termDocFreq counts term's documents in one shard across both tiers.
+func (sh *storeShard) termDocFreq(term string) int {
+	if sh.tier == nil {
+		return sh.index.docFreq(term)
+	}
+	sh.docMu.RLock()
+	defer sh.docMu.RUnlock()
+	n := 0
+	st := sh.tier.state.load()
+	for _, seg := range st.segs {
+		if len(st.tombs) == 0 {
+			df, err := seg.r.DocFreq(term)
+			if err != nil {
+				mSegReadErrors.Inc()
+				sh.tier.noteErr(err)
+				continue
+			}
+			n += df
+			continue
+		}
+		err := seg.r.VisitPostings(term, func(seq int64, tf int) {
+			if _, dead := st.tombs[seq]; !dead {
+				n++
+			}
+		})
+		if err != nil {
+			mSegReadErrors.Inc()
+			sh.tier.noteErr(err)
+		}
+	}
+	return n + sh.index.docFreq(term)
+}
+
+// walLinkRecord frames a single-row link WAL record.
+func walLinkRecord(e *segment.Enc, l Link, out bool) {
+	e.Byte(walOpLinks)
+	e.Uvarint(1)
+	e.Bool(out)
+	e.Str(l.From)
+	e.Str(l.To)
+	e.Str(l.Anchor)
+}
+
+// addOutLinkLocked appends the out-link row to sh's table and, when
+// tiered, to the hot capture and WAL. Caller holds sh.linkMu.
+func (sh *storeShard) addOutLinkLocked(l Link) {
+	sh.outLinks[l.From] = append(sh.outLinks[l.From], l)
+	if t := sh.tier; t != nil {
+		t.hotOut = append(t.hotOut, l)
+		var e segment.Enc
+		walLinkRecord(&e, l, true)
+		t.appendWALLocked(e.Bytes())
+	}
+}
+
+// addInLinkLocked is addOutLinkLocked for the target shard's in-link row.
+func (sh *storeShard) addInLinkLocked(l Link) {
+	sh.inLinks[l.To] = append(sh.inLinks[l.To], l)
+	if t := sh.tier; t != nil {
+		t.hotIn = append(t.hotIn, l)
+		var e segment.Enc
+		walLinkRecord(&e, l, false)
+		t.appendWALLocked(e.Bytes())
+	}
 }
 
 // AddLink records a hyperlink row: the out-link row lands on the source
@@ -471,16 +643,16 @@ func (s *Store) AddLink(l Link) {
 	shFrom := s.shardForURL(l.From)
 	shTo := s.shardForURL(l.To)
 	shFrom.linkMu.Lock()
-	shFrom.outLinks[l.From] = append(shFrom.outLinks[l.From], l)
+	shFrom.addOutLinkLocked(l)
 	if shTo == shFrom {
-		shTo.inLinks[l.To] = append(shTo.inLinks[l.To], l)
+		shTo.addInLinkLocked(l)
 		shFrom.linkMu.Unlock()
 		shFrom.bumpEpoch()
 		return
 	}
 	shFrom.linkMu.Unlock()
 	shTo.linkMu.Lock()
-	shTo.inLinks[l.To] = append(shTo.inLinks[l.To], l)
+	shTo.addInLinkLocked(l)
 	shTo.linkMu.Unlock()
 	shFrom.bumpEpoch()
 	shTo.bumpEpoch()
@@ -491,6 +663,15 @@ func (s *Store) AddRedirect(r Redirect) {
 	sh := s.shardForURL(r.From)
 	sh.redirMu.Lock()
 	sh.redirects = append(sh.redirects, r)
+	if t := sh.tier; t != nil {
+		t.hotRedir = append(t.hotRedir, r)
+		var e segment.Enc
+		e.Byte(walOpRedirects)
+		e.Uvarint(1)
+		e.Str(r.From)
+		e.Str(r.To)
+		t.appendWALLocked(e.Bytes())
+	}
 	sh.redirMu.Unlock()
 	sh.bumpEpoch()
 }

@@ -1,6 +1,10 @@
 package store
 
-import "time"
+import (
+	"time"
+
+	"github.com/bingo-search/bingo/internal/segment"
+)
 
 // This file implements the batched write path: workspaces buffer rows per
 // crawler thread and move them into the store with one bulk load, which is
@@ -13,6 +17,15 @@ import "time"
 // store_flush_rows / store_flush_nanos so an operator can see whether
 // batching is actually happening (many small flushes mean the batch size
 // is too low or the crawl is starved).
+//
+// In a tiered store a flush is also the WAL batching point: each relation's
+// rows are appended to the owning shard's WAL as one record while that
+// relation's lock is held (making the record atomic with respect to WAL
+// rotation), and the touched logs are fsynced once at the end of the flush
+// — one fsync per flush per shard, not per row. Flush is also where
+// memtable pressure is relieved: a shard over its budget is frozen
+// synchronously on the flushing (crawler) thread, which is the write-path
+// backpressure that keeps ingest from outrunning the disk.
 
 // wsShard is one shard's slice of a workspace buffer. An out-link row is
 // buffered on its source URL's shard, an in-link row on its target's (the
@@ -44,11 +57,17 @@ type Workspace struct {
 	buffered  int // total rows across shards (in-link rows not double-counted)
 	pending   int // buffered documents
 
+	// err holds a flush error raised by an auto-flush inside Add, carried
+	// to the next explicit Flush call.
+	err error
+
 	// Flush scratch, reused across batches so the steady state allocates
 	// nothing per flush.
 	ids      []DocID
 	terms    []map[string]int
 	idxBatch indexBatch
+	enc      segment.Enc
+	wals     []*segment.WAL
 }
 
 // NewWorkspace returns a workspace that auto-flushes when the total number
@@ -102,25 +121,47 @@ func (w *Workspace) Buffered() int { return w.buffered }
 
 func (w *Workspace) maybeFlush() {
 	if w.buffered >= w.batchSize {
-		w.Flush()
+		if err := w.Flush(); err != nil && w.err == nil {
+			w.err = err
+		}
 	}
 }
 
-// Flush bulk-loads all buffered rows into their owning shards, walking the
-// shards in index order and skipping untouched ones.
-func (w *Workspace) Flush() {
-	if w.buffered == 0 {
+// noteWAL remembers a WAL that received records this flush, for the
+// end-of-flush fsync.
+func (w *Workspace) noteWAL(wal *segment.WAL) {
+	if wal == nil {
 		return
+	}
+	for _, have := range w.wals {
+		if have == wal {
+			return
+		}
+	}
+	w.wals = append(w.wals, wal)
+}
+
+// Flush bulk-loads all buffered rows into their owning shards, walking the
+// shards in index order and skipping untouched ones. In a tiered store it
+// returns the first write-ahead-log or segment error since the previous
+// flush — a crawler must treat that as "recent acknowledgements may not be
+// durable"; for a purely in-memory store the error is always nil.
+func (w *Workspace) Flush() error {
+	if w.buffered == 0 {
+		return w.takeErr()
 	}
 	start := time.Now()
 	mFlushRows.Observe(int64(w.buffered))
 	s := w.store
+	w.wals = w.wals[:0]
+	docsFlushed := int64(0)
 	for si := range w.byShard {
 		b := &w.byShard[si]
 		if b.rows() == 0 && len(b.inLinks) == 0 {
 			continue
 		}
 		sh := s.shards[si]
+		t := sh.tier
 		if len(b.docs) > 0 {
 			w.ids = w.ids[:0]
 			w.terms = w.terms[:0]
@@ -133,6 +174,19 @@ func (w *Workspace) Flush() {
 				if old != nil {
 					replaced = append(replaced, old)
 				}
+			}
+			if t != nil {
+				w.enc.Reset()
+				w.enc.Byte(walOpDocs)
+				w.enc.Uvarint(uint64(len(b.docs)))
+				for i := range b.docs {
+					d := &b.docs[i]
+					t.addHotLocked(docBytes(d), 1)
+					walEncodeDoc(&w.enc, int64(w.ids[i])>>sh.bits, d)
+				}
+				wal, _ := t.appendWALLocked(w.enc.Bytes())
+				w.noteWAL(wal)
+				docsFlushed += int64(len(b.docs))
 			}
 			sh.docMu.Unlock()
 			for _, old := range replaced {
@@ -157,11 +211,44 @@ func (w *Workspace) Flush() {
 			for _, l := range b.inLinks {
 				sh.inLinks[l.To] = append(sh.inLinks[l.To], l)
 			}
+			if t != nil {
+				t.hotOut = append(t.hotOut, b.outLinks...)
+				t.hotIn = append(t.hotIn, b.inLinks...)
+				w.enc.Reset()
+				w.enc.Byte(walOpLinks)
+				w.enc.Uvarint(uint64(len(b.outLinks) + len(b.inLinks)))
+				for _, l := range b.outLinks {
+					w.enc.Bool(true)
+					w.enc.Str(l.From)
+					w.enc.Str(l.To)
+					w.enc.Str(l.Anchor)
+				}
+				for _, l := range b.inLinks {
+					w.enc.Bool(false)
+					w.enc.Str(l.From)
+					w.enc.Str(l.To)
+					w.enc.Str(l.Anchor)
+				}
+				wal, _ := t.appendWALLocked(w.enc.Bytes())
+				w.noteWAL(wal)
+			}
 			sh.linkMu.Unlock()
 		}
 		if len(b.redirects) > 0 {
 			sh.redirMu.Lock()
 			sh.redirects = append(sh.redirects, b.redirects...)
+			if t != nil {
+				t.hotRedir = append(t.hotRedir, b.redirects...)
+				w.enc.Reset()
+				w.enc.Byte(walOpRedirects)
+				w.enc.Uvarint(uint64(len(b.redirects)))
+				for _, r := range b.redirects {
+					w.enc.Str(r.From)
+					w.enc.Str(r.To)
+				}
+				wal, _ := t.appendWALLocked(w.enc.Bytes())
+				w.noteWAL(wal)
+			}
 			sh.redirMu.Unlock()
 		}
 		sh.bumpEpoch()
@@ -174,5 +261,36 @@ func (w *Workspace) Flush() {
 	mBulkLoads.Inc()
 	w.buffered = 0
 	w.pending = 0
+	if s.Tiered() {
+		if s.opt.WALSync {
+			syncStart := time.Now()
+			synced := true
+			for _, wal := range w.wals {
+				if err := wal.Sync(); err != nil {
+					synced = false
+					s.noteTierErr(err)
+				}
+			}
+			mWALSyncNanos.ObserveSince(syncStart)
+			if synced {
+				s.durable.Add(docsFlushed)
+			}
+		}
+		for si := range w.byShard {
+			if s.shards[si].tier != nil {
+				s.maybeFreeze(s.shards[si])
+			}
+		}
+	}
 	mFlushNanos.ObserveSince(start)
+	if err := w.takeErr(); err != nil {
+		return err
+	}
+	return s.TierErr()
+}
+
+func (w *Workspace) takeErr() error {
+	err := w.err
+	w.err = nil
+	return err
 }

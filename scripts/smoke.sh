@@ -4,6 +4,11 @@
 # every response is 2xx or a 429 shed, then SIGTERM the server and require
 # a clean graceful exit (readiness flip + drain + exit 0).
 #
+# Second leg: durability. Start a tiered (-data-dir) crawl with WAL sync
+# on, kill -9 the process mid-crawl once some documents are acknowledged
+# durable, restart over the same data directory, and require that every
+# acknowledged document survived the crash.
+#
 # Run via `make smoke`; CI runs it on every push.
 set -eu
 
@@ -65,6 +70,80 @@ fi
 if ! grep -q "shutdown complete" "$tmp/portald.log"; then
     echo "smoke: portald never logged 'shutdown complete'; log follows" >&2
     cat "$tmp/portald.log" >&2
+    exit 1
+fi
+
+# --- Durability leg: SIGKILL a tiered crawl, recover from segments + WAL ---
+
+echo "smoke: starting tiered crawl (-data-dir, WAL sync on)"
+datadir="$tmp/data"
+"$tmp/portald" -crawl -world tiny -data-dir "$datadir" -wal-sync \
+    -listen 127.0.0.1:0 -port-file "$tmp/port2" \
+    >"$tmp/tiered.log" 2>&1 &
+pid=$!
+
+# Wait until the crawl has acknowledged at least a few documents as
+# durable (fsynced WAL), then pull the plug with SIGKILL — no drain, no
+# manifest commit, the worst crash the recovery path must handle.
+min_durable=5
+i=0
+durable=0
+while :; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "smoke: tiered portald exited before reaching $min_durable durable docs; log follows" >&2
+        cat "$tmp/tiered.log" >&2
+        exit 1
+    fi
+    durable="$(sed -n 's/^crawl progress: \([0-9][0-9]*\) docs durable$/\1/p' "$tmp/tiered.log" | tail -1)"
+    if [ -n "$durable" ] && [ "$durable" -ge "$min_durable" ]; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 1200 ]; then
+        echo "smoke: timed out waiting for durable crawl progress; log follows" >&2
+        cat "$tmp/tiered.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "smoke: $durable docs durable, sending SIGKILL mid-crawl"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+echo "smoke: restarting over the crashed data directory"
+"$tmp/portald" -data-dir "$datadir" -listen 127.0.0.1:0 -port-file "$tmp/port3" \
+    >"$tmp/recover.log" 2>&1 &
+pid=$!
+i=0
+while [ ! -s "$tmp/port3" ]; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "smoke: recovery portald exited before serving; log follows" >&2
+        cat "$tmp/recover.log" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "smoke: timed out waiting for recovery portald" >&2
+        cat "$tmp/recover.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+recovered="$(sed -n 's/^serving portal over \([0-9][0-9]*\) documents.*/\1/p' "$tmp/recover.log" | tail -1)"
+if [ -z "$recovered" ] || [ "$recovered" -lt "$durable" ]; then
+    echo "smoke: WAL replay lost acknowledged documents: $durable were durable, recovered ${recovered:-0}; logs follow" >&2
+    cat "$tmp/recover.log" >&2
+    exit 1
+fi
+echo "smoke: recovered $recovered docs (>= $durable acknowledged durable before SIGKILL)"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "smoke: recovery portald exited $rc on SIGTERM; log follows" >&2
+    cat "$tmp/recover.log" >&2
     exit 1
 fi
 echo "smoke: OK"
