@@ -150,11 +150,24 @@ func compressBlocks(blocks [][]byte, dict []byte) ([][]byte, error) {
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
 	next := make(chan int)
+	// A worker that exits early on error closes done (once — several may
+	// fail) so the feeder never blocks forever on next <- i after its
+	// consumers are gone.
+	done := make(chan struct{})
+	var failed sync.Once
+	fail := func(w int, err error) {
+		errs[w] = err
+		failed.Do(func() { close(done) })
+	}
 	go func() {
+		defer close(next)
 		for i := range blocks {
-			next <- i
+			select {
+			case next <- i:
+			case <-done:
+				return
+			}
 		}
-		close(next)
 	}()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -163,18 +176,18 @@ func compressBlocks(blocks [][]byte, dict []byte) ([][]byte, error) {
 			var buf bytes.Buffer
 			fw, err := flate.NewWriterDict(&buf, flate.DefaultCompression, dict)
 			if err != nil {
-				errs[w] = err
+				fail(w, err)
 				return
 			}
 			for i := range next {
 				buf.Reset()
 				fw.Reset(&buf)
 				if _, err := fw.Write(blocks[i]); err != nil {
-					errs[w] = err
+					fail(w, err)
 					return
 				}
 				if err := fw.Close(); err != nil {
-					errs[w] = err
+					fail(w, err)
 					return
 				}
 				c := make([]byte, buf.Len())

@@ -7,6 +7,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sync"
 )
@@ -67,11 +68,15 @@ type shardFrameV2 struct {
 	Redirects []Redirect
 }
 
-// maxFrameBytes caps a single shard frame so a corrupt length prefix
-// cannot drive Decode into an absurd allocation.
-const maxFrameBytes = 1 << 33
+// maxFrameBytes caps a single shard frame at what the u32 length prefix
+// can represent; writeFrame rejects anything larger rather than silently
+// truncating the prefix and corrupting the stream.
+const maxFrameBytes = math.MaxUint32
 
 func writeFrame(w io.Writer, b []byte) error {
+	if int64(len(b)) > maxFrameBytes {
+		return fmt.Errorf("frame of %d bytes exceeds the %d-byte u32 length prefix limit", len(b), int64(maxFrameBytes))
+	}
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(b)))
 	if _, err := w.Write(lenBuf[:]); err != nil {

@@ -173,6 +173,16 @@ type shardTier struct {
 	mu        sync.Mutex
 	nextSegID int64
 
+	// baseWalSeq is the oldest WAL generation that may still hold records
+	// not baked into a manifest-committed segment. The manifest records it
+	// (not the live walSeq) and only generations below it are ever deleted;
+	// it advances — to the generation rotated in — only when a freeze
+	// actually bakes the hot tier. walSeq alone can run ahead of durability:
+	// after a failed freeze, or at open when several generations survive, the
+	// live generation is newer than generations whose acknowledged records
+	// exist only in memory and in those older logs. Guarded by mu.
+	baseWalSeq int64
+
 	// wal/walSeq are swapped under all three relation locks (rotation);
 	// a holder of any one relation lock reads a stable pointer. The hot
 	// counters and overrides are guarded by the owner shard's docMu.
@@ -415,6 +425,7 @@ func (s *Store) openShardTier(sh *storeShard, stats *RecoveryStats) error {
 		return fmt.Errorf("store: shard %d: %w", sh.idx, err)
 	}
 	t.walSeq = man.WalSeq
+	t.baseWalSeq = man.WalSeq
 	t.nextSegID = man.NextSegID
 	if man.Overrides != nil {
 		t.overrides = man.Overrides
@@ -856,6 +867,12 @@ func (s *Store) maybeFreeze(sh *storeShard) {
 	}
 }
 
+// freezePrePublishHook, when non-nil, runs between a freeze's segment
+// build and publishFreeze — the window where a meta mutation can land
+// after the frozen meta was captured. Tests use it to pin that race
+// deterministically; production never sets it.
+var freezePrePublishHook func()
+
 // frozenDoc is one captured hot document.
 type frozenDoc struct {
 	id    DocID
@@ -913,6 +930,7 @@ func (s *Store) FreezeShard(i int) error {
 	oldWAL := t.wal
 	t.wal = newWAL
 	t.walSeq++
+	newGen := t.walSeq
 	segID := t.nextSegID
 	t.nextSegID++
 	sh.redirMu.Unlock()
@@ -935,26 +953,16 @@ func (s *Store) FreezeShard(i int) error {
 	in.Redirects = redirectRows(hotRedir)
 	file := fmt.Sprintf("seg-%06d.bsg", segID)
 	bytes, err := segment.Build(filepath.Join(t.dir, file), in)
+	var r *segment.Reader
 	if err == nil {
-		var r *segment.Reader
 		r, err = segment.Open(filepath.Join(t.dir, file))
-		if err == nil {
-			s.publishFreeze(sh, &tierSeg{r: r, file: file, bytes: bytes}, frozen)
-			mSegFreezes.Inc()
-			mSegFrozenDocs.Add(int64(len(frozen)))
-			mSegCount.Add(1)
-			mSegBytes.Add(bytes)
-			if !t.opt.WALSync {
-				s.durable.Add(int64(len(frozen)))
-			}
-			err = s.commitManifestLocked(sh)
-			s.kickCompactor()
-		}
 	}
 	if err != nil {
-		// The new WAL generation is already live and the old one is still
-		// on disk (the manifest still points at it), so no acknowledged
-		// write is lost — only the hot link capture must be restored.
+		// The new WAL generation is already live and every older one is
+		// still on disk (baseWalSeq did not advance, so no later manifest
+		// commit may delete them), so no acknowledged write is lost — only
+		// the hot link capture must be restored. The next freeze recaptures
+		// the still-hot documents.
 		sh.linkMu.Lock()
 		t.hotOut = append(hotOut, t.hotOut...)
 		t.hotIn = append(hotIn, t.hotIn...)
@@ -964,6 +972,30 @@ func (s *Store) FreezeShard(i int) error {
 		sh.redirMu.Unlock()
 		return err
 	}
+	if freezePrePublishHook != nil {
+		freezePrePublishHook()
+	}
+	s.publishFreeze(sh, &tierSeg{r: r, file: file, bytes: bytes}, frozen)
+	mSegFreezes.Inc()
+	mSegFrozenDocs.Add(int64(len(frozen)))
+	mSegCount.Add(1)
+	mSegBytes.Add(bytes)
+	if !t.opt.WALSync {
+		s.durable.Add(int64(len(frozen)))
+	}
+	// Everything acknowledged before the rotation point is now baked into
+	// the published segment (or tombstoned/overridden), so generations
+	// before newGen become redundant once the manifest commits.
+	t.baseWalSeq = newGen
+	if err := s.commitManifestLocked(sh); err != nil {
+		// The segment is live in memory and on disk; the manifest retries
+		// at the next freeze or compaction commit, and until one succeeds
+		// the old on-disk manifest plus surviving WAL generations still
+		// reconstruct everything. Restoring the link capture here would
+		// double-bake it — the rows are already in the published segment.
+		return err
+	}
+	s.kickCompactor()
 	return nil
 }
 
@@ -982,6 +1014,20 @@ func (s *Store) publishFreeze(sh *storeShard, seg *tierSeg, frozen []frozenDoc) 
 		f := &frozen[pos]
 		d, ok := sh.docs[f.id]
 		if ok && sh.byURL[d.URL] == f.id {
+			// SetTopic/SetTraining applied between capture and here missed
+			// noteColdTopicLocked (the row was not cold yet) and the baked
+			// meta predates them; their WAL records live in the generation
+			// the next freeze deletes. An override is the only durable home.
+			if d.Topic != f.meta.Topic || d.Confidence != f.meta.Confidence {
+				ov := t.overrides[f.seq]
+				ov.HasTopic, ov.Topic, ov.Confidence = true, d.Topic, d.Confidence
+				t.overrides[f.seq] = ov
+			}
+			if d.IsTraining != f.meta.IsTraining {
+				ov := t.overrides[f.seq]
+				ov.HasTraining, ov.Training = true, d.IsTraining
+				t.overrides[f.seq] = ov
+			}
 			d.Text = ""
 			d.Terms = nil
 			sh.cold[f.id] = coldRef{seg: seg, pos: pos}
@@ -1037,13 +1083,17 @@ func redirectRows(rs []Redirect) []segment.RedirectRow {
 
 // commitManifestLocked writes the shard manifest (the durability commit
 // point of a freeze or compaction) and deletes WAL generations it
-// obsoletes. Caller holds t.mu.
+// obsoletes. The manifest records baseWalSeq — the oldest generation that
+// may hold unbaked records — never the live walSeq, which runs ahead of it
+// after a failed freeze or a multi-generation recovery; deleting up to the
+// live generation there would drop acknowledged documents that exist only
+// in memory and in those older logs. Caller holds t.mu.
 func (s *Store) commitManifestLocked(sh *storeShard) error {
 	t := sh.tier
 	sh.docMu.RLock()
 	st := t.state.load()
 	man := tierManifest{
-		WalSeq:    t.walSeq,
+		WalSeq:    t.baseWalSeq,
 		NextSeq:   sh.nextSeq,
 		NextSegID: t.nextSegID,
 		Segments:  make([]string, len(st.segs)),
@@ -1466,12 +1516,19 @@ func (s *Store) Close() error {
 		}
 		t.mu.Lock()
 		sh.docMu.Lock()
+		// The wal pointer is read under any one relation lock, so swapping
+		// it to nil needs all three (docMu → linkMu → redirMu), exactly
+		// like FreezeShard's rotation.
+		sh.linkMu.Lock()
+		sh.redirMu.Lock()
 		if t.wal != nil {
 			if err := t.wal.Close(); err != nil && firstErr == nil {
 				firstErr = err
 			}
 			t.wal = nil
 		}
+		sh.redirMu.Unlock()
+		sh.linkMu.Unlock()
 		for _, seg := range t.state.load().segs {
 			if err := seg.r.Close(); err != nil && firstErr == nil {
 				firstErr = err

@@ -814,3 +814,114 @@ func TestPersistV1StillReadable(t *testing.T) {
 	}
 	requireStoresEqual(t, "v1-compat", loaded, s)
 }
+
+// TestTieredFailedFreezeRetainsWALGenerations: a freeze whose segment
+// build fails leaves the rotated-out WAL generation as the only durable
+// copy of the still-hot documents. A manifest commit that did not bake the
+// hot tier (what a background compaction performs) must keep that
+// generation — it may only delete generations below baseWalSeq — and a
+// crash-reopen must recover every acknowledged document. A later
+// successful freeze advances baseWalSeq and then cleans the obsolete
+// generations up.
+func TestTieredFailedFreezeRetainsWALGenerations(t *testing.T) {
+	dir := t.TempDir()
+	opt := testTierOpts()
+	opt.WALSync = true
+	s := openTiered(t, dir, 1, opt)
+	fillTier(t, s, 3, 30)
+
+	// Fail the freeze after its WAL rotation: occupy the segment's tmp
+	// path with a directory so segment.Build cannot create its file.
+	shardDir := filepath.Join(dir, "shard-00")
+	blocker := filepath.Join(shardDir, "seg-000001.bsg.tmp")
+	if err := os.MkdirAll(blocker, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FreezeShard(0); err == nil {
+		t.Fatal("freeze with blocked segment path succeeded")
+	}
+	if err := os.RemoveAll(blocker); err != nil {
+		t.Fatal(err)
+	}
+
+	// Commit the manifest without baking the hot tier, as the background
+	// compactor does after a merge.
+	sh := s.shards[0]
+	sh.tier.mu.Lock()
+	err := s.commitManifestLocked(sh)
+	sh.tier.mu.Unlock()
+	if err != nil {
+		t.Fatalf("commit manifest: %v", err)
+	}
+	gen1 := filepath.Join(shardDir, "wal-000001.log")
+	if _, err := os.Stat(gen1); err != nil {
+		t.Fatalf("wal generation 1 (only durable copy of 30 docs) gone after manifest commit: %v", err)
+	}
+
+	// Crash-reopen (no Close): every acknowledged document recovers.
+	re := openTiered(t, dir, 1, opt)
+	if re.NumDocs() != 30 {
+		t.Fatalf("recovered %d docs after failed freeze + manifest commit, want 30", re.NumDocs())
+	}
+
+	// A successful freeze bakes the hot tier; only then do the old
+	// generations become deletable.
+	freezeAll(t, re)
+	for _, g := range []string{gen1, filepath.Join(shardDir, "wal-000002.log")} {
+		if _, err := os.Stat(g); !os.IsNotExist(err) {
+			t.Fatalf("obsolete generation %s survived a successful freeze", g)
+		}
+	}
+	re.Close()
+	re2 := openTiered(t, dir, 1, opt)
+	defer re2.Close()
+	if re2.NumDocs() != 30 {
+		t.Fatalf("recovered %d docs after successful freeze, want 30", re2.NumDocs())
+	}
+}
+
+// TestTieredFreezeWindowMetaMutation: SetTopic/SetTraining landing between
+// a freeze's capture and its publish must survive the next WAL rotation.
+// The baked meta predates the mutation, the row was not yet cold when the
+// mutation looked for an override to record, and the mutation's WAL record
+// lives in the generation the next freeze deletes — publishFreeze must
+// diff the live row against the frozen meta and record the override.
+func TestTieredFreezeWindowMetaMutation(t *testing.T) {
+	dir := t.TempDir()
+	opt := testTierOpts()
+	opt.WALSync = true
+	s := openTiered(t, dir, 1, opt)
+	fillTier(t, s, 5, 10)
+	victim := tierURL(5, 1) // doc 1: IsTraining starts false
+
+	freezePrePublishHook = func() {
+		freezePrePublishHook = nil
+		if err := s.SetTopic(victim, "window-topic", 0.42); err != nil {
+			t.Errorf("SetTopic in freeze window: %v", err)
+		}
+		if err := s.SetTraining(victim, true); err != nil {
+			t.Errorf("SetTraining in freeze window: %v", err)
+		}
+	}
+	defer func() { freezePrePublishHook = nil }()
+	freezeAll(t, s)
+
+	// The next freeze rotates again and deletes the generation holding the
+	// mutation's WAL records; only a manifest override keeps them durable.
+	fillTier(t, s, 6, 5)
+	freezeAll(t, s)
+	s.Close()
+
+	re := openTiered(t, dir, 1, opt)
+	defer re.Close()
+	d, err := re.GetByURL(victim)
+	if err != nil {
+		t.Fatalf("GetByURL(%s): %v", victim, err)
+	}
+	if d.Topic != "window-topic" || d.Confidence != 0.42 {
+		t.Fatalf("topic mutated in freeze window lost: got %q/%v, want window-topic/0.42", d.Topic, d.Confidence)
+	}
+	if !d.IsTraining {
+		t.Fatal("training flag mutated in freeze window lost")
+	}
+}
