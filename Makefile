@@ -14,7 +14,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race chaos smoke bench bench-search bench-overhead bench-shard bench-serve bench-segments
+.PHONY: all build vet fmt-check test race chaos smoke smoke-dist doccheck bench bench-search bench-overhead bench-shard bench-serve bench-segments
 
 all: build test
 
@@ -36,7 +36,7 @@ test: vet fmt-check
 # parallel HITS sweeps); race runs the packages that exercise them, plus the
 # lock-free metrics primitives they all report into.
 race:
-	$(GO) test -race ./internal/crawler/... ./internal/store/... ./internal/segment/... ./internal/frontier/... ./internal/search/... ./internal/hits/... ./internal/metrics/... ./internal/serve/... ./internal/servecache/... ./internal/admit/... ./internal/loadgen/...
+	$(GO) test -race ./internal/crawler/... ./internal/store/... ./internal/segment/... ./internal/frontier/... ./internal/search/... ./internal/hits/... ./internal/metrics/... ./internal/serve/... ./internal/servecache/... ./internal/admit/... ./internal/loadgen/... ./internal/rpc/... ./internal/coord/...
 
 # chaos runs the fault-injection suite (full crawls against the seeded fault
 # plane, plus the faults/fetch resilience units) across a fixed seed matrix
@@ -82,6 +82,21 @@ bench-serve:
 # SIGTERM and require a graceful drain with exit 0.
 smoke:
 	sh scripts/smoke.sh
+
+# smoke-dist is the distributed end-to-end check: boot two shardd shard
+# servers and a portald coordinator that mirrors a tiny-world crawl into
+# them, kill -9 one shard mid-crawl (the crawl must finish and /search
+# must answer degraded partials, never a 5xx storm), restart it over the
+# same WAL (every acknowledged document must be recovered and the fleet
+# must return to non-degraded answers), then SIGTERM everything cleanly.
+smoke-dist:
+	sh scripts/smoke_dist.sh
+
+# doccheck fails when any exported identifier in the wire-protocol or
+# coordinator packages lacks a godoc comment — the distributed API is the
+# documented operational surface, so undocumented API is a build break.
+doccheck:
+	$(GO) run ./cmd/doccheck internal/rpc internal/coord
 
 # bench-segments reports cold-start latency for the segment tier, then
 # records the tiered-vs-in-memory evidence — corpus held per heap byte,

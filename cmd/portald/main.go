@@ -20,10 +20,19 @@
 // portald shuts down gracefully on SIGINT/SIGTERM: readiness flips first,
 // in-flight requests drain under -drain-timeout, then the process exits 0.
 //
+// With -shards, portald runs as the stateless query coordinator of a
+// distributed deployment instead: it owns no documents, fans /search out
+// over the listed shardd servers (see cmd/shardd), merges global corpus
+// statistics for exact idf, and answers degraded partial results when a
+// shard is down. In coordinator mode /search is JSON-only (no HTML
+// portal), and -crawl mirrors the staging crawl into the shard servers
+// through the ingest router. See DESIGN.md "Distributed scatter-gather".
+//
 // Usage:
 //
 //	portald -db crawl.db [-listen :8090]
 //	portald -crawl [-world small] [-listen :8090]
+//	portald -shards http://h1:7001,http://h2:7001 [-crawl] [-listen :8090]
 package main
 
 import (
@@ -42,9 +51,11 @@ import (
 
 	bingo "github.com/bingo-search/bingo"
 	"github.com/bingo-search/bingo/internal/admit"
+	"github.com/bingo-search/bingo/internal/coord"
 	"github.com/bingo-search/bingo/internal/faults"
 	"github.com/bingo-search/bingo/internal/metrics"
 	"github.com/bingo-search/bingo/internal/portal"
+	"github.com/bingo-search/bingo/internal/rpc"
 	"github.com/bingo-search/bingo/internal/search"
 	"github.com/bingo-search/bingo/internal/serve"
 	"github.com/bingo-search/bingo/internal/servecache"
@@ -70,7 +81,29 @@ func main() {
 	queueTimeout := flag.Duration("queue-timeout", 100*time.Millisecond, "admission control: max wait in the queue before shedding")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (429) responses")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown: deadline for draining in-flight requests")
+	shards := flag.String("shards", "", "comma-separated shardd base addresses; non-empty runs portald as the distributed query coordinator")
+	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "coordinator: per-attempt timeout for one shard RPC")
+	hedgeAfter := flag.Duration("hedge-after", 250*time.Millisecond, "coordinator: delay before hedging a slow idempotent shard RPC (negative disables)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "coordinator: background ping interval for reintegrating recovered shards (negative disables)")
 	flag.Parse()
+
+	if *shards != "" {
+		runCoordinator(coordinatorConfig{
+			addrs:         splitAddrs(*shards),
+			listen:        *listen,
+			portFile:      *portFile,
+			crawl:         *crawl,
+			world:         *worldFlag,
+			chaosSeed:     *chaosSeed,
+			chaosProfile:  *chaosProfile,
+			storeShards:   *storeShards,
+			rpcTimeout:    *rpcTimeout,
+			hedgeAfter:    *hedgeAfter,
+			probeInterval: *probeInterval,
+			drainTimeout:  *drainTimeout,
+		})
+		return
+	}
 
 	var st *store.Store
 	switch {
@@ -265,4 +298,167 @@ func logRecovery(st *store.Store) {
 	r := st.Recovery()
 	fmt.Printf("tiered store recovered: %d segments (%d docs), %d WAL records (%d docs) in %s; %d docs durable\n",
 		r.Segments, r.SegmentDocs, r.WALRecords, r.WALDocs, r.Elapsed, st.DurableDocs())
+}
+
+// splitAddrs parses the -shards flag into trimmed, non-empty addresses.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// coordinatorConfig carries the flag subset coordinator mode uses.
+type coordinatorConfig struct {
+	addrs         []string
+	listen        string
+	portFile      string
+	crawl         bool
+	world         string
+	chaosSeed     int64
+	chaosProfile  string
+	storeShards   int
+	rpcTimeout    time.Duration
+	hedgeAfter    time.Duration
+	probeInterval time.Duration
+	drainTimeout  time.Duration
+}
+
+// runCoordinator is portald's distributed mode: no local documents, just
+// the scatter-gather coordinator over the configured shard servers. With
+// -crawl it first runs the staging crawl locally and mirrors every stored
+// row into the shard servers through the ingest router, so the fleet ends
+// up holding the corpus the crawl produced.
+func runCoordinator(cfg coordinatorConfig) {
+	c, err := coord.New(cfg.addrs, coord.Options{
+		QueryTimeout:  cfg.rpcTimeout,
+		HedgeAfter:    cfg.hedgeAfter,
+		ProbeInterval: cfg.probeInterval,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coordinator over %d shard servers: %s\n", c.NumShards(), strings.Join(c.Addrs(), ", "))
+
+	if cfg.crawl {
+		router := coord.NewRouter(c.Clients(), coord.RouterOptions{
+			// Small batches so durability acks (and the progress lines the
+			// distributed smoke harness greps) track the crawl closely;
+			// each batch is still one bulk load + one WAL fsync shard-side.
+			BatchRows: 16,
+			Progress: func(addr string, resp *rpc.InsertResponse) {
+				// The distributed smoke harness greps these lines to know how
+				// many documents each shard acknowledged as durable before it
+				// kills one mid-crawl.
+				fmt.Printf("ingest progress: shard %s: %d docs acked (%d durable)\n",
+					addr, resp.NumDocs, resp.Durable)
+			},
+		})
+		var wcfg bingo.WorldConfig
+		switch cfg.world {
+		case "tiny":
+			wcfg = bingo.TinyWorldConfig()
+		case "small":
+			wcfg = bingo.SmallWorldConfig()
+		case "default":
+			wcfg = bingo.DefaultWorldConfig()
+		default:
+			log.Fatalf("unknown world %q", cfg.world)
+		}
+		world := bingo.GenerateWorld(wcfg)
+		fmt.Println(world)
+		var plane *faults.Plane
+		if cfg.chaosProfile != "" && cfg.chaosProfile != "off" {
+			prof, perr := faults.ByName(cfg.chaosProfile)
+			if perr != nil {
+				log.Fatal(perr)
+			}
+			plane = faults.New(cfg.chaosSeed, prof)
+			fmt.Printf("chaos: profile=%s seed=%d\n", prof.Name, cfg.chaosSeed)
+		}
+		eng, err := bingo.EngineForWorld(world,
+			[]bingo.TopicSpec{{Path: []string{"databases"}, Seeds: world.SeedURLs()}},
+			func(bc *bingo.Config) {
+				bc.LearnBudget = 150
+				bc.HarvestBudget = 800
+				bc.StoreShards = cfg.storeShards
+				bc.Sink = router
+				if plane != nil {
+					bc.Transport = plane.Wrap(bc.Transport)
+					bc.DNSMiddleware = plane.WrapDNS
+				}
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, _, err := eng.Run(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+		if err := router.Close(); err != nil {
+			fmt.Printf("ingest: delivery errors during crawl (fleet is degraded): %v\n", err)
+		}
+		for _, a := range router.Acks() {
+			fmt.Printf("ingest complete: shard %s: %d docs acked (%d durable), %d rows dropped\n",
+				a.Addr, a.NumDocs, a.Durable, a.DroppedRows)
+		}
+	}
+
+	syncCtx, cancelSync := context.WithTimeout(context.Background(), 60*time.Second)
+	if err := c.Sync(syncCtx); err != nil {
+		// Keep serving: every query answers 503 until a shard comes back
+		// and the prober folds it in.
+		fmt.Printf("initial stats sync failed (serving 503 until shards appear): %v\n", err)
+	} else {
+		fmt.Printf("stats sync complete: version %s over %d documents\n", c.Version(), c.TotalDocs())
+	}
+	cancelSync()
+
+	api := coord.NewAPI(c)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", api.HandleSearch)
+	mux.Handle("/healthz", api.Handler())
+	mux.Handle("/readyz", api.Handler())
+	mux.HandleFunc("/metricsz", metrics.Default().Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	api.SetReady(true)
+	c.StartProber()
+
+	if cfg.portFile != "" {
+		if err := os.WriteFile(cfg.portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("serving coordinator over %d documents on %s (API on /search, health on /healthz + /readyz, metrics on /metricsz)\n",
+		c.TotalDocs(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	stop()
+	api.SetReady(false)
+	c.StopProber()
+	fmt.Println("shutting down: readiness flipped, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("drain did not complete within %s: %v", cfg.drainTimeout, err)
+	}
+	fmt.Println("shutdown complete")
 }

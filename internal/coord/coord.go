@@ -1,0 +1,650 @@
+// Package coord is the stateless query coordinator of a distributed BINGO!
+// deployment: it owns no documents, only rpc.Clients to N shard servers,
+// and makes the fleet answer queries bit-identically to one process
+// holding all N partitions locally.
+//
+// Three responsibilities:
+//
+//   - Stats sync: pull every partition's integer document frequencies,
+//     merge them (integer addition — exact), assign a fresh version, and
+//     push the merged df + global doc count back so each partition builds
+//     its norms under the global idf table.
+//
+//   - Scatter-gather queries: compile the query plan once against the
+//     merged idf (search.Planner), fan phase 1 out to collect per-shard
+//     component maxima, reduce (max is order-independent), fan phase 2 out
+//     under the global maxima, and merge the per-shard top-K lists under
+//     the engine's score-desc/URL-asc total order. A version conflict from
+//     any shard triggers one stats resync and one retry; a dead shard
+//     degrades the answer (Result.Degraded + Result.Missing) instead of
+//     failing it.
+//
+//   - Ingest routing: the Router (see ingest.go) implements store.Sink and
+//     routes crawler rows to shard servers by the same URL hash the store
+//     uses for local shard placement.
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/bingo-search/bingo/internal/fetch"
+	"github.com/bingo-search/bingo/internal/metrics"
+	"github.com/bingo-search/bingo/internal/rpc"
+	"github.com/bingo-search/bingo/internal/search"
+	"github.com/bingo-search/bingo/internal/store"
+	"github.com/bingo-search/bingo/internal/vsm"
+)
+
+// Coordinator traffic: query volume and latency, degraded answers and
+// all-shards-down failures, resyncs (version-conflict recoveries), and
+// sync round counts. Shard-level RPC health lives in the rpc_client_*
+// metrics; these are the query-level rollups OPERATIONS.md triages from.
+var (
+	mQueries     = metrics.NewCounter("coord_queries_total")
+	mQueryErrors = metrics.NewCounter("coord_query_errors_total")
+	mQueryNanos  = metrics.NewHistogram("coord_query_nanos")
+	mDegraded    = metrics.NewCounter("coord_degraded_total")
+	mAllDown     = metrics.NewCounter("coord_all_shards_down_total")
+	mResyncs     = metrics.NewCounter("coord_resyncs_total")
+	mSyncs       = metrics.NewCounter("coord_syncs_total")
+	mSyncErrors  = metrics.NewCounter("coord_sync_errors_total")
+)
+
+// ErrAllShardsDown reports a query that could not reach a single shard
+// server: there is no partial result to degrade to, so the caller should
+// answer 503.
+var ErrAllShardsDown = errors.New("coord: no shard server reachable")
+
+// ErrNoShards reports a Coordinator built with an empty address list.
+var ErrNoShards = errors.New("coord: no shard addresses")
+
+// Options tunes a Coordinator.
+type Options struct {
+	// QueryTimeout bounds one RPC attempt against a shard (default 5s).
+	QueryTimeout time.Duration
+	// HedgeAfter is the slow-shard hedge delay for idempotent RPCs
+	// (default 250ms; <0 disables hedging).
+	HedgeAfter time.Duration
+	// MaxK caps per-query result sizes (default 100).
+	MaxK int
+	// ProbeInterval is how often the background prober pings shard servers
+	// to reintegrate recovered ones without waiting for a query-triggered
+	// resync (default 2s; <0 disables the prober).
+	ProbeInterval time.Duration
+}
+
+// shardState is the coordinator's bookkeeping for one shard server.
+type shardState struct {
+	client *rpc.Client
+	// synced reports whether the server holds the coordinator's current
+	// global-stats version; guarded by Coordinator.mu.
+	synced bool
+	// terms is the server's vocabulary from the last successful stats pull,
+	// used to restrict the global df push; guarded by Coordinator.mu.
+	terms []string
+}
+
+// Result is one answered distributed query.
+type Result struct {
+	// Hits is the merged, globally ranked top-K list.
+	Hits []rpc.Hit
+	// Degraded is true when at least one shard server did not contribute
+	// (down, unsynced, or failed mid-query) — the hits are correct for the
+	// reachable partitions but may miss documents.
+	Degraded bool
+	// Missing lists the base addresses of the shard servers that did not
+	// contribute.
+	Missing []string
+	// Version is the global-stats version the query was answered under.
+	Version string
+}
+
+// Coordinator fans queries out over shard servers and merges the answers.
+// It is safe for concurrent use; all methods may be called while a Sync is
+// in flight (queries keep using the previous version, which every shard
+// still serves).
+type Coordinator struct {
+	shards  []*shardState
+	planner *search.Planner
+	opt     Options
+	brk     *fetch.BreakerSet
+
+	mu        sync.RWMutex
+	version   string
+	totalDocs int
+	idf       *vsm.IDFTable
+	authVer   string // version authority scores were pushed under
+	syncSeq   int
+
+	syncMu sync.Mutex // serializes Sync and SyncAuth rounds
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+}
+
+// New builds a coordinator over the given shard-server base addresses
+// (e.g. "http://127.0.0.1:7001"). The order of addrs is the partition
+// order; it must match the order ingest was routed with.
+func New(addrs []string, opt Options) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, ErrNoShards
+	}
+	if opt.MaxK <= 0 {
+		opt.MaxK = 100
+	}
+	if opt.ProbeInterval == 0 {
+		opt.ProbeInterval = 2 * time.Second
+	}
+	// Snappier breaker than the crawl default: a dead shard should trip to
+	// fast-fail (degraded answers, no per-query timeout stalls) within a
+	// few queries, and a restarted shard should be re-probed within
+	// seconds, not the crawler's 15s host cool-down.
+	brk := fetch.NewBreakerSet(fetch.BreakerConfig{FailureThreshold: 3, OpenFor: 2 * time.Second})
+	c := &Coordinator{
+		planner: search.NewPlanner(),
+		opt:     opt,
+		brk:     brk,
+	}
+	for _, a := range addrs {
+		c.shards = append(c.shards, &shardState{
+			client: rpc.NewClient(a, rpc.ClientOptions{
+				Timeout:    opt.QueryTimeout,
+				HedgeAfter: opt.HedgeAfter,
+				Breaker:    brk,
+			}),
+		})
+	}
+	return c, nil
+}
+
+// NumShards returns the number of shard servers the coordinator routes
+// over.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Addrs returns the shard-server base addresses in partition order.
+func (c *Coordinator) Addrs() []string {
+	out := make([]string, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.client.Addr()
+	}
+	return out
+}
+
+// Clients returns the per-shard RPC clients in partition order (the ingest
+// Router and tests share them so breaker state is common).
+func (c *Coordinator) Clients() []*rpc.Client {
+	out := make([]*rpc.Client, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.client
+	}
+	return out
+}
+
+// Version returns the current global-stats version ("" before the first
+// successful Sync).
+func (c *Coordinator) Version() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// TotalDocs returns the global document count of the current version.
+func (c *Coordinator) TotalDocs() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.totalDocs
+}
+
+// Sync runs one stats round: pull every reachable partition's integer df,
+// merge, assign a fresh version, and push the merged statistics back.
+// Unreachable servers are left unsynced — queries degrade around them
+// until a later Sync (query-triggered or prober-triggered) reintegrates
+// them. Sync fails only when no server at all contributed.
+func (c *Coordinator) Sync(ctx context.Context) error {
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	mSyncs.Inc()
+
+	type pulled struct {
+		i     int
+		stats *search.PartitionStats
+		err   error
+	}
+	ch := make(chan pulled, len(c.shards))
+	for i, s := range c.shards {
+		go func(i int, s *shardState) {
+			st, err := s.client.Stats(ctx)
+			ch <- pulled{i: i, stats: st, err: err}
+		}(i, s)
+	}
+	stats := make([]*search.PartitionStats, len(c.shards))
+	for range c.shards {
+		p := <-ch
+		if p.err == nil {
+			stats[p.i] = p.stats
+		}
+	}
+
+	// Integer df merge: exact by construction, same arithmetic as the
+	// engine's mergeDocFreq across local shards.
+	df := make(map[string]int)
+	totalDocs := 0
+	reachable := 0
+	for _, st := range stats {
+		if st == nil {
+			continue
+		}
+		reachable++
+		totalDocs += st.NumDocs
+		for j, t := range st.Terms {
+			df[t] += st.DF[j]
+		}
+	}
+	if reachable == 0 {
+		mSyncErrors.Inc()
+		return ErrAllShardsDown
+	}
+
+	c.mu.Lock()
+	c.syncSeq++
+	version := fmt.Sprintf("g%d", c.syncSeq)
+	c.mu.Unlock()
+
+	// Push the merged statistics, restricted to each server's vocabulary
+	// (terms absent from a partition never score there).
+	okCh := make(chan pulled, len(c.shards))
+	for i, s := range c.shards {
+		if stats[i] == nil {
+			continue
+		}
+		go func(i int, s *shardState, st *search.PartitionStats) {
+			terms := st.Terms
+			dfs := make([]int, len(terms))
+			for j, t := range terms {
+				dfs[j] = df[t]
+			}
+			err := s.client.SetGlobal(ctx, version, totalDocs, terms, dfs)
+			okCh <- pulled{i: i, err: err}
+		}(i, s, stats[i])
+	}
+	synced := make([]bool, len(c.shards))
+	pushed := 0
+	for i := 0; i < reachable; i++ {
+		p := <-okCh
+		if p.err == nil {
+			synced[p.i] = true
+			pushed++
+		}
+	}
+	if pushed == 0 {
+		mSyncErrors.Inc()
+		return ErrAllShardsDown
+	}
+
+	c.mu.Lock()
+	c.version = version
+	c.totalDocs = totalDocs
+	c.idf = vsm.TableFromDocFreq(df, totalDocs)
+	for i, s := range c.shards {
+		s.synced = synced[i]
+		if stats[i] != nil {
+			s.terms = stats[i].Terms
+		}
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// SyncAuth computes global HITS authority over the union of every synced
+// partition's link edges and pushes the scores under the current version.
+// Call after Sync when queries weight authority; Search also triggers it
+// lazily. With every shard reachable the edge set — and therefore the
+// scores — is identical to the single-process computation.
+func (c *Coordinator) SyncAuth(ctx context.Context) error {
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+
+	c.mu.RLock()
+	version := c.version
+	targets := make([]*shardState, 0, len(c.shards))
+	for _, s := range c.shards {
+		if s.synced {
+			targets = append(targets, s)
+		}
+	}
+	c.mu.RUnlock()
+	if version == "" {
+		return errors.New("coord: SyncAuth before first Sync")
+	}
+	if len(targets) == 0 {
+		return ErrAllShardsDown
+	}
+
+	type edges struct {
+		resp *rpc.LinksResponse
+		err  error
+	}
+	ch := make(chan edges, len(targets))
+	for _, s := range targets {
+		go func(s *shardState) {
+			resp, err := s.client.Links(ctx)
+			ch <- edges{resp: resp, err: err}
+		}(s)
+	}
+	var links []store.Link
+	gathered := 0
+	for range targets {
+		e := <-ch
+		if e.err != nil {
+			continue
+		}
+		gathered++
+		for i := range e.resp.From {
+			links = append(links, store.Link{From: e.resp.From[i], To: e.resp.To[i]})
+		}
+	}
+	if gathered == 0 {
+		return ErrAllShardsDown
+	}
+
+	byURL := search.AuthorityFromLinks(links)
+	urls := make([]string, 0, len(byURL))
+	for u := range byURL {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	scores := make([]float64, len(urls))
+	for i, u := range urls {
+		scores[i] = byURL[u]
+	}
+
+	pushed := 0
+	var firstErr error
+	var wg sync.WaitGroup
+	var pmu sync.Mutex
+	for _, s := range targets {
+		wg.Add(1)
+		go func(s *shardState) {
+			defer wg.Done()
+			err := s.client.SetAuth(ctx, version, urls, scores)
+			pmu.Lock()
+			if err == nil {
+				pushed++
+			} else if firstErr == nil {
+				firstErr = err
+			}
+			pmu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	if pushed == 0 {
+		return firstErr
+	}
+	c.mu.Lock()
+	c.authVer = version
+	c.mu.Unlock()
+	return nil
+}
+
+// Search answers one query over the fleet. A version conflict from any
+// shard (restart, stale view) triggers one stats resync and one retry;
+// unreachable shards degrade the result instead of failing it. The only
+// error cases are an unsynced coordinator that cannot complete its first
+// sync and a fleet with no reachable shard at all.
+func (c *Coordinator) Search(ctx context.Context, q search.Query) (*Result, error) {
+	mQueries.Inc()
+	start := time.Now()
+	defer mQueryNanos.ObserveSince(start)
+
+	res, err := c.searchAttempts(ctx, q)
+	if err != nil {
+		mQueryErrors.Inc()
+		if errors.Is(err, ErrAllShardsDown) {
+			mAllDown.Inc()
+		}
+		return nil, err
+	}
+	if res.Degraded {
+		mDegraded.Inc()
+	}
+	return res, nil
+}
+
+// searchAttempts runs searchOnce with at most one conflict-triggered
+// resync in between.
+func (c *Coordinator) searchAttempts(ctx context.Context, q search.Query) (*Result, error) {
+	for attempt := 0; ; attempt++ {
+		res, conflict, err := c.searchOnce(ctx, q)
+		if conflict && attempt == 0 {
+			mResyncs.Inc()
+			if serr := c.Sync(ctx); serr != nil {
+				return nil, serr
+			}
+			continue
+		}
+		if conflict {
+			return nil, errors.New("coord: version conflict persisted after resync")
+		}
+		return res, err
+	}
+}
+
+// phaseResult carries one shard's answer through a fan-out.
+type phaseResult struct {
+	i     int
+	stats *search.ScoreStats
+	hits  []rpc.Hit
+	err   error
+}
+
+// searchOnce runs the two query phases against the current version.
+// conflict=true asks the caller to resync and retry.
+func (c *Coordinator) searchOnce(ctx context.Context, q search.Query) (*Result, bool, error) {
+	c.mu.RLock()
+	version := c.version
+	idf := c.idf
+	authVer := c.authVer
+	synced := make([]bool, len(c.shards))
+	for i, s := range c.shards {
+		synced[i] = s.synced
+	}
+	c.mu.RUnlock()
+	if version == "" {
+		return nil, true, nil // never synced: resync path doubles as bootstrap
+	}
+
+	plan, ok := c.planner.Plan(q, idf)
+	if !ok {
+		return &Result{Version: version}, false, nil
+	}
+	if plan.Limit > c.opt.MaxK {
+		plan.Limit = c.opt.MaxK
+	}
+	if plan.Weights.Authority != 0 && authVer != version {
+		if err := c.SyncAuth(ctx); err != nil {
+			return nil, false, err
+		}
+	}
+
+	// Phase 1: local component maxima from every synced shard.
+	missing := map[int]bool{}
+	for i := range c.shards {
+		if !synced[i] {
+			missing[i] = true
+		}
+	}
+	ch := make(chan phaseResult, len(c.shards))
+	inflight := 0
+	for i, s := range c.shards {
+		if missing[i] {
+			continue
+		}
+		inflight++
+		go func(i int, s *shardState) {
+			stats, err := s.client.Score(ctx, version, plan)
+			ch <- phaseResult{i: i, stats: stats, err: err}
+		}(i, s)
+	}
+	var maxCos, maxConf, maxAuth float64
+	survivors := 0
+	alive := make([]int, 0, inflight)
+	for n := 0; n < inflight; n++ {
+		r := <-ch
+		if r.err != nil {
+			var ce *rpc.ConflictError
+			if errors.As(r.err, &ce) {
+				return nil, true, nil
+			}
+			missing[r.i] = true
+			continue
+		}
+		alive = append(alive, r.i)
+		survivors += r.stats.Survivors
+		if r.stats.MaxCos > maxCos {
+			maxCos = r.stats.MaxCos
+		}
+		if r.stats.MaxConf > maxConf {
+			maxConf = r.stats.MaxConf
+		}
+		if r.stats.MaxAuth > maxAuth {
+			maxAuth = r.stats.MaxAuth
+		}
+	}
+	if len(alive) == 0 {
+		return nil, false, ErrAllShardsDown
+	}
+	res := &Result{Version: version}
+	if survivors == 0 {
+		c.finishResult(res, missing)
+		return res, false, nil
+	}
+
+	// Phase 2: bounded top-K from each surviving shard under the global
+	// maxima, then the order-independent merge.
+	ch2 := make(chan phaseResult, len(alive))
+	for _, i := range alive {
+		go func(i int, s *shardState) {
+			hits, err := s.client.Gather(ctx, version, plan, maxCos, maxConf, maxAuth)
+			ch2 <- phaseResult{i: i, hits: hits, err: err}
+		}(i, c.shards[i])
+	}
+	var merged []rpc.Hit
+	gathered := 0
+	for range alive {
+		r := <-ch2
+		if r.err != nil {
+			var ce *rpc.ConflictError
+			if errors.As(r.err, &ce) {
+				return nil, true, nil
+			}
+			missing[r.i] = true
+			continue
+		}
+		gathered++
+		merged = append(merged, r.hits...)
+	}
+	if gathered == 0 {
+		return nil, false, ErrAllShardsDown
+	}
+
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].Score != merged[b].Score {
+			return merged[a].Score > merged[b].Score
+		}
+		return merged[a].URL < merged[b].URL
+	})
+	if len(merged) > plan.Limit {
+		merged = merged[:plan.Limit]
+	}
+	res.Hits = merged
+	c.finishResult(res, missing)
+	return res, false, nil
+}
+
+// finishResult fills the degradation fields from the missing-shard set.
+func (c *Coordinator) finishResult(res *Result, missing map[int]bool) {
+	if len(missing) == 0 {
+		return
+	}
+	res.Degraded = true
+	idx := make([]int, 0, len(missing))
+	for i := range missing {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		res.Missing = append(res.Missing, c.shards[i].client.Addr())
+	}
+}
+
+// StartProber launches the background reintegration loop: every
+// ProbeInterval it pings the fleet and, when it finds a ready server whose
+// installed stats version differs from the coordinator's (fresh restart,
+// missed push), runs a Sync to fold it back in. Stop with StopProber.
+// No-op when ProbeInterval < 0.
+func (c *Coordinator) StartProber() {
+	if c.opt.ProbeInterval < 0 || c.probeStop != nil {
+		return
+	}
+	c.probeStop = make(chan struct{})
+	c.probeDone = make(chan struct{})
+	go c.probeLoop()
+}
+
+// StopProber stops the background reintegration loop.
+func (c *Coordinator) StopProber() {
+	if c.probeStop == nil {
+		return
+	}
+	close(c.probeStop)
+	<-c.probeDone
+	c.probeStop, c.probeDone = nil, nil
+}
+
+// probeLoop is the prober body: ping, compare versions, resync when a
+// recovered or lagging server shows up.
+func (c *Coordinator) probeLoop() {
+	defer close(c.probeDone)
+	t := time.NewTicker(c.opt.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.probeStop:
+			return
+		case <-t.C:
+		}
+		c.mu.RLock()
+		version := c.version
+		needAuth := c.authVer == version && version != ""
+		synced := make([]bool, len(c.shards))
+		for i, s := range c.shards {
+			synced[i] = s.synced
+		}
+		c.mu.RUnlock()
+		stale := false
+		for i, s := range c.shards {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			p, err := s.client.Ping(ctx)
+			cancel()
+			if err != nil || !p.Ready {
+				continue
+			}
+			if p.StatsVersion != version || !synced[i] {
+				stale = true
+			}
+		}
+		if !stale {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := c.Sync(ctx); err == nil && needAuth {
+			_ = c.SyncAuth(ctx)
+		}
+		cancel()
+	}
+}

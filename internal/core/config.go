@@ -12,6 +12,7 @@ import (
 	"github.com/bingo-search/bingo/internal/classify"
 	"github.com/bingo-search/bingo/internal/dns"
 	"github.com/bingo-search/bingo/internal/features"
+	"github.com/bingo-search/bingo/internal/store"
 	"github.com/bingo-search/bingo/internal/svm"
 )
 
@@ -96,6 +97,10 @@ type Config struct {
 	// rebuilds only the shards that changed; results are identical for
 	// every shard count.
 	StoreShards int
+	// Sink, when non-nil, receives a copy of every row the crawl writes —
+	// the hook a distributed deployment uses to mirror the crawl into
+	// remote shard servers through the coordinator's ingest router.
+	Sink store.Sink
 
 	// DataDir, when set, opens the crawl database as a disk-backed tiered
 	// store rooted at this directory: crawled documents are WAL-logged at

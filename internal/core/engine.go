@@ -458,6 +458,12 @@ func (e *Engine) ReclassifyAll() int {
 			changed++
 		}
 		_ = e.store.SetTopic(d.url, res.Topic, res.Confidence)
+		if e.cfg.Sink != nil {
+			e.cfg.Sink.PutTopic(d.url, res.Topic, res.Confidence)
+		}
+	}
+	if e.cfg.Sink != nil {
+		_ = e.cfg.Sink.Flush()
 	}
 	return changed
 }

@@ -25,6 +25,7 @@ func (e *Engine) Learn(ctx context.Context) (crawler.Stats, error) {
 		Fetcher:        e.fetcher,
 		Frontier:       e.frontier,
 		Store:          e.store,
+		Sink:           e.cfg.Sink,
 		Classify:       e.classifyCallback,
 		Workers:        e.cfg.Workers,
 		MaxPerHost:     e.cfg.MaxPerHost,
@@ -101,6 +102,7 @@ func (e *Engine) HarvestN(ctx context.Context, budget int64) (crawler.Stats, err
 		Fetcher:        e.fetcher,
 		Frontier:       e.frontier,
 		Store:          e.store,
+		Sink:           e.cfg.Sink,
 		Classify:       e.classifyCallback,
 		Workers:        e.cfg.Workers,
 		MaxPerHost:     e.cfg.MaxPerHost,

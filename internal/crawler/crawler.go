@@ -89,6 +89,11 @@ type Config struct {
 	// OnStored, when non-nil, observes every stored document (the engine
 	// uses it to trigger retraining).
 	OnStored func(d store.Document, r classify.Result)
+	// Sink, when non-nil, receives a copy of every stored row (documents,
+	// links, redirects) alongside the local store write. A distributed
+	// deployment points it at the coordinator's ingest router so the crawl
+	// mirrors into remote shard servers; see store.Sink.
+	Sink store.Sink
 
 	Workers      int // paper: 15
 	MaxPerHost   int // paper: 2
@@ -251,6 +256,11 @@ func (c *Crawler) Run(ctx context.Context) Stats {
 		}()
 	}
 	wg.Wait()
+	if c.cfg.Sink != nil {
+		// Push out whatever the sink still buffers; undeliverable batches
+		// stay parked inside the sink for its own retry machinery.
+		_ = c.cfg.Sink.Flush()
+	}
 	return c.Stats()
 }
 
@@ -310,6 +320,9 @@ func (c *Crawler) runLegacy(ctx context.Context, limiter *hostLimiter) Stats {
 		case <-ctx.Done():
 			c.cfg.Frontier.Done()
 			inflight.Wait()
+			if c.cfg.Sink != nil {
+				_ = c.cfg.Sink.Flush()
+			}
 			return c.Stats()
 		}
 		inflight.Add(1)
@@ -323,6 +336,9 @@ func (c *Crawler) runLegacy(ctx context.Context, limiter *hostLimiter) Stats {
 		}(it)
 	}
 	inflight.Wait()
+	if c.cfg.Sink != nil {
+		_ = c.cfg.Sink.Flush()
+	}
 	return c.Stats()
 }
 
@@ -515,6 +531,17 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 		}
 		for _, l := range doc.Links {
 			c.cfg.Store.AddLink(store.Link{From: res.FinalURL, To: l.URL, Anchor: l.Anchor})
+		}
+	}
+	if sink := c.cfg.Sink; sink != nil {
+		// Tee the same rows to the external sink; delivery buffering,
+		// batching, and failure accounting are the sink's concern.
+		sink.PutDoc(sd)
+		for _, r := range res.Redirects {
+			sink.PutRedirect(store.Redirect{From: it.URL, To: r})
+		}
+		for _, l := range doc.Links {
+			sink.PutLink(store.Link{From: res.FinalURL, To: l.URL, Anchor: l.Anchor})
 		}
 	}
 	c.stored.Add(1)

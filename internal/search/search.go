@@ -43,10 +43,12 @@ var (
 
 // Weights combines the ranking schemes into a linear sum. Zero-valued
 // weights disable the corresponding scheme; the default is pure cosine.
+// The JSON tags are part of the distributed query plan's wire schema
+// (see Plan and DESIGN.md "Distributed scatter-gather").
 type Weights struct {
-	Cosine     float64
-	Confidence float64
-	Authority  float64
+	Cosine     float64 `json:"cosine"`
+	Confidence float64 `json:"confidence"`
+	Authority  float64 `json:"authority"`
 }
 
 // DefaultWeights ranks purely by cosine similarity.

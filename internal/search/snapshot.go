@@ -254,49 +254,70 @@ func (e *Engine) rebuildView() *searchView {
 	prev := e.view.Load()
 	st := e.store
 	p := st.NumShards()
-	v := &searchView{
-		epochs: make([]int64, p),
-		shards: make([]*shardSnap, p),
-		norms:  make([][]float64, p),
-	}
+	shards := make([]*shardSnap, p)
 	for i := 0; i < p; i++ {
 		ep := st.ShardEpoch(i)
 		if prev != nil && i < len(prev.shards) && prev.shards[i].epoch == ep {
-			v.shards[i] = prev.shards[i]
+			shards[i] = prev.shards[i]
 			mShardReused.Inc()
 		} else {
-			v.shards[i] = buildShardSnap(st, i)
+			shards[i] = buildShardSnap(st, i)
 			mShardRebuilds.Inc()
-			mShardDocsRebuilt.Add(int64(v.shards[i].numDocs))
+			mShardDocsRebuilt.Add(int64(shards[i].numDocs))
 		}
-		v.epochs[i] = v.shards[i].epoch
 	}
 
 	// Merged idf: per-shard df counts sum exactly (integers), so the
 	// resulting idf floats are identical no matter how the corpus is
 	// partitioned.
-	vocab, total := 0, 0
-	for _, sn := range v.shards {
+	df, total := mergeDocFreq(shards)
+	v := finishView(shards, vsm.TableFromDocFreq(df, total), total)
+	mSnapBuildNanos.ObserveSince(start)
+	return v
+}
+
+// mergeDocFreq sums the shard-local document frequencies into one global
+// df table plus the live document count. Counts are integers, so the merge
+// is exact and order-independent — the property that keeps the global idf
+// bit-identical no matter how the corpus is partitioned, across shards in
+// one process or across shard servers on the network (the coordinator runs
+// the same integer merge over per-server stats).
+func mergeDocFreq(shards []*shardSnap) (df map[string]int, numDocs int) {
+	vocab := 0
+	for _, sn := range shards {
 		vocab += len(sn.terms)
-		total += sn.numDocs
+		numDocs += sn.numDocs
 	}
-	v.numDocs = total
-	df := make(map[string]int, vocab)
-	for _, sn := range v.shards {
+	df = make(map[string]int, vocab)
+	for _, sn := range shards {
 		for tid, term := range sn.terms {
 			df[term] += int(sn.df[tid])
 		}
 	}
-	v.idf = vsm.TableFromDocFreq(df, total)
+	return df, numDocs
+}
 
-	// Per-shard norms under the merged idf: a dense multiply-add pass over
-	// the CSR vectors (the 1+log(tf) factors are precomputed, the idf is
-	// resolved once per shard term) — the only per-document work a clean
-	// shard pays when some other shard changed.
-	for i, sn := range v.shards {
+// finishView assembles the global layer of a view over already-built shard
+// snaps: per-shard tf·idf norms under the supplied idf table — a dense
+// multiply-add pass over the CSR vectors (the 1+log(tf) factors are
+// precomputed, the idf is resolved once per shard term) — the only
+// per-document work a clean shard pays when some other shard changed.
+// numDocs is the view's local live-document count (it gates the parallel
+// scatter); the idf table itself may have been computed over a larger,
+// global corpus when the caller is a distributed Partition.
+func finishView(shards []*shardSnap, idf *vsm.IDFTable, numDocs int) *searchView {
+	v := &searchView{
+		epochs:  make([]int64, len(shards)),
+		shards:  shards,
+		idf:     idf,
+		norms:   make([][]float64, len(shards)),
+		numDocs: numDocs,
+	}
+	for i, sn := range shards {
+		v.epochs[i] = sn.epoch
 		idfByTID := make([]float64, len(sn.terms))
 		for tid, term := range sn.terms {
-			idfByTID[tid] = v.idf.IDF(term)
+			idfByTID[tid] = idf.IDF(term)
 		}
 		norm := make([]float64, len(sn.docs))
 		for seq := 1; seq < len(sn.docs); seq++ {
@@ -312,7 +333,6 @@ func (e *Engine) rebuildView() *searchView {
 		}
 		v.norms[i] = norm
 	}
-	mSnapBuildNanos.ObserveSince(start)
 	return v
 }
 
@@ -351,34 +371,52 @@ func (v *searchView) authorityScores(st *store.Store) [][]float64 {
 			links = append(links, l)
 			return true
 		})
-		sort.Slice(links, func(i, j int) bool {
-			if links[i].From != links[j].From {
-				return links[i].From < links[j].From
-			}
-			return links[i].To < links[j].To
-		})
-		g := hits.NewGraph()
-		for _, l := range links {
-			g.AddEdge(l.From, hostOf(l.From), l.To, hostOf(l.To))
-		}
-		res := g.Run(hits.DefaultOptions())
-		byURL := make(map[string]float64, len(res.Authorities))
-		for _, sc := range res.Authorities {
-			byURL[sc.ID] = sc.Value
-		}
-		auth := make([][]float64, len(v.shards))
-		for si, sn := range v.shards {
-			a := make([]float64, len(sn.docs))
-			for i := range sn.docs {
-				if sn.docs[i].ID != 0 {
-					a[i] = byURL[sn.docs[i].URL]
-				}
-			}
-			auth[si] = a
-		}
-		v.auth = auth
+		v.setAuthority(AuthorityFromLinks(links))
 	})
 	return v.auth
+}
+
+// AuthorityFromLinks runs HITS over a link set and returns per-URL
+// authority scores. The edges are sorted (From, To) before graph
+// construction so node numbering — and therefore the floating-point
+// summation order inside HITS — is identical no matter which shards (or
+// shard servers) the link rows came from; the coordinator relies on this
+// to compute, from the union of every server's links, the same authority
+// values a single process computes from its local graph. The input slice
+// is reordered in place.
+func AuthorityFromLinks(links []store.Link) map[string]float64 {
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	g := hits.NewGraph()
+	for _, l := range links {
+		g.AddEdge(l.From, hostOf(l.From), l.To, hostOf(l.To))
+	}
+	res := g.Run(hits.DefaultOptions())
+	byURL := make(map[string]float64, len(res.Authorities))
+	for _, sc := range res.Authorities {
+		byURL[sc.ID] = sc.Value
+	}
+	return byURL
+}
+
+// setAuthority densifies per-URL authority scores into the view's
+// per-shard [seq] vectors. Callers must hold the view's authOnce.
+func (v *searchView) setAuthority(byURL map[string]float64) {
+	auth := make([][]float64, len(v.shards))
+	for si, sn := range v.shards {
+		a := make([]float64, len(sn.docs))
+		for i := range sn.docs {
+			if sn.docs[i].ID != 0 {
+				a[i] = byURL[sn.docs[i].URL]
+			}
+		}
+		auth[si] = a
+	}
+	v.auth = auth
 }
 
 // qterm is one unique query term with its precomputed query-side tf·idf
@@ -453,11 +491,15 @@ type scoreScratch struct {
 	// Per-query scatter inputs. They live in the (heap-pooled) scratch
 	// rather than being captured by the parallel fan-out — a goroutine
 	// closure over stack parameters would force them to escape and cost
-	// two heap boxes per query even on the sequential path.
-	q     Query
-	p     parsedQuery
-	qnorm float64
-	auth  [][]float64
+	// two heap boxes per query even on the sequential path. uniqCount is
+	// the number of unique query terms (the Exact-mode match threshold),
+	// carried separately from p so a distributed Partition can replay a
+	// coordinator-built Plan without materializing the uniq map.
+	q         Query
+	p         parsedQuery
+	uniqCount int
+	qnorm     float64
+	auth      [][]float64
 }
 
 // worse reports whether entry a ranks strictly below entry b in the final
@@ -553,6 +595,7 @@ func (e *Engine) putScratch(qs *scoreScratch) {
 	qs.view = nil
 	qs.q = Query{}
 	qs.p = parsedQuery{}
+	qs.uniqCount = 0
 	qs.qnorm = 0
 	qs.auth = nil
 	e.scratch.Put(qs)
@@ -568,15 +611,25 @@ func (e *Engine) searchIndexed(q Query, p parsedQuery) ([]Hit, []int64) {
 	qs := e.getScratch(v)
 	defer e.putScratch(qs)
 
-	maxCos, maxConf, maxAuth, auth, ok := e.scoreCandidates(qs, v, q, p)
+	maxCos, maxConf, maxAuth, _, ok := e.scoreCandidates(qs, v, q, p)
 	if !ok {
 		return nil, v.epochs
 	}
+	return e.gatherHits(qs, q.Limit, maxCos, maxConf, maxAuth), v.epochs
+}
 
-	// Gather: merge the bounded per-shard heaps and sort with the same
-	// comparator the heaps used. The union of per-shard top-Ks is a
-	// superset of the global top-K, so truncating the merged order to K
-	// yields exactly the single-shard result.
+// gatherHits merges the bounded per-shard heaps and assembles the ranked
+// hit list: sort with the same comparator the heaps used — the union of
+// per-shard top-Ks is a superset of the global top-K, so truncating the
+// merged order to limit yields exactly the single-shard result — then
+// normalize each hit's components against the supplied maxima. On the
+// single-process path the maxima come straight from reduceScatter; on the
+// distributed path the coordinator reduces them across every shard server
+// first, which is what keeps the normalized components (and therefore the
+// scores) bit-identical across deployments.
+func (e *Engine) gatherHits(qs *scoreScratch, limit int, maxCos, maxConf, maxAuth float64) []Hit {
+	v := qs.view
+	auth := qs.auth
 	total := 0
 	for _, sc := range qs.shards {
 		total += len(sc.heap)
@@ -586,8 +639,8 @@ func (e *Engine) searchIndexed(q Query, p parsedQuery) ([]Hit, []int64) {
 		qs.merged = append(qs.merged, sc.heap...)
 	}
 	sort.Slice(qs.merged, func(a, b int) bool { return qs.worse(qs.merged[b], qs.merged[a]) })
-	if len(qs.merged) > q.Limit {
-		qs.merged = qs.merged[:q.Limit]
+	if len(qs.merged) > limit {
+		qs.merged = qs.merged[:limit]
 	}
 	out := make([]Hit, len(qs.merged))
 	tiered := e.store.Tiered()
@@ -618,7 +671,7 @@ func (e *Engine) searchIndexed(q Query, p parsedQuery) ([]Hit, []int64) {
 		}
 		out[n] = h
 	}
-	return out, v.epochs
+	return out
 }
 
 // scoreCandidates is the candidate-scoring loop: scatter term-at-a-time
@@ -651,10 +704,25 @@ func (e *Engine) scoreCandidates(qs *scoreScratch, v *searchView, q Query, p par
 		auth = v.authorityScores(e.store)
 	}
 	qs.q, qs.p, qs.qnorm, qs.auth = q, p, qnorm, auth
+	qs.uniqCount = len(p.uniq)
 
-	// Scatter: accumulate and pass-1 filter each shard independently —
-	// in parallel when the corpus is large enough to pay for the fan-out.
-	if len(qs.shards) > 1 && v.numDocs >= parallelMinDocs && runtime.GOMAXPROCS(0) > 1 {
+	e.scatterAll(qs)
+
+	var candidates, survivors int
+	maxCos, maxConf, maxAuth, candidates, survivors = reduceScatter(qs)
+	if candidates == 0 || survivors == 0 {
+		return 0, 0, 0, nil, false
+	}
+	e.passTwo(qs, q.Limit, maxCos, maxConf, maxAuth)
+	return maxCos, maxConf, maxAuth, auth, true
+}
+
+// scatterAll runs the pass-1 scatter over every shard of qs's view —
+// accumulate and filter each shard independently, in parallel when the
+// corpus is large enough to pay for the fan-out. The query inputs must
+// already be parked in qs.
+func (e *Engine) scatterAll(qs *scoreScratch) {
+	if len(qs.shards) > 1 && qs.view.numDocs >= parallelMinDocs && runtime.GOMAXPROCS(0) > 1 {
 		var wg sync.WaitGroup
 		for _, sc := range qs.shards {
 			wg.Add(1)
@@ -666,10 +734,14 @@ func (e *Engine) scoreCandidates(qs *scoreScratch, v *searchView, q Query, p par
 			e.scatterShard(nil, qs, sc)
 		}
 	}
+}
 
-	// Reduce: maxima are order-independent, so the reduction is
-	// deterministic regardless of scatter scheduling.
-	candidates, survivors := 0, 0
+// reduceScatter folds the per-shard pass-1 partials into the global
+// component maxima and candidate/survivor counts. Maxima are
+// order-independent, so the reduction is deterministic regardless of
+// scatter scheduling — and the same max() fold applied again across shard
+// servers on the coordinator yields the identical global maxima.
+func reduceScatter(qs *scoreScratch) (maxCos, maxConf, maxAuth float64, candidates, survivors int) {
 	for _, sc := range qs.shards {
 		candidates += len(sc.cand)
 		survivors += sc.survivors
@@ -683,14 +755,19 @@ func (e *Engine) scoreCandidates(qs *scoreScratch, v *searchView, q Query, p par
 			maxAuth = sc.maxAuth
 		}
 	}
-	if candidates == 0 || survivors == 0 {
-		return 0, 0, 0, nil, false
-	}
+	return maxCos, maxConf, maxAuth, candidates, survivors
+}
 
-	// Pass 2: combine the normalized components and keep each shard's top
-	// K. Per-candidate work is a handful of float ops; the scatter already
-	// did the heavy lifting.
-	w := q.Weights
+// passTwo combines the normalized components under the supplied maxima and
+// keeps each shard's top `limit` entries in its bounded heap. Per-candidate
+// work is a handful of float ops; the scatter already did the heavy
+// lifting. The maxima must be global — reduced across every shard that
+// scored the query, including remote ones on the distributed path — or the
+// component normalization (and so the score order) diverges from the
+// single-process result.
+func (e *Engine) passTwo(qs *scoreScratch, limit int, maxCos, maxConf, maxAuth float64) {
+	w := qs.q.Weights
+	auth := qs.auth
 	for _, sc := range qs.shards {
 		var shardAuth []float64
 		if auth != nil {
@@ -712,10 +789,9 @@ func (e *Engine) scoreCandidates(qs *scoreScratch, v *searchView, q Query, p par
 			if shardAuth != nil && maxAuth > 0 {
 				score += w.Authority * shardAuth[i] / maxAuth
 			}
-			qs.pushTopK(sc, q.Limit, topEntry{si: int32(sc.shard), seq: int32(i), score: score})
+			qs.pushTopK(sc, limit, topEntry{si: int32(sc.shard), seq: int32(i), score: score})
 		}
 	}
-	return maxCos, maxConf, maxAuth, auth, true
 }
 
 // scatterShard runs one shard's accumulate + pass-1: term-at-a-time
@@ -741,7 +817,7 @@ func (e *Engine) scatterShard(wg *sync.WaitGroup, qs *scoreScratch, sc *shardScr
 	}
 	exactNeed := int32(0)
 	if q.Exact {
-		exactNeed = int32(len(p.uniq))
+		exactNeed = int32(qs.uniqCount)
 	}
 	topicFilter := q.Topic
 	topicPrefix := ""

@@ -171,6 +171,18 @@ func marshalHits(hits []search.Hit) json.RawMessage {
 // parseSearchQuery resolves the request parameters into a canonical
 // search.Query: defaults applied, text normalized for keying, k capped.
 func (a *API) parseSearchQuery(r *http.Request) (search.Query, string, bool) {
+	return ParseQuery(r, a.maxK)
+}
+
+// ParseQuery resolves /search request parameters (q, k, topic, exact,
+// wcos/wconf/wauth) into a canonical search.Query with defaults applied
+// and k capped at maxK. Exported so the distributed coordinator's /search
+// handler accepts exactly the same parameter surface as the single-process
+// API; msg is the 400 body when ok is false.
+func ParseQuery(r *http.Request, maxK int) (search.Query, string, bool) {
+	if maxK <= 0 {
+		maxK = 100
+	}
 	params := r.URL.Query()
 	text := params.Get("q")
 	if text == "" {
@@ -182,8 +194,8 @@ func (a *API) parseSearchQuery(r *http.Request) (search.Query, string, bool) {
 		if err != nil || n <= 0 {
 			return search.Query{}, "k must be a positive integer", false
 		}
-		if n > a.maxK {
-			n = a.maxK
+		if n > maxK {
+			n = maxK
 		}
 		k = n
 	}
