@@ -26,6 +26,8 @@ package coord
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -113,6 +115,13 @@ type Coordinator struct {
 	planner *search.Planner
 	opt     Options
 	brk     *fetch.BreakerSet
+	// bootID is a random per-process nonce baked into every version string
+	// this coordinator assigns. Versions are therefore globally unique
+	// across coordinator incarnations: a restarted (or second) coordinator
+	// can never re-emit a version an earlier one already installed, so a
+	// shard holding a stale same-numbered view can never mistake the new
+	// push for a duplicate and silently keep serving the stale view.
+	bootID string
 
 	mu        sync.RWMutex
 	version   string
@@ -145,10 +154,15 @@ func New(addrs []string, opt Options) (*Coordinator, error) {
 	// few queries, and a restarted shard should be re-probed within
 	// seconds, not the crawler's 15s host cool-down.
 	brk := fetch.NewBreakerSet(fetch.BreakerConfig{FailureThreshold: 3, OpenFor: 2 * time.Second})
+	var nonce [6]byte
+	if _, err := crand.Read(nonce[:]); err != nil {
+		return nil, fmt.Errorf("coord: generating boot nonce: %w", err)
+	}
 	c := &Coordinator{
 		planner: search.NewPlanner(),
 		opt:     opt,
 		brk:     brk,
+		bootID:  hex.EncodeToString(nonce[:]),
 	}
 	for _, a := range addrs {
 		c.shards = append(c.shards, &shardState{
@@ -252,11 +266,14 @@ func (c *Coordinator) Sync(ctx context.Context) error {
 
 	c.mu.Lock()
 	c.syncSeq++
-	version := fmt.Sprintf("g%d", c.syncSeq)
+	version := fmt.Sprintf("g%s-%d", c.bootID, c.syncSeq)
 	c.mu.Unlock()
 
 	// Push the merged statistics, restricted to each server's vocabulary
-	// (terms absent from a partition never score there).
+	// (terms absent from a partition never score there). Each push echoes
+	// the pin token of the stats pull it was merged from, so a server
+	// whose pinned snapshot moved underneath us (another coordinator's
+	// Stats) rejects the push instead of installing a skewed view.
 	okCh := make(chan pulled, len(c.shards))
 	for i, s := range c.shards {
 		if stats[i] == nil {
@@ -268,7 +285,7 @@ func (c *Coordinator) Sync(ctx context.Context) error {
 			for j, t := range terms {
 				dfs[j] = df[t]
 			}
-			err := s.client.SetGlobal(ctx, version, totalDocs, terms, dfs)
+			err := s.client.SetGlobal(ctx, version, st.Pin, totalDocs, terms, dfs)
 			okCh <- pulled{i: i, err: err}
 		}(i, s, stats[i])
 	}

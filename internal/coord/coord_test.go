@@ -190,6 +190,75 @@ func TestConflictTriggersResync(t *testing.T) {
 	}
 }
 
+// TestSecondCoordinatorIncarnationRefreshesView is the
+// coordinator-restart regression: coordinator A syncs, new documents
+// land on the shards, then a fresh coordinator B (reset sync counter —
+// the rolling-restart and re-crawl workflows) syncs over the same fleet.
+// B's pushes must install the fresh corpus state — a version-string
+// collision with A's sync must never be swallowed as a duplicate, or
+// queries silently miss everything ingested since A's sync.
+func TestSecondCoordinatorIncarnationRefreshesView(t *testing.T) {
+	s1 := store.NewSharded(1)
+	s1.Insert(docWith("http://inc.example/1", map[string]int{"databas": 2}, 0.5))
+	f := startFleet(t, []*store.Store{s1})
+	defer f.close()
+	if err := f.coord.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	vA := f.coord.Version()
+
+	// Documents ingested after A's sync (a re-crawl, a late flush).
+	s1.Insert(docWith("http://inc.example/2", map[string]int{"databas": 1}, 0.5))
+
+	// "Coordinator restart": a fresh incarnation over the same fleet.
+	b, err := New(f.coord.Addrs(), Options{HedgeAfter: -1, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if b.Version() == vA {
+		t.Fatalf("incarnation B re-emitted A's version %q", vA)
+	}
+	if got := b.TotalDocs(); got != 2 {
+		t.Fatalf("B.TotalDocs = %d, want 2", got)
+	}
+	res, err := b.Search(context.Background(), search.Query{Text: "database"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatal("healthy fleet answered degraded")
+	}
+	if len(res.Hits) != 2 {
+		t.Fatalf("B sees %d hits, want 2 — shard kept serving A's stale view", len(res.Hits))
+	}
+}
+
+// TestFlushReportsErrorsFromItsOwnDrain checks Flush (and therefore
+// Close's final Flush) reports delivery errors from the batches it
+// drained, not just errors left over from before it ran — a failed final
+// batch must not produce a clean ingest summary.
+func TestFlushReportsErrorsFromItsOwnDrain(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"v":1,"code":"internal","message":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer hs.Close()
+
+	r := NewRouter([]*rpc.Client{rpc.NewClient(hs.URL, rpc.ClientOptions{})}, RouterOptions{BatchRows: 100})
+	// One row, below BatchRows: the batch is enqueued by Flush itself, so
+	// its delivery error exists only after Flush's drain.
+	r.PutDoc(docWith("http://flush.example/a", map[string]int{"databas": 1}, 0.4))
+	if err := r.Flush(); err == nil {
+		t.Fatal("Flush returned nil despite its own batch failing delivery")
+	}
+	// The error was consumed; a drain with nothing new to deliver is clean.
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close after reported error: %v", err)
+	}
+}
+
 // TestRouterRoutesAndAcks drives the ingest router against a live fleet
 // and checks rows land on the partition store.RouteURL names, topics
 // apply, and acks report the delivered counts.

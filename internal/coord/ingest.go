@@ -15,7 +15,8 @@ package coord
 // (coord_ingest_dropped_rows_total), and the crawl proceeds; the rows
 // remain in the crawler's local store, so a later full resync (or a
 // re-crawl) can restore them. Flush drains every queue and reports the
-// first delivery error since the previous Flush.
+// first delivery error recorded up to the end of that drain — including
+// errors from the batches the Flush itself delivered.
 
 import (
 	"context"
@@ -195,33 +196,40 @@ func (r *Router) enqueue(i int, b *batch) {
 
 // Flush implements store.Sink: it pushes every batch under construction
 // into its queue, waits for all queues to drain, and returns (and clears)
-// the first delivery error recorded since the previous Flush. A dead
-// server's dropped batches are not an error here — they are visible in
-// Acks and the drop counter instead, because the crawl should finish
-// degraded rather than abort.
+// the first delivery error recorded up to the end of that drain — errors
+// from batches this Flush delivered included, so the final Flush (Close)
+// cannot report a clean drain that actually failed. A dead server's
+// dropped batches are not an error here — they are visible in Acks and
+// the drop counter instead, because the crawl should finish degraded
+// rather than abort.
 func (r *Router) Flush() error {
-	sentinels := make([]*batch, len(r.clients))
 	r.mu.Lock()
 	for i := range r.clients {
 		if b := r.cur[i]; b != nil {
 			r.enqueue(i, b)
 			r.cur[i] = nil
 		}
+	}
+	r.mu.Unlock()
+	sentinels := make([]*batch, len(r.clients))
+	for i := range r.clients {
 		s := &batch{done: make(chan struct{})}
 		sentinels[i] = s
 		// The sentinel must not be dropped: block until it fits. Queues
 		// drain continuously (senders discard on error), so this cannot
 		// deadlock.
-		r.mu.Unlock()
 		r.queues[i] <- s
-		r.mu.Lock()
 	}
-	err := r.lastErr
-	r.lastErr = nil
-	r.mu.Unlock()
 	for _, s := range sentinels {
 		<-s.done
 	}
+	// Read the error only after the sentinel wait: the senders have
+	// delivered (or failed) everything enqueued above, so their errors are
+	// parked in lastErr by now.
+	r.mu.Lock()
+	err := r.lastErr
+	r.lastErr = nil
+	r.mu.Unlock()
 	return err
 }
 

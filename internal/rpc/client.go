@@ -109,9 +109,11 @@ func (c *Client) Stats(ctx context.Context) (*search.PartitionStats, error) {
 	return &resp.Stats, nil
 }
 
-// SetGlobal installs merged global corpus statistics under version.
-func (c *Client) SetGlobal(ctx context.Context, version string, totalDocs int, terms []string, df []int) error {
-	req := GlobalRequest{V: ProtoVersion, Version: version, TotalDocs: totalDocs, Terms: terms, DF: df}
+// SetGlobal installs merged global corpus statistics under version. pin
+// must echo the Pin token of the Stats pull the statistics were merged
+// from.
+func (c *Client) SetGlobal(ctx context.Context, version, pin string, totalDocs int, terms []string, df []int) error {
+	req := GlobalRequest{V: ProtoVersion, Version: version, Pin: pin, TotalDocs: totalDocs, Terms: terms, DF: df}
 	var resp GlobalResponse
 	return c.call(ctx, http.MethodPost, PathGlobal, &req, &resp, false)
 }

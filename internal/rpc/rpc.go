@@ -108,6 +108,10 @@ type GlobalRequest struct {
 	V int `json:"v"`
 	// Version is the coordinator-assigned global-stats version.
 	Version string `json:"version"`
+	// Pin echoes the pin token of the Stats pull this push was merged
+	// from; the server rejects a mismatch (409) rather than install a view
+	// over a snapshot the coordinator never saw.
+	Pin string `json:"pin"`
 	// TotalDocs is the global live document count.
 	TotalDocs int `json:"total_docs"`
 	// Terms and DF are parallel: DF[i] is the merged global document

@@ -105,7 +105,7 @@ func (s *Server) handleGlobal(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if err := s.part.SetGlobal(req.Version, req.TotalDocs, req.Terms, req.DF); err != nil {
+	if err := s.part.SetGlobal(req.Version, req.Pin, req.TotalDocs, req.Terms, req.DF); err != nil {
 		writePartErr(w, err)
 		return
 	}
@@ -255,7 +255,7 @@ func writePartErr(w http.ResponseWriter, err error) {
 		writeErr(w, http.StatusConflict, CodeVersionConflict, err.Error(), ve.Have)
 	case errors.Is(err, search.ErrAuthNotReady):
 		writeErr(w, http.StatusConflict, CodeAuthNotReady, err.Error(), "")
-	case errors.Is(err, search.ErrNoStats):
+	case errors.Is(err, search.ErrNoStats), errors.Is(err, search.ErrPinMismatch):
 		writeErr(w, http.StatusConflict, CodeVersionConflict, err.Error(), "")
 	default:
 		writeErr(w, http.StatusInternalServerError, CodeInternal, err.Error(), "")

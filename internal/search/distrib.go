@@ -164,6 +164,11 @@ func (pl *Planner) Plan(q Query, idf *vsm.IDFTable) (plan *Plan, ok bool) {
 // the exact global df — the same merge rebuildView performs across local
 // shards.
 type PartitionStats struct {
+	// Pin identifies the snapshot this Stats call pinned; SetGlobal must
+	// echo it, so a push can never install a view over a different pin than
+	// the one whose df the coordinator merged (two coordinators interleaving
+	// Stats calls would otherwise cross wires silently).
+	Pin string `json:"pin"`
 	// Epochs is the per-shard epoch vector the stats were pinned at.
 	Epochs []int64 `json:"epochs"`
 	// NumDocs is the partition's live document count.
@@ -177,6 +182,12 @@ type PartitionStats struct {
 // ErrNoStats is returned by SetGlobal when no preceding Stats call pinned
 // a snapshot to build the view from.
 var ErrNoStats = errors.New("search: SetGlobal without a pinned Stats snapshot")
+
+// ErrPinMismatch is returned by SetGlobal when the echoed pin token does
+// not identify the currently pinned snapshot — a newer Stats call (this
+// coordinator's or another's) replaced the snapshot the push was built
+// from. The caller must re-pull Stats and push again.
+var ErrPinMismatch = errors.New("search: SetGlobal pin does not match the pinned Stats snapshot")
 
 // ErrAuthNotReady is returned by Score/Gather for an authority-weighted
 // plan when the coordinator has not pushed authority scores for the view
@@ -201,8 +212,10 @@ func (e *VersionError) Error() string {
 // pinnedStats is the snapshot set a Stats call materialized, held so the
 // following SetGlobal builds its view over exactly the shard states whose
 // df the coordinator merged — a concurrent crawl flush between the two
-// calls cannot skew the view newer than its advertised stats.
+// calls cannot skew the view newer than its advertised stats. pin is the
+// token the Stats call returned; SetGlobal must echo it.
 type pinnedStats struct {
+	pin     string
 	snaps   []*shardSnap
 	epochs  []int64
 	numDocs int
@@ -210,10 +223,14 @@ type pinnedStats struct {
 
 // partView is one installed global-stats generation: an immutable search
 // view built under the coordinator's merged idf, keyed by the
-// coordinator-assigned version string. authReady flips once authority
-// scores for the version have been pushed.
+// coordinator-assigned version string. pin and totalDocs record what the
+// view was built from, so a same-version push is treated as a duplicate
+// only when it demonstrably is one. authReady flips once authority scores
+// for the version have been pushed.
 type partView struct {
 	version   string
+	pin       string
+	totalDocs int
 	view      *searchView
 	authReady atomic.Bool
 }
@@ -228,8 +245,9 @@ type partView struct {
 type Partition struct {
 	eng *Engine
 
-	mu   sync.Mutex // serializes Stats/SetGlobal and guards pend
-	pend *pinnedStats
+	mu     sync.Mutex // serializes Stats/SetGlobal and guards pend
+	pend   *pinnedStats
+	pinSeq int64 // pin-token counter; guarded by mu
 
 	cur  atomic.Pointer[partView]
 	prev atomic.Pointer[partView]
@@ -253,10 +271,11 @@ func (p *Partition) Version() string {
 }
 
 // Stats pins a snapshot of the partition at its current epochs and returns
-// the local vocabulary and integer document frequencies. Shard snaps whose
-// epoch is unchanged are reused from the installed view (the same
-// dirty-shard economy rebuildView runs), so a stats sync after localized
-// writes rematerializes only what changed.
+// the local vocabulary and integer document frequencies, keyed by a fresh
+// pin token the following SetGlobal must echo. Shard snaps whose epoch is
+// unchanged are reused from the installed view (the same dirty-shard
+// economy rebuildView runs), so a stats sync after localized writes
+// rematerializes only what changed.
 func (p *Partition) Stats() PartitionStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -287,7 +306,9 @@ func (p *Partition) Stats() PartitionStats {
 	for i := range snaps {
 		epochs[i] = snaps[i].epoch
 	}
-	p.pend = &pinnedStats{snaps: snaps, epochs: epochs, numDocs: numDocs}
+	p.pinSeq++
+	pin := fmt.Sprintf("pin%d", p.pinSeq)
+	p.pend = &pinnedStats{pin: pin, snaps: snaps, epochs: epochs, numDocs: numDocs}
 
 	terms := make([]string, 0, len(df))
 	for t := range df {
@@ -298,34 +319,44 @@ func (p *Partition) Stats() PartitionStats {
 	for i, t := range terms {
 		dfs[i] = df[t]
 	}
-	return PartitionStats{Epochs: epochs, NumDocs: numDocs, Terms: terms, DF: dfs}
+	return PartitionStats{Pin: pin, Epochs: epochs, NumDocs: numDocs, Terms: terms, DF: dfs}
 }
 
 // SetGlobal installs the coordinator's merged corpus statistics: the
 // global document count and the merged df restricted to this partition's
-// vocabulary. The view is built over the snaps pinned by the last Stats
-// call, under idf = log(1+N/df) from the pushed integers — the identical
-// table a single process computes from the same corpus, so norms and every
-// downstream float match bit for bit. The previous version remains
-// servable for in-flight queries.
-func (p *Partition) SetGlobal(version string, totalDocs int, terms []string, df []int) error {
+// vocabulary. pin must echo the token the pinning Stats call returned —
+// the view is built over exactly those snaps, under idf = log(1+N/df)
+// from the pushed integers — the identical table a single process computes
+// from the same corpus, so norms and every downstream float match bit for
+// bit. The previous version remains servable for in-flight queries.
+//
+// A push whose version matches the installed view is a duplicate only
+// when its pin and totalDocs match too; a colliding version string from a
+// different coordinator incarnation (same "gN", different corpus state)
+// is installed, not swallowed — silently keeping the stale view would
+// serve queries missing every document ingested since the original sync.
+func (p *Partition) SetGlobal(version, pin string, totalDocs int, terms []string, df []int) error {
 	if len(terms) != len(df) {
 		return errors.New("search: SetGlobal terms/df length mismatch")
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if cv := p.cur.Load(); cv != nil && cv.version == version &&
+		cv.pin == pin && cv.totalDocs == totalDocs {
+		return nil // duplicate push (coordinator retry) — already installed
+	}
 	if p.pend == nil {
 		return ErrNoStats
 	}
-	if cv := p.cur.Load(); cv != nil && cv.version == version {
-		return nil // duplicate push (coordinator retry) — already installed
+	if pin != p.pend.pin {
+		return ErrPinMismatch
 	}
 	m := make(map[string]int, len(terms))
 	for i, t := range terms {
 		m[t] = df[i]
 	}
 	v := finishView(p.pend.snaps, vsm.TableFromDocFreq(m, totalDocs), p.pend.numDocs)
-	pv := &partView{version: version, view: v}
+	pv := &partView{version: version, pin: pin, totalDocs: totalDocs, view: v}
 	p.prev.Store(p.cur.Load())
 	p.cur.Store(pv)
 	return nil
