@@ -9,12 +9,14 @@
 # serving path's epoch-keyed result-cache speedup under open-loop load;
 # `make bench-segments` regenerates BENCH_segments.json, the record of the
 # disk-native segment tier's heap economy, cold-start speedup, and write
-# amplification; `make smoke` boots portald and drives a loadgen burst end
-# to end, then kill -9s a tiered crawl and verifies WAL recovery.
+# amplification; `make bench-frontier` regenerates BENCH_frontier.json, the
+# frontier-scheduler harvest-ratio race; `make smoke` boots portald and
+# drives a loadgen burst end to end, then kill -9s a tiered crawl and
+# verifies WAL recovery.
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race chaos smoke smoke-dist doccheck bench bench-search bench-overhead bench-shard bench-serve bench-segments
+.PHONY: all build vet fmt-check test race chaos smoke smoke-dist doccheck bench bench-search bench-overhead bench-shard bench-serve bench-segments bench-frontier smoke-frontier
 
 all: build test
 
@@ -37,6 +39,7 @@ test: vet fmt-check
 # lock-free metrics primitives they all report into.
 race:
 	$(GO) test -race ./internal/crawler/... ./internal/store/... ./internal/segment/... ./internal/frontier/... ./internal/search/... ./internal/hits/... ./internal/metrics/... ./internal/serve/... ./internal/servecache/... ./internal/admit/... ./internal/loadgen/... ./internal/rpc/... ./internal/coord/...
+	$(GO) test -race -count=1 -run 'TestFrontier' ./internal/experiments/
 
 # chaos runs the fault-injection suite (full crawls against the seeded fault
 # plane, plus the faults/fetch resilience units) across a fixed seed matrix
@@ -105,6 +108,19 @@ doccheck:
 bench-segments:
 	$(GO) test -run '^$$' -bench 'BenchmarkTieredColdStart' -benchtime 3x ./internal/store
 	BENCH_JSON=$(CURDIR)/BENCH_segments.json $(GO) test -run TestWriteSegmentsBenchJSON -v -timeout 600s -count=1 ./internal/store
+
+# bench-frontier runs the frontier scheduling race — every crawl-ordering
+# policy × chaos profile × seed on the small world at a fixed page budget —
+# and records the harvest-ratio table plus the frontier-memory spill
+# evidence in BENCH_frontier.json. Not part of CI (CI runs smoke-frontier).
+bench-frontier:
+	BENCH_JSON=$(CURDIR)/BENCH_frontier.json $(GO) test -run TestWriteFrontierBenchJSON -v -timeout 600s -count=1 ./internal/experiments/
+
+# smoke-frontier is the CI leg of the scheduling lab: every scheduler
+# completes a tiny-world crawl, best-first harvests at least as well as the
+# FIFO baseline, and a budgeted frontier caps its in-memory share.
+smoke-frontier:
+	$(GO) test -run 'TestFrontierSchedulerSmoke|TestFrontierSpillSmoke' -v -count=1 ./internal/experiments/
 
 # bench-overhead reports the per-event cost of the instrumentation
 # primitives (counter inc, histogram observe, trace append) against their

@@ -43,6 +43,8 @@ func main() {
 	memtableBudget := flag.Int64("memtable-budget", 0, "tiered store: per-shard bytes of hot documents before a freeze (0 = default 64 MiB)")
 	compactFanout := flag.Int("compact-fanout", 0, "tiered store: size-tiered segment merge fanout (0 = default 4)")
 	walSync := flag.Bool("wal-sync", true, "tiered store: fsync the write-ahead log at every crawl flush")
+	scheduler := flag.String("scheduler", "", "frontier crawl-ordering policy: fifo-priority (default), best-first, link-context or value-fn")
+	frontierBudget := flag.Int("frontier-budget", 0, "max frontier links held in memory; the tail spills to sorted on-disk runs (0 = unbounded)")
 	flag.Parse()
 
 	var plane *faults.Plane
@@ -135,6 +137,8 @@ haveTopics:
 		}
 		cfg.DNSServers = []bingo.DNSServerSpec{{Table: table}}
 		cfg.StoreShards = *storeShards
+		cfg.Scheduler = *scheduler
+		cfg.FrontierBudget = *frontierBudget
 		chaos(&cfg)
 		var lerr error
 		eng, lerr = bingo.LoadSession(cfg, *resume)
@@ -159,6 +163,8 @@ haveTopics:
 			c.MemtableBudget = *memtableBudget
 			c.CompactFanout = *compactFanout
 			c.WALSync = *walSync
+			c.Scheduler = *scheduler
+			c.FrontierBudget = *frontierBudget
 			if *mode == "expert" {
 				c.LearnDepth = 7
 			}

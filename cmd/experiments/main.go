@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-world tiny|small|default] [-run all|table1|table2|table3|fig4|fig5|meta|mi|focus|tunnel|archetype|twophase|spaces|sweep|classifiers|hierarchy|trap]
+//	experiments [-world tiny|small|default] [-run all|table1|table2|table3|fig4|fig5|meta|mi|focus|tunnel|archetype|twophase|spaces|sweep|classifiers|hierarchy|trap|frontier]
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	worldFlag := flag.String("world", "small", "synthetic world size: tiny, small or default")
-	runFlag := flag.String("run", "all", "experiment id (all, table1, table2, table3, fig4, fig5, meta, mi, focus, tunnel, archetype, twophase, spaces, sweep, classifiers, hierarchy, trap)")
+	runFlag := flag.String("run", "all", "experiment id (all, table1, table2, table3, fig4, fig5, meta, mi, focus, tunnel, archetype, twophase, spaces, sweep, classifiers, hierarchy, trap, frontier)")
 	shortBudget := flag.Int64("short", 250, "short crawl page budget (the '90 minutes' analog)")
 	longBudget := flag.Int64("long", 2000, "long crawl page budget (the '12 hours' analog)")
 	topN := flag.Int("topn", 75, "ground-truth top-N author cut (the 'top 1000 DBLP authors' analog)")
@@ -174,6 +174,16 @@ func main() {
 		_, report, err := experiments.TrapResistance(ctx, cfg, *longBudget)
 		check(err)
 		fmt.Fprintln(out, report)
+	}
+	if want("frontier") {
+		ran = true
+		_, report, err := experiments.FrontierRace(w, *shortBudget, []string{"off", "default"}, []int64{1, 7})
+		check(err)
+		fmt.Fprintln(out, report)
+		spill, err := experiments.FrontierSpillEvidence(w, *shortBudget, 128)
+		check(err)
+		fmt.Fprintf(out, "frontier memory: unbounded peak %d links, budget-128 peak %d links (%d spilled at peak)\n\n",
+			spill.PeakUnbounded, spill.PeakBounded, spill.SpilledPeak)
 	}
 	if want("hierarchy") {
 		ran = true

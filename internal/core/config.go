@@ -83,6 +83,15 @@ type Config struct {
 	LearnDepth int
 	// QueueLimit caps each topic's incoming URL queue (paper §5.1: 30,000).
 	QueueLimit int
+	// Scheduler selects the frontier's crawl-ordering policy: fifo-priority
+	// (default, the paper's §4.2 queue manager), best-first, link-context,
+	// or value-fn. See DESIGN.md "Frontier scheduling".
+	Scheduler string
+	// FrontierBudget, when positive, caps the number of queued frontier
+	// links held in memory; the lowest-priority tail spills to sorted
+	// on-disk runs (under DataDir when set, else the OS temp dir) and is
+	// merged back as the head drains. 0 keeps the whole frontier in memory.
+	FrontierBudget int
 	// FetchTimeout bounds one retrieval.
 	FetchTimeout time.Duration
 	// BatchSize is the per-worker workspace bulk-load batch (§4.1;

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/url"
+	"path/filepath"
 	"sync"
 
 	"github.com/bingo-search/bingo/internal/classify"
@@ -113,6 +114,18 @@ func New(cfg Config) (*Engine, error) {
 		RespectRobots:    !cfg.DisableRobots,
 	}, fetch.NewDeduper(), fetch.NewHostTracker(cfg.MaxRetries))
 
+	if err := frontier.ValidateScheduler(cfg.Scheduler); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	spillDir := ""
+	if cfg.FrontierBudget > 0 && cfg.DataDir != "" {
+		spillDir = filepath.Join(cfg.DataDir, "frontier-spill")
+	}
+	// TopicTerms is resolved through a closure because the engine — and its
+	// classifier — are built after the frontier. It is invoked under the
+	// frontier's lock, and e.Classifier only takes the engine's read lock,
+	// which no frontier caller holds.
+	var termSource func() *classify.Classifier
 	fr := frontier.New(frontier.Config{
 		IncomingLimit: cfg.QueueLimit,
 		OutgoingLimit: 1000,
@@ -124,6 +137,29 @@ func New(cfg Config) (*Engine, error) {
 			if p, err := url.Parse(u); err == nil {
 				resolver.Prefetch(p.Hostname())
 			}
+		},
+		Scheduler:   cfg.Scheduler,
+		SpillBudget: cfg.FrontierBudget,
+		SpillDir:    spillDir,
+		TopicTerms: func(topic string) map[string]float64 {
+			if termSource == nil {
+				return nil
+			}
+			cls := termSource()
+			if cls == nil {
+				return nil
+			}
+			feats := cls.TopFeatures(topic, 64)
+			if len(feats) == 0 {
+				return nil
+			}
+			terms := make(map[string]float64, len(feats))
+			for i, t := range feats {
+				// Linearly decaying weight: the top-ranked feature counts
+				// twice as much as the last one.
+				terms[t] = 1 - float64(i)/float64(2*len(feats))
+			}
+			return terms
 		},
 	})
 
@@ -155,6 +191,7 @@ func New(cfg Config) (*Engine, error) {
 		meta:       cfg.LearnMeta,
 		seedTopics: make(map[string]string),
 	}
+	termSource = e.Classifier
 	return e, nil
 }
 

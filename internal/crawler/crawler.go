@@ -218,10 +218,11 @@ func New(cfg Config) *Crawler {
 	return c
 }
 
-// Seed enqueues the starting URLs for a topic with maximal priority.
+// Seed enqueues the starting URLs for a topic. Seeds carry the IsSeed flag,
+// which every scheduler orders ahead of all discovered links.
 func (c *Crawler) Seed(topic string, urls ...string) {
 	for _, u := range urls {
-		c.cfg.Frontier.Push(frontier.Item{URL: u, Topic: topic, Priority: 1e9})
+		c.cfg.Frontier.Push(frontier.Item{URL: u, Topic: topic, IsSeed: true})
 	}
 }
 
@@ -488,6 +489,14 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 		c.rejected.Add(1)
 		mPagesRejected.Inc()
 	}
+	// Feed the classification back to the frontier: learning schedulers
+	// (value-fn) credit the outcome along the page's discovery path.
+	c.cfg.Frontier.Observe(frontier.Outcome{
+		URL:        it.URL,
+		Referrer:   it.Referrer,
+		Confidence: result.Confidence,
+		Accepted:   accepted,
+	})
 
 	// Store the document and its link rows (all crawled documents are kept
 	// in the database, including rejected ones).

@@ -1,17 +1,21 @@
-// Package frontier implements BINGO!'s crawl-queue manager (§4.2): the
-// queue manager maintains several queues — one large incoming and one small
-// outgoing queue per topic — implemented on red-black trees and ordered by
-// SVM confidence. Links discovered by tunnelling have their priority decayed
-// exponentially per tunnelling step (§3.3). Expensive DNS resolution is
-// started asynchronously only for the small set of promising links promoted
-// from an incoming to an outgoing queue.
+// Package frontier implements BINGO!'s crawl-queue manager (§4.2) behind a
+// pluggable ordering policy. The frontier owns what every policy shares —
+// URL dedup, the outstanding-lease drain protocol, breaker-requeue
+// cool-downs, PopWait parking, Dump/Restore session persistence and the
+// optional disk-spill tier — while a Scheduler decides which queued link is
+// crawled next. The default fifo-priority scheduler is the paper's queue
+// manager: per-topic incoming/outgoing red-black trees ordered by SVM
+// confidence, with tunnelled links decayed exponentially per hop (§3.3) and
+// DNS resolution warmed up only for links promoted to an outgoing queue.
+// best-first, link-context and value-fn are alternative orderings raced by
+// the experiment harness (see DESIGN.md "Frontier scheduling").
 //
-// Concurrency model: one mutex guards all queues; blocked PopWait callers
-// park on a broadcast pulse channel instead of polling, and an
-// outstanding-lease count distinguishes "momentarily empty" from "crawl
-// drained". Per-instance activity is reported by Stats; process-wide
-// frontier_* metrics (pushed, popped, drops, live queue depth) feed the
-// observability layer's /metricsz.
+// Concurrency model: one mutex guards the scheduler and all shared state;
+// blocked PopWait callers park on a broadcast pulse channel instead of
+// polling, and an outstanding-lease count distinguishes "momentarily empty"
+// from "crawl drained". Per-instance activity is reported by Stats;
+// process-wide frontier_* metrics (pushed, popped, drops, live queue depth,
+// spill traffic) feed the observability layer's /metricsz.
 package frontier
 
 import (
@@ -23,15 +27,16 @@ import (
 	"time"
 
 	"github.com/bingo-search/bingo/internal/metrics"
-	"github.com/bingo-search/bingo/internal/rbtree"
 )
 
 // Process-wide frontier metrics, aggregated across every live Frontier
 // (the engine runs one per crawl phase). The queued gauge tracks the total
-// number of links currently held in any queue (delayed requeues included).
-// Drops are split by cause — dedup (seen), queue overflow (full), and
-// depth/tunnel limits — so a requeue-with-delay is never mistaken for a
-// drop and chaos tests can assert each bucket exactly.
+// number of links currently held in any queue (delayed requeues and spilled
+// tails included). Drops are split by cause — dedup (seen), queue overflow
+// (full), and depth/tunnel limits — so a requeue-with-delay is never
+// mistaken for a drop and chaos tests can assert each bucket exactly. The
+// spill counters record tail traffic to and from disk; spill_lost counts
+// queued links dropped because a run file tore or corrupted.
 var (
 	mPushed       = metrics.NewCounter("frontier_pushed_total")
 	mPopped       = metrics.NewCounter("frontier_popped_total")
@@ -40,7 +45,18 @@ var (
 	mDroppedDepth = metrics.NewCounter("frontier_dropped_depth_total")
 	mRequeued     = metrics.NewCounter("frontier_requeued_total")
 	mQueued       = metrics.NewGauge("frontier_queued")
+	mSpilled      = metrics.NewCounter("frontier_spilled_total")
+	mRefilled     = metrics.NewCounter("frontier_refilled_total")
+	mSpillRuns    = metrics.NewCounter("frontier_spill_runs_total")
+	mSpillErrors  = metrics.NewCounter("frontier_spill_errors_total")
+	mSpillLost    = metrics.NewCounter("frontier_spill_lost_total")
+	mSpilledNow   = metrics.NewGauge("frontier_spilled")
 )
+
+// legacySeedPriority is the magic number old crawler versions pushed seed
+// URLs with; Restore maps it onto the IsSeed flag so pre-flag dumps keep
+// loading with seeds still ordered first.
+const legacySeedPriority = 1e9
 
 // Item is one frontier entry.
 type Item struct {
@@ -60,21 +76,46 @@ type Item struct {
 	// (circuit-breaker rejections); the crawler caps it to guarantee
 	// progress.
 	Requeues int
+	// IsSeed marks a bookmark seed URL: every scheduler orders seeds before
+	// all other work regardless of priority.
+	IsSeed bool
 }
 
-// Config sizes the queues.
+// Config sizes the queues and selects the ordering policy.
 type Config struct {
-	// IncomingLimit caps each topic's incoming queue (paper: 25,000).
+	// IncomingLimit caps each topic's incoming queue (paper: 25,000). For
+	// the single-queue schedulers it caps the whole queue, and with a
+	// SpillBudget it caps memory and disk together.
 	IncomingLimit int
-	// OutgoingLimit caps each topic's outgoing queue (paper: 1,000).
+	// OutgoingLimit caps each topic's outgoing queue (paper: 1,000;
+	// fifo-priority only).
 	OutgoingLimit int
 	// TunnelDecay is the per-step priority decay factor (paper: 0.5).
 	TunnelDecay float64
-	// Prefetch, when non-nil, is invoked with the hostname of every link
-	// promoted to an outgoing queue (asynchronous DNS warm-up).
+	// Prefetch, when non-nil, is invoked with the URL of every link
+	// promoted to an outgoing queue (asynchronous DNS warm-up;
+	// fifo-priority only).
 	Prefetch func(url string)
 	// Now allows tests to control the delayed-requeue clock.
 	Now func() time.Time
+
+	// Scheduler names the ordering policy (see SchedulerNames); empty
+	// selects fifo-priority. Validate with ValidateScheduler — unknown
+	// names silently fall back to the default here.
+	Scheduler string
+	// TopicTerms, when non-nil, supplies a topic's current feature terms
+	// with weights; the link-context scheduler matches anchor-text and URL
+	// tokens against them. Called with the frontier's lock held — it must
+	// not call back into the frontier.
+	TopicTerms func(topic string) map[string]float64
+	// SpillBudget, when positive, bounds the number of queued links held in
+	// memory: the policy's worst items beyond the budget spill to sorted
+	// on-disk runs and are merged back as the head drains. 0 keeps the
+	// whole queue in memory.
+	SpillBudget int
+	// SpillDir hosts the spill run files. Empty uses a fresh directory
+	// under the OS temp root.
+	SpillDir string
 }
 
 // DefaultConfig mirrors the paper's tuning.
@@ -82,31 +123,13 @@ func DefaultConfig() Config {
 	return Config{IncomingLimit: 25000, OutgoingLimit: 1000, TunnelDecay: 0.5}
 }
 
-type key struct {
-	prio float64
-	seq  uint64
-}
-
-func keyLess(a, b key) bool {
-	if a.prio != b.prio {
-		return a.prio > b.prio // higher priority first
-	}
-	return a.seq < b.seq // FIFO among equals
-}
-
-type topicQueues struct {
-	incoming *rbtree.Tree[key, Item]
-	outgoing *rbtree.Tree[key, Item]
-}
-
 // Frontier is safe for concurrent use.
 type Frontier struct {
-	mu     sync.Mutex
-	cfg    Config
-	topics map[string]*topicQueues
-	order  []string // deterministic topic iteration order
-	seq    uint64
-	seen   map[string]struct{}
+	mu    sync.Mutex
+	cfg   Config
+	sched Scheduler
+	seq   uint64
+	seen  map[string]struct{}
 	// pulse is closed and replaced whenever an event that could unblock a
 	// PopWait caller occurs (Push, Close, or the outstanding count hitting
 	// zero); parked workers wait on it instead of polling.
@@ -125,6 +148,8 @@ type Frontier struct {
 	delayed delayedHeap
 	// stats
 	pushed, popped, droppedFull, droppedSeen, droppedDepth, requeued int64
+	spillLost                                                        int64
+	peakInMem                                                        int
 }
 
 // delayedItem is one cooling-off frontier entry.
@@ -154,7 +179,7 @@ func (h *delayedHeap) Pop() any {
 	return x
 }
 
-// New returns an empty frontier.
+// New returns an empty frontier running the configured scheduler.
 func New(cfg Config) *Frontier {
 	if cfg.IncomingLimit <= 0 {
 		cfg.IncomingLimit = 25000
@@ -168,12 +193,44 @@ func New(cfg Config) *Frontier {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Frontier{
-		cfg:    cfg,
-		topics: make(map[string]*topicQueues),
-		seen:   make(map[string]struct{}),
-		pulse:  make(chan struct{}),
+	f := &Frontier{
+		cfg:   cfg,
+		seen:  make(map[string]struct{}),
+		pulse: make(chan struct{}),
 	}
+	sched := newScheduler(cfg)
+	if cfg.SpillBudget > 0 {
+		sched = newSpillScheduler(sched, cfg.IncomingLimit, cfg.SpillBudget, cfg.SpillDir, func(n int) {
+			// Called with f.mu held (scheduler calls run under it): items in
+			// a torn or corrupt run are gone, so the live gauge and the
+			// per-instance ledger must both forget them. Their URLs stay in
+			// the seen set — a lost link is not re-crawled this session.
+			f.spillLost += int64(n)
+			mQueued.Add(-int64(n))
+		})
+	}
+	f.sched = sched
+	return f
+}
+
+// SchedulerName reports the active ordering policy.
+func (f *Frontier) SchedulerName() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sched.Name()
+}
+
+// SpillErr returns the first disk-spill failure, if any (a *SpillError).
+// The spill tier degrades loudly instead of stopping the crawl: a write
+// failure falls back to unbounded memory, a read failure drops the bad
+// run's remainder — either way this error reports it.
+func (f *Frontier) SpillErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ss, ok := f.sched.(*spillScheduler); ok {
+		return ss.Err()
+	}
+	return nil
 }
 
 // wakeLocked broadcasts to every parked PopWait caller by closing the
@@ -195,9 +252,25 @@ func (f *Frontier) EffectivePriority(it Item) float64 {
 	return it.Priority * math.Pow(f.cfg.TunnelDecay, float64(it.TunnelDepth))
 }
 
-// Push offers a link to its topic's incoming queue. URLs already enqueued
-// once in this crawl are dropped, as are links below the lowest entry of a
-// full incoming queue (whose tail is evicted otherwise).
+// notePeakLocked tracks the in-memory high-water mark — the evidence the
+// spill tier's budget is (or is not) bounding queue memory.
+func (f *Frontier) notePeakLocked() {
+	n := f.memLenLocked()
+	if n > f.peakInMem {
+		f.peakInMem = n
+	}
+}
+
+func (f *Frontier) memLenLocked() int {
+	if ss, ok := f.sched.(*spillScheduler); ok {
+		return ss.MemLen()
+	}
+	return f.sched.Len()
+}
+
+// Push offers a link to the scheduler. URLs already enqueued once in this
+// crawl are dropped, as are links the policy ranks below everything in a
+// full queue (whose worst entry is evicted otherwise).
 func (f *Frontier) Push(it Item) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -206,31 +279,37 @@ func (f *Frontier) Push(it Item) bool {
 		mDroppedSeen.Inc()
 		return false
 	}
-	tq := f.topic(it.Topic)
-	prio := f.EffectivePriority(it)
-	evicted := false
-	if tq.incoming.Len() >= f.cfg.IncomingLimit {
-		// Evict the worst entry if the newcomer beats it; otherwise drop.
-		worstKey, worstItem, ok := tq.incoming.Max()
-		if !ok || worstKey.prio >= prio {
-			f.droppedFull++
-			mDroppedFull.Inc()
-			return false
-		}
-		tq.incoming.Delete(worstKey)
-		delete(f.seen, worstItem.URL)
-		evicted = true
-	}
 	f.seq++
-	tq.incoming.Insert(key{prio: prio, seq: f.seq}, it)
+	evictedURL, ok := f.sched.Push(it, f.EffectivePriority(it), f.seq)
+	if !ok {
+		f.droppedFull++
+		mDroppedFull.Inc()
+		return false
+	}
+	if evictedURL != "" {
+		delete(f.seen, evictedURL)
+	}
 	f.seen[it.URL] = struct{}{}
 	f.pushed++
 	mPushed.Inc()
-	if !evicted {
+	if evictedURL == "" {
 		mQueued.Add(1)
 	}
+	f.notePeakLocked()
 	f.wakeLocked()
 	return true
+}
+
+// Observe reports one fetched page's classification outcome to the
+// scheduler. Learning policies (value-fn) fold it into their link-value
+// estimates; the others ignore it. The crawler calls it for every stored
+// page, accepted or rejected.
+func (f *Frontier) Observe(o Outcome) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ob, ok := f.sched.(observer); ok {
+		ob.Observe(o)
+	}
 }
 
 // Requeue puts a previously popped item back with a cool-down: it becomes
@@ -266,7 +345,7 @@ func (f *Frontier) DropDepth() {
 }
 
 // promoteDelayedLocked moves every delayed item whose cool-down has expired
-// into its topic queue. It returns the wait until the next item matures
+// back into the scheduler. It returns the wait until the next item matures
 // (0 when the delayed heap is empty).
 func (f *Frontier) promoteDelayedLocked() (nextReady time.Duration) {
 	if len(f.delayed) == 0 {
@@ -275,11 +354,12 @@ func (f *Frontier) promoteDelayedLocked() (nextReady time.Duration) {
 	now := f.cfg.Now()
 	for len(f.delayed) > 0 && !f.delayed[0].readyAt.After(now) {
 		d := heap.Pop(&f.delayed).(delayedItem)
-		tq := f.topic(d.it.Topic)
 		f.seq++
 		// The item keeps its original priority; the queued gauge was already
-		// bumped at Requeue time.
-		tq.incoming.Insert(key{prio: f.EffectivePriority(d.it), seq: f.seq}, d.it)
+		// bumped at Requeue time. Reinsert bypasses capacity so a cool-down
+		// never turns into a drop.
+		f.sched.Reinsert(d.it, f.EffectivePriority(d.it), f.seq)
+		f.notePeakLocked()
 	}
 	if len(f.delayed) == 0 {
 		return 0
@@ -287,31 +367,14 @@ func (f *Frontier) promoteDelayedLocked() (nextReady time.Duration) {
 	return f.delayed[0].readyAt.Sub(now)
 }
 
-// popLocked removes and returns the best available link across all topics,
-// promoting matured requeues and refilling outgoing queues from incoming
-// queues as needed.
+// popLocked removes and returns the scheduler's best available link,
+// promoting matured requeues first.
 func (f *Frontier) popLocked() (Item, bool) {
 	f.promoteDelayedLocked()
-	var bestTopic string
-	var bestKey key
-	found := false
-	for _, name := range f.order {
-		tq := f.topics[name]
-		f.refillLocked(tq)
-		k, _, ok := tq.outgoing.Min()
-		if !ok {
-			continue
-		}
-		if !found || keyLess(k, bestKey) {
-			bestTopic, bestKey, found = name, k, true
-		}
-	}
-	if !found {
+	it, ok := f.sched.Pop()
+	if !ok {
 		return Item{}, false
 	}
-	tq := f.topics[bestTopic]
-	k, it, _ := tq.outgoing.Min()
-	tq.outgoing.Delete(k)
 	f.popped++
 	mPopped.Inc()
 	mQueued.Add(-1)
@@ -432,79 +495,40 @@ func (f *Frontier) Close() {
 // PopTopic returns the best link for one topic only.
 func (f *Frontier) PopTopic(topic string) (Item, bool) {
 	f.mu.Lock()
-	tq, ok := f.topics[topic]
+	defer f.mu.Unlock()
+	it, ok := f.sched.PopTopic(topic)
 	if !ok {
-		f.mu.Unlock()
 		return Item{}, false
 	}
-	f.refillLocked(tq)
-	k, it, ok := tq.outgoing.Min()
-	if !ok {
-		f.mu.Unlock()
-		return Item{}, false
-	}
-	tq.outgoing.Delete(k)
 	f.popped++
 	mPopped.Inc()
 	mQueued.Add(-1)
-	f.mu.Unlock()
 	return it, true
 }
 
-// refillLocked promotes the best incoming links into the outgoing queue
-// until it is full, firing the Prefetch hook for each promotion.
-func (f *Frontier) refillLocked(tq *topicQueues) {
-	for tq.outgoing.Len() < f.cfg.OutgoingLimit {
-		k, it, ok := tq.incoming.Min()
-		if !ok {
-			return
-		}
-		tq.incoming.Delete(k)
-		tq.outgoing.Insert(k, it)
-		if f.cfg.Prefetch != nil {
-			f.cfg.Prefetch(it.URL)
-		}
-	}
-}
-
-func (f *Frontier) topic(name string) *topicQueues {
-	tq, ok := f.topics[name]
-	if !ok {
-		tq = &topicQueues{
-			incoming: rbtree.New[key, Item](keyLess),
-			outgoing: rbtree.New[key, Item](keyLess),
-		}
-		f.topics[name] = tq
-		f.order = append(f.order, name)
-	}
-	return tq
-}
-
-// Len returns the total number of queued links.
+// Len returns the total number of queued links (spilled tail included,
+// delayed requeues excluded).
 func (f *Frontier) Len() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	n := 0
-	for _, tq := range f.topics {
-		n += tq.incoming.Len() + tq.outgoing.Len()
-	}
-	return n
+	return f.sched.Len()
 }
 
-// TopicLen returns (incoming, outgoing) sizes for one topic.
+// TopicLen returns (incoming, outgoing) sizes for one topic. Single-queue
+// schedulers report everything as incoming; with a spill tier only the
+// in-memory share is broken out per topic.
 func (f *Frontier) TopicLen(topic string) (in, out int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	tq, ok := f.topics[topic]
-	if !ok {
-		return 0, 0
-	}
-	return tq.incoming.Len(), tq.outgoing.Len()
+	return f.sched.TopicLen(topic)
 }
 
 // Stats summarizes frontier activity. Drops are split by cause; Requeued
 // counts breaker cool-down requeues (not drops), and Delayed is the number
-// of items currently cooling off.
+// of items currently cooling off. InMemory/Spilled split Queued across the
+// memory/disk boundary, PeakInMemory is the in-memory high-water mark (the
+// spill budget's evidence), and SpillLost counts links dropped from torn
+// or corrupt spill runs.
 type Stats struct {
 	Pushed       int64
 	Popped       int64
@@ -514,37 +538,41 @@ type Stats struct {
 	Requeued     int64
 	Queued       int
 	Delayed      int
+	InMemory     int
+	Spilled      int
+	PeakInMemory int
+	SpillLost    int64
 }
 
 // Stats returns a snapshot.
 func (f *Frontier) Stats() Stats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	n := 0
-	for _, tq := range f.topics {
-		n += tq.incoming.Len() + tq.outgoing.Len()
-	}
-	return Stats{
+	st := Stats{
 		Pushed: f.pushed, Popped: f.popped,
 		DroppedFull: f.droppedFull, DroppedSeen: f.droppedSeen,
 		DroppedDepth: f.droppedDepth, Requeued: f.requeued,
-		Queued: n, Delayed: len(f.delayed),
+		Queued: f.sched.Len(), Delayed: len(f.delayed),
+		InMemory: f.memLenLocked(), PeakInMemory: f.peakInMem,
+		SpillLost: f.spillLost,
 	}
+	if ss, ok := f.sched.(*spillScheduler); ok {
+		st.Spilled = ss.SpilledLen()
+	}
+	return st
 }
 
 // Reset clears all queues but keeps the seen set, which is what the engine
 // does when switching from the learning phase to the harvesting phase (the
 // crawl is "resumed with the best hubs", not with stale frontier state).
+// Learned scheduler state (value-fn link values, link-context term caches)
+// also survives — the harvest phase keeps what the learning phase learned.
 func (f *Frontier) Reset() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	dropped := len(f.delayed)
-	for _, tq := range f.topics {
-		dropped += tq.incoming.Len() + tq.outgoing.Len()
-	}
+	dropped := len(f.delayed) + f.sched.Len()
 	mQueued.Add(-int64(dropped))
-	f.topics = make(map[string]*topicQueues)
-	f.order = nil
+	f.sched.Reset()
 	f.delayed = nil
 	f.closed = false
 }
@@ -568,36 +596,28 @@ type DelayedDump struct {
 }
 
 // Dump is a serializable snapshot of the frontier's pending work: queued
-// items in priority order (outgoing before incoming per topic, topics in
-// first-seen order), items still cooling off after a breaker requeue, and
-// the dedup set. Counters and in-flight leases are deliberately excluded —
-// a restored crawl starts its statistics fresh, and an in-flight item that
-// was never Done'd is simply lost to the dump (its URL stays in Seen).
+// items in the scheduler's deterministic order (for fifo-priority, topics
+// in first-seen order with each topic's outgoing queue before its incoming
+// queue; spilled tails are streamed back off disk), items still cooling off
+// after a breaker requeue, and the dedup set. Counters and in-flight leases
+// are deliberately excluded — a restored crawl starts its statistics fresh,
+// and an in-flight item that was never Done'd is simply lost to the dump
+// (its URL stays in Seen).
 type Dump struct {
 	Items   []Item
 	Delayed []DelayedDump
 	Seen    []string
 }
 
-// Dump captures the frontier's pending work for session persistence. The
-// ordering is deterministic: topics in first-seen order, each topic's
-// outgoing queue before its incoming queue, both in key order, then the
-// delayed heap in readyAt order.
+// Dump captures the frontier's pending work for session persistence.
 func (f *Frontier) Dump() Dump {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	var d Dump
-	for _, name := range f.order {
-		tq := f.topics[name]
-		tq.outgoing.Ascend(func(_ key, it Item) bool {
-			d.Items = append(d.Items, it)
-			return true
-		})
-		tq.incoming.Ascend(func(_ key, it Item) bool {
-			d.Items = append(d.Items, it)
-			return true
-		})
-	}
+	f.sched.Dump(func(it Item) bool {
+		d.Items = append(d.Items, it)
+		return true
+	})
 	now := f.cfg.Now()
 	tmp := make(delayedHeap, len(f.delayed))
 	copy(tmp, f.delayed)
@@ -618,20 +638,27 @@ func (f *Frontier) Dump() Dump {
 }
 
 // Restore reloads a Dump into an empty (or Reset) frontier: queued items
-// re-enter their topic queues with their effective priorities, delayed
-// items re-arm relative to now, and the seen set is replaced. Items whose
-// URLs the dump also lists as seen do not double-drop: Restore inserts
-// directly, bypassing Push's dedup check.
+// re-enter the scheduler with their effective priorities (re-spilling past
+// the budget as needed), delayed items re-arm relative to now, and the seen
+// set is replaced. Items whose URLs the dump also lists as seen do not
+// double-drop: Restore inserts directly, bypassing Push's dedup check.
+// Dumps written before the IsSeed flag carried seeds as a magic priority;
+// Restore maps those back onto the flag.
 func (f *Frontier) Restore(d Dump) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, it := range d.Items {
-		tq := f.topic(it.Topic)
+		if it.Priority >= legacySeedPriority {
+			it.IsSeed = true
+		}
 		f.seq++
-		tq.incoming.Insert(key{prio: f.EffectivePriority(it), seq: f.seq}, it)
+		f.sched.Reinsert(it, f.EffectivePriority(it), f.seq)
 	}
 	now := f.cfg.Now()
 	for _, dd := range d.Delayed {
+		if dd.Item.Priority >= legacySeedPriority {
+			dd.Item.IsSeed = true
+		}
 		f.seq++
 		heap.Push(&f.delayed, delayedItem{
 			readyAt: now.Add(dd.ReadyIn),
@@ -643,5 +670,6 @@ func (f *Frontier) Restore(d Dump) {
 		f.seen[url] = struct{}{}
 	}
 	mQueued.Add(int64(len(d.Items) + len(d.Delayed)))
+	f.notePeakLocked()
 	f.wakeLocked()
 }
