@@ -16,7 +16,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race chaos smoke smoke-dist doccheck bench bench-search bench-overhead bench-shard bench-serve bench-segments bench-frontier smoke-frontier
+.PHONY: all build vet fmt-check test race chaos smoke smoke-dist smoke-tenant doccheck bench bench-search bench-overhead bench-shard bench-serve bench-segments bench-frontier smoke-frontier
 
 all: build test
 
@@ -40,6 +40,7 @@ test: vet fmt-check
 race:
 	$(GO) test -race ./internal/crawler/... ./internal/store/... ./internal/segment/... ./internal/frontier/... ./internal/search/... ./internal/hits/... ./internal/metrics/... ./internal/serve/... ./internal/servecache/... ./internal/admit/... ./internal/loadgen/... ./internal/rpc/... ./internal/coord/...
 	$(GO) test -race -count=1 -run 'TestFrontier' ./internal/experiments/
+	$(GO) test -race -count=1 -run 'Tenant|Train|Close' ./internal/core/
 
 # chaos runs the fault-injection suite (full crawls against the seeded fault
 # plane, plus the faults/fetch resilience units) across a fixed seed matrix
@@ -94,6 +95,14 @@ smoke:
 # must return to non-degraded answers), then SIGTERM everything cleanly.
 smoke-dist:
 	sh scripts/smoke_dist.sh
+
+# smoke-tenant is the multi-portal end-to-end check: boot portald hosting
+# two tenants over one shared store with the background retrainer swapping
+# ensembles mid-crawl, assert zero cross-tenant leakage on /search, live
+# per-tenant stats on /tenants, retrain counters advancing while serving,
+# and that a single-tenant run still speaks the pre-tenancy wire format.
+smoke-tenant:
+	sh scripts/smoke_tenant.sh
 
 # doccheck fails when any exported identifier in the wire-protocol or
 # coordinator packages lacks a godoc comment — the distributed API is the

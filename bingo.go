@@ -117,6 +117,18 @@ type SVMParams = svm.Params
 // feedback step (Config.ReviewArchetypes).
 type ArchetypeCandidate = core.ArchetypeCandidate
 
+// Tenant is one portal hosted by an Engine: its own topic tree, training
+// set, classifier ensemble and crawl frontier over the engine's shared
+// crawl database (multi-portal tenancy — see DESIGN.md).
+type Tenant = core.Tenant
+
+// TenantStats is one tenant's operational snapshot for the admin plane.
+type TenantStats = core.TenantStats
+
+// ValidateTenantID checks a tenant id against the allowed charset
+// (1-64 characters from [A-Za-z0-9._-]).
+func ValidateTenantID(id string) error { return core.ValidateTenantID(id) }
+
 // NewEngine builds a focused-crawl engine from cfg.
 func NewEngine(cfg Config) (*Engine, error) { return core.New(cfg) }
 

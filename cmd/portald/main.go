@@ -37,6 +37,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -78,7 +79,11 @@ func main() {
 	scheduler := flag.String("scheduler", "", "startup crawl's frontier ordering policy: fifo-priority (default), best-first, link-context or value-fn")
 	frontierBudget := flag.Int("frontier-budget", 0, "startup crawl: max frontier links held in memory; the tail spills to sorted on-disk runs (0 = unbounded)")
 	cacheEntries := flag.Int("cache-entries", 4096, "query-result cache capacity in entries (0 disables the cache)")
+	var tenantNames multiFlag
+	flag.Var(&tenantNames, "tenant", "named portal tenant (repeatable, with -crawl): the world's seed bookmarks are partitioned round-robin across the named tenants, each crawling its own portal into the shared store")
+	retrainInterval := flag.Duration("retrain-interval", 0, "background retrainer period (with -crawl): retrain every tenant off-thread and atomically swap in the new classifier ensemble (0 disables)")
 	maxInFlight := flag.Int("max-inflight", 64, "admission control: concurrently served search requests")
+	tenantMaxInFlight := flag.Int("tenant-max-inflight", 0, "admission control: per-tenant cap on concurrently served search requests; a hot tenant sheds its own traffic without consuming global queue capacity (0 disables)")
 	maxQueue := flag.Int("max-queue", 128, "admission control: queued search requests beyond -max-inflight (-1 for none)")
 	queueTimeout := flag.Duration("queue-timeout", 100*time.Millisecond, "admission control: max wait in the queue before shedding")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (429) responses")
@@ -108,6 +113,10 @@ func main() {
 	}
 
 	var st *store.Store
+	// coreEng stays non-nil in crawl mode so /tenants and the background
+	// retrainer have a live engine; -db/-data-dir modes serve a finished
+	// database and have neither.
+	var coreEng *bingo.Engine
 	switch {
 	case *crawl:
 		var wcfg bingo.WorldConfig
@@ -152,6 +161,29 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		coreEng = eng
+		// With named tenants, the default tenant stays empty and each name
+		// gets its own portal over a round-robin slice of the world's seed
+		// bookmarks — different bookmark sets, one shared store.
+		seeds := world.SeedURLs()
+		for i, name := range tenantNames {
+			var part []string
+			for j := i; j < len(seeds); j += len(tenantNames) {
+				part = append(part, seeds[j])
+			}
+			if len(part) == 0 {
+				log.Fatalf("tenant %q: the world has only %d seeds for %d tenants", name, len(seeds), len(tenantNames))
+			}
+			if _, err := eng.AddTenant(name,
+				[]bingo.TopicSpec{{Path: []string{"databases"}, Seeds: part}},
+				world.GeneralPageURLs(50)); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("tenant %s: %d seed bookmarks\n", name, len(part))
+		}
+		if *retrainInterval > 0 && eng.StartRetrainer(*retrainInterval) {
+			fmt.Printf("background retrainer: every %s (atomic ensemble swap, queries never wait)\n", *retrainInterval)
+		}
 		stopProgress := make(chan struct{})
 		if *dataDir != "" {
 			logRecovery(eng.Store())
@@ -175,7 +207,15 @@ func main() {
 				}
 			}()
 		}
-		if _, _, err := eng.Run(context.Background()); err != nil {
+		if len(tenantNames) > 0 {
+			for _, name := range tenantNames {
+				t, _ := eng.Tenant(name)
+				if _, _, err := t.Run(context.Background()); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("tenant %s: crawl done, %d docs\n", name, t.Stats().Docs)
+			}
+		} else if _, _, err := eng.Run(context.Background()); err != nil {
 			log.Fatal(err)
 		}
 		close(stopProgress)
@@ -222,10 +262,11 @@ func main() {
 	api := serve.New(st, engine, serve.Options{
 		Cache: cache,
 		Admission: admit.New(admit.Options{
-			MaxInFlight:  *maxInFlight,
-			MaxQueue:     *maxQueue,
-			QueueTimeout: *queueTimeout,
-			RetryAfter:   *retryAfter,
+			MaxInFlight:       *maxInFlight,
+			MaxQueue:          *maxQueue,
+			QueueTimeout:      *queueTimeout,
+			RetryAfter:        *retryAfter,
+			TenantMaxInFlight: *tenantMaxInFlight,
 		}),
 	})
 	explorer := portal.NewWithEngine(st, engine)
@@ -243,6 +284,9 @@ func main() {
 	})
 	mux.Handle("/healthz", api.Handler())
 	mux.Handle("/readyz", api.Handler())
+	if coreEng != nil {
+		mux.HandleFunc("/tenants", handleTenants(coreEng))
+	}
 	mux.HandleFunc("/metricsz", metrics.Default().Handler())
 	mux.HandleFunc("/tracez", metrics.TraceHandler(metrics.DefaultTrace()))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -267,8 +311,12 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("serving portal over %d documents on %s (API on /search, health on /healthz + /readyz, metrics on /metricsz, traces on /tracez, profiles on /debug/pprof/)\n",
-		st.NumDocs(), ln.Addr())
+	extra := ""
+	if coreEng != nil {
+		extra = ", tenants on /tenants"
+	}
+	fmt.Printf("serving portal over %d documents on %s (API on /search, health on /healthz + /readyz, metrics on /metricsz, traces on /tracez, profiles on /debug/pprof/%s)\n",
+		st.NumDocs(), ln.Addr(), extra)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -291,10 +339,54 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Fatalf("drain did not complete within %s: %v", *drainTimeout, err)
 	}
-	if err := st.Close(); err != nil {
+	// In crawl mode the engine owns the store (and the background
+	// retrainer); Close stops every background goroutine before closing it.
+	if coreEng != nil {
+		if err := coreEng.Close(); err != nil {
+			log.Fatalf("closing engine: %v", err)
+		}
+	} else if err := st.Close(); err != nil {
 		log.Fatalf("closing store: %v", err)
 	}
 	fmt.Println("shutdown complete")
+}
+
+// multiFlag is a repeatable string flag (e.g. -tenant a -tenant b).
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// handleTenants is the /tenants admin endpoint: GET lists every tenant's
+// operational stats as JSON; POST creates a portal at runtime
+// (?id=NAME&topic=a/b&seeds=url1,url2&others=url1,url2), after which the
+// operator drives it through feedback or a future crawl.
+func handleTenants(eng *bingo.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = json.NewEncoder(w).Encode(eng.TenantStats())
+		case http.MethodPost:
+			q := r.URL.Query()
+			topic := q.Get("topic")
+			if topic == "" {
+				topic = "databases"
+			}
+			t, err := eng.AddTenant(q.Get("id"),
+				[]bingo.TopicSpec{{Path: strings.Split(topic, "/"), Seeds: splitAddrs(q.Get("seeds"))}},
+				splitAddrs(q.Get("others")))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusCreated)
+			_ = json.NewEncoder(w).Encode(t.Stats())
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	}
 }
 
 // logRecovery reports what OpenTiered reconstructed from disk.

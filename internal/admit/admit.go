@@ -32,20 +32,29 @@ var (
 	mInFlight   = metrics.NewGauge("admit_inflight")
 	mQueueDepth = metrics.NewGauge("admit_queue_depth")
 	mWaitNanos  = metrics.NewHistogram("admit_wait_nanos")
+	mShedTenant = metrics.NewCounter("admit_shed_tenant_limit_total")
 )
 
 // ShedError reports a load-shed admission attempt. Handlers translate it
 // into 429 Too Many Requests with a Retry-After header.
 type ShedError struct {
-	// Reason is "queue_full" (the wait queue was at capacity on arrival)
-	// or "deadline" (a queue slot was granted but no in-flight slot freed
-	// within the queue timeout).
+	// Reason is "queue_full" (the wait queue was at capacity on arrival),
+	// "deadline" (a queue slot was granted but no in-flight slot freed
+	// within the queue timeout), or "tenant_limit" (the tenant's own
+	// in-flight quota was exhausted; the global gate had capacity).
 	Reason string
+	// Tenant identifies the portal whose quota shed the request; empty for
+	// global sheds. Handlers surface it so a hot tenant's 429s are
+	// attributable.
+	Tenant string
 	// RetryAfter is the backoff hint for the client.
 	RetryAfter time.Duration
 }
 
 func (e *ShedError) Error() string {
+	if e.Tenant != "" {
+		return fmt.Sprintf("admission shed (%s, tenant %q), retry after %s", e.Reason, e.Tenant, e.RetryAfter)
+	}
 	return fmt.Sprintf("admission shed (%s), retry after %s", e.Reason, e.RetryAfter)
 }
 
@@ -63,6 +72,12 @@ type Options struct {
 	QueueTimeout time.Duration
 	// RetryAfter is the backoff hint attached to ShedErrors (default 1s).
 	RetryAfter time.Duration
+	// TenantMaxInFlight, when positive, additionally bounds the in-flight
+	// requests of each tenant, so one hot portal saturating the process
+	// sheds only its own traffic while quieter portals keep their
+	// capacity. 0 disables per-tenant quotas (single-portal deployments
+	// pay nothing).
+	TenantMaxInFlight int
 }
 
 func (o Options) withDefaults() Options {
@@ -90,12 +105,21 @@ type Controller struct {
 	opts    Options
 	sem     chan struct{}
 	waiters atomic.Int64
+
+	// Per-tenant in-flight semaphores, created on a tenant's first request
+	// (only when TenantMaxInFlight > 0).
+	tenantMu   sync.Mutex
+	tenantSems map[string]chan struct{}
 }
 
 // New builds a controller from opts.
 func New(opts Options) *Controller {
 	opts = opts.withDefaults()
-	return &Controller{opts: opts, sem: make(chan struct{}, opts.MaxInFlight)}
+	c := &Controller{opts: opts, sem: make(chan struct{}, opts.MaxInFlight)}
+	if opts.TenantMaxInFlight > 0 {
+		c.tenantSems = make(map[string]chan struct{})
+	}
+	return c
 }
 
 // Options returns the controller's resolved configuration.
@@ -112,6 +136,79 @@ func (c *Controller) Queued() int { return int(c.waiters.Load()) }
 // On overload it returns a *ShedError; if ctx is done first it returns
 // ctx.Err().
 func (c *Controller) Acquire(ctx context.Context) (release func(), err error) {
+	return c.AcquireTenant(ctx, "")
+}
+
+// tenantSem returns (creating on first use) the tenant's in-flight
+// semaphore, or nil when per-tenant quotas are disabled.
+func (c *Controller) tenantSem(tenant string) chan struct{} {
+	if c.tenantSems == nil {
+		return nil
+	}
+	c.tenantMu.Lock()
+	defer c.tenantMu.Unlock()
+	sem, ok := c.tenantSems[tenant]
+	if !ok {
+		sem = make(chan struct{}, c.opts.TenantMaxInFlight)
+		c.tenantSems[tenant] = sem
+	}
+	return sem
+}
+
+// TenantInFlight returns the number of currently admitted requests of one
+// tenant (0 when per-tenant quotas are disabled).
+func (c *Controller) TenantInFlight(tenant string) int {
+	if c.tenantSems == nil {
+		return 0
+	}
+	c.tenantMu.Lock()
+	sem := c.tenantSems[tenant]
+	c.tenantMu.Unlock()
+	return len(sem)
+}
+
+// AcquireTenant is Acquire with the requesting tenant's identity. When
+// Options.TenantMaxInFlight is set, the tenant's own quota is checked
+// first (non-blocking — a tenant past its quota sheds immediately with
+// Reason "tenant_limit" and its id in the ShedError, without consuming
+// global queue capacity); the global gate then admits, queues or sheds as
+// usual. With quotas disabled it is exactly Acquire.
+func (c *Controller) AcquireTenant(ctx context.Context, tenant string) (release func(), err error) {
+	tsem := c.tenantSem(tenant)
+	if tsem != nil {
+		select {
+		case tsem <- struct{}{}:
+		default:
+			mShed.Inc()
+			mShedTenant.Inc()
+			metrics.TenantCounter("admit_shed_tenant_limit_total", tenant).Inc()
+			return nil, &ShedError{Reason: "tenant_limit", Tenant: tenant, RetryAfter: c.opts.RetryAfter}
+		}
+	}
+	// Local, not the named return: the closure below must capture the
+	// global release, never itself.
+	global, gerr := c.acquireGlobal(ctx)
+	if gerr != nil {
+		if tsem != nil {
+			<-tsem
+		}
+		return nil, gerr
+	}
+	if tsem == nil {
+		return global, nil
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			global()
+			<-tsem
+		})
+	}, nil
+}
+
+// acquireGlobal runs the process-wide admission gate: fast-path semaphore
+// send, then the bounded wait queue with its deadline.
+func (c *Controller) acquireGlobal(ctx context.Context) (release func(), err error) {
 	start := time.Now()
 	select {
 	case c.sem <- struct{}{}:

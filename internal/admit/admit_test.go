@@ -223,3 +223,100 @@ func TestConcurrentDrainToZero(t *testing.T) {
 		t.Fatalf("Queued after drain = %d, want 0", got)
 	}
 }
+
+// TestTenantQuotaShedsOnlyHotTenant: a tenant at its quota sheds with a
+// tenant-tagged ShedError while other tenants (and the global gate) keep
+// admitting, and the shed consumes no global queue capacity.
+func TestTenantQuotaShedsOnlyHotTenant(t *testing.T) {
+	c := New(Options{MaxInFlight: 8, MaxQueue: -1, TenantMaxInFlight: 2})
+	var hot []func()
+	for i := 0; i < 2; i++ {
+		rel, err := c.AcquireTenant(context.Background(), "hot")
+		if err != nil {
+			t.Fatalf("hot acquire %d: %v", i, err)
+		}
+		hot = append(hot, rel)
+	}
+	if got := c.TenantInFlight("hot"); got != 2 {
+		t.Fatalf("TenantInFlight(hot) = %d", got)
+	}
+	_, err := c.AcquireTenant(context.Background(), "hot")
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("hot tenant beyond quota: err = %v", err)
+	}
+	if shed.Reason != "tenant_limit" || shed.Tenant != "hot" {
+		t.Fatalf("shed = %+v", shed)
+	}
+	// The quiet tenant and the default tenant are untouched.
+	for _, tn := range []string{"quiet", ""} {
+		rel, err := c.AcquireTenant(context.Background(), tn)
+		if err != nil {
+			t.Fatalf("tenant %q blocked by hot tenant's quota: %v", tn, err)
+		}
+		rel()
+	}
+	// Tenant sheds never consumed global slots.
+	if got := c.InFlight(); got != 2 {
+		t.Fatalf("global InFlight = %d, want 2", got)
+	}
+	for _, rel := range hot {
+		rel()
+	}
+	if got := c.TenantInFlight("hot"); got != 0 {
+		t.Fatalf("TenantInFlight(hot) after release = %d", got)
+	}
+}
+
+// TestTenantReleaseIdempotentBothSlots: the combined release returns the
+// tenant slot and the global slot exactly once.
+func TestTenantReleaseIdempotentBothSlots(t *testing.T) {
+	c := New(Options{MaxInFlight: 4, MaxQueue: -1, TenantMaxInFlight: 2})
+	rel, err := c.AcquireTenant(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel()
+	rel()
+	if c.InFlight() != 0 || c.TenantInFlight("a") != 0 {
+		t.Fatalf("double release corrupted slots: global=%d tenant=%d",
+			c.InFlight(), c.TenantInFlight("a"))
+	}
+}
+
+// TestTenantQuotaReleasedOnGlobalShed: when the global gate sheds after the
+// tenant slot was taken, the tenant slot is returned.
+func TestTenantQuotaReleasedOnGlobalShed(t *testing.T) {
+	c := New(Options{MaxInFlight: 1, MaxQueue: -1, TenantMaxInFlight: 5})
+	rel, err := c.AcquireTenant(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.AcquireTenant(context.Background(), "a")
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "queue_full" {
+		t.Fatalf("err = %v", err)
+	}
+	if got := c.TenantInFlight("a"); got != 1 {
+		t.Fatalf("global shed leaked a tenant slot: %d", got)
+	}
+	rel()
+	if got := c.TenantInFlight("a"); got != 0 {
+		t.Fatalf("TenantInFlight after release = %d", got)
+	}
+}
+
+// TestTenantQuotaDisabledIsPlainAcquire: TenantMaxInFlight 0 keeps
+// AcquireTenant identical to Acquire — no per-tenant state at all.
+func TestTenantQuotaDisabledIsPlainAcquire(t *testing.T) {
+	c := New(Options{MaxInFlight: 2, MaxQueue: -1})
+	rel, err := c.AcquireTenant(context.Background(), "anyone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if got := c.TenantInFlight("anyone"); got != 0 {
+		t.Fatalf("disabled quotas tracked a tenant: %d", got)
+	}
+}

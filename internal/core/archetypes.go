@@ -17,6 +17,10 @@ import (
 // confidence. To prevent topic drift, an archetype's confidence must exceed
 // the mean confidence of the current training documents (when the gate is
 // enabled), and at most min(NAuth, NConf) archetypes are added per topic.
+//
+// Archetypes are tenant-scoped: the base set comes from the tenant's own
+// classified documents, while the link graph (and the HITS scores over it)
+// is the shared, URL-keyed web graph.
 
 // ArchetypeCandidate is one proposed archetype shown to the §2.6 feedback
 // step.
@@ -26,11 +30,13 @@ type ArchetypeCandidate struct {
 	Confidence float64
 }
 
-// linkAnalysis builds the §2.5 graph for one topic: the base set (documents
-// classified into the topic) expanded by successors and a bounded number of
-// predecessors, with edges drawn from the stored link relation.
-func (e *Engine) linkAnalysis(topicPath string) (authorities, hubs []hits.Score) {
-	base := e.store.ByTopic(topicPath)
+// linkAnalysis builds the §2.5 graph for one topic: the base set (the
+// tenant's documents classified into the topic) expanded by successors and
+// a bounded number of predecessors, with edges drawn from the stored link
+// relation.
+func (t *Tenant) linkAnalysis(topicPath string) (authorities, hubs []hits.Score) {
+	e := t.eng
+	base := e.store.ByTopicTenant(t.id, topicPath)
 	if len(base) == 0 {
 		return nil, nil
 	}
@@ -59,28 +65,29 @@ func (e *Engine) linkAnalysis(topicPath string) (authorities, hubs []hits.Score)
 }
 
 // promoteArchetypes runs archetype selection and retraining for every topic.
-func (e *Engine) promoteArchetypes() error {
-	if !e.cfg.DisableArchetypes {
-		for _, node := range e.tree.Nodes() {
-			e.promoteTopic(node.Path)
+func (t *Tenant) promoteArchetypes() error {
+	if !t.eng.cfg.DisableArchetypes {
+		for _, node := range t.tree.Nodes() {
+			t.promoteTopic(node.Path)
 		}
 	}
-	return e.retrainLocked()
+	return t.retrain()
 }
 
 // promoteTopic selects archetypes for one topic and adds them to the
 // training set.
-func (e *Engine) promoteTopic(topicPath string) {
-	docs := e.store.ByTopic(topicPath) // already sorted by confidence desc
+func (t *Tenant) promoteTopic(topicPath string) {
+	e := t.eng
+	docs := e.store.ByTopicTenant(t.id, topicPath) // already sorted by confidence desc
 	if len(docs) == 0 {
 		return
 	}
 
 	// Source 1: top authorities from the link analysis.
-	auths, _ := e.linkAnalysis(topicPath)
+	auths, _ := t.linkAnalysis(topicPath)
 	authSet := map[string]struct{}{}
 	for i := 0; i < len(auths) && len(authSet) < e.cfg.NAuth; i++ {
-		if e.store.Contains(auths[i].ID) {
+		if e.store.ContainsDoc(t.id, auths[i].ID) {
 			authSet[auths[i].ID] = struct{}{}
 		}
 	}
@@ -93,9 +100,11 @@ func (e *Engine) promoteTopic(topicPath string) {
 
 	// Union, minus current training docs.
 	current := map[string]struct{}{}
-	for _, d := range e.training.ByTopic[topicPath] {
+	t.mu.RLock()
+	for _, d := range t.training.ByTopic[topicPath] {
 		current[d.ID] = struct{}{}
 	}
+	t.mu.RUnlock()
 	candidates := make([]store.Document, 0, len(authSet)+len(confSet))
 	seen := map[string]struct{}{}
 	for _, d := range docs {
@@ -117,7 +126,7 @@ func (e *Engine) promoteTopic(topicPath string) {
 	// Topic-drift gate: candidate confidence must beat the mean confidence
 	// of the current training documents under the current decision model.
 	if e.cfg.EnforceArchetypeGate {
-		mean := e.meanTrainingConfidence(topicPath)
+		mean := t.meanTrainingConfidence(topicPath)
 		kept := candidates[:0]
 		for _, d := range candidates {
 			if d.Confidence > mean {
@@ -165,25 +174,27 @@ func (e *Engine) promoteTopic(topicPath string) {
 		if len(stems) == 0 {
 			continue
 		}
-		e.training.Add(topicPath, classify.Doc{
+		t.mu.Lock()
+		t.training.Add(topicPath, classify.Doc{
 			ID:    d.URL,
 			Input: features.DocInput{Stems: stems, Anchors: e.store.InAnchors(d.URL)},
 		})
-		_ = e.store.SetTraining(d.URL, true)
+		t.mu.Unlock()
+		_ = e.store.SetTrainingDoc(t.id, d.URL, true)
 	}
 }
 
 // meanTrainingConfidence scores the current training documents of a topic
 // through the current decision model (§2.4: "training documents have a
 // confidence score associated with them, too").
-func (e *Engine) meanTrainingConfidence(topicPath string) float64 {
-	e.mu.RLock()
-	cls := e.classifier
-	e.mu.RUnlock()
+func (t *Tenant) meanTrainingConfidence(topicPath string) float64 {
+	cls := t.ensemble.Load()
 	if cls == nil {
 		return 0
 	}
-	docs := e.training.ByTopic[topicPath]
+	t.mu.RLock()
+	docs := append([]classify.Doc(nil), t.training.ByTopic[topicPath]...)
+	t.mu.RUnlock()
 	if len(docs) == 0 {
 		return 0
 	}

@@ -76,7 +76,7 @@ func TestBootstrapTrainsClassifier(t *testing.T) {
 		t.Errorf("seed not stored as training: %+v, %v", d, err)
 	}
 	// frontier primed with seed out-links
-	if e.frontier.Len() == 0 {
+	if e.def.frontier.Len() == 0 {
 		t.Error("frontier empty after bootstrap")
 	}
 }
@@ -301,18 +301,18 @@ func TestMetaModeSwitchesByPhase(t *testing.T) {
 	if _, err := e.Learn(ctx); err != nil {
 		t.Fatal(err)
 	}
-	e.mu.RLock()
-	learnMeta := e.meta
-	e.mu.RUnlock()
+	e.def.mu.RLock()
+	learnMeta := e.def.meta
+	e.def.mu.RUnlock()
 	if learnMeta != classify.MetaUnanimous {
 		t.Errorf("learn meta = %v", learnMeta)
 	}
 	if _, err := e.Harvest(ctx); err != nil {
 		t.Fatal(err)
 	}
-	e.mu.RLock()
-	harvestMeta := e.meta
-	e.mu.RUnlock()
+	e.def.mu.RLock()
+	harvestMeta := e.def.meta
+	e.def.mu.RUnlock()
 	if harvestMeta != classify.MetaWeighted {
 		t.Errorf("harvest meta = %v", harvestMeta)
 	}

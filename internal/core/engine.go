@@ -2,30 +2,25 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"net/url"
-	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/bingo-search/bingo/internal/classify"
 	"github.com/bingo-search/bingo/internal/cluster"
 	"github.com/bingo-search/bingo/internal/dns"
-	"github.com/bingo-search/bingo/internal/features"
 	"github.com/bingo-search/bingo/internal/fetch"
 	"github.com/bingo-search/bingo/internal/frontier"
-	"github.com/bingo-search/bingo/internal/htmldoc"
 	"github.com/bingo-search/bingo/internal/search"
 	"github.com/bingo-search/bingo/internal/store"
 	"github.com/bingo-search/bingo/internal/textproc"
-	"github.com/bingo-search/bingo/internal/urlnorm"
-	"github.com/bingo-search/bingo/internal/vsm"
 )
 
-// Phase names the engine's lifecycle stage.
+// Phase names a tenant's lifecycle stage.
 type Phase int
 
-// Engine phases.
+// Tenant phases.
 const (
 	PhaseInit Phase = iota
 	PhaseLearning
@@ -33,14 +28,20 @@ const (
 	PhaseDone
 )
 
-// Engine is one focused-crawl session.
+// Engine hosts one or more focused-crawl portals (tenants) over a single
+// shared crawl database. The infrastructure every portal shares — the
+// store with its disk tier, the DNS resolver, the circuit breakers, the
+// host health tracker, the text pipeline and the search engine — lives
+// here; everything portal-specific (topic tree, training set, classifier
+// ensemble, frontier, dedup) lives in Tenant. An Engine built by New has
+// exactly one tenant, the default one, and every legacy single-portal
+// method delegates to it, so pre-tenancy callers behave bit-identically.
 type Engine struct {
 	cfg      Config
-	tree     *classify.Tree
 	store    *store.Store
-	frontier *frontier.Frontier
-	fetcher  *fetch.Fetcher
 	resolver *dns.Resolver
+	breakers *fetch.BreakerSet
+	hosts    *fetch.HostTracker
 	pipe     *textproc.Pipeline
 
 	// searchMu guards the cached search engine. Caching it (instead of
@@ -51,32 +52,26 @@ type Engine struct {
 	searchEng   *search.Engine
 	searchStore *store.Store
 
-	mu         sync.RWMutex
-	classifier *classify.Classifier
-	training   *classify.TrainingSet
-	phase      Phase
-	meta       classify.MetaMode
-	// seedTopics maps seed URL -> topic path (for re-seeding).
-	seedTopics map[string]string
-	retrains   int
+	// Tenant registry. def is the implicit default tenant (id ""), always
+	// present and also reachable through the map.
+	tenantMu sync.RWMutex
+	tenants  map[string]*Tenant
+	def      *Tenant
+
+	// Background goroutine lifecycle: the retrainer (and any future
+	// background workers) register on wg and exit when stopCh closes.
+	// Close is idempotent and stops them all before closing the store.
+	stopCh      chan struct{}
+	wg          sync.WaitGroup
+	retrainerOn atomic.Bool
+	closeOnce   sync.Once
+	closeErr    error
 }
 
-// New builds an engine from cfg. The topic tree is derived from
-// cfg.Topics; Bootstrap must be called before crawling.
+// New builds an engine from cfg. The default tenant's topic tree is derived
+// from cfg.Topics; Bootstrap must be called before crawling.
 func New(cfg Config) (*Engine, error) {
 	cfg = cfg.WithDefaults()
-	if len(cfg.Topics) == 0 {
-		return nil, errors.New("core: no topics configured")
-	}
-	tree := classify.NewTree()
-	for _, ts := range cfg.Topics {
-		if _, err := tree.Add(ts.Path...); err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		if len(ts.Seeds) == 0 {
-			return nil, fmt.Errorf("core: topic %v has no seeds", ts.Path)
-		}
-	}
 
 	var servers []dns.Server
 	for i, spec := range cfg.DNSServers {
@@ -95,73 +90,9 @@ func New(cfg Config) (*Engine, error) {
 		resolver = dns.NewResolver(dns.Config{}, servers...)
 	}
 
-	breakers := fetch.NewBreakerSet(fetch.BreakerConfig{
-		FailureThreshold: cfg.BreakerThreshold,
-		OpenFor:          cfg.BreakerOpenFor,
-	})
-	fetcher := fetch.New(fetch.Config{
-		Transport: cfg.Transport,
-		Resolver:  resolver,
-		Timeout:   cfg.FetchTimeout,
-		Retry: fetch.RetryPolicy{
-			MaxAttempts: cfg.FetchAttempts,
-			BaseDelay:   cfg.RetryBaseDelay,
-			MaxDelay:    cfg.RetryMaxDelay,
-		},
-		Breaker:          breakers,
-		DegradeTruncated: !cfg.DisableDegradation,
-		LockedDomains:    cfg.LockedDomains,
-		RespectRobots:    !cfg.DisableRobots,
-	}, fetch.NewDeduper(), fetch.NewHostTracker(cfg.MaxRetries))
-
 	if err := frontier.ValidateScheduler(cfg.Scheduler); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	spillDir := ""
-	if cfg.FrontierBudget > 0 && cfg.DataDir != "" {
-		spillDir = filepath.Join(cfg.DataDir, "frontier-spill")
-	}
-	// TopicTerms is resolved through a closure because the engine — and its
-	// classifier — are built after the frontier. It is invoked under the
-	// frontier's lock, and e.Classifier only takes the engine's read lock,
-	// which no frontier caller holds.
-	var termSource func() *classify.Classifier
-	fr := frontier.New(frontier.Config{
-		IncomingLimit: cfg.QueueLimit,
-		OutgoingLimit: 1000,
-		TunnelDecay:   0.5,
-		Prefetch: func(u string) {
-			if resolver == nil {
-				return
-			}
-			if p, err := url.Parse(u); err == nil {
-				resolver.Prefetch(p.Hostname())
-			}
-		},
-		Scheduler:   cfg.Scheduler,
-		SpillBudget: cfg.FrontierBudget,
-		SpillDir:    spillDir,
-		TopicTerms: func(topic string) map[string]float64 {
-			if termSource == nil {
-				return nil
-			}
-			cls := termSource()
-			if cls == nil {
-				return nil
-			}
-			feats := cls.TopFeatures(topic, 64)
-			if len(feats) == 0 {
-				return nil
-			}
-			terms := make(map[string]float64, len(feats))
-			for i, t := range feats {
-				// Linearly decaying weight: the top-ranked feature counts
-				// twice as much as the last one.
-				terms[t] = 1 - float64(i)/float64(2*len(feats))
-			}
-			return terms
-		},
-	})
 
 	var st *store.Store
 	if cfg.DataDir != "" {
@@ -179,229 +110,122 @@ func New(cfg Config) (*Engine, error) {
 	}
 
 	e := &Engine{
-		cfg:        cfg,
-		tree:       tree,
-		store:      st,
-		frontier:   fr,
-		fetcher:    fetcher,
-		resolver:   resolver,
-		pipe:       textproc.NewPipeline(),
-		training:   classify.NewTrainingSet(),
-		phase:      PhaseInit,
-		meta:       cfg.LearnMeta,
-		seedTopics: make(map[string]string),
+		cfg:      cfg,
+		store:    st,
+		resolver: resolver,
+		breakers: fetch.NewBreakerSet(fetch.BreakerConfig{
+			FailureThreshold: cfg.BreakerThreshold,
+			OpenFor:          cfg.BreakerOpenFor,
+		}),
+		hosts:   fetch.NewHostTracker(cfg.MaxRetries),
+		pipe:    textproc.NewPipeline(),
+		tenants: make(map[string]*Tenant),
+		stopCh:  make(chan struct{}),
 	}
-	termSource = e.Classifier
+	def, err := newTenant(e, "", cfg.Topics, cfg.OthersURLs)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	e.def = def
+	e.tenants[""] = def
 	return e, nil
 }
 
-// Tree returns the engine's topic tree.
-func (e *Engine) Tree() *classify.Tree { return e.tree }
+// Tree returns the default tenant's topic tree.
+func (e *Engine) Tree() *classify.Tree { return e.def.tree }
 
-// Store returns the crawl database.
+// Store returns the shared crawl database.
 func (e *Engine) Store() *store.Store { return e.store }
 
-// Close releases the engine's crawl database. For a tiered (disk-backed)
-// store this stops the background compactor, syncs the write-ahead logs,
-// and closes the segment readers; for an in-memory store it is a no-op.
-func (e *Engine) Close() error { return e.store.Close() }
-
-// Phase returns the current lifecycle phase.
-func (e *Engine) Phase() Phase {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.phase
-}
-
-// Retrains returns how many times the classifier has been retrained.
-func (e *Engine) Retrains() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.retrains
-}
-
-// Classifier returns the current classifier (nil before Bootstrap).
-func (e *Engine) Classifier() *classify.Classifier {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.classifier
-}
-
-// fetchDoc retrieves and analyzes one URL outside the crawl loop
-// (bootstrap/training acquisition).
-func (e *Engine) fetchDoc(ctx context.Context, rawURL string) (classify.Doc, *htmldoc.Document, *fetch.Result, error) {
-	res, err := e.fetcher.Fetch(ctx, rawURL)
-	if err != nil {
-		return classify.Doc{}, nil, nil, err
-	}
-	final, err := url.Parse(res.FinalURL)
-	if err != nil {
-		return classify.Doc{}, nil, nil, err
-	}
-	resolve := func(base, href string) (string, bool) {
-		if base == "" && urlnorm.Cacheable(href) {
-			return urlnorm.NormalizeCached(href)
-		}
-		from := final
-		if base != "" {
-			if b, err := final.Parse(base); err == nil {
-				from = b
-			}
-		}
-		ref, err := from.Parse(href)
-		if err != nil {
-			return "", false
-		}
-		urlnorm.NormalizeURL(ref)
-		if ref.Scheme != "http" && ref.Scheme != "https" {
-			return "", false
-		}
-		return ref.String(), true
-	}
-	doc, err := htmldoc.Convert(res.ContentType, res.Body, resolve)
-	res.ReleaseBody() // handlers copy what they keep; recycle the buffer
-	if err != nil {
-		return classify.Doc{}, nil, nil, err
-	}
-	stems := e.pipe.StemsParts(doc.Title, doc.Text)
-	return classify.Doc{ID: res.FinalURL, Input: features.DocInput{Stems: stems}}, doc, res, nil
-}
-
-// Bootstrap fetches the seed bookmarks and OTHERS documents, builds the
-// initial training set and trains the first classifier. Seed documents are
-// stored (flagged as training data) and their out-links become the initial
-// crawl frontier.
-func (e *Engine) Bootstrap(ctx context.Context) error {
-	type seedLinks struct {
-		topic string
-		links []htmldoc.Link
-	}
-	var pending []seedLinks
-	for _, tspec := range e.cfg.Topics {
-		topicPath := classify.RootName
-		for _, seg := range tspec.Path {
-			topicPath += "/" + seg
-		}
-		for _, seedURL := range tspec.Seeds {
-			cdoc, hdoc, res, err := e.fetchDoc(ctx, seedURL)
-			if errors.Is(err, fetch.ErrDuplicate) {
-				// The multi-fingerprint dedup (§4.2) has a small false-
-				// dismissal risk; losing one seed must not abort the crawl.
-				continue
-			}
-			if err != nil {
-				return fmt.Errorf("core: bootstrap seed %s: %w", seedURL, err)
-			}
-			e.training.Add(topicPath, cdoc)
-			e.seedTopics[seedURL] = topicPath
-			terms := map[string]int{}
-			for _, s := range cdoc.Input.Stems {
-				terms[s]++
-			}
-			e.store.Insert(store.Document{
-				URL: seedURL, FinalURL: res.FinalURL, Title: hdoc.Title,
-				ContentType: res.ContentType, Topic: topicPath, Text: hdoc.Text,
-				Terms: terms, IsTraining: true,
-			})
-			for _, l := range hdoc.Links {
-				e.store.AddLink(store.Link{From: res.FinalURL, To: l.URL, Anchor: l.Anchor})
-			}
-			pending = append(pending, seedLinks{topic: topicPath, links: hdoc.Links})
-			// The paper treats frames as separate documents (its Gray seed
-			// "has two frames, which are handled by our crawler as separate
-			// documents" — 3 training pages from 2 bookmarks). Frame sources
-			// of seeds become training documents themselves.
-			for _, frameURL := range hdoc.Frames {
-				fdoc, fhdoc, fres, ferr := e.fetchDoc(ctx, frameURL)
-				if ferr != nil {
-					continue
-				}
-				e.training.Add(topicPath, fdoc)
-				fterms := map[string]int{}
-				for _, s := range fdoc.Input.Stems {
-					fterms[s]++
-				}
-				e.store.Insert(store.Document{
-					URL: frameURL, FinalURL: fres.FinalURL, Title: fhdoc.Title,
-					ContentType: fres.ContentType, Topic: topicPath, Text: fhdoc.Text,
-					Terms: fterms, IsTraining: true,
-				})
-				for _, l := range fhdoc.Links {
-					e.store.AddLink(store.Link{From: fres.FinalURL, To: l.URL, Anchor: l.Anchor})
-				}
-				pending = append(pending, seedLinks{topic: topicPath, links: fhdoc.Links})
-			}
-		}
-	}
-	for _, ourl := range e.cfg.OthersURLs {
-		cdoc, _, _, err := e.fetchDoc(ctx, ourl)
-		if err != nil {
-			continue // OTHERS docs are best-effort
-		}
-		e.training.Others = append(e.training.Others, cdoc)
-	}
-	if len(e.training.Others) == 0 {
-		return errors.New("core: no OTHERS documents could be fetched (configure OthersURLs)")
-	}
-	if err := e.retrainLocked(); err != nil {
-		return err
-	}
-	// Seed the frontier with the out-links of the bookmarks (the seeds
-	// themselves are already fetched and would be dismissed as duplicates).
-	for _, sl := range pending {
-		for _, l := range sl.links {
-			e.frontier.Push(frontier.Item{
-				URL: l.URL, Topic: sl.topic, Priority: 1e6,
-				Depth: 1, Referrer: "seed", Anchor: l.Anchor,
-			})
-		}
-	}
-	return nil
-}
-
-// retrainLocked rebuilds the idf table from the document database (lazy
-// recomputation upon retraining, §2.2) and retrains every topic classifier.
-func (e *Engine) retrainLocked() error {
-	stats := vsm.NewCorpusStats()
-	e.store.VisitDocs(func(d store.Document) bool {
-		stats.AddDoc(d.Terms)
-		return true
+// Close shuts the engine down: it stops every background goroutine (the
+// continuous retrainer included), then releases the crawl database. For a
+// tiered (disk-backed) store that stops the background compactor, syncs
+// the write-ahead logs, and closes the segment readers. Close is
+// idempotent — every call after the first returns the first call's error.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.stopCh)
+		e.wg.Wait()
+		e.closeErr = e.store.Close()
 	})
-	idf := stats.Snapshot()
-	cls, err := classify.Train(e.tree, e.training, idf, classify.Config{
-		Spaces:      e.cfg.Spaces,
-		Meta:        e.meta,
-		FeatureOpts: e.cfg.FeatureOpts,
-		SVM:         e.cfg.SVM,
-	})
-	if err != nil {
-		return fmt.Errorf("core: retrain: %w", err)
-	}
-	e.mu.Lock()
-	e.classifier = cls
-	e.retrains++
-	e.mu.Unlock()
-	return nil
+	return e.closeErr
 }
 
-// Retrain is the public retraining entry point (used by the feedback loop).
-func (e *Engine) Retrain() error { return e.retrainLocked() }
-
-// classifyCallback adapts the current classifier/meta mode for the crawler.
-func (e *Engine) classifyCallback(d classify.Doc) classify.Result {
-	e.mu.RLock()
-	cls := e.classifier
-	mode := e.meta
-	e.mu.RUnlock()
-	if cls == nil {
-		return classify.Result{Topic: classify.OthersPath(classify.RootName)}
+// StartRetrainer launches the continuous background retrainer: every
+// interval it retrains each tenant that has training data and atomically
+// publishes the new ensemble (see Tenant.retrain — classification and
+// queries never wait, and a failed train leaves the old ensemble serving).
+// It returns false if the interval is non-positive or a retrainer is
+// already running. The retrainer stops when the engine is closed.
+func (e *Engine) StartRetrainer(interval time.Duration) bool {
+	if interval <= 0 {
+		return false
 	}
-	return cls.ClassifyWithMode(d, mode)
+	if !e.retrainerOn.CompareAndSwap(false, true) {
+		return false
+	}
+	select {
+	case <-e.stopCh: // already closed
+		e.retrainerOn.Store(false)
+		return false
+	default:
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-e.stopCh:
+				return
+			case <-tick.C:
+				e.retrainAll()
+			}
+		}
+	}()
+	return true
 }
 
-// Search returns the local search engine over the crawl database (§3.6).
-// The engine is cached so repeated queries reuse the search snapshot and
-// the idf/authority caches instead of rebuilding them per call.
+// retrainAll retrains every tenant that has any training data. Errors are
+// recorded per tenant (TrainFailures, tenant_retrain_failures_total) and
+// do not stop the sweep — a portal with a broken training set must not
+// stall its neighbors.
+func (e *Engine) retrainAll() {
+	for _, t := range e.Tenants() {
+		if t.TrainingSize() == 0 {
+			continue
+		}
+		_ = t.retrain()
+	}
+}
+
+// Phase returns the default tenant's lifecycle phase.
+func (e *Engine) Phase() Phase { return e.def.Phase() }
+
+// Retrains returns how many times the default tenant's classifier has been
+// retrained.
+func (e *Engine) Retrains() int { return e.def.Retrains() }
+
+// Classifier returns the default tenant's serving ensemble (nil before
+// Bootstrap).
+func (e *Engine) Classifier() *classify.Classifier { return e.def.Classifier() }
+
+// Bootstrap fetches the default tenant's seed bookmarks and OTHERS
+// documents, builds the initial training set and trains the first
+// classifier.
+func (e *Engine) Bootstrap(ctx context.Context) error { return e.def.Bootstrap(ctx) }
+
+// Retrain is the default tenant's public retraining entry point (used by
+// the feedback loop).
+func (e *Engine) Retrain() error { return e.def.Retrain() }
+
+// Search returns the local search engine over the shared crawl database
+// (§3.6). The engine is cached so repeated queries reuse the search
+// snapshot and the idf/authority caches instead of rebuilding them per
+// call. Tenant isolation happens per query: set search.Query.Tenant to
+// scope results to one portal.
 func (e *Engine) Search() *search.Engine {
 	e.searchMu.Lock()
 	defer e.searchMu.Unlock()
@@ -412,119 +236,40 @@ func (e *Engine) Search() *search.Engine {
 	return e.searchEng
 }
 
-// ClusterTopic runs the §3.6 cluster analysis on one class's result
-// documents, suggesting subclass structure. kMin/kMax bound the number of
-// clusters tried; the impurity-minimizing K wins.
+// ClusterTopic runs the §3.6 cluster analysis on one of the default
+// tenant's classes.
 func (e *Engine) ClusterTopic(topicPath string, kMin, kMax int) (cluster.Result, int, []store.Document) {
-	docs := e.store.ByTopic(topicPath)
-	// tf·idf weighting keeps ubiquitous class vocabulary out of the
-	// centroids, so the suggested subclass labels carry the *distinctive*
-	// terms of each cluster.
-	stats := vsm.NewCorpusStats()
-	for _, d := range docs {
-		stats.AddDoc(d.Terms)
-	}
-	idf := stats.Snapshot()
-	vecs := make([]vsm.Vector, len(docs))
-	for i, d := range docs {
-		vecs[i] = idf.Weight(d.Terms)
-	}
-	res, k := cluster.ChooseK(vecs, kMin, kMax, cluster.Options{Seed: 1})
-	return res, k, docs
+	return e.def.ClusterTopic(topicPath, kMin, kMax)
 }
 
-// AddTrainingDoc lets the user promote a crawled document to training data
-// (interactive feedback, §3.6); call Retrain afterwards.
+// AddTrainingDoc promotes a crawled document of the default tenant to
+// training data (interactive feedback, §3.6); call Retrain afterwards.
 func (e *Engine) AddTrainingDoc(topicPath, docURL string) error {
-	d, err := e.store.GetByURL(docURL)
-	if err != nil {
-		return err
-	}
-	stems := e.pipe.Stems(d.Title + " " + d.Text)
-	e.training.Add(topicPath, classify.Doc{
-		ID:    d.URL,
-		Input: features.DocInput{Stems: stems, Anchors: e.store.InAnchors(d.URL)},
-	})
-	return e.store.SetTraining(docURL, true)
+	return e.def.AddTrainingDoc(topicPath, docURL)
 }
 
-// AddTrainingText adds a virtual training document for a topic — either a
-// document derived from the user's query terms (the expert-search bootstrap
-// of §2) or an intellectually trimmed page whose irrelevant parts were
-// removed (§2.6). Call Retrain afterwards.
+// AddTrainingText adds a virtual training document to the default tenant;
+// call Retrain afterwards.
 func (e *Engine) AddTrainingText(topicPath, id, text string) {
-	e.training.Add(topicPath, classify.Doc{
-		ID:    id,
-		Input: features.DocInput{Stems: e.pipe.Stems(text)},
-	})
+	e.def.AddTrainingText(topicPath, id, text)
 }
 
-// ReclassifyAll re-runs the current classifier over every stored document
-// and updates the stored topic assignments and confidences — the paper does
-// this after relevance feedback so the filtered documents are "classified
-// again under the retrained model to improve precision" (§3.6). It returns
-// the number of documents whose topic changed.
-func (e *Engine) ReclassifyAll() int {
-	e.mu.RLock()
-	cls := e.classifier
-	mode := e.meta
-	e.mu.RUnlock()
-	if cls == nil {
-		return 0
-	}
-	// Collect the rows first: SetTopic takes a shard's write lock, so
-	// mutating from inside the VisitDocs read iteration would deadlock.
-	type row struct {
-		url, title, text, topic string
-	}
-	var rows []row
-	e.store.VisitDocs(func(d store.Document) bool {
-		if !d.IsTraining { // training assignments are the user's ground truth
-			rows = append(rows, row{d.URL, d.Title, d.Text, d.Topic})
-		}
-		return true
-	})
-	changed := 0
-	for _, d := range rows {
-		stems := e.pipe.Stems(d.title + " " + d.text)
-		res := cls.ClassifyWithMode(classify.Doc{
-			ID:    d.url,
-			Input: features.DocInput{Stems: stems, Anchors: e.store.InAnchors(d.url)},
-		}, mode)
-		if res.Topic != d.topic {
-			changed++
-		}
-		_ = e.store.SetTopic(d.url, res.Topic, res.Confidence)
-		if e.cfg.Sink != nil {
-			e.cfg.Sink.PutTopic(d.url, res.Topic, res.Confidence)
-		}
-	}
-	if e.cfg.Sink != nil {
-		_ = e.cfg.Sink.Flush()
-	}
-	return changed
-}
+// ReclassifyAll re-runs the default tenant's classifier over its stored
+// documents (§3.6). It returns the number of documents whose topic
+// changed.
+func (e *Engine) ReclassifyAll() int { return e.def.ReclassifyAll() }
 
-// RemoveTrainingDoc drops a document from every topic's training set
-// (interactive feedback, §3.6); call Retrain afterwards.
-func (e *Engine) RemoveTrainingDoc(docURL string) {
-	for topic, docs := range e.training.ByTopic {
-		kept := docs[:0]
-		for _, d := range docs {
-			if d.ID != docURL {
-				kept = append(kept, d)
-			}
-		}
-		e.training.ByTopic[topic] = kept
-	}
-	_ = e.store.SetTraining(docURL, false)
-}
+// RemoveTrainingDoc drops a document from the default tenant's training
+// set (interactive feedback, §3.6); call Retrain afterwards.
+func (e *Engine) RemoveTrainingDoc(docURL string) { e.def.RemoveTrainingDoc(docURL) }
 
-// TrainingSize returns the number of topic training documents.
-func (e *Engine) TrainingSize() int { return e.training.Size() }
+// TrainingSize returns the default tenant's training document count.
+func (e *Engine) TrainingSize() int { return e.def.TrainingSize() }
 
 // RuntimeStats aggregates the operational counters of the engine's
 // subsystems — the numbers an operator watches during an overnight crawl.
+// Tenant-specific numbers (frontier, dedup, training) are the default
+// tenant's; host health and DNS counters are process-wide.
 type RuntimeStats struct {
 	StoredDocs      int
 	TrainingDocs    int
@@ -547,21 +292,22 @@ type RuntimeStats struct {
 
 // Runtime returns a snapshot of the operational counters.
 func (e *Engine) Runtime() RuntimeStats {
-	fs := e.frontier.Stats()
-	slow, bad := e.fetcher.Hosts.Counts()
+	t := e.def
+	fs := t.frontier.Stats()
+	slow, bad := t.fetcher.Hosts.Counts()
 	rs := RuntimeStats{
 		StoredDocs:      e.store.NumDocs(),
-		TrainingDocs:    e.training.Size(),
-		Retrains:        e.Retrains(),
+		TrainingDocs:    t.TrainingSize(),
+		Retrains:        t.Retrains(),
 		FrontierQueued:  fs.Queued,
 		FrontierPushed:  fs.Pushed,
 		FrontierDropped: fs.DroppedFull + fs.DroppedSeen,
-		DuplicatesSeen:  e.fetcher.Dedup.Skipped(),
+		DuplicatesSeen:  t.fetcher.Dedup.Skipped(),
 		SlowHosts:       slow,
 		BadHosts:        bad,
 	}
-	rs.QuarantinedHosts = e.fetcher.Hosts.BadHosts()
-	if bs := e.fetcher.Breakers(); bs != nil {
+	rs.QuarantinedHosts = t.fetcher.Hosts.BadHosts()
+	if bs := t.fetcher.Breakers(); bs != nil {
 		rs.BreakerOpenHosts = bs.OpenHosts()
 	}
 	if e.resolver != nil {
@@ -572,9 +318,10 @@ func (e *Engine) Runtime() RuntimeStats {
 	return rs
 }
 
-// Fetcher exposes the engine's fetch layer (chaos harness and diagnostics).
-func (e *Engine) Fetcher() *fetch.Fetcher { return e.fetcher }
+// Fetcher exposes the default tenant's fetch layer (chaos harness and
+// diagnostics).
+func (e *Engine) Fetcher() *fetch.Fetcher { return e.def.fetcher }
 
-// Resolver exposes the engine's DNS resolver (nil when no servers are
-// configured).
+// Resolver exposes the engine's shared DNS resolver (nil when no servers
+// are configured).
 func (e *Engine) Resolver() *dns.Resolver { return e.resolver }

@@ -86,7 +86,7 @@ func TestReclassifyAll(t *testing.T) {
 			continue
 		}
 		res := cls.ClassifyWithMode(classify.Doc{ID: d.URL,
-			Input: docInputForTest(e, d.Title+" "+d.Text, d.URL)}, e.meta)
+			Input: docInputForTest(e, d.Title+" "+d.Text, d.URL)}, e.def.meta)
 		if res.Topic != d.Topic {
 			t.Errorf("stale assignment for %s: %s vs %s", d.URL, d.Topic, res.Topic)
 			break

@@ -12,21 +12,42 @@ import (
 	"github.com/bingo-search/bingo/internal/store"
 )
 
+// Learn runs the default tenant's learning phase.
+func (e *Engine) Learn(ctx context.Context) (crawler.Stats, error) { return e.def.Learn(ctx) }
+
+// Harvest runs the default tenant's harvesting phase.
+func (e *Engine) Harvest(ctx context.Context) (crawler.Stats, error) { return e.def.Harvest(ctx) }
+
+// HarvestN runs the default tenant's harvest with an explicit page budget.
+func (e *Engine) HarvestN(ctx context.Context, budget int64) (crawler.Stats, error) {
+	return e.def.HarvestN(ctx, budget)
+}
+
+// Run executes the default tenant's full lifecycle: Bootstrap, Learn,
+// Harvest.
+func (e *Engine) Run(ctx context.Context) (learn, harvest crawler.Stats, err error) {
+	return e.def.Run(ctx)
+}
+
 // Learn runs the learning phase (§2.6): a sharp-focus, mostly depth-first
 // crawl restricted to the domains of the training data, followed by
 // archetype selection and retraining. It returns the phase's crawl stats.
-func (e *Engine) Learn(ctx context.Context) (crawler.Stats, error) {
-	e.mu.Lock()
-	e.phase = PhaseLearning
-	e.meta = e.cfg.LearnMeta
-	e.mu.Unlock()
+// The crawl writes are tagged with the tenant, and the classify callback
+// reads the tenant's atomically published ensemble.
+func (t *Tenant) Learn(ctx context.Context) (crawler.Stats, error) {
+	e := t.eng
+	t.mu.Lock()
+	t.phase = PhaseLearning
+	t.meta = e.cfg.LearnMeta
+	t.mu.Unlock()
 
 	cfg := crawler.Config{
-		Fetcher:        e.fetcher,
-		Frontier:       e.frontier,
+		Tenant:         t.id,
+		Fetcher:        t.fetcher,
+		Frontier:       t.frontier,
 		Store:          e.store,
 		Sink:           e.cfg.Sink,
-		Classify:       e.classifyCallback,
+		Classify:       t.classifyCallback,
 		Workers:        e.cfg.Workers,
 		MaxPerHost:     e.cfg.MaxPerHost,
 		MaxPerDomain:   e.cfg.MaxPerDomain,
@@ -38,7 +59,7 @@ func (e *Engine) Learn(ctx context.Context) (crawler.Stats, error) {
 		PageBudget:     e.cfg.LearnBudget,
 		Focus:          crawler.SharpFocus,
 		Strategy:       crawler.DepthFirst,
-		AllowedDomains: e.seedDomains(),
+		AllowedDomains: t.seedDomains(),
 	}
 
 	// Periodic retraining (§2.6): pause the crawl each time RetrainEvery
@@ -65,7 +86,7 @@ func (e *Engine) Learn(ctx context.Context) (crawler.Stats, error) {
 			if !paused || ctx.Err() != nil || stats.VisitedURLs >= e.cfg.LearnBudget {
 				break
 			}
-			if err := e.promoteArchetypes(); err != nil {
+			if err := t.promoteArchetypes(); err != nil {
 				return stats, err
 			}
 			qualifying.Store(0)
@@ -73,7 +94,7 @@ func (e *Engine) Learn(ctx context.Context) (crawler.Stats, error) {
 	} else {
 		stats = crawler.New(cfg).Run(ctx)
 	}
-	if err := e.promoteArchetypes(); err != nil {
+	if err := t.promoteArchetypes(); err != nil {
 		return stats, err
 	}
 	return stats, nil
@@ -82,28 +103,30 @@ func (e *Engine) Learn(ctx context.Context) (crawler.Stats, error) {
 // Harvest runs the harvesting phase (§2.6): retrained classifier, soft
 // focus, prioritized breadth-first strategy, no domain restriction; the
 // crawler is resumed with the best hubs from the link analysis.
-func (e *Engine) Harvest(ctx context.Context) (crawler.Stats, error) {
-	return e.HarvestN(ctx, e.cfg.HarvestBudget)
+func (t *Tenant) Harvest(ctx context.Context) (crawler.Stats, error) {
+	return t.HarvestN(ctx, t.eng.cfg.HarvestBudget)
 }
 
 // HarvestN is Harvest with an explicit page budget. Calling it again after
 // a completed harvest resumes the crawl with additional budget — the paper
 // paused its crawl after 90 minutes to assess intermediate results and then
 // resumed it for a total of 12 hours (§5.2).
-func (e *Engine) HarvestN(ctx context.Context, budget int64) (crawler.Stats, error) {
-	e.mu.Lock()
-	e.phase = PhaseHarvesting
-	e.meta = e.cfg.HarvestMeta
-	e.mu.Unlock()
+func (t *Tenant) HarvestN(ctx context.Context, budget int64) (crawler.Stats, error) {
+	e := t.eng
+	t.mu.Lock()
+	t.phase = PhaseHarvesting
+	t.meta = e.cfg.HarvestMeta
+	t.mu.Unlock()
 
-	e.reseedWithHubs()
+	t.reseedWithHubs()
 
 	c := crawler.New(crawler.Config{
-		Fetcher:        e.fetcher,
-		Frontier:       e.frontier,
+		Tenant:         t.id,
+		Fetcher:        t.fetcher,
+		Frontier:       t.frontier,
 		Store:          e.store,
 		Sink:           e.cfg.Sink,
-		Classify:       e.classifyCallback,
+		Classify:       t.classifyCallback,
 		Workers:        e.cfg.Workers,
 		MaxPerHost:     e.cfg.MaxPerHost,
 		MaxPerDomain:   e.cfg.MaxPerDomain,
@@ -116,30 +139,32 @@ func (e *Engine) HarvestN(ctx context.Context, budget int64) (crawler.Stats, err
 		Strategy:       crawler.BreadthFirst,
 	})
 	stats := c.Run(ctx)
-	e.mu.Lock()
-	e.phase = PhaseDone
-	e.mu.Unlock()
+	t.mu.Lock()
+	t.phase = PhaseDone
+	t.mu.Unlock()
 	return stats, nil
 }
 
-// Run executes the full lifecycle: Bootstrap, Learn, Harvest.
-func (e *Engine) Run(ctx context.Context) (learn, harvest crawler.Stats, err error) {
-	if err = e.Bootstrap(ctx); err != nil {
+// Run executes the tenant's full lifecycle: Bootstrap, Learn, Harvest.
+func (t *Tenant) Run(ctx context.Context) (learn, harvest crawler.Stats, err error) {
+	if err = t.Bootstrap(ctx); err != nil {
 		return learn, harvest, err
 	}
-	if learn, err = e.Learn(ctx); err != nil {
+	if learn, err = t.Learn(ctx); err != nil {
 		return learn, harvest, err
 	}
-	harvest, err = e.Harvest(ctx)
+	harvest, err = t.Harvest(ctx)
 	return learn, harvest, err
 }
 
 // seedDomains collects the registered domains of all seed URLs (learning
 // phase restriction, §2.6).
-func (e *Engine) seedDomains() []string {
+func (t *Tenant) seedDomains() []string {
 	seen := map[string]struct{}{}
 	var out []string
-	for seedURL := range e.seedTopics {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for seedURL := range t.seedTopics {
 		u, err := url.Parse(seedURL)
 		if err != nil {
 			continue
@@ -164,28 +189,31 @@ func registeredDomain(host string) string {
 
 // reseedWithHubs pushes the best hubs of each topic's link analysis onto
 // the frontier: uncrawled hub URLs directly, and the uncrawled successors
-// of hubs that are already stored.
-func (e *Engine) reseedWithHubs() {
-	for _, node := range e.tree.Nodes() {
-		_, hubs := e.linkAnalysis(node.Path)
+// of hubs that are already stored. "Crawled" is judged against the
+// tenant's own rows — another portal having fetched a URL does not make it
+// this portal's document.
+func (t *Tenant) reseedWithHubs() {
+	e := t.eng
+	for _, node := range t.tree.Nodes() {
+		_, hubs := t.linkAnalysis(node.Path)
 		pushed := 0
 		for _, h := range hubs {
 			if pushed >= 2*e.cfg.NAuth {
 				break
 			}
-			if !e.store.Contains(h.ID) {
-				e.frontier.Forget(h.ID)
-				if e.frontier.Push(frontier.Item{URL: h.ID, Topic: node.Path, Priority: 1e6, Referrer: "hub-reseed"}) {
+			if !e.store.ContainsDoc(t.id, h.ID) {
+				t.frontier.Forget(h.ID)
+				if t.frontier.Push(frontier.Item{URL: h.ID, Topic: node.Path, Priority: 1e6, Referrer: "hub-reseed"}) {
 					pushed++
 				}
 				continue
 			}
 			for _, succ := range e.store.Successors(h.ID) {
-				if e.store.Contains(succ) {
+				if e.store.ContainsDoc(t.id, succ) {
 					continue
 				}
-				e.frontier.Forget(succ)
-				if e.frontier.Push(frontier.Item{URL: succ, Topic: node.Path, Priority: 1e5, Referrer: h.ID}) {
+				t.frontier.Forget(succ)
+				if t.frontier.Push(frontier.Item{URL: succ, Topic: node.Path, Priority: 1e5, Referrer: h.ID}) {
 					pushed++
 				}
 			}

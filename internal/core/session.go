@@ -53,29 +53,33 @@ type sessionState struct {
 
 const sessionVersion = 2
 
-// SaveSession writes the engine's crawl session to path atomically.
+// SaveSession writes the default tenant's crawl session to path
+// atomically. (Sessions are a single-portal artifact: the shared store —
+// which may carry other tenants' rows — is saved whole, but training,
+// seeds, phase and frontier are the default tenant's.)
 func (e *Engine) SaveSession(path string) error {
-	e.mu.RLock()
+	def := e.def
+	def.mu.RLock()
 	st := sessionState{
 		Version:    sessionVersion,
-		Training:   make(map[string][]savedDoc, len(e.training.ByTopic)),
-		SeedTopics: make(map[string]string, len(e.seedTopics)),
-		Retrains:   e.retrains,
-		Phase:      e.phase,
+		Training:   make(map[string][]savedDoc, len(def.training.ByTopic)),
+		SeedTopics: make(map[string]string, len(def.seedTopics)),
+		Retrains:   def.retrains,
+		Phase:      def.phase,
 	}
-	for topic, docs := range e.training.ByTopic {
+	for topic, docs := range def.training.ByTopic {
 		for _, d := range docs {
 			st.Training[topic] = append(st.Training[topic], saveDoc(d))
 		}
 	}
-	for _, d := range e.training.Others {
+	for _, d := range def.training.Others {
 		st.Others = append(st.Others, saveDoc(d))
 	}
-	for u, t := range e.seedTopics {
+	for u, t := range def.seedTopics {
 		st.SeedTopics[u] = t
 	}
-	e.mu.RUnlock()
-	st.Frontier = e.frontier.Dump()
+	def.mu.RUnlock()
+	st.Frontier = def.frontier.Dump()
 
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -152,41 +156,48 @@ func LoadSession(cfg Config, path string) (*Engine, error) {
 		return nil, fmt.Errorf("core: load session: %w", err)
 	}
 
+	def := e.def
+	def.mu.Lock()
 	for topic, docs := range st.Training {
-		if _, ok := e.tree.Lookup(topic); !ok {
+		if _, ok := def.tree.Lookup(topic); !ok {
+			def.mu.Unlock()
 			return nil, fmt.Errorf("core: load session: topic %s not in configured tree", topic)
 		}
 		for _, d := range docs {
-			e.training.Add(topic, loadDoc(d))
+			def.training.Add(topic, loadDoc(d))
 		}
 	}
 	for _, d := range st.Others {
-		e.training.Others = append(e.training.Others, loadDoc(d))
+		def.training.Others = append(def.training.Others, loadDoc(d))
 	}
+	def.seedTopics = st.SeedTopics
+	def.phase = st.Phase
+	def.mu.Unlock()
 	e.store = loaded
-	e.mu.Lock()
-	e.seedTopics = st.SeedTopics
-	e.phase = st.Phase
-	e.mu.Unlock()
 
 	// Restore the crawl frontier (version-1 states carry an empty dump, so
 	// this is a no-op for them and resuming re-seeds from hubs as before).
-	e.frontier.Restore(st.Frontier)
+	def.frontier.Restore(st.Frontier)
 
 	// Prime the duplicate detector so resumed crawling skips stored pages.
+	// Only the default tenant's rows count: another portal having fetched a
+	// URL must not stop a resumed default-tenant crawl from fetching it.
 	loaded.VisitDocs(func(d store.Document) bool {
-		e.fetcher.Dedup.SeenURL(d.URL)
+		if d.Tenant != "" {
+			return true
+		}
+		def.fetcher.Dedup.SeenURL(d.URL)
 		if d.FinalURL != "" && d.FinalURL != d.URL {
-			e.fetcher.Dedup.SeenURL(d.FinalURL)
+			def.fetcher.Dedup.SeenURL(d.FinalURL)
 		}
 		return true
 	})
-	if err := e.retrainLocked(); err != nil {
+	if err := def.retrain(); err != nil {
 		return nil, err
 	}
-	// retrainLocked bumped the counter by one; fold in the history.
-	e.mu.Lock()
-	e.retrains += st.Retrains
-	e.mu.Unlock()
+	// retrain bumped the counter by one; fold in the history.
+	def.mu.Lock()
+	def.retrains += st.Retrains
+	def.mu.Unlock()
 	return e, nil
 }

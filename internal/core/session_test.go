@@ -184,10 +184,10 @@ func TestSessionPersistsFrontier(t *testing.T) {
 	if err := e.Bootstrap(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	e.frontier.Push(frontier.Item{URL: "http://pending.example/a", Topic: "ROOT/databases", Priority: 1e9})
-	e.frontier.Push(frontier.Item{URL: "http://pending.example/b", Topic: "ROOT/databases", Priority: 0.4})
-	e.frontier.Requeue(frontier.Item{URL: "http://cooling.example/", Topic: "ROOT/databases", Priority: 0.7}, time.Hour)
-	queuedBefore := e.frontier.Stats()
+	e.def.frontier.Push(frontier.Item{URL: "http://pending.example/a", Topic: "ROOT/databases", Priority: 1e9})
+	e.def.frontier.Push(frontier.Item{URL: "http://pending.example/b", Topic: "ROOT/databases", Priority: 0.4})
+	e.def.frontier.Requeue(frontier.Item{URL: "http://cooling.example/", Topic: "ROOT/databases", Priority: 0.7}, time.Hour)
+	queuedBefore := e.def.frontier.Stats()
 
 	path := filepath.Join(t.TempDir(), "s.bingo")
 	if err := e.SaveSession(path); err != nil {
@@ -208,7 +208,7 @@ func TestSessionPersistsFrontier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	after := e2.frontier.Stats()
+	after := e2.def.frontier.Stats()
 	if after.Queued != queuedBefore.Queued {
 		t.Errorf("restored queued = %d, want %d", after.Queued, queuedBefore.Queued)
 	}
@@ -216,11 +216,11 @@ func TestSessionPersistsFrontier(t *testing.T) {
 		t.Errorf("restored delayed = %d, want 1", after.Delayed)
 	}
 	// Dedup restored with the queue: a duplicate push is dropped.
-	if e2.frontier.Push(frontier.Item{URL: "http://pending.example/a", Topic: "ROOT/databases", Priority: 1e9}) {
+	if e2.def.frontier.Push(frontier.Item{URL: "http://pending.example/a", Topic: "ROOT/databases", Priority: 1e9}) {
 		t.Error("re-push of saved frontier URL succeeded after restore")
 	}
 	// The best pending link pops first.
-	it, ok := e2.frontier.Pop()
+	it, ok := e2.def.frontier.Pop()
 	if !ok {
 		t.Fatal("restored frontier empty")
 	}
@@ -238,26 +238,26 @@ func TestSessionLegacyHeaderless(t *testing.T) {
 	}
 	// Hand-write the historical layout: a bare gob of a Version-1 state
 	// followed by the store, no magic.
-	e.mu.RLock()
+	e.def.mu.RLock()
 	st := sessionState{
 		Version:    1,
-		Training:   make(map[string][]savedDoc, len(e.training.ByTopic)),
+		Training:   make(map[string][]savedDoc, len(e.def.training.ByTopic)),
 		SeedTopics: map[string]string{},
-		Retrains:   e.retrains,
-		Phase:      e.phase,
+		Retrains:   e.def.retrains,
+		Phase:      e.def.phase,
 	}
-	for topic, docs := range e.training.ByTopic {
+	for topic, docs := range e.def.training.ByTopic {
 		for _, d := range docs {
 			st.Training[topic] = append(st.Training[topic], saveDoc(d))
 		}
 	}
-	for _, d := range e.training.Others {
+	for _, d := range e.def.training.Others {
 		st.Others = append(st.Others, saveDoc(d))
 	}
-	for u, tp := range e.seedTopics {
+	for u, tp := range e.def.seedTopics {
 		st.SeedTopics[u] = tp
 	}
-	e.mu.RUnlock()
+	e.def.mu.RUnlock()
 	path := filepath.Join(t.TempDir(), "legacy.bingo")
 	f, err := os.Create(path)
 	if err != nil {
@@ -294,7 +294,7 @@ func TestSessionLegacyHeaderless(t *testing.T) {
 	if e2.Store().NumDocs() != e.Store().NumDocs() {
 		t.Errorf("legacy load docs = %d, want %d", e2.Store().NumDocs(), e.Store().NumDocs())
 	}
-	if got := e2.frontier.Stats().Queued; got != 0 {
+	if got := e2.def.frontier.Stats().Queued; got != 0 {
 		t.Errorf("legacy load restored %d frontier items, want 0", got)
 	}
 }

@@ -84,6 +84,10 @@ type Config struct {
 	Fetcher  *fetch.Fetcher
 	Frontier *frontier.Frontier
 	Store    *store.Store
+	// Tenant tags every stored document with the portal that scheduled the
+	// crawl ("" = the default tenant). Link and redirect rows stay
+	// URL-keyed — the web graph is shared across portals.
+	Tenant string
 	// Classify runs the hierarchical classifier on an analyzed document.
 	Classify func(d classify.Doc) classify.Result
 	// OnStored, when non-nil, observes every stored document (the engine
@@ -514,6 +518,7 @@ func (c *Crawler) process(ctx context.Context, it frontier.Item, limiter *hostLi
 		terms[s]++
 	}
 	sd := store.Document{
+		Tenant:      c.cfg.Tenant,
 		URL:         it.URL,
 		FinalURL:    res.FinalURL,
 		Title:       doc.Title,

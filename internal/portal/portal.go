@@ -60,16 +60,18 @@ b { background: #ffef9e; }
 <form style="display:inline" action="/search" method="get">
 <input name="q" value="{{.Query}}" size="40">
 <input type="hidden" name="topic" value="{{.Topic}}">
+{{if .Tenant}}<input type="hidden" name="tenant" value="{{.Tenant}}">{{end}}
 <input type="submit" value="search"></form></p>
 <h1>{{.Title}}</h1>
 {{.Body}}
 </body></html>`))
 
 type pageData struct {
-	Title string
-	Query string
-	Topic string
-	Body  template.HTML
+	Title  string
+	Query  string
+	Topic  string
+	Tenant string
+	Body   template.HTML
 }
 
 func (e *Explorer) render(w http.ResponseWriter, d pageData) {
@@ -156,9 +158,13 @@ func (e *Explorer) handleTopic(w http.ResponseWriter, r *http.Request) {
 func (e *Explorer) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	topic := r.URL.Query().Get("topic")
+	// An absent tenant parameter searches the default tenant's portal, so
+	// pre-tenancy bookmarks and forms behave exactly as before.
+	tenant := r.URL.Query().Get("tenant")
 	hits := e.engine.Search(search.Query{
 		Text:    q,
 		Topic:   topic,
+		Tenant:  tenant,
 		Exact:   r.URL.Query().Get("exact") == "1",
 		Weights: search.Weights{Cosine: 0.6, Confidence: 0.4},
 		Limit:   20,
@@ -177,10 +183,11 @@ func (e *Explorer) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	b.WriteString("</ol>")
 	e.render(w, pageData{
-		Title: "Results for “" + template.HTMLEscapeString(q) + "”",
-		Query: q,
-		Topic: topic,
-		Body:  template.HTML(b.String()),
+		Title:  "Results for “" + template.HTMLEscapeString(q) + "”",
+		Query:  q,
+		Topic:  topic,
+		Tenant: tenant,
+		Body:   template.HTML(b.String()),
 	})
 }
 

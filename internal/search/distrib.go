@@ -66,6 +66,10 @@ type Plan struct {
 	Phrases [][]string `json:"phrases,omitempty"`
 	// Topic restricts results to a topic subtree ("" = all).
 	Topic string `json:"topic,omitempty"`
+	// Tenant restricts results to one portal's documents ("" = the default
+	// tenant). Omitted on the wire for default-tenant queries, so a
+	// pre-tenancy coordinator and shard server interoperate unchanged.
+	Tenant string `json:"tenant,omitempty"`
 	// Exact requires every query term to occur in a document.
 	Exact bool `json:"exact,omitempty"`
 	// Limit caps the result list; defaults are already applied.
@@ -137,6 +141,7 @@ func (pl *Planner) Plan(q Query, idf *vsm.IDFTable) (plan *Plan, ok bool) {
 		Uniq:    len(uniq),
 		Phrases: phraseStems,
 		Topic:   q.Topic,
+		Tenant:  q.Tenant,
 		Exact:   q.Exact,
 		Limit:   q.Limit,
 		Weights: q.Weights,
@@ -461,7 +466,7 @@ func fillPlan(qs *scoreScratch, plan *Plan, auth [][]float64) {
 	if limit <= 0 {
 		limit = 10
 	}
-	qs.q = Query{Topic: plan.Topic, Exact: plan.Exact, Weights: plan.Weights, Limit: limit}
+	qs.q = Query{Topic: plan.Topic, Tenant: plan.Tenant, Exact: plan.Exact, Weights: plan.Weights, Limit: limit}
 	qs.p = parsedQuery{phraseStems: plan.Phrases}
 	qs.uniqCount = plan.Uniq
 	qs.qnorm = plan.QNorm

@@ -63,6 +63,10 @@ type Query struct {
 	// Topic restricts results to documents whose assigned topic equals the
 	// path or lies in its subtree ("" = all topics, including OTHERS).
 	Topic string
+	// Tenant restricts results to one portal's documents. "" is the default
+	// tenant — the only tenant a pre-tenancy store has, so existing callers
+	// see exactly the results they always did.
+	Tenant string
 	// Exact requires every query term to occur in a document; otherwise any
 	// matching term qualifies a document (vague filtering).
 	Exact bool
@@ -228,6 +232,9 @@ func (e *Engine) searchLegacy(q Query, p parsedQuery) []Hit {
 		}
 		d, err := e.store.Get(id)
 		if err != nil {
+			continue
+		}
+		if d.Tenant != q.Tenant {
 			continue
 		}
 		if !topicMatches(d.Topic, q.Topic) {

@@ -200,7 +200,13 @@ func TestShardedSearchConcurrentChurn(t *testing.T) {
 		writers.Add(1)
 		go func(w int) {
 			defer writers.Done()
-			for i := 0; ; i++ {
+			// Bounded, not until-readers-finish: every insert (including a
+			// same-URL replace) consumes a fresh seq, and snapshots are
+			// dense by seq — unthrottled writers on a loaded machine make
+			// each reader rebuild quadratically bigger until the package
+			// times out. 20k writes per writer keeps full reader/writer
+			// overlap with bounded snapshot growth.
+			for i := 0; i < 20000; i++ {
 				select {
 				case <-stop:
 					return

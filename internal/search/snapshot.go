@@ -830,7 +830,8 @@ func (e *Engine) scatterShard(wg *sync.WaitGroup, qs *scoreScratch, sc *shardScr
 	}
 	for _, i := range sc.cand {
 		d := &sc.snap.docs[i]
-		if (exactNeed > 0 && sc.matched[i] < exactNeed) ||
+		if d.Tenant != q.Tenant ||
+			(exactNeed > 0 && sc.matched[i] < exactNeed) ||
 			(topicFilter != "" && d.Topic != topicFilter && !strings.HasPrefix(d.Topic, topicPrefix)) ||
 			(len(p.phraseStems) > 0 && !phrasesMatch(sc.snap.docStems(e.pipe, e.store, i), p.phraseStems)) {
 			sc.matched[i] = -1

@@ -127,11 +127,14 @@ type searchResponse struct {
 	Hits   json.RawMessage `json:"hits"`
 }
 
-// hitJSON is the JSON shape of one ranked result.
+// hitJSON is the JSON shape of one ranked result. Tenant is omitted for the
+// default tenant, so single-portal responses are byte-identical to the
+// pre-tenancy wire format.
 type hitJSON struct {
 	URL        string  `json:"url"`
 	Title      string  `json:"title"`
 	Topic      string  `json:"topic"`
+	Tenant     string  `json:"tenant,omitempty"`
 	Score      float64 `json:"score"`
 	Cosine     float64 `json:"cosine"`
 	Confidence float64 `json:"confidence"`
@@ -154,6 +157,7 @@ func marshalHits(hits []search.Hit) json.RawMessage {
 			URL:        h.Doc.URL,
 			Title:      h.Doc.Title,
 			Topic:      h.Doc.Topic,
+			Tenant:     h.Doc.Tenant,
 			Score:      h.Score,
 			Cosine:     h.Cosine,
 			Confidence: h.Confidence,
@@ -175,10 +179,12 @@ func (a *API) parseSearchQuery(r *http.Request) (search.Query, string, bool) {
 }
 
 // ParseQuery resolves /search request parameters (q, k, topic, exact,
-// wcos/wconf/wauth) into a canonical search.Query with defaults applied
-// and k capped at maxK. Exported so the distributed coordinator's /search
-// handler accepts exactly the same parameter surface as the single-process
-// API; msg is the 400 body when ok is false.
+// tenant, wcos/wconf/wauth) into a canonical search.Query with defaults
+// applied and k capped at maxK. Exported so the distributed coordinator's
+// /search handler accepts exactly the same parameter surface as the
+// single-process API; msg is the 400 body when ok is false. An absent
+// tenant parameter targets the default tenant — the only tenant a
+// pre-tenancy deployment has — so existing clients are unaffected.
 func ParseQuery(r *http.Request, maxK int) (search.Query, string, bool) {
 	if maxK <= 0 {
 		maxK = 100
@@ -187,6 +193,10 @@ func ParseQuery(r *http.Request, maxK int) (search.Query, string, bool) {
 	text := params.Get("q")
 	if text == "" {
 		return search.Query{}, "missing q parameter", false
+	}
+	tenant := params.Get("tenant")
+	if tenant != "" && len(tenant) > 64 {
+		return search.Query{}, "tenant must be at most 64 characters", false
 	}
 	k := 10
 	if raw := params.Get("k"); raw != "" {
@@ -200,10 +210,11 @@ func ParseQuery(r *http.Request, maxK int) (search.Query, string, bool) {
 		k = n
 	}
 	q := search.Query{
-		Text:  text,
-		Topic: params.Get("topic"),
-		Exact: params.Get("exact") == "1" || params.Get("exact") == "true",
-		Limit: k,
+		Text:   text,
+		Topic:  params.Get("topic"),
+		Tenant: tenant,
+		Exact:  params.Get("exact") == "1" || params.Get("exact") == "true",
+		Limit:  k,
 	}
 	w := search.Weights{}
 	for _, f := range [...]struct {
@@ -228,13 +239,14 @@ func ParseQuery(r *http.Request, maxK int) (search.Query, string, bool) {
 // keyFor builds the cache key for q observed at the given epoch vector.
 func keyFor(epochs []int64, q search.Query) string {
 	return servecache.Key(epochs, servecache.KeyParams{
-		Text:  servecache.NormalizeText(q.Text),
-		Topic: q.Topic,
-		Exact: q.Exact,
-		CosW:  q.Weights.Cosine,
-		ConfW: q.Weights.Confidence,
-		AuthW: q.Weights.Authority,
-		K:     q.Limit,
+		Text:   servecache.NormalizeText(q.Text),
+		Topic:  q.Topic,
+		Tenant: q.Tenant,
+		Exact:  q.Exact,
+		CosW:   q.Weights.Cosine,
+		ConfW:  q.Weights.Confidence,
+		AuthW:  q.Weights.Authority,
+		K:      q.Limit,
 	})
 }
 
@@ -256,18 +268,28 @@ func (a *API) HandleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	mRequests.Inc()
+	// The tenant identity must be known before admission so per-tenant
+	// quotas can shed a hot portal's traffic without touching the others;
+	// full parameter validation still happens after the gate.
+	tenant := r.URL.Query().Get("tenant")
+	metrics.TenantCounter("serve_search_requests_total", tenant).Inc()
 	if a.admit != nil {
-		release, err := a.admit.Acquire(r.Context())
+		release, err := a.admit.AcquireTenant(r.Context(), tenant)
 		if err != nil {
 			var shed *admit.ShedError
 			if errors.As(err, &shed) {
 				mShed429.Inc()
+				metrics.TenantCounter("serve_search_shed_total", tenant).Inc()
 				secs := int(shed.RetryAfter.Round(time.Second) / time.Second)
 				if secs < 1 {
 					secs = 1
 				}
 				w.Header().Set("Retry-After", strconv.Itoa(secs))
-				http.Error(w, "overloaded: "+shed.Reason, http.StatusTooManyRequests)
+				body := "overloaded: " + shed.Reason
+				if shed.Tenant != "" {
+					body += " (tenant " + shed.Tenant + ")"
+				}
+				http.Error(w, body, http.StatusTooManyRequests)
 				return
 			}
 			// The client went away while queued; any status works, 503

@@ -347,3 +347,116 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Fatalf("POST: %d, want 405", w.Code)
 	}
 }
+
+// buildTenantCorpus is buildCorpus plus a second tenant's rows sharing the
+// vocabulary.
+func buildTenantCorpus(nDocs int) *store.Store {
+	s := buildCorpus(nDocs)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < nDocs/2; i++ {
+		terms := map[string]int{}
+		for k := 0; k < 3+rng.Intn(5); k++ {
+			terms[corpusVocab[rng.Intn(len(corpusVocab))]] += 1 + rng.Intn(3)
+		}
+		s.Insert(store.Document{
+			Tenant:     "beta",
+			URL:        fmt.Sprintf("http://beta%d.example/doc%d", i%9, i),
+			Title:      fmt.Sprintf("beta doc %d", i),
+			Text:       "recovery transaction database systems",
+			Topic:      "ROOT/db",
+			Confidence: float64(rng.Intn(1000)) / 1000,
+			Terms:      terms,
+		})
+	}
+	return s
+}
+
+// TestSearchTenantParam: the tenant parameter scopes /search to one
+// portal's rows, and omitting it serves the default tenant exactly as
+// pre-tenancy clients expect.
+func TestSearchTenantParam(t *testing.T) {
+	s := buildTenantCorpus(120)
+	a := newTestAPI(s, true)
+	type hit struct {
+		URL string `json:"url"`
+	}
+	for _, tc := range []struct {
+		target string
+		prefix string
+	}{
+		{"/search?q=recovery+transaction&k=50", "http://h"},
+		{"/search?q=recovery+transaction&k=50&tenant=beta", "http://beta"},
+	} {
+		w, resp := get(t, a, tc.target)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: status %d", tc.target, w.Code)
+		}
+		var hits []hit
+		if err := json.Unmarshal(resp.Hits, &hits); err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) == 0 {
+			t.Fatalf("%s: no hits — weak test", tc.target)
+		}
+		for _, h := range hits {
+			if !strings.HasPrefix(h.URL, tc.prefix) {
+				t.Fatalf("%s leaked a foreign tenant's doc %s", tc.target, h.URL)
+			}
+		}
+	}
+	// The two tenants' identical queries occupy distinct cache entries:
+	// repeating both still serves each tenant its own rows.
+	for _, tc := range []struct {
+		target string
+		prefix string
+	}{
+		{"/search?q=recovery+transaction&k=50", "http://h"},
+		{"/search?q=recovery+transaction&k=50&tenant=beta", "http://beta"},
+	} {
+		_, resp := get(t, a, tc.target)
+		if !resp.Cached {
+			t.Fatalf("%s: expected a cache hit on repeat", tc.target)
+		}
+		var hits []hit
+		if err := json.Unmarshal(resp.Hits, &hits); err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range hits {
+			if !strings.HasPrefix(h.URL, tc.prefix) {
+				t.Fatalf("cached %s leaked a foreign tenant's doc %s", tc.target, h.URL)
+			}
+		}
+	}
+	if w, _ := get(t, a, "/search?q=x&tenant="+strings.Repeat("a", 65)); w.Code != http.StatusBadRequest {
+		t.Fatalf("oversized tenant accepted: %d", w.Code)
+	}
+}
+
+// TestTenantQuotaShedsOverHTTP: a tenant past its in-flight quota gets a
+// tenant-tagged 429 while other tenants keep being served.
+func TestTenantQuotaShedsOverHTTP(t *testing.T) {
+	ctrl := admit.New(admit.Options{MaxInFlight: 8, MaxQueue: -1, TenantMaxInFlight: 1, RetryAfter: 2 * time.Second})
+	s := buildTenantCorpus(60)
+	a := New(s, search.New(s), Options{Admission: ctrl, Cache: servecache.New(64)})
+	a.SetReady(true)
+
+	release, err := ctrl.AcquireTenant(context.Background(), "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := get(t, a, "/search?q=recovery&tenant=beta")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("hot tenant: status %d, want 429", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "tenant_limit") || !strings.Contains(w.Body.String(), "beta") {
+		t.Fatalf("429 body not tenant-tagged: %q", w.Body.String())
+	}
+	// The default tenant is unaffected by beta's saturation.
+	if w, _ := get(t, a, "/search?q=recovery"); w.Code != http.StatusOK {
+		t.Fatalf("default tenant sheds with beta hot: %d", w.Code)
+	}
+	release()
+	if w, _ := get(t, a, "/search?q=recovery&tenant=beta"); w.Code != http.StatusOK {
+		t.Fatalf("beta after release: %d", w.Code)
+	}
+}

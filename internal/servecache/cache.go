@@ -225,7 +225,11 @@ func NormalizeText(s string) string {
 type KeyParams struct {
 	Text  string
 	Topic string
-	Exact bool
+	// Tenant scopes the entry to one portal ("" = the default tenant).
+	// It is a dedicated key field, so two tenants' identical queries can
+	// never collide on one cache entry.
+	Tenant string
+	Exact  bool
 	// Resolved ranking weights (the engine's defaults applied).
 	CosW, ConfW, AuthW float64
 	// K is the resolved result limit.
@@ -237,7 +241,7 @@ type KeyParams struct {
 // tuples can never collide.
 func Key(epochs []int64, p KeyParams) string {
 	var b strings.Builder
-	b.Grow(len(p.Text) + len(p.Topic) + 16*len(epochs) + 64)
+	b.Grow(len(p.Text) + len(p.Topic) + len(p.Tenant) + 16*len(epochs) + 64)
 	for _, e := range epochs {
 		b.WriteString(strconv.FormatInt(e, 36))
 		b.WriteByte(',')
@@ -246,6 +250,8 @@ func Key(epochs []int64, p KeyParams) string {
 	b.WriteString(p.Text)
 	b.WriteByte(0)
 	b.WriteString(p.Topic)
+	b.WriteByte(0)
+	b.WriteString(p.Tenant)
 	b.WriteByte(0)
 	if p.Exact {
 		b.WriteByte('x')

@@ -235,3 +235,27 @@ func TestConcurrentMixedOps(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestKeyTenantDistinguishes: identical queries from two tenants never
+// share a cache entry, the tenant/exact boundary is unambiguous, and the
+// default tenant's keys are unchanged by construction from pre-tenancy
+// callers that leave the field zero.
+func TestKeyTenantDistinguishes(t *testing.T) {
+	base := KeyParams{Text: "a", Topic: "ROOT/db", CosW: 1, K: 10}
+	withTenant := base
+	withTenant.Tenant = "beta"
+	if Key([]int64{1}, base) == Key([]int64{1}, withTenant) {
+		t.Fatal("tenant not part of the key")
+	}
+	// Boundary ambiguity: tenant "x" + exact vs tenant "xx" etc.
+	a := KeyParams{Text: "q", Tenant: "x", Exact: true, CosW: 1, K: 10}
+	b := KeyParams{Text: "q", Tenant: "xx", CosW: 1, K: 10}
+	if Key([]int64{1}, a) == Key([]int64{1}, b) {
+		t.Fatal("tenant/exact boundary is ambiguous")
+	}
+	c := KeyParams{Text: "q", Topic: "t", Tenant: "u", CosW: 1, K: 10}
+	d := KeyParams{Text: "q", Topic: "tu", CosW: 1, K: 10}
+	if Key([]int64{1}, c) == Key([]int64{1}, d) {
+		t.Fatal("topic/tenant boundary is ambiguous")
+	}
+}

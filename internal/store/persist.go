@@ -25,11 +25,18 @@ import (
 // shard-local (a shard's frame carries both its out-link and its in-link
 // rows, so no cross-shard routing is needed on read), Decode gob-decodes
 // and ingests all P frames in parallel — index rebuild, the dominant
-// load-time cost, spreads across cores. Versions 0 and 1 are still read.
+// load-time cost, spreads across cores.
+//
+// Version 3 keeps version 2's framing and adds the document Tenant field
+// (gob carries it transparently; a version-3 stream holding only
+// default-tenant documents is byte-identical to version 2 except for the
+// version byte). The bump exists so a pre-tenancy reader fails with a
+// clear "unsupported version" error instead of silently dropping tenant
+// tags. Versions 0-2 are still read and load as the default tenant.
 var storeMagic = [4]byte{'B', 'N', 'G', 'O'}
 
 // formatVersion is the store stream layout this release writes.
-const formatVersion = 2
+const formatVersion = 3
 
 // snapshotV0 is the historical version-0 serialized form (one global
 // DocID sequence, no shard layout).
@@ -52,15 +59,17 @@ type snapshotV1 struct {
 	Redirects  []Redirect
 }
 
-// headerV2 is version 2's layout frame.
+// headerV2 is the layout frame of versions 2 and 3.
 type headerV2 struct {
 	ShardCount int
 	NextSeqs   []int64
 }
 
-// shardFrameV2 is one shard's version-2 frame. OutLinks/InLinks are the
-// flattened rows of the shard's two link tables; redirects are the shard's
-// redirect rows.
+// shardFrameV2 is one shard's frame in versions 2 and 3. OutLinks/InLinks
+// are the flattened rows of the shard's two link tables; redirects are the
+// shard's redirect rows. Version-3 documents carry their Tenant; in a
+// version-2 stream the field is absent and gob leaves it "" (the default
+// tenant).
 type shardFrameV2 struct {
 	Docs      []Document
 	OutLinks  []Link
@@ -109,6 +118,14 @@ func readFrame(r io.Reader) ([]byte, error) {
 // segments, so the snapshot is complete and self-contained. The inverted
 // index and topic index are rebuilt on read rather than serialized.
 func (s *Store) Encode(w io.Writer) error {
+	return s.encodeFramed(w, formatVersion)
+}
+
+// encodeFramed writes the framed per-shard layout with the given version
+// byte. The current writer always emits formatVersion; tests use it to
+// produce legacy version-2 streams (identical framing, pre-tenancy version
+// byte) and check they still load.
+func (s *Store) encodeFramed(w io.Writer, version byte) error {
 	hdr := headerV2{
 		ShardCount: len(s.shards),
 		NextSeqs:   make([]int64, len(s.shards)),
@@ -160,7 +177,7 @@ func (s *Store) Encode(w io.Writer) error {
 	if _, err := w.Write(storeMagic[:]); err != nil {
 		return fmt.Errorf("store: encode: %w", err)
 	}
-	if _, err := w.Write([]byte{formatVersion}); err != nil {
+	if _, err := w.Write([]byte{version}); err != nil {
 		return fmt.Errorf("store: encode: %w", err)
 	}
 	var hdrBuf bytes.Buffer
@@ -200,16 +217,18 @@ func Decode(r io.Reader) (*Store, error) {
 	switch version := head[4]; version {
 	case 1:
 		return decodeV1(br)
-	case 2:
-		return decodeV2(br)
+	case 2, 3:
+		// Versions 2 and 3 share their framing; a v2 stream's documents
+		// simply decode with Tenant == "" (the default tenant).
+		return decodeFramed(br)
 	default:
 		return nil, fmt.Errorf("store: decode: unsupported format version %d (this release reads versions 0-%d)", version, formatVersion)
 	}
 }
 
-// decodeV2 reads the framed per-shard layout, decoding and ingesting all
-// shard frames concurrently.
-func decodeV2(r io.Reader) (*Store, error) {
+// decodeFramed reads the framed per-shard layout (versions 2 and 3),
+// decoding and ingesting all shard frames concurrently.
+func decodeFramed(r io.Reader) (*Store, error) {
 	hdrBytes, err := readFrame(r)
 	if err != nil {
 		return nil, fmt.Errorf("store: decode: header frame: %w", err)
@@ -264,12 +283,13 @@ func (s *Store) ingestFrameV2(i int, frame []byte) error {
 	}
 	sh := s.shards[i]
 	for _, d := range fr.Docs {
-		if s.shardOf(d.ID) != sh || s.shardForURL(d.URL) != sh {
+		key := docKey(d.Tenant, d.URL)
+		if s.shardOf(d.ID) != sh || s.shardForKey(key) != sh {
 			return fmt.Errorf("store: decode: document %q (id %d) does not belong to shard %d", d.URL, d.ID, i)
 		}
 		cp := d
 		sh.docs[d.ID] = &cp
-		sh.byURL[d.URL] = d.ID
+		sh.byURL[key] = d.ID
 		sh.index.addDoc(d.ID, d.Terms)
 		if d.Topic != "" {
 			sh.byTopic[d.Topic] = append(sh.byTopic[d.Topic], d.ID)
@@ -308,7 +328,7 @@ func decodeV1(r io.Reader) (*Store, error) {
 		}
 		cp := d
 		sh.docs[d.ID] = &cp
-		sh.byURL[d.URL] = d.ID
+		sh.byURL[d.key()] = d.ID
 		sh.index.addDoc(d.ID, d.Terms)
 		if d.Topic != "" {
 			sh.byTopic[d.Topic] = append(sh.byTopic[d.Topic], d.ID)

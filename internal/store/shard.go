@@ -28,6 +28,8 @@ type storeShard struct {
 	docMu   sync.RWMutex // guards nextSeq, docs, byURL, byTopic
 	nextSeq int64
 	docs    map[DocID]*Document
+	// byURL maps a document's routing key — docKey(tenant, url), which is
+	// the bare URL for the default tenant — to its ID.
 	byURL   map[string]DocID
 	byTopic map[string][]DocID
 
@@ -91,14 +93,15 @@ func (sh *storeShard) idFor(seq int64) DocID {
 // postings (outside docMu).
 func (sh *storeShard) insertDocLocked(d Document) (DocID, *Document) {
 	var old *Document
-	if oldID, ok := sh.byURL[d.URL]; ok {
+	key := d.key()
+	if oldID, ok := sh.byURL[key]; ok {
 		old = sh.removeDocLocked(oldID)
 	}
 	sh.nextSeq++
 	d.ID = sh.idFor(sh.nextSeq)
 	cp := d
 	sh.docs[d.ID] = &cp
-	sh.byURL[d.URL] = d.ID
+	sh.byURL[key] = d.ID
 	if d.Topic != "" {
 		sh.byTopic[d.Topic] = append(sh.byTopic[d.Topic], d.ID)
 	}
@@ -117,7 +120,7 @@ func (sh *storeShard) removeDocLocked(id DocID) *Document {
 		return nil
 	}
 	delete(sh.docs, id)
-	delete(sh.byURL, d.URL)
+	delete(sh.byURL, d.key())
 	if d.Topic != "" {
 		ids := sh.byTopic[d.Topic]
 		for i := range ids {

@@ -22,6 +22,7 @@ package store
 import (
 	"errors"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,7 +53,12 @@ type DocID int64
 
 // Document is one row of the document relation.
 type Document struct {
-	ID          DocID
+	ID DocID
+	// Tenant names the portal the document belongs to ("" = the default
+	// tenant). Documents of different tenants are distinct rows even when
+	// they share a URL; link and redirect rows stay URL-keyed, so the web
+	// graph (and HITS authority) is shared across tenants.
+	Tenant      string
 	URL         string
 	FinalURL    string
 	Title       string
@@ -96,6 +102,32 @@ type posting struct {
 
 // ErrNotFound is returned when a document is absent.
 var ErrNotFound = errors.New("store: document not found")
+
+// docKey is the identity of a document row: the URL alone for the default
+// tenant (preserving the historical key space bit for bit), or tenant and
+// URL joined by a NUL byte — a byte that occurs in neither a tenant name
+// nor a normalized URL — for named tenants. The key is what the byURL
+// maps, shard routing, WAL mutation records and segment meta rows use, so
+// tenancy folds into every storage tier without a format change: data
+// written before tenancy carries no NUL and splits back as the default
+// tenant.
+func docKey(tenant, url string) string {
+	if tenant == "" {
+		return url
+	}
+	return tenant + "\x00" + url
+}
+
+// splitDocKey inverts docKey.
+func splitDocKey(key string) (tenant, url string) {
+	if i := strings.IndexByte(key, 0); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return "", key
+}
+
+// key returns the document's routing/identity key.
+func (d *Document) key() string { return docKey(d.Tenant, d.URL) }
 
 // Store is safe for concurrent use. The crawl pipeline guarantees a single
 // writer per URL (the fetcher's duplicate detection and the frontier's
@@ -165,19 +197,23 @@ func (s *Store) ShardBits() uint { return s.shardBits }
 // ShardOf returns the shard index encoded in id.
 func (s *Store) ShardOf(id DocID) int { return int(uint32(id) & s.mask) }
 
-// ShardForURL returns the shard index url routes to.
+// ShardForURL returns the shard index url routes to (a default-tenant
+// document's routing key is its URL).
 func (s *Store) ShardForURL(url string) int { return int(fnv32(url) & s.mask) }
 
 func (s *Store) shardOf(id DocID) *storeShard { return s.shards[uint32(id)&s.mask] }
+func (s *Store) shardForKey(key string) *storeShard {
+	return s.shards[fnv32(key)&s.mask]
+}
 func (s *Store) shardForURL(url string) *storeShard {
 	return s.shards[fnv32(url)&s.mask]
 }
 
 // Insert stores one document immediately (the slow per-row path). The
-// document's ID is assigned by its shard and returned. A document with a
-// URL already present replaces the old row (recrawl).
+// document's ID is assigned by its shard and returned. A document whose
+// (tenant, URL) pair is already present replaces the old row (recrawl).
 func (s *Store) Insert(d Document) DocID {
-	sh := s.shardForURL(d.URL)
+	sh := s.shardForKey(d.key())
 	sh.docMu.Lock()
 	id, old := sh.insertDocLocked(d)
 	var w *segment.WAL
@@ -221,11 +257,15 @@ func (s *Store) syncWAL(t *shardTier, w *segment.WAL, docs int64) {
 	}
 }
 
-// Delete removes a document by URL.
-func (s *Store) Delete(url string) bool {
-	sh := s.shardForURL(url)
+// Delete removes a default-tenant document by URL.
+func (s *Store) Delete(url string) bool { return s.DeleteDoc("", url) }
+
+// DeleteDoc removes tenant's document stored under url.
+func (s *Store) DeleteDoc(tenant, url string) bool {
+	key := docKey(tenant, url)
+	sh := s.shardForKey(key)
 	sh.docMu.Lock()
-	id, ok := sh.byURL[url]
+	id, ok := sh.byURL[key]
 	var d *Document
 	var w *segment.WAL
 	if ok {
@@ -233,7 +273,7 @@ func (s *Store) Delete(url string) bool {
 		if d != nil && sh.tier != nil {
 			var e segment.Enc
 			e.Byte(walOpDelete)
-			e.Str(url)
+			e.Str(key)
 			w, _ = sh.tier.appendWALLocked(e.Bytes())
 		}
 	}
@@ -263,12 +303,17 @@ func (s *Store) Get(id DocID) (Document, error) {
 	return *d, nil
 }
 
-// GetByURL returns the document stored under url, hydrated like Get.
-func (s *Store) GetByURL(url string) (Document, error) {
-	sh := s.shardForURL(url)
+// GetByURL returns the default-tenant document stored under url, hydrated
+// like Get.
+func (s *Store) GetByURL(url string) (Document, error) { return s.GetDoc("", url) }
+
+// GetDoc returns tenant's document stored under url, hydrated like Get.
+func (s *Store) GetDoc(tenant, url string) (Document, error) {
+	key := docKey(tenant, url)
+	sh := s.shardForKey(key)
 	sh.docMu.RLock()
 	defer sh.docMu.RUnlock()
-	id, ok := sh.byURL[url]
+	id, ok := sh.byURL[key]
 	if !ok {
 		return Document{}, ErrNotFound
 	}
@@ -278,12 +323,16 @@ func (s *Store) GetByURL(url string) (Document, error) {
 	return *sh.docs[id], nil
 }
 
-// Contains reports whether url is stored.
-func (s *Store) Contains(url string) bool {
-	sh := s.shardForURL(url)
+// Contains reports whether the default tenant stores url.
+func (s *Store) Contains(url string) bool { return s.ContainsDoc("", url) }
+
+// ContainsDoc reports whether tenant stores url.
+func (s *Store) ContainsDoc(tenant, url string) bool {
+	key := docKey(tenant, url)
+	sh := s.shardForKey(key)
 	sh.docMu.RLock()
 	defer sh.docMu.RUnlock()
-	_, ok := sh.byURL[url]
+	_, ok := sh.byURL[key]
 	return ok
 }
 
@@ -364,12 +413,18 @@ func (s *Store) MaxDocID() DocID {
 	return max
 }
 
-// SetTopic reassigns a document's topic and confidence (re-classification
-// after retraining).
+// SetTopic reassigns a default-tenant document's topic and confidence
+// (re-classification after retraining).
 func (s *Store) SetTopic(url, topic string, confidence float64) error {
-	sh := s.shardForURL(url)
+	return s.SetTopicDoc("", url, topic, confidence)
+}
+
+// SetTopicDoc reassigns tenant's document's topic and confidence.
+func (s *Store) SetTopicDoc(tenant, url, topic string, confidence float64) error {
+	key := docKey(tenant, url)
+	sh := s.shardForKey(key)
 	sh.docMu.Lock()
-	id, ok := sh.byURL[url]
+	id, ok := sh.byURL[key]
 	if !ok {
 		sh.docMu.Unlock()
 		return ErrNotFound
@@ -379,7 +434,7 @@ func (s *Store) SetTopic(url, topic string, confidence float64) error {
 	if t := sh.tier; t != nil {
 		var e segment.Enc
 		e.Byte(walOpSetTopic)
-		e.Str(url)
+		e.Str(key)
 		e.Str(topic)
 		e.F64(confidence)
 		w, _ = t.appendWALLocked(e.Bytes())
@@ -390,11 +445,17 @@ func (s *Store) SetTopic(url, topic string, confidence float64) error {
 	return nil
 }
 
-// SetTraining flags or unflags a document as training data.
+// SetTraining flags or unflags a default-tenant document as training data.
 func (s *Store) SetTraining(url string, training bool) error {
-	sh := s.shardForURL(url)
+	return s.SetTrainingDoc("", url, training)
+}
+
+// SetTrainingDoc flags or unflags tenant's document as training data.
+func (s *Store) SetTrainingDoc(tenant, url string, training bool) error {
+	key := docKey(tenant, url)
+	sh := s.shardForKey(key)
 	sh.docMu.Lock()
-	id, ok := sh.byURL[url]
+	id, ok := sh.byURL[key]
 	if !ok {
 		sh.docMu.Unlock()
 		return ErrNotFound
@@ -405,7 +466,7 @@ func (s *Store) SetTraining(url string, training bool) error {
 	if t := sh.tier; t != nil {
 		var e segment.Enc
 		e.Byte(walOpSetTraining)
-		e.Str(url)
+		e.Str(key)
 		e.Bool(training)
 		w, _ = t.appendWALLocked(e.Bytes())
 	}
@@ -415,10 +476,27 @@ func (s *Store) SetTraining(url string, training bool) error {
 	return nil
 }
 
-// ByTopic returns the documents assigned to topic, ordered by descending
-// confidence with URL as the tie-break. (The tie-break is by URL, not
-// DocID, so the ordering is identical no matter how the store is sharded —
-// IDs encode the shard and would order ties differently per layout.)
+// TenantNumDocs counts the documents belonging to tenant (a full scan;
+// intended for admin/stats surfaces, not hot paths).
+func (s *Store) TenantNumDocs(tenant string) int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.docMu.RLock()
+		for _, d := range sh.docs {
+			if d.Tenant == tenant {
+				n++
+			}
+		}
+		sh.docMu.RUnlock()
+	}
+	return n
+}
+
+// ByTopic returns the documents assigned to topic across every tenant,
+// ordered by descending confidence with URL as the tie-break. (The
+// tie-break is by URL, not DocID, so the ordering is identical no matter
+// how the store is sharded — IDs encode the shard and would order ties
+// differently per layout.)
 func (s *Store) ByTopic(topic string) []Document {
 	var out []Document
 	for _, sh := range s.shards {
@@ -439,6 +517,20 @@ func (s *Store) ByTopic(topic string) []Document {
 		}
 		return out[i].URL < out[j].URL
 	})
+	return out
+}
+
+// ByTopicTenant is ByTopic restricted to one tenant's documents, with the
+// same ordering. For a store holding only the default tenant it returns
+// exactly what ByTopic does.
+func (s *Store) ByTopicTenant(tenant, topic string) []Document {
+	all := s.ByTopic(topic)
+	out := all[:0]
+	for _, d := range all {
+		if d.Tenant == tenant {
+			out = append(out, d)
+		}
+	}
 	return out
 }
 

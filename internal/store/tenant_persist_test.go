@@ -1,0 +1,165 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// tenantDoc builds one tenant-tagged row.
+func tenantDoc(tenant, u string, terms map[string]int) Document {
+	return Document{Tenant: tenant, URL: u, Topic: "ROOT/db", Confidence: 0.5, Terms: terms}
+}
+
+// fillTenants inserts n rows spread across the default tenant and two named
+// ones, including the same URL stored by different tenants.
+func fillTenants(s *Store, n int) {
+	tenants := []string{"", "beta", "gamma"}
+	for i := 0; i < n; i++ {
+		u := fmt.Sprintf("http://t%d.example/p%d", i%7, i)
+		s.Insert(tenantDoc(tenants[i%len(tenants)], u, map[string]int{"term": 1 + i%3}))
+	}
+	// A shared URL: every tenant holds its own row for it.
+	for _, tn := range tenants {
+		s.Insert(tenantDoc(tn, "http://shared.example/page", map[string]int{"share": 2}))
+	}
+}
+
+// TestPersistV3TenantRoundTrip: tenant-tagged frames survive encode/decode —
+// per-tenant counts, per-tenant lookups and the shared-URL rows all land
+// back on the right shards.
+func TestPersistV3TenantRoundTrip(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		s := NewSharded(p)
+		fillTenants(s, 90)
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(buf.Bytes(), append(storeMagic[:], formatVersion)) {
+			t.Fatalf("p=%d: stream missing v%d header", p, formatVersion)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumDocs() != s.NumDocs() {
+			t.Fatalf("p=%d: doc count %d vs %d", p, got.NumDocs(), s.NumDocs())
+		}
+		for _, tn := range []string{"", "beta", "gamma"} {
+			if w, g := s.TenantNumDocs(tn), got.TenantNumDocs(tn); w != g {
+				t.Fatalf("p=%d tenant %q: %d docs reloaded as %d", p, tn, w, g)
+			}
+			d, err := got.GetDoc(tn, "http://shared.example/page")
+			if err != nil || d.Tenant != tn {
+				t.Fatalf("p=%d tenant %q: shared row = %+v, %v", p, tn, d, err)
+			}
+		}
+		for _, d := range s.All() {
+			rd, err := got.GetDoc(d.Tenant, d.URL)
+			if err != nil || rd.ID != d.ID || rd.Tenant != d.Tenant {
+				t.Fatalf("p=%d: doc %q/%s ID %d -> %+v (%v)", p, d.Tenant, d.URL, d.ID, rd, err)
+			}
+		}
+	}
+}
+
+// TestPersistV2StreamLoadsAsDefaultTenant: a legacy v2 stream — written by a
+// pre-tenancy release — decodes with every row on the default tenant and
+// identical doc counts.
+func TestPersistV2StreamLoadsAsDefaultTenant(t *testing.T) {
+	s := NewSharded(4)
+	fillSharded(s, 120)
+	var buf bytes.Buffer
+	// Emit exactly what the pre-tenancy release wrote: same framing, version
+	// byte 2, rows without the Tenant field (gob omits the zero value).
+	if err := s.encodeFramed(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDocs() != s.NumDocs() {
+		t.Fatalf("doc count %d vs %d", got.NumDocs(), s.NumDocs())
+	}
+	if got.TenantNumDocs("") != got.NumDocs() {
+		t.Fatalf("v2 rows not all on the default tenant: %d of %d",
+			got.TenantNumDocs(""), got.NumDocs())
+	}
+	got.VisitDocs(func(d Document) bool {
+		if d.Tenant != "" {
+			t.Fatalf("v2 row %s decoded with tenant %q", d.URL, d.Tenant)
+		}
+		return true
+	})
+	// Legacy URL-keyed lookups still resolve every row.
+	for _, d := range s.All() {
+		rd, err := got.GetByURL(d.URL)
+		if err != nil || rd.ID != d.ID {
+			t.Fatalf("GetByURL(%s) = %+v, %v", d.URL, rd, err)
+		}
+	}
+}
+
+// TestPersistV3DefaultTenantBytesMatchV2: for default-tenant rows, the v3
+// stream is byte-identical to the v2 stream except for the version byte —
+// gob omits the zero-value Tenant field, so the single-tenant on-disk
+// format did not change. (One doc per shard: encode order within a shard
+// follows map iteration, so only singleton shards are byte-deterministic.)
+func TestPersistV3DefaultTenantBytesMatchV2(t *testing.T) {
+	s := NewSharded(1)
+	s.Insert(tenantDoc("", "http://one.example/doc", map[string]int{"only": 1}))
+	var v2, v3 bytes.Buffer
+	if err := s.encodeFramed(&v2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Encode(&v3); err != nil {
+		t.Fatal(err)
+	}
+	b2, b3 := v2.Bytes(), v3.Bytes()
+	if len(b2) != len(b3) {
+		t.Fatalf("stream lengths differ: v2=%d v3=%d", len(b2), len(b3))
+	}
+	verIdx := len(storeMagic)
+	if b2[verIdx] != 2 || b3[verIdx] != 3 {
+		t.Fatalf("version bytes = %d, %d", b2[verIdx], b3[verIdx])
+	}
+	b2[verIdx], b3[verIdx] = 0, 0
+	if !bytes.Equal(b2, b3) {
+		t.Fatal("default-tenant v3 stream differs from v2 beyond the version byte")
+	}
+}
+
+// TestTenantWorkspaceRouting: crawler workspaces route tenant-tagged rows
+// to the shard owning the (tenant, url) key, and both tenants' rows of a
+// shared URL are retrievable afterwards.
+func TestTenantWorkspaceRouting(t *testing.T) {
+	s := NewSharded(8)
+	w := s.NewWorkspace(8)
+	for i := 0; i < 60; i++ {
+		u := fmt.Sprintf("http://ws%d.example/p%d", i%5, i)
+		tn := ""
+		if i%2 == 1 {
+			tn = "beta"
+		}
+		w.Add(tenantDoc(tn, u, map[string]int{"ws": 1}))
+	}
+	w.Add(tenantDoc("", "http://both.example/x", map[string]int{"x": 1}))
+	w.Add(tenantDoc("beta", "http://both.example/x", map[string]int{"x": 2}))
+	w.Flush()
+	if s.NumDocs() != 62 {
+		t.Fatalf("NumDocs = %d", s.NumDocs())
+	}
+	if s.TenantNumDocs("") != 31 || s.TenantNumDocs("beta") != 31 {
+		t.Fatalf("tenant counts %d/%d", s.TenantNumDocs(""), s.TenantNumDocs("beta"))
+	}
+	a, err := s.GetDoc("", "http://both.example/x")
+	if err != nil || a.Terms["x"] != 1 {
+		t.Fatalf("default row = %+v, %v", a, err)
+	}
+	b, err := s.GetDoc("beta", "http://both.example/x")
+	if err != nil || b.Terms["x"] != 2 {
+		t.Fatalf("beta row = %+v, %v", b, err)
+	}
+}

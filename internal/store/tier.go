@@ -555,7 +555,7 @@ func (s *Store) ingestSegment(sh *storeShard, seg *tierSeg, tombs map[int64]stru
 		id := sh.idFor(seq)
 		d.ID = id
 		sh.docs[id] = &d
-		sh.byURL[d.URL] = id
+		sh.byURL[d.key()] = id
 		if d.Topic != "" {
 			sh.byTopic[d.Topic] = append(sh.byTopic[d.Topic], id)
 		}
@@ -589,22 +589,27 @@ func (s *Store) ingestSegment(sh *storeShard, seg *tierSeg, tombs map[int64]stru
 	return nil
 }
 
-// metaFromDoc converts a row to its segment form. The caller owns d.
+// metaFromDoc converts a row to its segment form. The caller owns d. The
+// meta URL field carries the document's docKey — tenant-prefixed for named
+// tenants, the bare URL for the default tenant — so tenancy rides in the
+// existing segment and WAL formats without a version bump; docFromMeta
+// splits it back apart.
 func metaFromDoc(d *Document) segment.Meta {
 	nanos := int64(zeroTimeNanos)
 	if !d.CrawledAt.IsZero() {
 		nanos = d.CrawledAt.UnixNano()
 	}
 	return segment.Meta{
-		URL: d.URL, FinalURL: d.FinalURL, Title: d.Title,
+		URL: d.key(), FinalURL: d.FinalURL, Title: d.Title,
 		ContentType: d.ContentType, Topic: d.Topic, Confidence: d.Confidence,
 		Depth: d.Depth, CrawledAtNanos: nanos, IsTraining: d.IsTraining,
 	}
 }
 
 func docFromMeta(m *segment.Meta) Document {
+	tenant, url := splitDocKey(m.URL)
 	d := Document{
-		URL: m.URL, FinalURL: m.FinalURL, Title: m.Title,
+		Tenant: tenant, URL: url, FinalURL: m.FinalURL, Title: m.Title,
 		ContentType: m.ContentType, Topic: m.Topic, Confidence: m.Confidence,
 		Depth: m.Depth, IsTraining: m.IsTraining,
 	}
@@ -783,33 +788,35 @@ func (s *Store) applyWALRecord(sh *storeShard, payload []byte, stats *RecoverySt
 			sh.tier.hotRedir = append(sh.tier.hotRedir, r)
 		}
 	case walOpDelete:
-		url := d.Str()
+		// Mutation records address rows by docKey (the bare URL in logs
+		// written before tenancy, which is the default tenant's key).
+		key := d.Str()
 		if err := d.Err(); err != nil {
 			return err
 		}
-		if id, ok := sh.byURL[url]; ok {
+		if id, ok := sh.byURL[key]; ok {
 			old := sh.removeDocLocked(id)
 			if old != nil && old.Terms != nil {
 				sh.index.removeDoc(old.ID, old.Terms)
 			}
 		}
 	case walOpSetTopic:
-		url := d.Str()
+		key := d.Str()
 		topic := d.Str()
 		conf := d.F64()
 		if err := d.Err(); err != nil {
 			return err
 		}
-		if id, ok := sh.byURL[url]; ok {
+		if id, ok := sh.byURL[key]; ok {
 			sh.setTopicLocked(id, topic, conf)
 		}
 	case walOpSetTraining:
-		url := d.Str()
+		key := d.Str()
 		training := d.Bool()
 		if err := d.Err(); err != nil {
 			return err
 		}
-		if id, ok := sh.byURL[url]; ok {
+		if id, ok := sh.byURL[key]; ok {
 			sh.docs[id].IsTraining = training
 			sh.noteColdTrainingLocked(id, training)
 		}
@@ -822,7 +829,8 @@ func (s *Store) applyWALRecord(sh *storeShard, payload []byte, stats *RecoverySt
 // replayInsert applies a WAL doc insert with its original sequence number.
 // Open runs single-threaded, so no locks.
 func (s *Store) replayInsert(sh *storeShard, seq int64, d Document) {
-	if oldID, ok := sh.byURL[d.URL]; ok {
+	key := d.key()
+	if oldID, ok := sh.byURL[key]; ok {
 		old := sh.removeDocLocked(oldID)
 		if old != nil && old.Terms != nil {
 			sh.index.removeDoc(old.ID, old.Terms)
@@ -832,7 +840,7 @@ func (s *Store) replayInsert(sh *storeShard, seq int64, d Document) {
 	d.ID = id
 	cp := d
 	sh.docs[id] = &cp
-	sh.byURL[d.URL] = id
+	sh.byURL[key] = id
 	if d.Topic != "" {
 		sh.byTopic[d.Topic] = append(sh.byTopic[d.Topic], id)
 	}
@@ -1013,7 +1021,7 @@ func (s *Store) publishFreeze(sh *storeShard, seg *tierSeg, frozen []frozenDoc) 
 	for pos := range frozen {
 		f := &frozen[pos]
 		d, ok := sh.docs[f.id]
-		if ok && sh.byURL[d.URL] == f.id {
+		if ok && sh.byURL[d.key()] == f.id {
 			// SetTopic/SetTraining applied between capture and here missed
 			// noteColdTopicLocked (the row was not cold yet) and the baked
 			// meta predates them; their WAL records live in the generation

@@ -86,8 +86,10 @@ func (s *Store) NewWorkspace(batchSize int) *Workspace {
 }
 
 // Add buffers a document, flushing automatically when the batch is full.
+// The document routes to its shard by docKey, so two tenants crawling the
+// same URL keep distinct rows.
 func (w *Workspace) Add(d Document) {
-	b := &w.byShard[w.store.ShardForURL(d.URL)]
+	b := &w.byShard[int(fnv32(d.key())&w.store.mask)]
 	b.docs = append(b.docs, d)
 	w.buffered++
 	w.pending++

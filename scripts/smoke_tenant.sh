@@ -1,0 +1,194 @@
+#!/bin/sh
+# Multi-portal tenancy smoke test: boot portald hosting TWO portal tenants
+# over one shared store (-tenant alpha -tenant beta), each crawling its own
+# round-robin slice of the tiny world's seed bookmarks, with the background
+# retrainer swapping classifier ensembles mid-crawl. Assert:
+#
+#   1. both tenants' crawls complete with documents in the shared store;
+#   2. /search?tenant=alpha returns only alpha's documents (every hit is
+#      tenant-tagged alpha, zero beta or untagged hits) and vice versa;
+#   3. /tenants lists both portals with live per-tenant stats;
+#   4. the background retrainer keeps publishing ensembles while the
+#      server answers queries (retrain counters advance between two
+#      /tenants samples taken during serving — training never blocks
+#      the read path);
+#   5. SIGTERM still drains gracefully (Close stops the retrainer).
+#
+# Second leg: a plain single-tenant run is unchanged — /search responses
+# carry no tenant field at all (the pre-tenancy wire format, byte-for-byte).
+#
+# Run via `make smoke-tenant`; CI runs it on every push.
+set -eu
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+        kill -9 "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+# wait_port FILE LOG: block until FILE holds the bound address, failing
+# loudly if the server dies or stalls.
+wait_port() {
+    i=0
+    while [ ! -s "$1" ]; do
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "smoke-tenant: portald exited before serving; log follows" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+        if [ "$i" -gt 1200 ]; then
+            echo "smoke-tenant: timed out waiting for portald to serve; log follows" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+# count PATTERN: occurrences of PATTERN in stdin (grep -c counts lines, the
+# JSON is one line, so grep -o | wc -l).
+count() { grep -o "$1" | wc -l | tr -d ' '; }
+
+# retrain_sum JSON: sum of every tenant's "retrains" counter in a /tenants
+# response.
+retrain_sum() {
+    printf '%s' "$1" | grep -o '"retrains":[0-9]*' | cut -d: -f2 |
+        awk '{s += $1} END {print s + 0}'
+}
+
+echo "smoke-tenant: building portald"
+go build -o "$tmp/portald" ./cmd/portald
+
+echo "smoke-tenant: starting portald (two tenants, background retrainer every 150ms)"
+"$tmp/portald" -crawl -world tiny -tenant alpha -tenant beta \
+    -retrain-interval 150ms -listen 127.0.0.1:0 -port-file "$tmp/port" \
+    >"$tmp/portald.log" 2>&1 &
+pid=$!
+wait_port "$tmp/port" "$tmp/portald.log"
+addr="$(cat "$tmp/port")"
+echo "smoke-tenant: portald serving on $addr"
+
+for t in alpha beta; do
+    if ! grep -q "tenant $t: crawl done" "$tmp/portald.log"; then
+        echo "smoke-tenant: tenant $t never finished its crawl; log follows" >&2
+        cat "$tmp/portald.log" >&2
+        exit 1
+    fi
+done
+if ! grep -q "background retrainer: every" "$tmp/portald.log"; then
+    echo "smoke-tenant: background retrainer never started; log follows" >&2
+    cat "$tmp/portald.log" >&2
+    exit 1
+fi
+
+echo "smoke-tenant: checking cross-tenant isolation on /search"
+for t in alpha beta; do
+    other=beta
+    [ "$t" = beta ] && other=alpha
+    resp="$(curl -fsS "http://$addr/search?q=database&tenant=$t&k=50")"
+    hits="$(printf '%s' "$resp" | count '"url"')"
+    tagged="$(printf '%s' "$resp" | count "\"tenant\":\"$t\"")"
+    if [ "$hits" -eq 0 ]; then
+        echo "smoke-tenant: tenant $t got zero hits for q=database" >&2
+        exit 1
+    fi
+    # Every hit must carry this tenant's tag: a count mismatch means an
+    # untagged (default-tenant) row leaked into a scoped query.
+    if [ "$hits" -ne "$tagged" ]; then
+        echo "smoke-tenant: tenant $t: $hits hits but only $tagged tagged $t (untagged leak): $resp" >&2
+        exit 1
+    fi
+    case "$resp" in
+    *"\"tenant\":\"$other\""*)
+        echo "smoke-tenant: tenant $t results leaked tenant $other documents: $resp" >&2
+        exit 1
+        ;;
+    esac
+    echo "smoke-tenant: tenant $t: $hits hits, all tagged $t"
+done
+
+echo "smoke-tenant: checking /tenants admin endpoint"
+tenants1="$(curl -fsS "http://$addr/tenants")"
+for t in alpha beta; do
+    case "$tenants1" in
+    *"\"id\":\"$t\""*) ;;
+    *)
+        echo "smoke-tenant: /tenants missing tenant $t: $tenants1" >&2
+        exit 1
+        ;;
+    esac
+done
+
+echo "smoke-tenant: checking the retrainer keeps publishing while serving"
+r1="$(retrain_sum "$tenants1")"
+sleep 1
+tenants2="$(curl -fsS "http://$addr/tenants")"
+r2="$(retrain_sum "$tenants2")"
+if [ "$r2" -le "$r1" ]; then
+    echo "smoke-tenant: retrain counters frozen while serving ($r1 -> $r2); retrainer dead or blocking" >&2
+    exit 1
+fi
+echo "smoke-tenant: retrains advanced $r1 -> $r2 during serving"
+
+# Queries stay answerable while ensembles are being swapped underneath.
+mid="$(curl -fsS "http://$addr/search?q=database&tenant=alpha&k=10")"
+if [ "$(printf '%s' "$mid" | count '"url"')" -eq 0 ]; then
+    echo "smoke-tenant: no hits while retraining: $mid" >&2
+    exit 1
+fi
+if ! curl -fsS "http://$addr/metricsz" | grep -q 'tenant_retrains_total{tenant="alpha"}'; then
+    echo "smoke-tenant: per-tenant retrain metric series missing from /metricsz" >&2
+    exit 1
+fi
+
+echo "smoke-tenant: SIGTERM, expecting graceful drain (Close stops the retrainer)"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [ "$rc" -ne 0 ] || ! grep -q "shutdown complete" "$tmp/portald.log"; then
+    echo "smoke-tenant: shutdown broken (exit $rc); log follows" >&2
+    cat "$tmp/portald.log" >&2
+    exit 1
+fi
+
+# --- Second leg: a single-tenant run is the pre-tenancy engine, unchanged ---
+
+echo "smoke-tenant: starting single-tenant portald (no -tenant flags)"
+"$tmp/portald" -crawl -world tiny -listen 127.0.0.1:0 -port-file "$tmp/port2" \
+    >"$tmp/single.log" 2>&1 &
+pid=$!
+wait_port "$tmp/port2" "$tmp/single.log"
+addr="$(cat "$tmp/port2")"
+
+resp="$(curl -fsS "http://$addr/search?q=database&k=20")"
+if [ "$(printf '%s' "$resp" | count '"url"')" -eq 0 ]; then
+    echo "smoke-tenant: single-tenant run got zero hits: $resp" >&2
+    exit 1
+fi
+# The default tenant's responses omit the tenant field entirely: existing
+# API clients of a single-portal deployment see the exact pre-tenancy wire
+# format.
+case "$resp" in
+*'"tenant"'*)
+    echo "smoke-tenant: single-tenant response leaked a tenant field: $resp" >&2
+    exit 1
+    ;;
+esac
+echo "smoke-tenant: single-tenant wire format unchanged (no tenant field)"
+
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "smoke-tenant: single-tenant portald exited $rc on SIGTERM; log follows" >&2
+    cat "$tmp/single.log" >&2
+    exit 1
+fi
+echo "smoke-tenant: OK"
